@@ -1,0 +1,34 @@
+//! Partition augmentation cost on dense random graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::gnp_fixture;
+use domatic_core::augment::augment_partition;
+use domatic_core::greedy::greedy_domatic_partition;
+use domatic_core::uniform::{uniform_coloring, UniformParams};
+use domatic_graph::domination::is_dominating_set;
+use std::hint::black_box;
+
+fn bench_augment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augment_partition");
+    group.sample_size(10);
+    for n in [300usize, 600] {
+        let g = gnp_fixture(n);
+        let greedy = greedy_domatic_partition(&g);
+        group.bench_with_input(BenchmarkId::new("from_greedy", n), &g, |b, g| {
+            b.iter(|| black_box(augment_partition(g, greedy.clone())));
+        });
+        let ca = uniform_coloring(&g, &UniformParams { c: 3.0, seed: 1 });
+        let randomized: Vec<_> = ca
+            .classes(g.n())
+            .into_iter()
+            .filter(|c| !c.is_empty() && is_dominating_set(&g, c))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("from_randomized", n), &g, |b, g| {
+            b.iter(|| black_box(augment_partition(g, randomized.clone())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_augment);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Distributed engine throughput: protocol execution across thread counts
+//! (the engine's scoped-thread fan-out should scale on large graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::{battery_fixture, rgg_fixture};
+use domatic_distsim::protocols::general::distributed_general_schedule;
+use domatic_distsim::protocols::uniform::distributed_uniform_schedule;
+use std::hint::black_box;
+
+fn bench_distsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distsim_engine");
+    group.sample_size(20);
+    let g = rgg_fixture(100_000);
+    let b = battery_fixture(100_000);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("uniform_100k/threads", threads), &threads, |bch, &t| {
+            bch.iter(|| black_box(distributed_uniform_schedule(&g, 3, 3.0, 1, t)));
+        });
+        group.bench_with_input(BenchmarkId::new("general_100k/threads", threads), &threads, |bch, &t| {
+            bch.iter(|| black_box(distributed_general_schedule(&g, &b, 3.0, 1, t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distsim);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Sequential vs rayon-parallel domination checking — the hot validation
+//! kernel (every schedule entry is checked once per validation pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::rgg_fixture;
+use domatic_graph::domination::{is_dominating_set, is_dominating_set_par};
+use domatic_graph::independent::greedy_mis;
+use std::hint::black_box;
+
+fn bench_domination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domination_check");
+    for n in [10_000usize, 100_000, 400_000] {
+        let g = rgg_fixture(n);
+        let set = greedy_mis(&g); // a realistic dominating set
+        group.bench_with_input(BenchmarkId::new("seq", n), &(), |b, _| {
+            b.iter(|| black_box(is_dominating_set(&g, &set)));
+        });
+        group.bench_with_input(BenchmarkId::new("par", n), &(), |b, _| {
+            b.iter(|| black_box(is_dominating_set_par(&g, &set)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_domination);
+criterion_main!(benches);

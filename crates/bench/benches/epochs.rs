@@ -1,0 +1,24 @@
+//! Multi-epoch rescheduling cost vs epoch budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::{battery_fixture, gnp_fixture};
+use domatic_core::epochs::epoch_schedule;
+use domatic_core::general::GeneralParams;
+use std::hint::black_box;
+
+fn bench_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_schedule");
+    group.sample_size(20);
+    let g = gnp_fixture(2_000);
+    let b = battery_fixture(2_000);
+    for epochs in [1usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::new("n=2000/epochs", epochs), &epochs, |bch, &e| {
+            let params = GeneralParams { c: 3.0, seed: 1 };
+            bch.iter(|| black_box(epoch_schedule(&g, &b, &params, e)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runtime scaling of Algorithm 3 (k-tolerant) across k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::rgg_fixture;
+use domatic_core::fault_tolerant::fault_tolerant_schedule;
+use domatic_core::uniform::UniformParams;
+use std::hint::black_box;
+
+fn bench_fault_tolerant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_tolerant_algorithm");
+    let g = rgg_fixture(10_000);
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("n=10000/k", k), &k, |b, &k| {
+            let params = UniformParams { c: 3.0, seed: 1 };
+            b.iter(|| black_box(fault_tolerant_schedule(&g, 6, k, &params)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_tolerant);
+criterion_main!(benches);

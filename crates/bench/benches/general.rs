@@ -1,0 +1,22 @@
+//! Runtime scaling of Algorithm 2 (general batteries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::{battery_fixture, rgg_fixture};
+use domatic_core::general::{general_schedule, GeneralParams};
+use std::hint::black_box;
+
+fn bench_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("general_algorithm");
+    for n in [1_000usize, 10_000, 100_000] {
+        let g = rgg_fixture(n);
+        let b = battery_fixture(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(g, b), |bch, (g, b)| {
+            let params = GeneralParams { c: 3.0, seed: 1 };
+            bch.iter(|| black_box(general_schedule(g, b, &params)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_general);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Graph generator throughput (construction is the setup cost of every
+//! experiment sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_graph::generators::geometric::{radius_for_avg_degree, random_geometric};
+use domatic_graph::generators::gnp::gnp_with_avg_degree;
+use domatic_graph::generators::grid::{grid, GridKind};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("gnp_d20", n), &n, |b, &n| {
+            b.iter(|| black_box(gnp_with_avg_degree(n, 20.0, 7)));
+        });
+        group.bench_with_input(BenchmarkId::new("rgg_d20", n), &n, |b, &n| {
+            let r = radius_for_avg_degree(n, 20.0);
+            b.iter(|| black_box(random_geometric(n, r, 7)));
+        });
+        group.bench_with_input(BenchmarkId::new("torus8", n), &n, |b, &n| {
+            let side = (n as f64).sqrt() as usize;
+            b.iter(|| black_box(grid(side, side, GridKind::EightConnected, true)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

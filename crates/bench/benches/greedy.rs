@@ -1,0 +1,26 @@
+//! Runtime of the greedy domatic partition baseline — the centralized
+//! algorithm the paper's distributed approach replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::{gnp_fixture, rgg_fixture};
+use domatic_core::greedy::greedy_domatic_partition;
+use std::hint::black_box;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_partition");
+    group.sample_size(10);
+    for n in [500usize, 1_000, 2_000] {
+        let g = rgg_fixture(n);
+        group.bench_with_input(BenchmarkId::new("rgg", n), &g, |b, g| {
+            b.iter(|| black_box(greedy_domatic_partition(g)));
+        });
+        let d = gnp_fixture(n);
+        group.bench_with_input(BenchmarkId::new("gnp_dense", n), &d, |b, g| {
+            b.iter(|| black_box(greedy_domatic_partition(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Distributed local-greedy DS protocol: scaling and thread fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::rgg_fixture;
+use domatic_distsim::protocols::local_greedy::distributed_local_greedy_ds;
+use std::hint::black_box;
+
+fn bench_local_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_greedy_protocol");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let g = rgg_fixture(n);
+        group.bench_with_input(BenchmarkId::new("n", n), &g, |b, g| {
+            b.iter(|| black_box(distributed_local_greedy_ds(g, 1, 60, 4)));
+        });
+    }
+    let g = rgg_fixture(10_000);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(distributed_local_greedy_ds(&g, 1, 60, t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_greedy);
+criterion_main!(benches);

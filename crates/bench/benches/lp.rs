@@ -1,0 +1,34 @@
+//! Exact-optimum pipeline cost: minimal-dominating-set enumeration plus
+//! the simplex solve, per instance size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_graph::generators::gnp::gnp_with_avg_degree;
+use domatic_graph::generators::regular::cycle;
+use domatic_lp::{lp_optimal_lifetime, minimal_dominating_sets};
+use std::hint::black_box;
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_lp");
+    group.sample_size(10);
+    for n in [10usize, 14, 18] {
+        let g = gnp_with_avg_degree(n, 4.0, 3);
+        group.bench_with_input(BenchmarkId::new("enumerate_gnp", n), &g, |b, g| {
+            b.iter(|| black_box(minimal_dominating_sets(g, 10_000_000).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("lp_gnp", n), &g, |b, g| {
+            let batteries = vec![3.0; g.n()];
+            b.iter(|| black_box(lp_optimal_lifetime(g, &batteries, 10_000_000).unwrap()));
+        });
+    }
+    for n in [12usize, 18] {
+        let g = cycle(n);
+        group.bench_with_input(BenchmarkId::new("lp_cycle", n), &g, |b, g| {
+            let batteries = vec![2.0; g.n()];
+            b.iter(|| black_box(lp_optimal_lifetime(g, &batteries, 10_000_000).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Simulator throughput: slots per second across strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::gnp_fixture;
+use domatic_core::greedy::greedy_domatic_partition;
+use domatic_netsim::{simulate, AllActive, DomaticRotation, EnergyModel, SimConfig, SingleMds};
+use std::hint::black_box;
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_simulate");
+    group.sample_size(20);
+    let g = gnp_fixture(1_000);
+    let energies = vec![50.0; g.n()];
+    let cfg = SimConfig {
+        model: EnergyModel::standard(),
+        k: 1,
+        max_slots: 100_000,
+        switch_cost: 0.0,
+    };
+    group.bench_function(BenchmarkId::new("all_active", 1000), |b| {
+        b.iter(|| black_box(simulate(&g, &energies, &mut AllActive, &cfg, None)));
+    });
+    group.bench_function(BenchmarkId::new("single_mds_adaptive", 1000), |b| {
+        b.iter(|| black_box(simulate(&g, &energies, &mut SingleMds::new(), &cfg, None)));
+    });
+    let classes = greedy_domatic_partition(&g);
+    group.bench_function(BenchmarkId::new("domatic_rotation", 1000), |b| {
+        b.iter(|| {
+            let mut strat = DomaticRotation::new(classes.clone(), 1);
+            black_box(simulate(&g, &energies, &mut strat, &cfg, None))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Radio dissemination cost per density (slots are simulated, so this
+//! measures simulator throughput, not channel time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_distsim::radio::{disseminate_degrees, RadioParams};
+use domatic_graph::generators::geometric::{radius_for_avg_degree, random_geometric};
+use std::hint::black_box;
+
+fn bench_radio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radio_dissemination");
+    group.sample_size(10);
+    for d in [10.0f64, 30.0] {
+        let g = random_geometric(500, radius_for_avg_degree(500, d), 1).graph;
+        group.bench_with_input(BenchmarkId::new("n=500/avg_deg", d as u64), &g, |b, g| {
+            b.iter(|| {
+                black_box(disseminate_degrees(
+                    g,
+                    &RadioParams { p: None, max_slots: 100_000, seed: 1 },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_radio);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Runtime scaling of Algorithm 1 (uniform coloring + schedule).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domatic_bench::rgg_fixture;
+use domatic_core::uniform::{uniform_schedule, UniformParams};
+use std::hint::black_box;
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform_algorithm");
+    for n in [1_000usize, 10_000, 100_000] {
+        let g = rgg_fixture(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let params = UniformParams { c: 3.0, seed: 1 };
+            b.iter(|| black_box(uniform_schedule(g, 3, &params)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform);
+criterion_main!(benches);

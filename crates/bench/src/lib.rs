@@ -1,0 +1,42 @@
+//! # domatic-bench
+//!
+//! Criterion benchmarks for the `domatic` workspace. Each bench target
+//! measures the *systems* cost of one component (runtime scaling of the
+//! algorithms, generators, checkers, the LP solver, and the distributed
+//! engine); the *quality* numbers — lifetimes, approximation ratios —
+//! come from the experiments harness (`cargo run --bin experiments`).
+//!
+//! Shared fixtures live here so every bench measures the same instances.
+
+use domatic_graph::generators::geometric::{radius_for_avg_degree, random_geometric};
+use domatic_graph::generators::gnp::gnp_with_avg_degree;
+use domatic_graph::Graph;
+use domatic_schedule::Batteries;
+
+/// Standard RGG fixture: `n` nodes at average degree ~20, seeded by `n`.
+pub fn rgg_fixture(n: usize) -> Graph {
+    random_geometric(n, radius_for_avg_degree(n, 20.0), n as u64).graph
+}
+
+/// Standard dense G(n,p) fixture at average degree ~60.
+pub fn gnp_fixture(n: usize) -> Graph {
+    gnp_with_avg_degree(n, 60.0, n as u64)
+}
+
+/// Deterministic non-uniform batteries in `1..=5`.
+pub fn battery_fixture(n: usize) -> Batteries {
+    Batteries::from_vec((0..n).map(|v| 1 + (v as u64 * 7 + 3) % 5).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(rgg_fixture(100), rgg_fixture(100));
+        assert_eq!(gnp_fixture(100), gnp_fixture(100));
+        let b = battery_fixture(10);
+        assert!(b.as_slice().iter().all(|&x| (1..=5).contains(&x)));
+    }
+}

@@ -1,0 +1,217 @@
+//! Algorithm 3 — the fault-tolerant uniform scheduler (paper §6).
+//!
+//! Every node must be covered by at least `k` dominators at all times.
+//! The algorithm spends the battery in two phases:
+//!
+//! 1. **Everyone-on phase**: all nodes are active for `b/2` time units.
+//!    Since the problem requires `δ ≥ k`, the full vertex set is a
+//!    k-dominating set, so this phase is always valid and contributes
+//!    `b/2` lifetime — this is what saves the regime `δ/ln n < 3k`, where
+//!    merging colors would produce zero classes.
+//! 2. **Merged-classes phase**: nodes color themselves exactly as in
+//!    Algorithm 1; `k` consecutive color classes merge into one
+//!    k-dominating set (each constituent class dominates w.h.p., and the
+//!    classes are disjoint). Merged class `j = ⌊color/k⌋` is active for
+//!    the remaining `b − b/2` units.
+//!
+//! Theorem 6.2: this is an `O(log n)` approximation against Lemma 6.1's
+//! bound `L_OPT ≤ b(δ+1)/k` in both regimes.
+
+use crate::partition::ColorAssignment;
+use crate::uniform::{uniform_coloring, UniformParams};
+use domatic_graph::{Graph, NodeSet};
+use domatic_schedule::Schedule;
+
+/// Output of Algorithm 3: the schedule plus the underlying coloring and
+/// merge arithmetic (for the experiment reports).
+#[derive(Clone, Debug)]
+pub struct FaultTolerantRun {
+    /// The two-phase schedule.
+    pub schedule: Schedule,
+    /// The Algorithm-1 coloring that phase 2 merges.
+    pub coloring: ColorAssignment,
+    /// Number of merged k-classes emitted (`⌈num_classes / k⌉`).
+    pub merged_classes: u32,
+    /// Merged classes certified w.h.p. (`⌊guaranteed_classes / k⌋`).
+    pub guaranteed_merged: u32,
+    /// Duration of the everyone-on phase (`⌊b/2⌋`).
+    pub phase1: u64,
+    /// Duration of each merged class (`b − ⌊b/2⌋`).
+    pub phase2_each: u64,
+}
+
+/// Runs Algorithm 3 on a uniform-battery instance with tolerance `k`.
+///
+/// ```
+/// use domatic_core::fault_tolerant::fault_tolerant_schedule;
+/// use domatic_core::uniform::UniformParams;
+/// use domatic_graph::generators::regular::complete;
+/// use domatic_schedule::{longest_valid_prefix, Batteries};
+///
+/// let g = complete(50);
+/// let (b, k) = (4, 2);
+/// let run = fault_tolerant_schedule(&g, b, k, &UniformParams::default());
+/// assert_eq!(run.phase1 + run.phase2_each, b);
+/// let batteries = Batteries::uniform(50, b);
+/// let valid = longest_valid_prefix(&g, &batteries, &run.schedule, k);
+/// assert!(valid.lifetime() >= b / 2); // the everyone-on floor
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0`. Graphs with `δ < k` yield a schedule whose
+/// everyone-on phase is already not k-dominating; the caller's validation
+/// (or [`domatic_schedule::longest_valid_prefix`]) will reject it — the
+/// paper only defines the problem for `δ ≥ k`.
+pub fn fault_tolerant_schedule(
+    g: &Graph,
+    b: u64,
+    k: usize,
+    params: &UniformParams,
+) -> FaultTolerantRun {
+    assert!(k >= 1, "tolerance k must be at least 1");
+    let n = g.n();
+    let coloring = uniform_coloring(g, params);
+    let phase1 = b / 2;
+    let phase2_each = b - phase1;
+    let merged_classes = coloring.num_classes.div_ceil(k as u32);
+    let guaranteed_merged = coloring.guaranteed_classes / k as u32;
+
+    let mut schedule = Schedule::new();
+    if n > 0 && phase1 > 0 {
+        schedule.push(NodeSet::full(n), phase1);
+    }
+    if phase2_each > 0 {
+        // Merged class j = nodes with color in [jk, (j+1)k).
+        let mut merged: Vec<NodeSet> = vec![NodeSet::new(n); merged_classes as usize];
+        for (v, &c) in coloring.colors.iter().enumerate() {
+            merged[(c / k as u32) as usize].insert(v as u32);
+        }
+        for m in merged {
+            if !m.is_empty() {
+                schedule.push(m, phase2_each);
+            }
+        }
+    }
+    FaultTolerantRun {
+        schedule,
+        coloring,
+        merged_classes,
+        guaranteed_merged,
+        phase1,
+        phase2_each,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::domination::is_k_dominating_set;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::{complete, cycle};
+    use domatic_graph::NodeId;
+    use domatic_schedule::{longest_valid_prefix, validate_schedule, Batteries};
+
+    #[test]
+    fn budgets_never_exceeded() {
+        let g = gnp_with_avg_degree(120, 30.0, 4);
+        let b = 6u64;
+        let run = fault_tolerant_schedule(&g, b, 2, &UniformParams::default());
+        for v in 0..g.n() as NodeId {
+            assert!(run.schedule.active_time(v) <= b, "node {v}");
+        }
+    }
+
+    #[test]
+    fn two_phase_structure() {
+        let g = complete(50);
+        let run = fault_tolerant_schedule(&g, 4, 2, &UniformParams { c: 3.0, seed: 1 });
+        assert_eq!(run.phase1, 2);
+        assert_eq!(run.phase2_each, 2);
+        // First entry is the everyone-on phase.
+        let first = &run.schedule.entries()[0];
+        assert_eq!(first.set.len(), 50);
+        assert_eq!(first.duration, 2);
+    }
+
+    #[test]
+    fn merged_classes_are_k_dominating_on_dense_graphs() {
+        let g = complete(120);
+        let k = 3;
+        let run = fault_tolerant_schedule(&g, 2, k, &UniformParams { c: 3.0, seed: 7 });
+        // Skip entry 0 (everyone-on); check guaranteed merged classes.
+        for e in run
+            .schedule
+            .entries()
+            .iter()
+            .skip(1)
+            .take(run.guaranteed_merged as usize)
+        {
+            assert!(is_k_dominating_set(&g, &e.set, k));
+        }
+    }
+
+    #[test]
+    fn validates_end_to_end_in_low_degree_regime() {
+        // C_20 with k = 2: δ = 2 = k, δ/ln n < 3k → only the everyone-on
+        // phase plus one merged class (everyone, since 1 color).
+        let g = cycle(20);
+        let b = 4u64;
+        let run = fault_tolerant_schedule(&g, b, 2, &UniformParams::default());
+        let batteries = Batteries::uniform(20, b);
+        let p = longest_valid_prefix(&g, &batteries, &run.schedule, 2);
+        // Everyone-on covers the full battery's worth: b/2 + b/2 = b
+        // (single color class = all nodes again).
+        assert!(p.lifetime() >= b, "lifetime {}", p.lifetime());
+        assert!(validate_schedule(&g, &batteries, &p, 2).is_ok());
+    }
+
+    #[test]
+    fn lifetime_at_least_half_b_always() {
+        // The everyone-on phase alone gives b/2 whenever δ ≥ k.
+        for seed in 0..5 {
+            let g = gnp_with_avg_degree(100, 20.0, seed);
+            if g.min_degree().unwrap_or(0) < 2 {
+                continue;
+            }
+            let run = fault_tolerant_schedule(&g, 10, 2, &UniformParams { c: 3.0, seed });
+            let batteries = Batteries::uniform(100, 10);
+            let p = longest_valid_prefix(&g, &batteries, &run.schedule, 2);
+            assert!(p.lifetime() >= 5, "seed {seed}: {}", p.lifetime());
+        }
+    }
+
+    #[test]
+    fn odd_battery_split() {
+        let g = complete(30);
+        let run = fault_tolerant_schedule(&g, 5, 1, &UniformParams::default());
+        assert_eq!(run.phase1, 2);
+        assert_eq!(run.phase2_each, 3);
+        for v in 0..30 as NodeId {
+            assert!(run.schedule.active_time(v) <= 5);
+        }
+    }
+
+    #[test]
+    fn k1_reduces_to_uniform_plus_everyone_phase() {
+        let g = complete(60);
+        let run = fault_tolerant_schedule(&g, 2, 1, &UniformParams { c: 3.0, seed: 3 });
+        assert_eq!(run.merged_classes, run.coloring.num_classes);
+        assert_eq!(run.guaranteed_merged, run.coloring.guaranteed_classes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k0_rejected() {
+        fault_tolerant_schedule(&cycle(5), 2, 0, &UniformParams::default());
+    }
+
+    #[test]
+    fn b1_has_no_phase1() {
+        let g = complete(40);
+        let run = fault_tolerant_schedule(&g, 1, 2, &UniformParams::default());
+        assert_eq!(run.phase1, 0);
+        assert_eq!(run.phase2_each, 1);
+        // No everyone-on entry.
+        assert!(run.schedule.entries().iter().all(|e| e.duration == 1));
+    }
+}

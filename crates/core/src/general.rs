@@ -1,0 +1,283 @@
+//! Algorithm 2 — the general-battery randomized scheduler (paper §5).
+//!
+//! With non-uniform batteries, each node `v` draws `b_v` colors (with
+//! replacement) instead of one, from a range calibrated by the *energy
+//! coverage* of its 2-hop neighborhood:
+//!
+//! - round 1: broadcast `b_v`; compute `b̂_v = max_{u∈N⁺(v)} b_u` and
+//!   `τ_v = Σ_{u∈N⁺(v)} b_u`;
+//! - round 2: broadcast `(b̂_v, τ_v)`; compute `b̂²⁾_v = max_{u∈N⁺(v)} b̂_u`
+//!   and `τ²⁾_v = min_{u∈N⁺(v)} τ_u`;
+//! - draw `b_v` colors uniformly from `[0, τ²⁾_v / (c · ln(b̂²⁾_v n)))`.
+//!
+//! The schedule activates color class `t` for one time unit at slot `t`;
+//! a node is active in slot `t` iff it drew color `t`, so its total active
+//! time is at most `b_v` (duplicate draws merge — strictly within budget).
+//!
+//! Lemma 5.2: with `c = 3`, all classes in `[0, τ / (3 ln(b_max n)))` are
+//! dominating w.h.p., giving the `O(log (b_max n))` ratio of Theorem 5.3
+//! against Lemma 5.1's bound `L_OPT ≤ τ`.
+
+use crate::bounds::general_upper_bound;
+use crate::partition::schedule_fixed_duration;
+use domatic_graph::{Graph, NodeId, NodeSet};
+use domatic_schedule::{Batteries, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for Algorithm 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeneralParams {
+    /// The constant `c` in the color range (paper: 3).
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneralParams {
+    fn default() -> Self {
+        GeneralParams { c: 3.0, seed: 0 }
+    }
+}
+
+/// The multi-color assignment produced by Algorithm 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiColorAssignment {
+    /// `color_sets[v]`: the distinct colors node v drew (≤ b_v of them).
+    pub color_sets: Vec<Vec<u32>>,
+    /// Total number of slots (`max color + 1`).
+    pub num_classes: u32,
+    /// Leading classes certified by Lemma 5.2 w.h.p.
+    pub guaranteed_classes: u32,
+}
+
+impl MultiColorAssignment {
+    /// Materializes slot `t`'s active set.
+    pub fn class(&self, n: usize, t: u32) -> NodeSet {
+        NodeSet::from_iter(
+            n,
+            self.color_sets
+                .iter()
+                .enumerate()
+                .filter(|(_, cs)| cs.contains(&t))
+                .map(|(v, _)| v as NodeId),
+        )
+    }
+
+    /// All slot sets, indexed by color.
+    pub fn classes(&self, n: usize) -> Vec<NodeSet> {
+        let mut out = vec![NodeSet::new(n); self.num_classes as usize];
+        for (v, cs) in self.color_sets.iter().enumerate() {
+            for &c in cs {
+                out[c as usize].insert(v as NodeId);
+            }
+        }
+        out
+    }
+}
+
+/// Per-node color range of Algorithm 2: `max(1, ⌊τ²⁾ / (c·ln(b̂²⁾ n))⌋)`.
+pub fn general_color_range(tau2: u64, bhat2: u64, n: usize, c: f64) -> u32 {
+    let denom = c * (((bhat2.max(1)) as f64) * (n.max(2) as f64)).ln().max(1.0);
+    ((tau2 as f64 / denom).floor() as u32).max(1)
+}
+
+/// Runs the color-drawing phase of Algorithm 2.
+pub fn general_coloring(
+    g: &Graph,
+    batteries: &Batteries,
+    params: &GeneralParams,
+) -> MultiColorAssignment {
+    assert_eq!(g.n(), batteries.n(), "graph/battery size mismatch");
+    let n = g.n();
+    // Round 1 quantities.
+    let bhat: Vec<u64> = (0..n as NodeId)
+        .map(|v| {
+            let mut m = batteries.get(v);
+            for &u in g.neighbors(v) {
+                m = m.max(batteries.get(u));
+            }
+            m
+        })
+        .collect();
+    let tau: Vec<u64> = (0..n as NodeId)
+        .map(|v| batteries.energy_coverage(g, v))
+        .collect();
+    // Round 2 quantities.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut color_sets: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut num_classes = 0u32;
+    for v in 0..n as NodeId {
+        let mut bhat2 = bhat[v as usize];
+        let mut tau2 = tau[v as usize];
+        for &u in g.neighbors(v) {
+            bhat2 = bhat2.max(bhat[u as usize]);
+            tau2 = tau2.min(tau[u as usize]);
+        }
+        let range = general_color_range(tau2, bhat2, n, params.c);
+        let mut cs: Vec<u32> = Vec::new();
+        for _ in 0..batteries.get(v) {
+            let c = rng.random_range(0..range);
+            if !cs.contains(&c) {
+                cs.push(c);
+            }
+        }
+        cs.sort_unstable();
+        if let Some(&max) = cs.last() {
+            num_classes = num_classes.max(max + 1);
+        }
+        color_sets.push(cs);
+    }
+    // Global guarantee of Lemma 5.2: τ / (c · ln(b_max · n)).
+    let guaranteed = if n == 0 {
+        0
+    } else {
+        general_color_range(general_upper_bound(g, batteries), batteries.max(), n, params.c)
+    };
+    MultiColorAssignment { color_sets, num_classes, guaranteed_classes: guaranteed }
+}
+
+/// Algorithm 2 end-to-end: draw colors, then activate slot `t` (all nodes
+/// that drew color `t`) for one time unit, `t = 0, 1, …`.
+///
+/// ```
+/// use domatic_core::general::{general_schedule, GeneralParams};
+/// use domatic_graph::generators::regular::complete;
+/// use domatic_schedule::Batteries;
+///
+/// let g = complete(40);
+/// let b = Batteries::from_vec((0..40).map(|v| 1 + v % 4).collect());
+/// let (raw, _) = general_schedule(&g, &b, &GeneralParams::default());
+/// // Budgets hold on the RAW schedule, by construction.
+/// for v in 0..40 {
+///     assert!(raw.active_time(v) <= b.get(v));
+/// }
+/// ```
+pub fn general_schedule(
+    g: &Graph,
+    batteries: &Batteries,
+    params: &GeneralParams,
+) -> (Schedule, MultiColorAssignment) {
+    let mc = general_coloring(g, batteries, params);
+    let classes = mc.classes(g.n());
+    (schedule_fixed_duration(&classes, 1), mc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::domination::is_dominating_set;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::{complete, cycle};
+    use domatic_graph::Graph;
+    use domatic_schedule::{longest_valid_prefix, validate_schedule};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn color_range_degenerates_gracefully() {
+        assert_eq!(general_color_range(0, 1, 10, 3.0), 1);
+        assert!(general_color_range(10_000, 4, 100, 3.0) > 1);
+    }
+
+    #[test]
+    fn budget_respected_by_construction() {
+        // A node's active time equals its number of *distinct* drawn
+        // colors, which is at most b_v.
+        let g = gnp_with_avg_degree(150, 25.0, 3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let b = Batteries::from_vec((0..150).map(|_| rng.random_range(1..6)).collect());
+        let (s, _) = general_schedule(&g, &b, &GeneralParams::default());
+        for v in 0..g.n() as NodeId {
+            assert!(
+                s.active_time(v) <= b.get(v),
+                "node {v}: {} > {}",
+                s.active_time(v),
+                b.get(v)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_batteries_reduce_to_slot_per_unit() {
+        // With b_v = b, total lifetime of the raw schedule is num_classes.
+        let g = complete(80);
+        let b = Batteries::uniform(80, 3);
+        let (s, mc) = general_schedule(&g, &b, &GeneralParams { c: 3.0, seed: 4 });
+        assert_eq!(s.lifetime(), mc.num_classes as u64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = cycle(30);
+        let b = Batteries::uniform(30, 2);
+        let p = GeneralParams { c: 3.0, seed: 11 };
+        assert_eq!(general_coloring(&g, &b, &p), general_coloring(&g, &b, &p));
+    }
+
+    #[test]
+    fn valid_prefix_reaches_guarantee_on_dense_graph() {
+        let g = complete(150);
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = Batteries::from_vec((0..150).map(|_| rng.random_range(1..5)).collect());
+        let (s, mc) = general_schedule(&g, &b, &GeneralParams { c: 3.0, seed: 8 });
+        let p = longest_valid_prefix(&g, &b, &s, 1);
+        assert!(
+            p.lifetime() >= mc.guaranteed_classes as u64,
+            "prefix {} < guaranteed {}",
+            p.lifetime(),
+            mc.guaranteed_classes
+        );
+        assert!(validate_schedule(&g, &b, &p, 1).is_ok());
+    }
+
+    #[test]
+    fn guaranteed_classes_dominate_statistically() {
+        let g = gnp_with_avg_degree(250, 50.0, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = Batteries::from_vec((0..250).map(|_| rng.random_range(1..8)).collect());
+        let mut failures = 0;
+        for seed in 0..10 {
+            let mc = general_coloring(&g, &b, &GeneralParams { c: 3.0, seed });
+            let classes = mc.classes(g.n());
+            for cls in classes.iter().take(mc.guaranteed_classes as usize) {
+                if !is_dominating_set(&g, cls) {
+                    failures += 1;
+                }
+            }
+        }
+        assert!(failures <= 2, "failures = {failures}");
+    }
+
+    #[test]
+    fn zero_battery_nodes_stay_asleep() {
+        let g = cycle(6);
+        let b = Batteries::from_vec(vec![0, 3, 3, 3, 3, 3]);
+        let (s, mc) = general_schedule(&g, &b, &GeneralParams::default());
+        assert!(mc.color_sets[0].is_empty());
+        assert_eq!(s.active_time(0), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        let b = Batteries::uniform(0, 3);
+        let (s, mc) = general_schedule(&g, &b, &GeneralParams::default());
+        assert_eq!(s.lifetime(), 0);
+        assert_eq!(mc.num_classes, 0);
+        assert_eq!(mc.guaranteed_classes, 0);
+    }
+
+    #[test]
+    fn class_materialization_matches_color_sets() {
+        let g = complete(20);
+        let b = Batteries::uniform(20, 2);
+        let mc = general_coloring(&g, &b, &GeneralParams { c: 1.0, seed: 3 });
+        let classes = mc.classes(20);
+        for (v, cs) in mc.color_sets.iter().enumerate() {
+            for t in 0..mc.num_classes {
+                assert_eq!(classes[t as usize].contains(v as NodeId), cs.contains(&t));
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The general k-tolerant case — the paper's §7: "one technical open
+//! question is to come up with an approximation algorithm for the general
+//! k-tolerant case."
+//!
+//! No guarantee is claimed in the paper; we provide the natural
+//! combination of its two techniques and measure it in experiment E12:
+//! run Algorithm 2's multi-color drawing, then merge `k` consecutive color
+//! classes into one slot (Algorithm 3's trick). A node active in several
+//! of the merged colors still pays one battery unit per *slot*, so budgets
+//! are preserved by the distinct-slot construction.
+//!
+//! The matching upper bound generalizes Lemmas 5.1 and 6.1:
+//! `L_OPT ≤ min_u τ_u / k` — node `u` needs `k` dominators per slot, each
+//! slot draining ≥ k units from `N⁺(u)`'s pool of `τ_u`.
+
+use crate::general::{general_coloring, GeneralParams, MultiColorAssignment};
+use domatic_graph::{Graph, NodeId, NodeSet};
+use domatic_schedule::{Batteries, Schedule};
+
+/// Upper bound for the general k-tolerant problem: `⌊τ / k⌋` with
+/// `τ = min_u Σ_{v ∈ N⁺(u)} b_v` (Lemma 5.1's argument, spending `k`
+/// energy per slot).
+pub fn general_fault_tolerant_upper_bound(g: &Graph, batteries: &Batteries, k: usize) -> u64 {
+    assert!(k >= 1, "tolerance k must be at least 1");
+    batteries.min_energy_coverage(g).unwrap_or(0) / k as u64
+}
+
+/// Output of the general k-tolerant heuristic.
+#[derive(Clone, Debug)]
+pub struct GeneralFtRun {
+    /// The merged-slot schedule.
+    pub schedule: Schedule,
+    /// The underlying Algorithm-2 coloring.
+    pub coloring: MultiColorAssignment,
+    /// Merged slots emitted.
+    pub merged_slots: u32,
+    /// Merged slots whose k constituent classes are all within the
+    /// Lemma 5.2 guarantee (k-dominating w.h.p.).
+    pub guaranteed_merged: u32,
+}
+
+/// Algorithm 2 + k-merging. A node is active in merged slot `j` iff it
+/// drew any color in `[jk, (j+1)k)`; since its colors are distinct, its
+/// total active time stays ≤ b_v.
+pub fn general_fault_tolerant_schedule(
+    g: &Graph,
+    batteries: &Batteries,
+    k: usize,
+    params: &GeneralParams,
+) -> GeneralFtRun {
+    assert!(k >= 1, "tolerance k must be at least 1");
+    let n = g.n();
+    let coloring = general_coloring(g, batteries, params);
+    let merged_slots = coloring.num_classes.div_ceil(k as u32);
+    let mut merged: Vec<NodeSet> = vec![NodeSet::new(n); merged_slots as usize];
+    for (v, colors) in coloring.color_sets.iter().enumerate() {
+        for &c in colors {
+            merged[(c / k as u32) as usize].insert(v as NodeId);
+        }
+    }
+    let schedule = Schedule::from_entries(
+        merged.into_iter().filter(|m| !m.is_empty()).map(|m| (m, 1)),
+    );
+    GeneralFtRun {
+        merged_slots,
+        guaranteed_merged: coloring.guaranteed_classes / k as u32,
+        coloring,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::domination::is_k_dominating_set;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::complete;
+    use domatic_schedule::{longest_valid_prefix, validate_schedule};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_batteries(n: usize, hi: u64, seed: u64) -> Batteries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Batteries::from_vec((0..n).map(|_| rng.random_range(1..=hi)).collect())
+    }
+
+    #[test]
+    fn bound_generalizes_both_lemmas() {
+        let g = gnp_with_avg_degree(100, 20.0, 1);
+        let b = Batteries::uniform(100, 4);
+        // k = 1 reduces to Lemma 5.1; uniform batteries reduce to 4(δ+1).
+        assert_eq!(
+            general_fault_tolerant_upper_bound(&g, &b, 1),
+            crate::bounds::general_upper_bound(&g, &b)
+        );
+        assert_eq!(
+            general_fault_tolerant_upper_bound(&g, &b, 2),
+            crate::bounds::general_upper_bound(&g, &b) / 2
+        );
+    }
+
+    #[test]
+    fn budgets_hold_on_raw_schedule() {
+        let g = gnp_with_avg_degree(150, 60.0, 2);
+        let b = random_batteries(150, 6, 3);
+        for k in [1usize, 2, 3] {
+            let run =
+                general_fault_tolerant_schedule(&g, &b, k, &GeneralParams { c: 3.0, seed: 5 });
+            for v in 0..g.n() as NodeId {
+                assert!(run.schedule.active_time(v) <= b.get(v), "k={k}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_slots_are_k_dominating_on_dense_graphs() {
+        let g = complete(200);
+        let b = random_batteries(200, 5, 7);
+        let k = 2usize;
+        let run = general_fault_tolerant_schedule(&g, &b, k, &GeneralParams { c: 3.0, seed: 1 });
+        for e in run.schedule.entries().iter().take(run.guaranteed_merged as usize) {
+            assert!(is_k_dominating_set(&g, &e.set, k));
+        }
+        assert!(run.guaranteed_merged >= 1);
+    }
+
+    #[test]
+    fn valid_prefix_validates_at_level_k() {
+        let g = gnp_with_avg_degree(200, 80.0, 4);
+        let b = random_batteries(200, 5, 11);
+        for k in [1usize, 2] {
+            let run =
+                general_fault_tolerant_schedule(&g, &b, k, &GeneralParams { c: 3.0, seed: 2 });
+            let p = longest_valid_prefix(&g, &b, &run.schedule, k);
+            assert!(validate_schedule(&g, &b, &p, k).is_ok());
+            assert!(p.lifetime() <= general_fault_tolerant_upper_bound(&g, &b, k));
+        }
+    }
+
+    #[test]
+    fn k1_reduces_to_algorithm_2() {
+        let g = complete(60);
+        let b = random_batteries(60, 4, 9);
+        let params = GeneralParams { c: 3.0, seed: 3 };
+        let run = general_fault_tolerant_schedule(&g, &b, 1, &params);
+        let (plain, mc) = crate::general::general_schedule(&g, &b, &params);
+        assert_eq!(run.schedule, plain);
+        assert_eq!(run.guaranteed_merged, mc.guaranteed_classes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k0_rejected() {
+        let g = complete(5);
+        general_fault_tolerant_schedule(
+            &g,
+            &Batteries::uniform(5, 1),
+            0,
+            &GeneralParams::default(),
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Problem instances: a network graph plus battery budgets.
+
+use domatic_graph::Graph;
+use domatic_schedule::Batteries;
+
+/// A maximum-cluster-lifetime instance (paper §2): the network graph
+/// `G = (V, E)` and the battery vector `b_v`.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The network graph.
+    pub graph: Graph,
+    /// Per-node battery budgets.
+    pub batteries: Batteries,
+}
+
+impl Instance {
+    /// Creates an instance, checking that the battery vector matches the
+    /// graph.
+    ///
+    /// # Panics
+    /// Panics on a size mismatch.
+    pub fn new(graph: Graph, batteries: Batteries) -> Self {
+        assert_eq!(
+            graph.n(),
+            batteries.n(),
+            "graph has {} nodes but batteries has {}",
+            graph.n(),
+            batteries.n()
+        );
+        Instance { graph, batteries }
+    }
+
+    /// Uniform-battery instance (paper §4).
+    pub fn uniform(graph: Graph, b: u64) -> Self {
+        let n = graph.n();
+        Instance::new(graph, Batteries::uniform(n, b))
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Whether all batteries are equal (selects the §4 vs §5 algorithm).
+    pub fn is_uniform(&self) -> bool {
+        self.batteries.is_uniform()
+    }
+
+    /// Whether the k-tolerant problem is feasible on this topology: the
+    /// paper restricts §6 to graphs with `δ ≥ k`.
+    pub fn supports_tolerance(&self, k: usize) -> bool {
+        self.graph.min_degree().is_some_and(|d| d >= k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::regular::{cycle, star};
+
+    #[test]
+    fn uniform_constructor() {
+        let inst = Instance::uniform(cycle(5), 3);
+        assert_eq!(inst.n(), 5);
+        assert!(inst.is_uniform());
+        assert_eq!(inst.batteries.get(4), 3);
+    }
+
+    #[test]
+    fn nonuniform_detected() {
+        let inst = Instance::new(cycle(3), Batteries::from_vec(vec![1, 2, 3]));
+        assert!(!inst.is_uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "batteries")]
+    fn size_mismatch_panics() {
+        Instance::new(cycle(3), Batteries::uniform(4, 1));
+    }
+
+    #[test]
+    fn tolerance_feasibility() {
+        let c = Instance::uniform(cycle(6), 1);
+        assert!(c.supports_tolerance(2));
+        assert!(!c.supports_tolerance(3));
+        let s = Instance::uniform(star(5), 1);
+        assert!(s.supports_tolerance(1));
+        assert!(!s.supports_tolerance(2));
+    }
+}

@@ -1,0 +1,177 @@
+//! Color assignments and disjoint dominating families, and how they become
+//! schedules.
+//!
+//! All three of the paper's algorithms produce a *coloring* of the nodes;
+//! the color classes are interpreted as a (hoped-for) domatic partition and
+//! activated consecutively. This module holds the shared machinery.
+
+use domatic_graph::domination::is_dominating_set;
+use domatic_graph::{Graph, NodeId, NodeSet};
+use domatic_schedule::{Batteries, EnergyLedger, Schedule};
+
+/// A coloring of the nodes produced by a randomized partition algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColorAssignment {
+    /// `colors[v]` is node v's chosen color.
+    pub colors: Vec<u32>,
+    /// Total number of classes (`max color + 1`, or 0 when empty).
+    pub num_classes: u32,
+    /// How many leading classes the analysis guarantees to dominate w.h.p.
+    /// (classes `0 .. guaranteed_classes`).
+    pub guaranteed_classes: u32,
+}
+
+impl ColorAssignment {
+    /// Materializes the color classes as node sets, indexed by color.
+    pub fn classes(&self, n: usize) -> Vec<NodeSet> {
+        let mut out = vec![NodeSet::new(n); self.num_classes as usize];
+        for (v, &c) in self.colors.iter().enumerate() {
+            out[c as usize].insert(v as NodeId);
+        }
+        out
+    }
+
+    /// The single class with the given color.
+    pub fn class(&self, n: usize, color: u32) -> NodeSet {
+        NodeSet::from_iter(
+            n,
+            self.colors
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == color)
+                .map(|(v, _)| v as NodeId),
+        )
+    }
+
+    /// Indices of classes that really are dominating sets of `g`.
+    pub fn dominating_classes(&self, g: &Graph) -> Vec<u32> {
+        self.classes(g.n())
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| is_dominating_set(g, s))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// Activates `classes` consecutively, giving each class the same fixed
+/// `duration` — the schedule shape of Algorithm 1 (`duration = b`) and
+/// Algorithm 2 (`duration = 1`).
+pub fn schedule_fixed_duration(classes: &[NodeSet], duration: u64) -> Schedule {
+    Schedule::from_entries(classes.iter().map(|c| (c.clone(), duration)))
+}
+
+/// Activates `classes` consecutively, giving each class the *longest
+/// duration its batteries allow* (the bottleneck member's remaining
+/// budget). Skips classes already empty of budget. This squeezes strictly
+/// more lifetime out of a partition than fixed durations when batteries
+/// are non-uniform; used by the greedy baseline and by E10's ablation.
+pub fn schedule_battery_limited(classes: &[NodeSet], batteries: &Batteries) -> Schedule {
+    let mut ledger = EnergyLedger::new(batteries.clone());
+    let mut schedule = Schedule::new();
+    for class in classes {
+        if class.is_empty() {
+            continue;
+        }
+        let d = ledger.max_duration(class);
+        if d > 0 {
+            ledger.charge(class, d).expect("duration chosen within budget");
+            schedule.push(class.clone(), d);
+        }
+    }
+    schedule
+}
+
+/// Checks that `classes` are pairwise disjoint (a partition *prefix*; not
+/// every node must be used).
+pub fn are_disjoint(classes: &[NodeSet]) -> bool {
+    for (i, a) in classes.iter().enumerate() {
+        for b in &classes[i + 1..] {
+            if !a.is_disjoint(b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::regular::complete;
+
+    #[test]
+    fn classes_materialization() {
+        let ca = ColorAssignment {
+            colors: vec![0, 1, 0, 2],
+            num_classes: 3,
+            guaranteed_classes: 2,
+        };
+        let cls = ca.classes(4);
+        assert_eq!(cls.len(), 3);
+        assert_eq!(cls[0].to_vec(), vec![0, 2]);
+        assert_eq!(cls[1].to_vec(), vec![1]);
+        assert_eq!(cls[2].to_vec(), vec![3]);
+        assert_eq!(ca.class(4, 0).to_vec(), vec![0, 2]);
+        assert!(are_disjoint(&cls));
+    }
+
+    #[test]
+    fn dominating_classes_on_k4() {
+        let g = complete(4);
+        let ca = ColorAssignment {
+            colors: vec![0, 0, 1, 2],
+            num_classes: 3,
+            guaranteed_classes: 3,
+        };
+        // Every nonempty class dominates K_4.
+        assert_eq!(ca.dominating_classes(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fixed_duration_schedule() {
+        let classes = vec![
+            NodeSet::from_iter(3, [0]),
+            NodeSet::from_iter(3, [1, 2]),
+        ];
+        let s = schedule_fixed_duration(&classes, 4);
+        assert_eq!(s.lifetime(), 8);
+        assert_eq!(s.num_steps(), 2);
+    }
+
+    #[test]
+    fn battery_limited_uses_bottleneck() {
+        let classes = vec![
+            NodeSet::from_iter(3, [0, 1]),
+            NodeSet::from_iter(3, [2]),
+        ];
+        let b = Batteries::from_vec(vec![5, 2, 7]);
+        let s = schedule_battery_limited(&classes, &b);
+        assert_eq!(s.entries()[0].duration, 2); // bottleneck node 1
+        assert_eq!(s.entries()[1].duration, 7);
+        assert_eq!(s.lifetime(), 9);
+    }
+
+    #[test]
+    fn battery_limited_skips_exhausted_and_empty() {
+        let classes = vec![
+            NodeSet::from_iter(2, [0]),
+            NodeSet::new(2),
+            NodeSet::from_iter(2, [0]), // same node again: exhausted
+            NodeSet::from_iter(2, [1]),
+        ];
+        let b = Batteries::from_vec(vec![3, 1]);
+        let s = schedule_battery_limited(&classes, &b);
+        assert_eq!(s.num_steps(), 2);
+        assert_eq!(s.lifetime(), 4);
+    }
+
+    #[test]
+    fn disjointness_detects_overlap() {
+        let a = NodeSet::from_iter(3, [0, 1]);
+        let b = NodeSet::from_iter(3, [1, 2]);
+        assert!(!are_disjoint(&[a.clone(), b]));
+        assert!(are_disjoint(&[a]));
+        assert!(are_disjoint(&[]));
+    }
+}

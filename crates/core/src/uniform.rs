@@ -1,0 +1,209 @@
+//! Algorithm 1 — the uniform-battery randomized scheduler (paper §4).
+//!
+//! Every node learns the degrees of its neighbors (one communication
+//! round), computes `δ²⁾_v = min_{u ∈ N⁺(v)} δ_u`, and picks one color
+//! uniformly at random from `[0, δ²⁾_v / (c·ln n))`. Color classes are
+//! activated consecutively, each for the full battery `b`.
+//!
+//! Lemma 4.2: with `c = 3`, all classes in `[0, δ/(3 ln n))` (global
+//! minimum degree `δ`) are dominating sets with probability `1 − o(1/n)`;
+//! Theorem 4.3 then gives an `O(log n)` approximation against Lemma 4.1's
+//! bound `L_OPT ≤ b(δ+1)`.
+
+use crate::bounds::ln_n;
+use crate::partition::{schedule_fixed_duration, ColorAssignment};
+use domatic_graph::{Graph, NodeId};
+use domatic_schedule::Schedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UniformParams {
+    /// The constant `c` in the color range `δ²⁾ / (c · ln n)`. The paper
+    /// uses 3; smaller values yield more classes but a higher failure
+    /// probability (explored by experiment E10).
+    pub c: f64,
+    /// RNG seed (node v draws from a stream derived from `seed`).
+    pub seed: u64,
+}
+
+impl Default for UniformParams {
+    fn default() -> Self {
+        UniformParams { c: 3.0, seed: 0 }
+    }
+}
+
+/// The number of color classes node `v` may draw from: `max(1, ⌊δ²⁾_v /
+/// (c·ln n)⌋)`. Exposed for the distributed protocol, which must compute
+/// the identical quantity from gossip.
+pub fn color_range(delta2: usize, n: usize, c: f64) -> u32 {
+    let m = (delta2 as f64 / (c * ln_n(n))).floor() as u32;
+    m.max(1)
+}
+
+/// Runs the color-choosing phase of Algorithm 1 and returns the coloring.
+///
+/// `guaranteed_classes` is `max(1, ⌊δ/(c·ln n)⌋)` with `δ` the global
+/// minimum degree — the classes Lemma 4.2 certifies. (With `δ < c·ln n`
+/// the certified count degenerates to 1, matching the paper's remark that
+/// in that regime a single class already achieves the `O(log n)` ratio.)
+pub fn uniform_coloring(g: &Graph, params: &UniformParams) -> ColorAssignment {
+    uniform_coloring_with_estimate(g, g.n(), params)
+}
+
+/// Algorithm 1 with an explicit estimate `ñ` of the network size.
+///
+/// The paper assumes every node knows `n` (or an upper bound) and lists
+/// removing that assumption as an open problem (§7). This entry point
+/// quantifies the sensitivity: overestimating `ñ > n` shrinks the color
+/// range (fewer classes, safer — the w.h.p. guarantee still holds since
+/// `ln ñ ≥ ln n`); underestimating widens it and erodes the failure
+/// probability. Experiment E13 sweeps the misestimation factor.
+pub fn uniform_coloring_with_estimate(
+    g: &Graph,
+    n_estimate: usize,
+    params: &UniformParams,
+) -> ColorAssignment {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut colors = Vec::with_capacity(g.n());
+    let mut num_classes = 0u32;
+    for v in 0..g.n() as NodeId {
+        let delta2 = g.min_degree_closed_neighborhood(v);
+        let m = color_range(delta2, n_estimate, params.c);
+        let c = rng.random_range(0..m);
+        num_classes = num_classes.max(c + 1);
+        colors.push(c);
+    }
+    let guaranteed = match g.min_degree() {
+        Some(delta) => color_range(delta, n_estimate, params.c),
+        None => 0,
+    };
+    ColorAssignment { colors, num_classes, guaranteed_classes: guaranteed }
+}
+
+/// Algorithm 1 end-to-end: color, then activate every class for `b` time
+/// units, guaranteed classes first (classes are already ordered by color,
+/// and colors `< guaranteed_classes` are exactly the certified ones).
+///
+/// The returned schedule is the algorithm's raw output; it is valid w.h.p.
+/// Callers wanting a certainly-valid schedule pass it through
+/// `domatic_schedule::longest_valid_prefix` (what the experiments report).
+pub fn uniform_schedule(g: &Graph, b: u64, params: &UniformParams) -> (Schedule, ColorAssignment) {
+    let coloring = uniform_coloring(g, params);
+    let classes = coloring.classes(g.n());
+    (schedule_fixed_duration(&classes, b), coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::domination::is_dominating_set;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::{complete, cycle};
+    use domatic_schedule::{longest_valid_prefix, validate_schedule, Batteries};
+
+    #[test]
+    fn color_range_formula() {
+        // n = 55: ln n ≈ 4.007, c = 3 → range = ⌊120 / 12.02⌋ = 9.
+        assert_eq!(color_range(120, 55, 3.0), 9);
+        assert_eq!(color_range(5, 55, 3.0), 1); // clamped to 1
+        assert_eq!(color_range(0, 10, 3.0), 1);
+    }
+
+    #[test]
+    fn coloring_is_deterministic_per_seed() {
+        let g = gnp_with_avg_degree(100, 60.0, 1);
+        let p = UniformParams { c: 3.0, seed: 9 };
+        assert_eq!(uniform_coloring(&g, &p), uniform_coloring(&g, &p));
+        let p2 = UniformParams { c: 3.0, seed: 10 };
+        assert_ne!(uniform_coloring(&g, &p).colors, uniform_coloring(&g, &p2).colors);
+    }
+
+    #[test]
+    fn colors_respect_per_node_ranges() {
+        let g = gnp_with_avg_degree(200, 30.0, 2);
+        let ca = uniform_coloring(&g, &UniformParams::default());
+        for v in 0..g.n() as NodeId {
+            let m = color_range(g.min_degree_closed_neighborhood(v), g.n(), 3.0);
+            assert!(ca.colors[v as usize] < m, "node {v}");
+        }
+    }
+
+    #[test]
+    fn low_degree_graph_collapses_to_one_class() {
+        // C_10: δ²⁾ = 2 < 3 ln 10 → every node picks color 0.
+        let g = cycle(10);
+        let ca = uniform_coloring(&g, &UniformParams::default());
+        assert!(ca.colors.iter().all(|&c| c == 0));
+        assert_eq!(ca.num_classes, 1);
+        assert_eq!(ca.guaranteed_classes, 1);
+        // The single class is everyone → certainly dominating.
+        let class = ca.class(10, 0);
+        assert!(is_dominating_set(&g, &class));
+    }
+
+    #[test]
+    fn schedule_shape_single_class() {
+        let g = cycle(6);
+        let (s, ca) = uniform_schedule(&g, 4, &UniformParams::default());
+        assert_eq!(ca.num_classes, 1);
+        assert_eq!(s.lifetime(), 4);
+        let b = Batteries::uniform(6, 4);
+        assert_eq!(validate_schedule(&g, &b, &s, 1), Ok(()));
+    }
+
+    #[test]
+    fn dense_graph_gets_many_valid_classes() {
+        // K_200: δ²⁾ = 199, ln 200 ≈ 5.3, c = 3 → 12 classes; each class
+        // is nonempty w.h.p. and any nonempty subset dominates K_n.
+        let g = complete(200);
+        let (s, ca) = uniform_schedule(&g, 2, &UniformParams { c: 3.0, seed: 5 });
+        assert!(ca.guaranteed_classes >= 10, "{}", ca.guaranteed_classes);
+        let b = Batteries::uniform(200, 2);
+        let p = longest_valid_prefix(&g, &b, &s, 1);
+        assert!(
+            p.lifetime() >= 2 * ca.guaranteed_classes as u64,
+            "prefix {} classes {}",
+            p.lifetime(),
+            ca.guaranteed_classes
+        );
+    }
+
+    #[test]
+    fn guaranteed_classes_usually_dominate_on_random_graphs() {
+        // Statistical check of Lemma 4.2 at moderate size: count failures
+        // across seeds; they should be rare (the lemma says o(1)).
+        let g = gnp_with_avg_degree(300, 60.0, 7);
+        let mut failures = 0;
+        for seed in 0..20 {
+            let ca = uniform_coloring(&g, &UniformParams { c: 3.0, seed });
+            let classes = ca.classes(g.n());
+            for cls in classes.iter().take(ca.guaranteed_classes as usize) {
+                if !is_dominating_set(&g, cls) {
+                    failures += 1;
+                }
+            }
+        }
+        assert!(failures <= 2, "too many non-dominating guaranteed classes: {failures}");
+    }
+
+    #[test]
+    fn raw_schedule_lifetime_is_classes_times_b() {
+        let g = complete(100);
+        let (s, ca) = uniform_schedule(&g, 3, &UniformParams { c: 3.0, seed: 2 });
+        assert_eq!(s.lifetime(), 3 * ca.num_classes as u64);
+    }
+
+    #[test]
+    fn empty_graph_edge_case() {
+        let g = Graph::empty(0);
+        let ca = uniform_coloring(&g, &UniformParams::default());
+        assert_eq!(ca.num_classes, 0);
+        assert_eq!(ca.guaranteed_classes, 0);
+        let (s, _) = uniform_schedule(&g, 5, &UniformParams::default());
+        assert_eq!(s.lifetime(), 0);
+    }
+
+    use domatic_graph::Graph;
+}

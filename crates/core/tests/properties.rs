@@ -1,0 +1,114 @@
+//! Property-based tests for the paper's algorithms: the invariants that
+//! must hold on EVERY random graph and EVERY seed, not just w.h.p.
+
+use domatic_core::bounds::{
+    fault_tolerant_upper_bound, general_upper_bound, uniform_upper_bound,
+};
+use domatic_core::fault_tolerant::fault_tolerant_schedule;
+use domatic_core::general::{general_schedule, GeneralParams};
+use domatic_core::greedy::{greedy_domatic_partition, greedy_general_schedule};
+use domatic_core::partition::are_disjoint;
+use domatic_core::uniform::{color_range, uniform_coloring, uniform_schedule, UniformParams};
+use domatic_graph::domination::is_disjoint_dominating_family;
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::{Graph, NodeId};
+use domatic_schedule::{longest_valid_prefix, validate_schedule, Batteries};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..35, 0.05f64..0.9, 0u64..1000).prop_map(|(n, p, seed)| gnp(n, p, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uniform_colors_always_in_range(g in arb_graph(), seed in 0u64..500, c in 1.0f64..6.0) {
+        let ca = uniform_coloring(&g, &UniformParams { c, seed });
+        for v in 0..g.n() as NodeId {
+            let m = color_range(g.min_degree_closed_neighborhood(v), g.n(), c);
+            prop_assert!(ca.colors[v as usize] < m);
+        }
+        prop_assert!(ca.guaranteed_classes >= 1);
+        // Every node's range contains the guaranteed prefix.
+        for v in 0..g.n() as NodeId {
+            let m = color_range(g.min_degree_closed_neighborhood(v), g.n(), c);
+            prop_assert!(m >= ca.guaranteed_classes);
+        }
+    }
+
+    #[test]
+    fn uniform_classes_partition_the_vertex_set(g in arb_graph(), seed in 0u64..200) {
+        let ca = uniform_coloring(&g, &UniformParams { c: 3.0, seed });
+        let classes = ca.classes(g.n());
+        prop_assert!(are_disjoint(&classes));
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.n());
+    }
+
+    #[test]
+    fn uniform_valid_prefix_never_exceeds_lemma_4_1(
+        g in arb_graph(), seed in 0u64..200, b in 1u64..5
+    ) {
+        let (raw, _) = uniform_schedule(&g, b, &UniformParams { c: 3.0, seed });
+        let batteries = Batteries::uniform(g.n(), b);
+        let valid = longest_valid_prefix(&g, &batteries, &raw, 1);
+        prop_assert!(validate_schedule(&g, &batteries, &valid, 1).is_ok());
+        prop_assert!(valid.lifetime() <= uniform_upper_bound(&g, b));
+    }
+
+    #[test]
+    fn general_budgets_hold_on_raw_schedules(
+        g in arb_graph(), seed in 0u64..200,
+        bs in proptest::collection::vec(0u64..6, 35)
+    ) {
+        let b = Batteries::from_vec(bs[..g.n()].to_vec());
+        let (raw, _) = general_schedule(&g, &b, &GeneralParams { c: 3.0, seed });
+        for v in 0..g.n() as NodeId {
+            prop_assert!(raw.active_time(v) <= b.get(v));
+        }
+        let valid = longest_valid_prefix(&g, &b, &raw, 1);
+        prop_assert!(validate_schedule(&g, &b, &valid, 1).is_ok());
+        prop_assert!(valid.lifetime() <= general_upper_bound(&g, &b));
+    }
+
+    #[test]
+    fn fault_tolerant_budget_and_bound(
+        g in arb_graph(), seed in 0u64..100, b in 1u64..8, k in 1usize..4
+    ) {
+        let run = fault_tolerant_schedule(&g, b, k, &UniformParams { c: 3.0, seed });
+        for v in 0..g.n() as NodeId {
+            prop_assert!(run.schedule.active_time(v) <= b);
+        }
+        prop_assert_eq!(run.phase1 + run.phase2_each, b);
+        let batteries = Batteries::uniform(g.n(), b);
+        let valid = longest_valid_prefix(&g, &batteries, &run.schedule, k);
+        prop_assert!(validate_schedule(&g, &batteries, &valid, k).is_ok());
+        prop_assert!(valid.lifetime() <= fault_tolerant_upper_bound(&g, b, k).max(b));
+        // When the topology admits tolerance k, the everyone-on phase is a
+        // guaranteed floor.
+        if g.min_degree().unwrap_or(0) >= k {
+            prop_assert!(valid.lifetime() >= b / 2);
+        }
+    }
+
+    #[test]
+    fn greedy_partition_is_always_disjoint_dominating(g in arb_graph()) {
+        let parts = greedy_domatic_partition(&g);
+        prop_assert!(!parts.is_empty()); // V itself always dominates
+        prop_assert!(is_disjoint_dominating_family(&g, &parts));
+        // And can never exceed the domatic bound δ+1.
+        prop_assert!(parts.len() <= g.min_degree().unwrap_or(0) + 1);
+    }
+
+    #[test]
+    fn greedy_general_schedule_validates_and_respects_tau(
+        g in arb_graph(),
+        bs in proptest::collection::vec(0u64..5, 35)
+    ) {
+        let b = Batteries::from_vec(bs[..g.n()].to_vec());
+        let s = greedy_general_schedule(&g, &b);
+        prop_assert!(validate_schedule(&g, &b, &s, 1).is_ok());
+        prop_assert!(s.lifetime() <= general_upper_bound(&g, &b));
+    }
+}

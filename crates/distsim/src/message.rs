@@ -1,0 +1,53 @@
+//! Wire messages of the distributed protocols.
+//!
+//! The paper's §2 cost model counts *communication rounds* of broadcasts
+//! over acknowledged links. We additionally account message and byte
+//! volume so experiment E8 can report all three.
+
+/// A broadcast payload. Sizes are the natural fixed-width encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Round-1 payload of Algorithm 1: the sender's degree `δ_v`.
+    Degree(u32),
+    /// Round-1 payload of Algorithm 2: the sender's battery `b_v`.
+    Battery(u64),
+    /// Round-2 payload of Algorithm 2: `(b̂_v, τ_v)` — the max battery and
+    /// total energy of the sender's closed neighborhood.
+    Summary {
+        /// `b̂_v = max_{u ∈ N⁺(v)} b_u`.
+        bhat: u64,
+        /// `τ_v = Σ_{u ∈ N⁺(v)} b_u`.
+        tau: u64,
+    },
+    /// One-bit beacon: "I just joined the dominating set."
+    Joined,
+    /// One-bit beacon: "I just became covered" (span bookkeeping for the
+    /// local greedy protocol).
+    Covered,
+}
+
+impl Msg {
+    /// Encoded size in bytes (fixed-width fields, no framing).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Msg::Degree(_) => 4,
+            Msg::Battery(_) => 8,
+            Msg::Summary { .. } => 16,
+            Msg::Joined | Msg::Covered => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Msg::Degree(7).size_bytes(), 4);
+        assert_eq!(Msg::Battery(1).size_bytes(), 8);
+        assert_eq!(Msg::Summary { bhat: 1, tau: 2 }.size_bytes(), 16);
+        assert_eq!(Msg::Joined.size_bytes(), 1);
+        assert_eq!(Msg::Covered.size_bytes(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! The node-automaton abstraction.
+//!
+//! A protocol describes what one node does: initialize from purely local
+//! knowledge (its id and degree), broadcast one optional message per round,
+//! fold the neighbors' messages into local state, and emit a final local
+//! decision. The engine (see [`crate::engine`]) runs all automata in
+//! lock-step synchronous rounds — the standard LOCAL-model execution the
+//! paper assumes.
+
+use crate::message::Msg;
+use domatic_graph::NodeId;
+
+/// A synchronous per-node protocol.
+///
+/// Implementations must be `Sync` (the engine steps nodes from several
+/// threads) and must make decisions from local information only: `init`
+/// sees the node's own id/degree/seed, `receive` sees neighbor messages.
+/// Nothing else — that discipline is what makes the simulated protocols
+/// faithfully *distributed*.
+pub trait Protocol: Sync {
+    /// Per-node mutable state (`Sync` because the broadcast phase reads
+    /// all states concurrently while writing the outbox).
+    type State: Send + Sync;
+    /// The node's final local output.
+    type Output: Send;
+
+    /// Number of communication rounds the protocol uses (a constant —
+    /// that's the paper's headline property).
+    fn rounds(&self) -> usize;
+
+    /// Builds node `v`'s initial state from local knowledge.
+    fn init(&self, v: NodeId, degree: usize) -> Self::State;
+
+    /// The message `v` broadcasts to all neighbors in `round`
+    /// (`None` = stay silent).
+    fn broadcast(&self, v: NodeId, state: &Self::State, round: usize) -> Option<Msg>;
+
+    /// Folds the messages `v` heard in `round` into its state. `inbox`
+    /// holds one entry per neighbor that broadcast.
+    fn receive(&self, v: NodeId, state: &mut Self::State, round: usize, inbox: &[Msg]);
+
+    /// Produces `v`'s final decision after the last round.
+    fn finish(&self, v: NodeId, state: Self::State) -> Self::Output;
+}
+
+/// SplitMix64 — deterministic per-node seed derivation, so a protocol's
+/// randomness is independent across nodes but reproducible from one
+/// experiment seed.
+pub fn node_seed(seed: u64, v: NodeId) -> u64 {
+    let mut z = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(v as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_seeds_differ_across_nodes() {
+        let a = node_seed(42, 0);
+        let b = node_seed(42, 1);
+        let c = node_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn node_seed_is_deterministic() {
+        assert_eq!(node_seed(7, 123), node_seed(7, 123));
+    }
+}

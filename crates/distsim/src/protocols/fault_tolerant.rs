@@ -1,0 +1,117 @@
+//! Algorithm 3 as a 1-round local protocol.
+//!
+//! Identical communication to the uniform protocol (one degree exchange);
+//! the difference is entirely local: nodes first stay on for `b/2`, then
+//! activate in *merged* classes of `k` consecutive colors.
+
+use crate::engine::run_protocol;
+use crate::protocols::uniform::{UniformDecision, UniformProtocol};
+use crate::stats::RunStats;
+use domatic_graph::{Graph, NodeSet};
+use domatic_schedule::Schedule;
+
+/// Output of the distributed fault-tolerant run.
+#[derive(Clone, Debug)]
+pub struct DistributedFtRun {
+    /// The two-phase schedule (everyone-on, then merged classes).
+    pub schedule: Schedule,
+    /// Each node's color decision.
+    pub decisions: Vec<UniformDecision>,
+    /// Communication cost (same as the uniform protocol).
+    pub stats: RunStats,
+    /// `⌊b/2⌋` — everyone-on phase length.
+    pub phase1: u64,
+    /// `b − ⌊b/2⌋` — per-merged-class length.
+    pub phase2_each: u64,
+}
+
+/// Runs the distributed Algorithm 3 with tolerance `k`.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn distributed_fault_tolerant_schedule(
+    g: &Graph,
+    b: u64,
+    k: usize,
+    c: f64,
+    seed: u64,
+    threads: usize,
+) -> DistributedFtRun {
+    assert!(k >= 1, "tolerance k must be at least 1");
+    let n = g.n();
+    let protocol = UniformProtocol { c, seed, n };
+    let (decisions, stats) = run_protocol(g, &protocol, threads);
+    let phase1 = b / 2;
+    let phase2_each = b - phase1;
+
+    let mut schedule = Schedule::new();
+    if n > 0 && phase1 > 0 {
+        schedule.push(NodeSet::full(n), phase1);
+    }
+    if phase2_each > 0 && n > 0 {
+        let num_merged = decisions
+            .iter()
+            .map(|d| d.color / k as u32 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut merged = vec![NodeSet::new(n); num_merged as usize];
+        for (v, d) in decisions.iter().enumerate() {
+            merged[(d.color / k as u32) as usize].insert(v as u32);
+        }
+        for m in merged {
+            if !m.is_empty() {
+                schedule.push(m, phase2_each);
+            }
+        }
+    }
+    DistributedFtRun { schedule, decisions, stats, phase1, phase2_each }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::complete;
+    use domatic_graph::NodeId;
+    use domatic_schedule::{longest_valid_prefix, validate_schedule, Batteries};
+
+    #[test]
+    fn same_communication_as_uniform() {
+        let g = gnp_with_avg_degree(150, 20.0, 4);
+        let run = distributed_fault_tolerant_schedule(&g, 4, 2, 3.0, 0, 4);
+        assert_eq!(run.stats.rounds, 1);
+        assert_eq!(run.stats.transmissions, 150);
+    }
+
+    #[test]
+    fn budgets_respected() {
+        let g = complete(80);
+        let b = 5u64;
+        let run = distributed_fault_tolerant_schedule(&g, b, 3, 3.0, 2, 4);
+        for v in 0..g.n() as NodeId {
+            assert!(run.schedule.active_time(v) <= b, "node {v}");
+        }
+        assert_eq!(run.phase1 + run.phase2_each, b);
+    }
+
+    #[test]
+    fn prefix_is_k_dominating_valid() {
+        let g = complete(100);
+        let b = 4u64;
+        let k = 2usize;
+        let run = distributed_fault_tolerant_schedule(&g, b, k, 3.0, 6, 4);
+        let batteries = Batteries::uniform(100, b);
+        let p = longest_valid_prefix(&g, &batteries, &run.schedule, k);
+        assert!(validate_schedule(&g, &batteries, &p, k).is_ok());
+        // Everyone-on phase alone guarantees b/2.
+        assert!(p.lifetime() >= b / 2);
+    }
+
+    #[test]
+    fn thread_invariance() {
+        let g = gnp_with_avg_degree(90, 25.0, 8);
+        let a = distributed_fault_tolerant_schedule(&g, 4, 2, 3.0, 1, 1);
+        let b = distributed_fault_tolerant_schedule(&g, 4, 2, 3.0, 1, 8);
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

@@ -1,0 +1,230 @@
+//! Algorithm 2 as a 2-round local protocol.
+//!
+//! ```text
+//! 1: send b_v;            receive b_u from all u ∈ N_v
+//! 2: b̂_v := max b_u;  τ_v := Σ_{u ∈ N⁺(v)} b_u
+//! 3: send (b̂_v, τ_v);     receive from all u ∈ N_v
+//! 4: b̂²⁾_v := max b̂_u;  τ²⁾_v := min τ_u
+//! 5: draw b_v colors from [0, τ²⁾_v / (c · ln(b̂²⁾_v n)))
+//! ```
+//!
+//! This is the paper's claim that 2-hop information — two communication
+//! rounds — suffices for the general case.
+
+use crate::engine::run_protocol;
+use crate::message::Msg;
+use crate::node::{node_seed, Protocol};
+use crate::stats::RunStats;
+use domatic_core::general::{general_color_range, MultiColorAssignment};
+use domatic_core::partition::schedule_fixed_duration;
+use domatic_graph::{Graph, NodeId};
+use domatic_schedule::{Batteries, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The distributed general-case protocol. Holds a reference to the battery
+/// vector so each node can read *its own* `b_v` (and nothing else) at init.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneralProtocol<'a> {
+    /// Color-range constant `c` (paper: 3).
+    pub c: f64,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Globally known node count `n`.
+    pub n: usize,
+    /// Battery table; node `v` only ever reads index `v`.
+    pub batteries: &'a Batteries,
+}
+
+/// Per-node protocol state across the two rounds.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneralState {
+    b: u64,
+    bhat: u64,
+    tau: u64,
+    bhat2: u64,
+    tau2: u64,
+}
+
+/// A node's final decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneralDecision {
+    /// Distinct colors drawn (≤ b_v of them).
+    pub colors: Vec<u32>,
+    /// Locally computed `τ²⁾_v`.
+    pub tau2: u64,
+    /// Locally computed `b̂²⁾_v`.
+    pub bhat2: u64,
+    /// Size of the color range drawn from.
+    pub range: u32,
+}
+
+impl Protocol for GeneralProtocol<'_> {
+    type State = GeneralState;
+    type Output = GeneralDecision;
+
+    fn rounds(&self) -> usize {
+        2
+    }
+
+    fn init(&self, v: NodeId, _degree: usize) -> GeneralState {
+        let b = self.batteries.get(v);
+        GeneralState { b, bhat: b, tau: b, bhat2: 0, tau2: u64::MAX }
+    }
+
+    fn broadcast(&self, _v: NodeId, st: &GeneralState, round: usize) -> Option<Msg> {
+        match round {
+            0 => Some(Msg::Battery(st.b)),
+            1 => Some(Msg::Summary { bhat: st.bhat, tau: st.tau }),
+            _ => None,
+        }
+    }
+
+    fn receive(&self, _v: NodeId, st: &mut GeneralState, round: usize, inbox: &[Msg]) {
+        match round {
+            0 => {
+                for m in inbox {
+                    if let Msg::Battery(b) = m {
+                        st.bhat = st.bhat.max(*b);
+                        st.tau += b;
+                    }
+                }
+                // Closed neighborhood includes v itself (already counted
+                // in init). Seed round-2 aggregates with own summary.
+                st.bhat2 = st.bhat;
+                st.tau2 = st.tau;
+            }
+            1 => {
+                for m in inbox {
+                    if let Msg::Summary { bhat, tau } = m {
+                        st.bhat2 = st.bhat2.max(*bhat);
+                        st.tau2 = st.tau2.min(*tau);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&self, v: NodeId, st: GeneralState) -> GeneralDecision {
+        let range = general_color_range(st.tau2, st.bhat2, self.n, self.c);
+        let mut rng = StdRng::seed_from_u64(node_seed(self.seed, v));
+        let mut colors: Vec<u32> = Vec::new();
+        for _ in 0..st.b {
+            let c = rng.random_range(0..range);
+            if !colors.contains(&c) {
+                colors.push(c);
+            }
+        }
+        colors.sort_unstable();
+        GeneralDecision { colors, tau2: st.tau2, bhat2: st.bhat2, range }
+    }
+}
+
+/// Runs the distributed Algorithm 2 end-to-end: two protocol rounds, then
+/// one unit-duration slot per color class.
+pub fn distributed_general_schedule(
+    g: &Graph,
+    batteries: &Batteries,
+    c: f64,
+    seed: u64,
+    threads: usize,
+) -> (Schedule, MultiColorAssignment, RunStats) {
+    assert_eq!(g.n(), batteries.n(), "graph/battery size mismatch");
+    let protocol = GeneralProtocol { c, seed, n: g.n(), batteries };
+    let (decisions, stats) = run_protocol(g, &protocol, threads);
+    let color_sets: Vec<Vec<u32>> = decisions.into_iter().map(|d| d.colors).collect();
+    let num_classes = color_sets
+        .iter()
+        .filter_map(|cs| cs.last().map(|&c| c + 1))
+        .max()
+        .unwrap_or(0);
+    let guaranteed = if g.n() == 0 {
+        0
+    } else {
+        general_color_range(
+            domatic_core::bounds::general_upper_bound(g, batteries),
+            batteries.max(),
+            g.n(),
+            c,
+        )
+    };
+    let mc = MultiColorAssignment { color_sets, num_classes, guaranteed_classes: guaranteed };
+    let classes = mc.classes(g.n());
+    (schedule_fixed_duration(&classes, 1), mc, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::complete;
+    use domatic_schedule::{longest_valid_prefix, validate_schedule};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_batteries(n: usize, hi: u64, seed: u64) -> Batteries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Batteries::from_vec((0..n).map(|_| rng.random_range(1..=hi)).collect())
+    }
+
+    #[test]
+    fn gossiped_aggregates_match_direct_computation() {
+        let g = gnp_with_avg_degree(150, 12.0, 3);
+        let b = random_batteries(150, 7, 1);
+        let protocol = GeneralProtocol { c: 3.0, seed: 0, n: g.n(), batteries: &b };
+        let (decisions, _) = run_protocol(&g, &protocol, 4);
+        for v in 0..g.n() as NodeId {
+            // Direct τ²⁾ and b̂²⁾ from the graph.
+            let tau = |u: NodeId| b.energy_coverage(&g, u);
+            let bhat = |u: NodeId| {
+                let mut m = b.get(u);
+                for &w in g.neighbors(u) {
+                    m = m.max(b.get(w));
+                }
+                m
+            };
+            let mut tau2 = tau(v);
+            let mut bhat2 = bhat(v);
+            for &u in g.neighbors(v) {
+                tau2 = tau2.min(tau(u));
+                bhat2 = bhat2.max(bhat(u));
+            }
+            assert_eq!(decisions[v as usize].tau2, tau2, "τ²⁾ at {v}");
+            assert_eq!(decisions[v as usize].bhat2, bhat2, "b̂²⁾ at {v}");
+        }
+    }
+
+    #[test]
+    fn two_rounds_two_broadcasts_per_node() {
+        let g = gnp_with_avg_degree(200, 10.0, 2);
+        let b = random_batteries(200, 5, 2);
+        let (_, _, stats) = distributed_general_schedule(&g, &b, 3.0, 0, 4);
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.transmissions, 400);
+        assert_eq!(stats.receptions, 4 * g.m() as u64);
+    }
+
+    #[test]
+    fn budgets_respected_and_prefix_valid() {
+        let g = complete(120);
+        let b = random_batteries(120, 4, 9);
+        let (s, mc, _) = distributed_general_schedule(&g, &b, 3.0, 11, 4);
+        for v in 0..g.n() as NodeId {
+            assert!(s.active_time(v) <= b.get(v));
+        }
+        let p = longest_valid_prefix(&g, &b, &s, 1);
+        assert!(validate_schedule(&g, &b, &p, 1).is_ok());
+        assert!(p.lifetime() >= mc.guaranteed_classes as u64);
+    }
+
+    #[test]
+    fn thread_invariance() {
+        let g = gnp_with_avg_degree(100, 30.0, 7);
+        let b = random_batteries(100, 6, 3);
+        let (s1, m1, _) = distributed_general_schedule(&g, &b, 3.0, 5, 1);
+        let (s2, m2, _) = distributed_general_schedule(&g, &b, 3.0, 5, 6);
+        assert_eq!(s1, s2);
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Generic r-hop aggregation: fold any associative/commutative/idempotent
+//! value over every node's r-hop closed neighborhood in exactly `r`
+//! communication rounds.
+//!
+//! This is the abstraction underneath Algorithms 1 and 2: Algorithm 1 is a
+//! 1-hop `min` fold of degrees; Algorithm 2's round-2 quantities are 1-hop
+//! folds of 1-hop folds. The requirement that the operation be
+//! **idempotent** (min, max, OR, …) is essential: in round `t` a node
+//! re-hears aggregates that already include its own contribution, so
+//! non-idempotent folds (like sums) would double-count — which is exactly
+//! why Algorithm 2 ships `τ_v` (a 1-hop *sum*) as an opaque payload and
+//! only folds it further with `min`.
+
+use crate::engine::run_protocol;
+use crate::message::Msg;
+use crate::node::Protocol;
+use crate::stats::RunStats;
+use domatic_graph::{Graph, NodeId};
+
+/// An idempotent binary fold over `u64` values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fold {
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise OR (set union on bitmask payloads).
+    Or,
+}
+
+impl Fold {
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            Fold::Min => a.min(b),
+            Fold::Max => a.max(b),
+            Fold::Or => a | b,
+        }
+    }
+}
+
+/// The r-hop fold protocol.
+#[derive(Clone, Debug)]
+pub struct KHopFold<'a> {
+    /// Fold operation (must be idempotent — see the module docs).
+    pub fold: Fold,
+    /// Hop radius = number of rounds.
+    pub hops: usize,
+    /// Initial per-node values.
+    pub init: &'a [u64],
+}
+
+impl Protocol for KHopFold<'_> {
+    type State = u64;
+    type Output = u64;
+
+    fn rounds(&self) -> usize {
+        self.hops
+    }
+
+    fn init(&self, v: NodeId, _degree: usize) -> u64 {
+        self.init[v as usize]
+    }
+
+    fn broadcast(&self, _v: NodeId, st: &u64, _round: usize) -> Option<Msg> {
+        Some(Msg::Battery(*st))
+    }
+
+    fn receive(&self, _v: NodeId, st: &mut u64, _round: usize, inbox: &[Msg]) {
+        for m in inbox {
+            if let Msg::Battery(x) = m {
+                *st = self.fold.apply(*st, *x);
+            }
+        }
+    }
+
+    fn finish(&self, _v: NodeId, st: u64) -> u64 {
+        st
+    }
+}
+
+/// Runs the fold and returns each node's r-hop aggregate.
+///
+/// ```
+/// use domatic_distsim::protocols::khop::{khop_fold, Fold};
+/// use domatic_graph::generators::regular::path;
+///
+/// // 1-hop max over a path: each node sees its neighbors' values.
+/// let g = path(4);
+/// let (out, stats) = khop_fold(&g, &[0, 9, 0, 0], Fold::Max, 1, 2);
+/// assert_eq!(out, vec![9, 9, 9, 0]);
+/// assert_eq!(stats.rounds, 1);
+/// ```
+pub fn khop_fold(
+    g: &Graph,
+    init: &[u64],
+    fold: Fold,
+    hops: usize,
+    threads: usize,
+) -> (Vec<u64>, RunStats) {
+    assert_eq!(init.len(), g.n(), "initial values arity mismatch");
+    let protocol = KHopFold { fold, hops, init };
+    run_protocol(g, &protocol, threads)
+}
+
+/// Reference implementation: direct BFS-ball fold (test oracle).
+pub fn khop_fold_reference(g: &Graph, init: &[u64], fold: Fold, hops: usize) -> Vec<u64> {
+    let mut cur = init.to_vec();
+    for _ in 0..hops {
+        let mut next = cur.clone();
+        for v in 0..g.n() as NodeId {
+            for &u in g.neighbors(v) {
+                next[v as usize] = fold.apply(next[v as usize], cur[u as usize]);
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::path;
+    use domatic_graph::traversal::bfs_distances;
+
+    #[test]
+    fn one_hop_min_of_degrees_is_delta2() {
+        let g = gnp_with_avg_degree(100, 12.0, 1);
+        let degrees: Vec<u64> = (0..100u32).map(|v| g.degree(v) as u64).collect();
+        let (out, stats) = khop_fold(&g, &degrees, Fold::Min, 1, 4);
+        assert_eq!(stats.rounds, 1);
+        for v in 0..100u32 {
+            assert_eq!(out[v as usize] as usize, g.min_degree_closed_neighborhood(v));
+        }
+    }
+
+    #[test]
+    fn protocol_matches_reference_for_all_folds_and_radii() {
+        let g = gnp_with_avg_degree(60, 6.0, 3);
+        let init: Vec<u64> = (0..60u64).map(|v| v.wrapping_mul(0x9E37) % 1024).collect();
+        for fold in [Fold::Min, Fold::Max, Fold::Or] {
+            for hops in 0..4 {
+                let (out, _) = khop_fold(&g, &init, fold, hops, 4);
+                let reference = khop_fold_reference(&g, &init, fold, hops);
+                assert_eq!(out, reference, "{fold:?} at {hops} hops");
+            }
+        }
+    }
+
+    #[test]
+    fn n_hops_reach_the_whole_component() {
+        // On a path, n−1 hops of max yield the global max everywhere.
+        let g = path(8);
+        let init: Vec<u64> = vec![1, 5, 2, 9, 3, 4, 0, 7];
+        let (out, _) = khop_fold(&g, &init, Fold::Max, 7, 2);
+        assert!(out.iter().all(|&x| x == 9));
+        // …and r hops see exactly the radius-r ball.
+        let (out3, _) = khop_fold(&g, &init, Fold::Max, 3, 2);
+        for v in 0..8u32 {
+            let d = bfs_distances(&g, v);
+            let expect = (0..8usize)
+                .filter(|&u| d[u] <= 3)
+                .map(|u| init[u])
+                .max()
+                .unwrap();
+            assert_eq!(out3[v as usize], expect);
+        }
+    }
+
+    #[test]
+    fn or_fold_collects_bitmask_union() {
+        let g = path(4);
+        let init = vec![0b0001u64, 0b0010, 0b0100, 0b1000];
+        let (out, _) = khop_fold(&g, &init, Fold::Or, 1, 2);
+        assert_eq!(out, vec![0b0011, 0b0111, 0b1110, 0b1100]);
+    }
+
+    #[test]
+    fn zero_hops_is_identity() {
+        let g = path(5);
+        let init = vec![3, 1, 4, 1, 5];
+        let (out, stats) = khop_fold(&g, &init, Fold::Min, 0, 2);
+        assert_eq!(out, init);
+        assert_eq!(stats.transmissions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let g = path(3);
+        khop_fold(&g, &[1, 2], Fold::Min, 1, 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! A local greedy dominating-set protocol, in the spirit of the
+//! span-based distributed MDS algorithms the paper's §3 surveys (e.g.
+//! Jia–Rajaraman–Suel's local randomized greedy, \[11\]). This is *our*
+//! simple variant — we claim only the properties the tests verify: it
+//! always yields a dominating set, tracks spans *exactly* via coverage
+//! beacons, and empirically lands within a small factor of the
+//! centralized greedy.
+//!
+//! Each phase takes **3 engine rounds**:
+//!
+//! 1. **span round** — every node whose *span* (uncovered nodes in its
+//!    closed neighborhood, itself included) is positive announces
+//!    `span · 1024 + jitter`; a node that hears no larger announcement
+//!    joins the dominating set. The random jitter breaks span ties
+//!    without leaking ids, preserving the greedy ordering between
+//!    distinct spans.
+//! 2. **join round** — fresh joiners beacon [`Msg::Joined`]; hearing one
+//!    (or joining) makes a node covered.
+//! 3. **covered round** — every node that *became* covered this phase
+//!    beacons [`Msg::Covered`]; every listener decrements its span once
+//!    per beacon heard (plus once for its own transition). Spans therefore
+//!    stay exact: each closed neighbor's uncovered→covered transition is
+//!    announced exactly once.
+//!
+//! Once every node is covered, all spans are 0 and the network is silent.
+
+use crate::engine::run_protocol;
+use crate::message::Msg;
+use crate::node::{node_seed, Protocol};
+use crate::stats::RunStats;
+use domatic_graph::{Graph, NodeId, NodeSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const JITTER: u64 = 1024;
+
+/// Per-node state.
+#[derive(Clone, Debug)]
+pub struct LgState {
+    rng: StdRng,
+    in_set: bool,
+    fresh_join: bool,
+    covered: bool,
+    newly_covered: bool,
+    /// Exact number of uncovered nodes in the closed neighborhood.
+    span: u64,
+    /// The jittered span announced this phase.
+    announced: u64,
+    decided_round: usize,
+}
+
+/// The protocol parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalGreedyProtocol {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Phase budget (3 engine rounds per phase).
+    pub max_phases: usize,
+}
+
+/// A node's outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LgDecision {
+    /// Whether the node joined the dominating set.
+    pub in_set: bool,
+    /// Whether the node ended covered.
+    pub covered: bool,
+    /// Engine round of its join (0 if it never joined).
+    pub decided_round: usize,
+}
+
+impl Protocol for LocalGreedyProtocol {
+    type State = LgState;
+    type Output = LgDecision;
+
+    fn rounds(&self) -> usize {
+        3 * self.max_phases
+    }
+
+    fn init(&self, v: NodeId, degree: usize) -> LgState {
+        let mut rng = StdRng::seed_from_u64(node_seed(self.seed, v));
+        let span = degree as u64 + 1;
+        let announced = span * JITTER + rng.random_range(0..JITTER);
+        LgState {
+            rng,
+            in_set: false,
+            fresh_join: false,
+            covered: false,
+            newly_covered: false,
+            span,
+            announced,
+            decided_round: 0,
+        }
+    }
+
+    fn broadcast(&self, _v: NodeId, st: &LgState, round: usize) -> Option<Msg> {
+        match round % 3 {
+            0 => {
+                if !st.in_set && st.span > 0 {
+                    Some(Msg::Battery(st.announced))
+                } else {
+                    None
+                }
+            }
+            1 => {
+                if st.fresh_join {
+                    Some(Msg::Joined)
+                } else {
+                    None
+                }
+            }
+            _ => {
+                if st.newly_covered {
+                    Some(Msg::Covered)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn receive(&self, _v: NodeId, st: &mut LgState, round: usize, inbox: &[Msg]) {
+        match round % 3 {
+            0 => {
+                if st.in_set || st.span == 0 {
+                    return;
+                }
+                let local_max = inbox.iter().all(|m| {
+                    if let Msg::Battery(a) = m {
+                        *a < st.announced
+                    } else {
+                        true
+                    }
+                });
+                if local_max {
+                    st.in_set = true;
+                    st.fresh_join = true;
+                    st.decided_round = round;
+                    if !st.covered {
+                        st.covered = true;
+                        st.newly_covered = true;
+                    }
+                }
+            }
+            1 => {
+                st.fresh_join = false;
+                if !st.covered && inbox.iter().any(|m| matches!(m, Msg::Joined)) {
+                    st.covered = true;
+                    st.newly_covered = true;
+                }
+            }
+            _ => {
+                let heard = inbox
+                    .iter()
+                    .filter(|m| matches!(m, Msg::Covered))
+                    .count() as u64;
+                let own = u64::from(st.newly_covered);
+                st.span = st.span.saturating_sub(heard + own);
+                st.newly_covered = false;
+                // Fresh jitter for the next phase's announcement.
+                st.announced = st.span * JITTER + st.rng.random_range(0..JITTER);
+            }
+        }
+    }
+
+    fn finish(&self, _v: NodeId, st: LgState) -> LgDecision {
+        LgDecision { in_set: st.in_set, covered: st.covered, decided_round: st.decided_round }
+    }
+}
+
+/// Outcome of a full run.
+#[derive(Clone, Debug)]
+pub struct LocalGreedyRun {
+    /// The selected set, repaired to a true dominating set if the phase
+    /// budget ran out early (uncovered nodes self-join — one more silent
+    /// local decision).
+    pub dominating_set: NodeSet,
+    /// Nodes that had to self-join in the repair step.
+    pub self_joins: usize,
+    /// Engine rounds until the last protocol join.
+    pub rounds_used: usize,
+    /// Communication cost.
+    pub stats: RunStats,
+}
+
+/// Runs the protocol and applies the local self-join repair.
+pub fn distributed_local_greedy_ds(
+    g: &Graph,
+    seed: u64,
+    max_phases: usize,
+    threads: usize,
+) -> LocalGreedyRun {
+    let protocol = LocalGreedyProtocol { seed, max_phases };
+    let (decisions, stats) = run_protocol(g, &protocol, threads);
+    let mut set = NodeSet::from_iter(
+        g.n(),
+        decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.in_set)
+            .map(|(v, _)| v as NodeId),
+    );
+    let mut self_joins = 0usize;
+    for v in 0..g.n() as NodeId {
+        let covered = set.contains(v) || g.neighbors(v).iter().any(|&u| set.contains(u));
+        if !covered {
+            set.insert(v);
+            self_joins += 1;
+        }
+    }
+    let rounds_used = decisions
+        .iter()
+        .filter(|d| d.in_set)
+        .map(|d| d.decided_round + 3)
+        .max()
+        .unwrap_or(0);
+    LocalGreedyRun { dominating_set: set, self_joins, rounds_used, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::domination::{greedy_dominating_set, is_dominating_set};
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::{complete, cycle, star};
+
+    #[test]
+    fn always_produces_a_dominating_set() {
+        for seed in 0..8 {
+            let g = gnp_with_avg_degree(150, 12.0, seed);
+            let run = distributed_local_greedy_ds(&g, seed, 60, 4);
+            assert!(is_dominating_set(&g, &run.dominating_set), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn star_selects_only_the_center() {
+        let g = star(20);
+        let run = distributed_local_greedy_ds(&g, 1, 20, 2);
+        assert_eq!(run.dominating_set.to_vec(), vec![0]);
+        assert_eq!(run.self_joins, 0);
+    }
+
+    #[test]
+    fn complete_graph_selects_one() {
+        let g = complete(60);
+        let run = distributed_local_greedy_ds(&g, 2, 20, 4);
+        assert_eq!(run.dominating_set.len(), 1);
+    }
+
+    #[test]
+    fn quality_close_to_centralized_greedy() {
+        let g = gnp_with_avg_degree(300, 20.0, 5);
+        let central = greedy_dominating_set(&g, &NodeSet::full(300)).unwrap();
+        let run = distributed_local_greedy_ds(&g, 3, 80, 4);
+        assert!(
+            run.dominating_set.len() <= 3 * central.len(),
+            "local {} vs central {}",
+            run.dominating_set.len(),
+            central.len()
+        );
+    }
+
+    #[test]
+    fn spans_quiesce_with_no_self_joins_given_budget() {
+        let g = gnp_with_avg_degree(200, 15.0, 7);
+        let run = distributed_local_greedy_ds(&g, 4, 100, 4);
+        assert_eq!(run.self_joins, 0, "protocol should finish within budget");
+    }
+
+    #[test]
+    fn cycle_ds_is_near_optimal() {
+        let g = cycle(30);
+        let run = distributed_local_greedy_ds(&g, 6, 60, 2);
+        assert!(is_dominating_set(&g, &run.dominating_set));
+        // γ(C_30) = 10; allow modest slack for the local protocol.
+        assert!(run.dominating_set.len() <= 16, "{}", run.dominating_set.len());
+    }
+
+    #[test]
+    fn deterministic_and_thread_invariant() {
+        let g = gnp_with_avg_degree(120, 10.0, 9);
+        let a = distributed_local_greedy_ds(&g, 11, 40, 1);
+        let b = distributed_local_greedy_ds(&g, 11, 40, 8);
+        assert_eq!(a.dominating_set, b.dominating_set);
+        assert_eq!(a.self_joins, b.self_joins);
+    }
+
+    #[test]
+    fn isolated_nodes_join_themselves_in_protocol() {
+        let g = Graph::empty(4);
+        let run = distributed_local_greedy_ds(&g, 0, 5, 2);
+        assert_eq!(run.dominating_set.len(), 4);
+        assert_eq!(run.self_joins, 0); // they join via the span rule
+    }
+
+    use domatic_graph::Graph;
+}

@@ -1,0 +1,154 @@
+//! Algorithm 1 without a MAC layer: degree dissemination over the
+//! collision channel, then local coloring from whatever was heard.
+//!
+//! This is the end-to-end "newly deployed network" story: the LOCAL-model
+//! protocol ([`crate::protocols::uniform`]) assumes its one round is
+//! reliable; here the same logical step runs over slotted ALOHA
+//! ([`crate::radio`]) with a fixed slot budget. If the budget cuts
+//! dissemination short, a node's view of `δ²⁾_v` is an *overestimate*
+//! (it missed some small-degree neighbor), so its color range may be too
+//! wide — colorings degrade gracefully rather than crash, and the usual
+//! validated-prefix machinery quantifies the damage (experiment E17's
+//! companion test).
+
+use crate::node::node_seed;
+use crate::radio::{disseminate_degrees, DisseminationRun, RadioParams};
+use domatic_core::partition::{schedule_fixed_duration, ColorAssignment};
+use domatic_core::uniform::color_range;
+use domatic_graph::{Graph, NodeId};
+use domatic_schedule::Schedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of the no-MAC Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct RadioUniformRun {
+    /// The schedule built from the (possibly degraded) coloring.
+    pub schedule: Schedule,
+    /// The coloring actually produced.
+    pub coloring: ColorAssignment,
+    /// The radio layer's dissemination report.
+    pub dissemination: DisseminationRun,
+    /// Nodes whose `δ²⁾` view was incomplete when the budget expired.
+    pub degraded_nodes: usize,
+}
+
+/// Runs degree dissemination over the collision channel, then colors with
+/// whatever degrees each node heard.
+///
+/// Each node's `δ²⁾` estimate is the minimum over its own degree and the
+/// degrees of the neighbors it *heard*; unheard neighbors are simply
+/// missing from the minimum.
+pub fn radio_uniform_schedule(
+    g: &Graph,
+    b: u64,
+    c: f64,
+    radio: &RadioParams,
+) -> RadioUniformRun {
+    let n = g.n();
+    let dissemination = disseminate_degrees(g, radio);
+    let mut colors = Vec::with_capacity(n);
+    let mut num_classes = 0u32;
+    let mut degraded = 0usize;
+    for v in 0..n as NodeId {
+        let heard = dissemination.heard[v as usize];
+        if heard < g.degree(v) {
+            degraded += 1;
+        }
+        // Which neighbors were heard is tracked inside the radio layer by
+        // adjacency index; reconstruct the same information here: the run
+        // reports only counts, so emulate the heard set deterministically
+        // by replaying which indices completed. For simplicity and honesty
+        // we recompute δ²⁾ pessimistically: if the node heard everyone,
+        // it knows the true δ²⁾; otherwise it only knows its own degree
+        // plus a partial minimum, which we bound by its own degree (the
+        // worst admissible overestimate). This makes degradation visible
+        // without giving the node information it cannot have.
+        let delta2 = if heard == g.degree(v) {
+            g.min_degree_closed_neighborhood(v)
+        } else {
+            g.degree(v)
+        };
+        let range = color_range(delta2, n, c);
+        let mut rng = StdRng::seed_from_u64(node_seed(radio.seed ^ 0xDEAD_BEEF, v));
+        let color = rng.random_range(0..range);
+        num_classes = num_classes.max(color + 1);
+        colors.push(color);
+    }
+    let guaranteed = if dissemination.complete {
+        match g.min_degree() {
+            Some(delta) => color_range(delta, n, c),
+            None => 0,
+        }
+    } else {
+        // Incomplete knowledge voids Lemma 4.2's certificate.
+        0
+    };
+    let coloring = ColorAssignment { colors, num_classes, guaranteed_classes: guaranteed };
+    let classes = coloring.classes(n);
+    RadioUniformRun {
+        schedule: schedule_fixed_duration(&classes, b),
+        coloring,
+        dissemination,
+        degraded_nodes: degraded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_schedule::{longest_valid_prefix, validate_schedule, Batteries};
+
+    #[test]
+    fn ample_budget_matches_ideal_mac_quality() {
+        let g = gnp_with_avg_degree(150, 60.0, 2);
+        let b = 2u64;
+        let run = radio_uniform_schedule(
+            &g,
+            b,
+            3.0,
+            &RadioParams { p: None, max_slots: 100_000, seed: 4 },
+        );
+        assert!(run.dissemination.complete);
+        assert_eq!(run.degraded_nodes, 0);
+        assert!(run.coloring.guaranteed_classes >= 1);
+        let batteries = Batteries::uniform(g.n(), b);
+        let valid = longest_valid_prefix(&g, &batteries, &run.schedule, 1);
+        assert!(validate_schedule(&g, &batteries, &valid, 1).is_ok());
+        assert!(valid.lifetime() >= b * run.coloring.guaranteed_classes as u64);
+    }
+
+    #[test]
+    fn starved_budget_degrades_gracefully() {
+        let g = gnp_with_avg_degree(150, 60.0, 2);
+        let run = radio_uniform_schedule(
+            &g,
+            2,
+            3.0,
+            &RadioParams { p: None, max_slots: 10, seed: 4 },
+        );
+        assert!(!run.dissemination.complete);
+        assert!(run.degraded_nodes > 0);
+        assert_eq!(run.coloring.guaranteed_classes, 0);
+        // The schedule still exists and the valid prefix is still safe.
+        let batteries = Batteries::uniform(g.n(), 2);
+        let valid = longest_valid_prefix(&g, &batteries, &run.schedule, 1);
+        assert!(validate_schedule(&g, &batteries, &valid, 1).is_ok());
+    }
+
+    #[test]
+    fn colors_stay_within_budget_constraints() {
+        let g = gnp_with_avg_degree(100, 40.0, 7);
+        let b = 3u64;
+        let run = radio_uniform_schedule(
+            &g,
+            b,
+            3.0,
+            &RadioParams { p: None, max_slots: 100_000, seed: 1 },
+        );
+        for v in 0..g.n() as u32 {
+            assert!(run.schedule.active_time(v) <= b);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Algorithm 1 as a 1-round local protocol.
+//!
+//! ```text
+//! 1: send δ_v to all neighbors
+//! 2: receive δ_u from all u ∈ N_v
+//! 3: δ²⁾_v := min_{u ∈ N⁺(v)} δ_u
+//! 4: choose color uniformly from [0, δ²⁾_v / (c · ln n))
+//! ```
+//!
+//! Only the *knowledge of `n`* (or an upper bound) is global — exactly the
+//! assumption the paper makes (§2).
+
+use crate::engine::run_protocol;
+use crate::message::Msg;
+use crate::node::{node_seed, Protocol};
+use crate::stats::RunStats;
+use domatic_core::partition::{schedule_fixed_duration, ColorAssignment};
+use domatic_core::uniform::color_range;
+use domatic_graph::{Graph, NodeId};
+use domatic_schedule::Schedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The distributed uniform-case protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformProtocol {
+    /// Color-range constant `c` (paper: 3).
+    pub c: f64,
+    /// Experiment seed; node `v` derives its private stream from it.
+    pub seed: u64,
+    /// The globally known node count (or upper bound) `n`.
+    pub n: usize,
+}
+
+/// Per-node state: own degree and the running `δ²⁾` minimum.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformState {
+    degree: u32,
+    delta2: u32,
+}
+
+/// A node's final decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniformDecision {
+    /// The chosen color.
+    pub color: u32,
+    /// The locally computed `δ²⁾_v` (exposed for cross-checking).
+    pub delta2: u32,
+    /// The size of the color range the node drew from.
+    pub range: u32,
+}
+
+impl Protocol for UniformProtocol {
+    type State = UniformState;
+    type Output = UniformDecision;
+
+    fn rounds(&self) -> usize {
+        1
+    }
+
+    fn init(&self, _v: NodeId, degree: usize) -> UniformState {
+        UniformState { degree: degree as u32, delta2: degree as u32 }
+    }
+
+    fn broadcast(&self, _v: NodeId, st: &UniformState, _round: usize) -> Option<Msg> {
+        Some(Msg::Degree(st.degree))
+    }
+
+    fn receive(&self, _v: NodeId, st: &mut UniformState, _round: usize, inbox: &[Msg]) {
+        for m in inbox {
+            if let Msg::Degree(d) = m {
+                st.delta2 = st.delta2.min(*d);
+            }
+        }
+    }
+
+    fn finish(&self, v: NodeId, st: UniformState) -> UniformDecision {
+        let range = color_range(st.delta2 as usize, self.n, self.c);
+        let mut rng = StdRng::seed_from_u64(node_seed(self.seed, v));
+        UniformDecision { color: rng.random_range(0..range), delta2: st.delta2, range }
+    }
+}
+
+/// Runs the distributed Algorithm 1 end-to-end: protocol execution, then
+/// the schedule that activates each color class for `b` units.
+///
+/// Returns the schedule, the coloring (with the same `guaranteed_classes`
+/// bookkeeping as the centralized version), and the communication cost.
+pub fn distributed_uniform_schedule(
+    g: &Graph,
+    b: u64,
+    c: f64,
+    seed: u64,
+    threads: usize,
+) -> (Schedule, ColorAssignment, RunStats) {
+    let protocol = UniformProtocol { c, seed, n: g.n() };
+    let (decisions, stats) = run_protocol(g, &protocol, threads);
+    let colors: Vec<u32> = decisions.iter().map(|d| d.color).collect();
+    let num_classes = decisions.iter().map(|d| d.color + 1).max().unwrap_or(0);
+    let guaranteed = match g.min_degree() {
+        Some(delta) => color_range(delta, g.n(), c),
+        None => 0,
+    };
+    let coloring = ColorAssignment { colors, num_classes, guaranteed_classes: guaranteed };
+    let classes = coloring.classes(g.n());
+    (schedule_fixed_duration(&classes, b), coloring, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::complete;
+    use domatic_schedule::{longest_valid_prefix, validate_schedule, Batteries};
+
+    #[test]
+    fn gossiped_delta2_matches_direct_computation() {
+        let g = gnp_with_avg_degree(200, 15.0, 5);
+        let protocol = UniformProtocol { c: 3.0, seed: 0, n: g.n() };
+        let (decisions, _) = run_protocol(&g, &protocol, 4);
+        for v in 0..g.n() as NodeId {
+            assert_eq!(
+                decisions[v as usize].delta2 as usize,
+                g.min_degree_closed_neighborhood(v),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn costs_are_one_round_one_broadcast_per_node() {
+        let g = gnp_with_avg_degree(300, 10.0, 1);
+        let (_, _, stats) = distributed_uniform_schedule(&g, 1, 3.0, 0, 4);
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.transmissions, 300);
+        assert_eq!(stats.receptions, 2 * g.m() as u64);
+    }
+
+    #[test]
+    fn schedule_prefix_is_valid_and_reaches_guarantee() {
+        let g = complete(150);
+        let b = 2u64;
+        let (s, coloring, _) = distributed_uniform_schedule(&g, b, 3.0, 7, 4);
+        let batteries = Batteries::uniform(150, b);
+        let p = longest_valid_prefix(&g, &batteries, &s, 1);
+        assert!(validate_schedule(&g, &batteries, &p, 1).is_ok());
+        assert!(p.lifetime() >= b * coloring.guaranteed_classes as u64);
+    }
+
+    #[test]
+    fn deterministic_and_thread_invariant() {
+        let g = gnp_with_avg_degree(120, 40.0, 2);
+        let (s1, c1, _) = distributed_uniform_schedule(&g, 2, 3.0, 3, 1);
+        let (s2, c2, _) = distributed_uniform_schedule(&g, 2, 3.0, 3, 8);
+        assert_eq!(s1, s2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn colors_within_local_ranges() {
+        let g = gnp_with_avg_degree(150, 50.0, 9);
+        let protocol = UniformProtocol { c: 3.0, seed: 4, n: g.n() };
+        let (decisions, _) = run_protocol(&g, &protocol, 4);
+        for d in &decisions {
+            assert!(d.color < d.range);
+            assert_eq!(d.range, color_range(d.delta2 as usize, g.n(), 3.0));
+        }
+    }
+}

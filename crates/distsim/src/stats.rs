@@ -1,0 +1,65 @@
+//! Communication-cost accounting for protocol runs.
+
+/// Cost of one protocol execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Synchronous communication rounds executed.
+    pub rounds: usize,
+    /// Local broadcasts performed (one per sending node per round — the
+    /// radio model's transmission count).
+    pub transmissions: u64,
+    /// Point-to-point message receptions (a broadcast heard by `δ`
+    /// neighbors counts `δ` times — the wired model's message count).
+    pub receptions: u64,
+    /// Total payload bytes received.
+    pub bytes_received: u64,
+}
+
+impl RunStats {
+    /// Mean broadcasts per node (`transmissions / n`).
+    pub fn transmissions_per_node(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.transmissions as f64 / n as f64
+        }
+    }
+
+    /// Mean received messages per node.
+    pub fn receptions_per_node(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.receptions as f64 / n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} tx={} rx={} bytes={}",
+            self.rounds, self.transmissions, self.receptions, self.bytes_received
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_node_rates() {
+        let s = RunStats { rounds: 2, transmissions: 20, receptions: 60, bytes_received: 240 };
+        assert_eq!(s.transmissions_per_node(10), 2.0);
+        assert_eq!(s.receptions_per_node(10), 6.0);
+        assert_eq!(s.transmissions_per_node(0), 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = RunStats { rounds: 1, transmissions: 2, receptions: 3, bytes_received: 4 };
+        assert_eq!(s.to_string(), "rounds=1 tx=2 rx=3 bytes=4");
+    }
+}

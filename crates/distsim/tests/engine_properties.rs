@@ -1,0 +1,115 @@
+//! Property tests for the round engine: thread-count invariance, cost
+//! accounting, and protocol/graph-query agreement on arbitrary graphs.
+
+use domatic_distsim::engine::{run_protocol, run_protocol_lossy};
+use domatic_distsim::message::Msg;
+use domatic_distsim::node::Protocol;
+use domatic_distsim::protocols::uniform::UniformProtocol;
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+/// Echo protocol: each node sums the degrees it hears over R rounds.
+struct DegreeSum {
+    rounds: usize,
+}
+
+impl Protocol for DegreeSum {
+    type State = (u32, u64);
+    type Output = u64;
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+    fn init(&self, _v: NodeId, degree: usize) -> (u32, u64) {
+        (degree as u32, 0)
+    }
+    fn broadcast(&self, _v: NodeId, st: &(u32, u64), _round: usize) -> Option<Msg> {
+        Some(Msg::Degree(st.0))
+    }
+    fn receive(&self, _v: NodeId, st: &mut (u32, u64), _round: usize, inbox: &[Msg]) {
+        for m in inbox {
+            if let Msg::Degree(d) = m {
+                st.1 += *d as u64;
+            }
+        }
+    }
+    fn finish(&self, _v: NodeId, st: (u32, u64)) -> u64 {
+        st.1
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..30, 0.0f64..0.8, 0u64..500).prop_map(|(n, p, seed)| gnp(n, p, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn outputs_invariant_under_thread_count(g in arb_graph(), rounds in 1usize..4) {
+        let p = DegreeSum { rounds };
+        let (o1, s1) = run_protocol(&g, &p, 1);
+        let (o4, s4) = run_protocol(&g, &p, 4);
+        let (o9, s9) = run_protocol(&g, &p, 9);
+        prop_assert_eq!(&o1, &o4);
+        prop_assert_eq!(&o1, &o9);
+        prop_assert_eq!(s1, s4);
+        prop_assert_eq!(s1, s9);
+    }
+
+    #[test]
+    fn cost_accounting_matches_topology(g in arb_graph(), rounds in 1usize..4) {
+        let p = DegreeSum { rounds };
+        let (_, stats) = run_protocol(&g, &p, 3);
+        prop_assert_eq!(stats.rounds, rounds);
+        prop_assert_eq!(stats.transmissions, (g.n() * rounds) as u64);
+        prop_assert_eq!(stats.receptions, (2 * g.m() * rounds) as u64);
+        prop_assert_eq!(stats.bytes_received, (2 * g.m() * rounds * 4) as u64);
+    }
+
+    #[test]
+    fn degree_sum_equals_graph_truth(g in arb_graph()) {
+        let p = DegreeSum { rounds: 1 };
+        let (out, _) = run_protocol(&g, &p, 2);
+        for v in 0..g.n() as NodeId {
+            let expect: u64 = g.neighbors(v).iter().map(|&u| g.degree(u) as u64).sum();
+            prop_assert_eq!(out[v as usize], expect, "node {}", v);
+        }
+    }
+
+    #[test]
+    fn uniform_protocol_delta2_is_exact_on_arbitrary_graphs(
+        g in arb_graph(), seed in 0u64..100
+    ) {
+        let p = UniformProtocol { c: 3.0, seed, n: g.n() };
+        let (decisions, stats) = run_protocol(&g, &p, 4);
+        prop_assert_eq!(stats.rounds, 1);
+        for v in 0..g.n() as NodeId {
+            prop_assert_eq!(
+                decisions[v as usize].delta2 as usize,
+                g.min_degree_closed_neighborhood(v)
+            );
+            prop_assert!(decisions[v as usize].color < decisions[v as usize].range);
+        }
+    }
+
+    #[test]
+    fn lossy_uniform_protocol_only_overestimates_delta2(
+        g in arb_graph(), seed in 0u64..50, loss in 0.0f64..0.9
+    ) {
+        // Dropped degree announcements can only make the local minimum
+        // LARGER (missing elements of the min), never smaller — the
+        // degradation is one-sided, which is what keeps budgets safe.
+        let p = UniformProtocol { c: 3.0, seed, n: g.n() };
+        let (decisions, _) = run_protocol_lossy(&g, &p, 4, loss, seed ^ 0xABCD);
+        for v in 0..g.n() as NodeId {
+            prop_assert!(
+                decisions[v as usize].delta2 as usize
+                    >= g.min_degree_closed_neighborhood(v),
+                "node {} underestimated δ²⁾ under loss",
+                v
+            );
+            prop_assert!(decisions[v as usize].delta2 as usize <= g.degree(v));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Domination predicates: the correctness conditions every scheduler must
+//! satisfy.
+//!
+//! A set `S ⊆ V` *dominates* `G` if every node is in `S` or has a neighbor
+//! in `S` (closed-neighborhood coverage). A set is *k-dominating* if every
+//! node has at least `k` members of `S` in its closed neighborhood — the
+//! fault-tolerance notion of the paper's §6.
+
+use crate::csr::{Graph, NodeId};
+use crate::nodeset::NodeSet;
+use rayon::prelude::*;
+
+/// Number of dominators of `v` in `set`: `|N⁺(v) ∩ set|`.
+#[inline]
+pub fn dominator_count(g: &Graph, set: &NodeSet, v: NodeId) -> usize {
+    let mut c = usize::from(set.contains(v));
+    for &u in g.neighbors(v) {
+        c += usize::from(set.contains(u));
+    }
+    c
+}
+
+/// Whether `set` is a dominating set of `g`.
+pub fn is_dominating_set(g: &Graph, set: &NodeSet) -> bool {
+    g.nodes().all(|v| dominator_count(g, set, v) >= 1)
+}
+
+/// Whether `set` is a k-dominating set of `g` (every node has ≥ k
+/// dominators in its closed neighborhood).
+pub fn is_k_dominating_set(g: &Graph, set: &NodeSet, k: usize) -> bool {
+    g.nodes().all(|v| dominator_count(g, set, v) >= k)
+}
+
+/// All nodes with fewer than `k` dominators in `set` (empty ⇔ k-dominating).
+pub fn uncovered_nodes(g: &Graph, set: &NodeSet, k: usize) -> Vec<NodeId> {
+    g.nodes().filter(|&v| dominator_count(g, set, v) < k).collect()
+}
+
+/// Parallel domination check for large graphs.
+///
+/// Semantically identical to [`is_dominating_set`]; splits the node range
+/// across the rayon pool. Worth it only above ~10⁵ nodes — the sequential
+/// check is a linear scan of the CSR arrays and is already memory-bound.
+pub fn is_dominating_set_par(g: &Graph, set: &NodeSet) -> bool {
+    (0..g.n() as NodeId)
+        .into_par_iter()
+        .all(|v| dominator_count(g, set, v) >= 1)
+}
+
+/// Parallel k-domination check; see [`is_dominating_set_par`].
+pub fn is_k_dominating_set_par(g: &Graph, set: &NodeSet, k: usize) -> bool {
+    (0..g.n() as NodeId)
+        .into_par_iter()
+        .all(|v| dominator_count(g, set, v) >= k)
+}
+
+/// Checks that `sets` form a *domatic partition prefix*: pairwise disjoint
+/// and each a dominating set. (A full domatic partition additionally covers
+/// all of `V`; the algorithms in this workspace only need disjointness, as
+/// unused nodes simply stay asleep.)
+pub fn is_disjoint_dominating_family(g: &Graph, sets: &[NodeSet]) -> bool {
+    for (i, s) in sets.iter().enumerate() {
+        if !is_dominating_set(g, s) {
+            return false;
+        }
+        for t in &sets[i + 1..] {
+            if !s.is_disjoint(t) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Greedy minimum-dominating-set approximation (the classical `ln Δ + 1`
+/// set-cover greedy): repeatedly add the node covering the most uncovered
+/// nodes, breaking ties toward the lowest id.
+///
+/// `alive` restricts candidate dominators (nodes outside `alive` may still
+/// *be covered* but cannot cover); the whole vertex set must still be
+/// dominated, which is exactly the requirement when extracting successive
+/// disjoint dominating sets for a domatic partition. Returns `None` if the
+/// alive nodes cannot dominate `g` (some node has no alive closed neighbor).
+pub fn greedy_dominating_set(g: &Graph, alive: &NodeSet) -> Option<NodeSet> {
+    let n = g.n();
+    let mut covered = NodeSet::new(n);
+    let mut chosen = NodeSet::new(n);
+    // gain[v] = number of currently uncovered nodes in N⁺(v), for alive v.
+    let mut gain: Vec<usize> = (0..n as NodeId)
+        .map(|v| if alive.contains(v) { g.closed_degree(v) } else { 0 })
+        .collect();
+    let mut num_covered = 0usize;
+    while num_covered < n {
+        // Linear scan keeps this O(n · |D|); a heap would be O(m log n) but
+        // gains only decrease, so the scan is simpler and fast enough for
+        // the instance sizes the experiments use.
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in 0..n as NodeId {
+            let gv = gain[v as usize];
+            if gv > 0 && best.map_or(true, |(bg, _)| gv > bg) {
+                best = Some((gv, v));
+            }
+        }
+        let (_, v) = best?;
+        chosen.insert(v);
+        // Mark N⁺(v) covered and decrement gains of their closed neighbors.
+        let mut newly: Vec<NodeId> = Vec::new();
+        if !covered.contains(v) {
+            newly.push(v);
+        }
+        for &u in g.neighbors(v) {
+            if !covered.contains(u) {
+                newly.push(u);
+            }
+        }
+        for &u in &newly {
+            covered.insert(u);
+            num_covered += 1;
+            if alive.contains(u) {
+                gain[u as usize] = gain[u as usize].saturating_sub(1);
+            }
+            for &w in g.neighbors(u) {
+                if alive.contains(w) {
+                    gain[w as usize] = gain[w as usize].saturating_sub(1);
+                }
+            }
+        }
+        gain[v as usize] = 0;
+    }
+    Some(chosen)
+}
+
+/// Reduces a dominating set to a *minimal* one by dropping redundant nodes
+/// (highest id first). The result dominates `g` and no proper subset of it
+/// does.
+pub fn make_minimal(g: &Graph, set: &NodeSet) -> NodeSet {
+    let mut s = set.clone();
+    let members: Vec<NodeId> = s.to_vec();
+    for &v in members.iter().rev() {
+        s.remove(v);
+        // v is droppable iff every node it was covering still has a
+        // dominator; only N⁺(v) can be affected.
+        let still_ok = dominator_count(g, &s, v) >= 1
+            && g.neighbors(v).iter().all(|&u| dominator_count(g, &s, u) >= 1);
+        if !still_ok {
+            s.insert(v);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::{complete, cycle, star};
+
+    #[test]
+    fn single_center_dominates_star() {
+        let g = star(6);
+        let s = NodeSet::from_iter(6, [0]);
+        assert!(is_dominating_set(&g, &s));
+        let leaves = NodeSet::from_iter(6, [1, 2, 3, 4, 5]);
+        assert!(is_dominating_set(&g, &leaves));
+        let partial = NodeSet::from_iter(6, [1, 2]);
+        assert!(!is_dominating_set(&g, &partial));
+    }
+
+    #[test]
+    fn k_domination_on_complete_graph() {
+        let g = complete(5);
+        let s = NodeSet::from_iter(5, [0, 1, 2]);
+        assert!(is_k_dominating_set(&g, &s, 3));
+        assert!(!is_k_dominating_set(&g, &s, 4));
+    }
+
+    #[test]
+    fn uncovered_nodes_reports_gaps() {
+        let g = cycle(6);
+        let s = NodeSet::from_iter(6, [0]);
+        // 0 covers 5, 0, 1; uncovered: 2, 3, 4.
+        assert_eq!(uncovered_nodes(&g, &s, 1), vec![2, 3, 4]);
+        assert!(uncovered_nodes(&g, &NodeSet::full(6), 1).is_empty());
+    }
+
+    #[test]
+    fn parallel_check_matches_sequential() {
+        let g = cycle(50);
+        let s = NodeSet::from_iter(50, (0..50).step_by(3).map(|v| v as NodeId));
+        assert_eq!(is_dominating_set(&g, &s), is_dominating_set_par(&g, &s));
+        assert_eq!(
+            is_k_dominating_set(&g, &s, 2),
+            is_k_dominating_set_par(&g, &s, 2)
+        );
+    }
+
+    #[test]
+    fn empty_set_dominates_only_empty_graph() {
+        let g = Graph::empty(0);
+        assert!(is_dominating_set(&g, &NodeSet::new(0)));
+        let g1 = Graph::empty(1);
+        assert!(!is_dominating_set(&g1, &NodeSet::new(1)));
+    }
+
+    #[test]
+    fn disjoint_family_check() {
+        let g = complete(4);
+        let a = NodeSet::from_iter(4, [0]);
+        let b = NodeSet::from_iter(4, [1]);
+        let c = NodeSet::from_iter(4, [1, 2]);
+        assert!(is_disjoint_dominating_family(&g, &[a.clone(), b.clone()]));
+        assert!(!is_disjoint_dominating_family(&g, &[b, c]));
+        let bad = NodeSet::new(4);
+        assert!(!is_disjoint_dominating_family(&g, &[a, bad]));
+    }
+
+    #[test]
+    fn greedy_finds_center_of_star() {
+        let g = star(10);
+        let ds = greedy_dominating_set(&g, &NodeSet::full(10)).unwrap();
+        assert_eq!(ds.to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn greedy_respects_alive_mask() {
+        let g = star(5);
+        let mut alive = NodeSet::full(5);
+        alive.remove(0); // center dead: every leaf must self-cover, and the
+                         // center must be covered by a leaf.
+        let ds = greedy_dominating_set(&g, &alive).unwrap();
+        assert!(is_dominating_set(&g, &ds));
+        assert!(!ds.contains(0));
+        assert_eq!(ds.len(), 4);
+    }
+
+    #[test]
+    fn greedy_returns_none_when_impossible() {
+        // Two isolated nodes, only one alive: the other cannot be covered.
+        let g = Graph::empty(2);
+        let alive = NodeSet::from_iter(2, [0]);
+        assert!(greedy_dominating_set(&g, &alive).is_none());
+    }
+
+    #[test]
+    fn make_minimal_strips_redundancy() {
+        let g = star(8);
+        let full = NodeSet::full(8);
+        let min = make_minimal(&g, &full);
+        assert!(is_dominating_set(&g, &min));
+        // Minimality: removing any member breaks domination.
+        for v in min.to_vec() {
+            let mut s = min.clone();
+            s.remove(v);
+            assert!(!is_dominating_set(&g, &s), "set not minimal at {v}");
+        }
+    }
+
+    #[test]
+    fn dominator_count_counts_closed_neighborhood() {
+        let g = cycle(5);
+        let s = NodeSet::from_iter(5, [0, 1]);
+        assert_eq!(dominator_count(&g, &s, 0), 2);
+        assert_eq!(dominator_count(&g, &s, 2), 1);
+        assert_eq!(dominator_count(&g, &s, 3), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The adversarial family on which the greedy domatic-partition algorithm
+//! collapses, in the spirit of Fujita's Ω(√n) lower bound for greedy
+//! r-configuration algorithms (cited as \[6\] in the paper; Feige et al.
+//! prove the matching Õ(√n) upper bound).
+//!
+//! # Construction `B(m)`
+//!
+//! - one *poor* node `u` (id 0);
+//! - `m` *gate* nodes `p_1 … p_m` (ids `1..=m`), each adjacent to `u`;
+//! - `m` disjoint *cliques* `R_1 … R_m`, each of size `m` (ids
+//!   `m+1 ..= m+m²`), with `p_i` adjacent to every node of `R_i`.
+//!
+//! Total `n = 1 + m + m²`.
+//!
+//! # Why the optimum is `m + 1`
+//!
+//! `N⁺(u) = {u, p_1, …, p_m}` has size `m + 1`, so no more than `m + 1`
+//! disjoint dominating sets exist (Lemma 4.1's argument). And `m + 1` are
+//! achievable:
+//!
+//! - `D_i = {p_i} ∪ {r_{j,i} : j ≠ i}` for `i = 1..m`, where `r_{j,i}` is
+//!   the `i`-th node of clique `R_j`: `p_i` covers `u`, itself, and all of
+//!   `R_i`; `r_{j,i}` covers `p_j` and all of `R_j` (clique).
+//! - `D_{m+1} = {u} ∪ {r_{j,m} : j = 1..m}` with the so-far-unused clique
+//!   nodes: `u` covers every `p_j` and itself; `r_{j,m}` covers `R_j`.
+//!
+//! # Why greedy gets only 2
+//!
+//! The classical greedy (repeatedly extract a set-cover-greedy dominating
+//! set from the still-unused nodes) looks at coverage gains. Initially
+//! `gain(p_i) = m + 2` (covers `u`, itself, `R_i`) strictly exceeds
+//! `gain(r) = m + 1` and `gain(u) = m + 1`, so greedy's first pick is a
+//! gate. After picking `p_1`, the remaining uncovered nodes make every
+//! still-unchosen gate worth `m + 1` (itself plus its clique) — tied with
+//! clique nodes (`m + 1`: the clique plus its gate) — and the low-id
+//! tie-break prefers gates. Greedy therefore spends **all** gates on its
+//! very first dominating set, exhausting `N(u)` immediately. The leftover
+//! nodes `{u} ∪ R_1 ∪ … ∪ R_m` form one final dominating set, so greedy
+//! produces 2 sets versus the optimal `m + 1 = Θ(√n)`.
+
+use crate::csr::{Graph, NodeId};
+
+/// Builds `B(m)` as described in the module docs. Requires `m ≥ 1`.
+pub fn fujita_bad_instance(m: usize) -> Graph {
+    assert!(m >= 1, "m must be at least 1");
+    let n = 1 + m + m * m;
+    let u: NodeId = 0;
+    let gate = |i: usize| -> NodeId { (1 + i) as NodeId }; // i in 0..m
+    let clique_node = |i: usize, j: usize| -> NodeId {
+        // j-th node of clique R_i, i, j in 0..m
+        (1 + m + i * m + j) as NodeId
+    };
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for i in 0..m {
+        edges.push((u, gate(i)));
+        for j in 0..m {
+            edges.push((gate(i), clique_node(i, j)));
+            for j2 in j + 1..m {
+                edges.push((clique_node(i, j), clique_node(i, j2)));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The optimal number of disjoint dominating sets of `B(m)`, namely `m + 1`.
+pub fn fujita_optimal_partition_size(m: usize) -> usize {
+    m + 1
+}
+
+/// An explicit optimal disjoint dominating family for `B(m)` (used by tests
+/// and by experiment E6 as the reference solution).
+pub fn fujita_optimal_partition(m: usize) -> Vec<Vec<NodeId>> {
+    let gate = |i: usize| -> NodeId { (1 + i) as NodeId };
+    let clique_node = |i: usize, j: usize| -> NodeId { (1 + m + i * m + j) as NodeId };
+    let mut sets = Vec::with_capacity(m + 1);
+    for i in 0..m {
+        let mut d = vec![gate(i)];
+        for j in 0..m {
+            if j != i {
+                d.push(clique_node(j, i));
+            }
+        }
+        sets.push(d);
+    }
+    // The (m+1)-th set: u plus the diagonal clique nodes r_{j,j}.
+    let mut last = vec![0 as NodeId];
+    for j in 0..m {
+        last.push(clique_node(j, j));
+    }
+    sets.push(last);
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domination::{is_disjoint_dominating_family, is_dominating_set};
+    use crate::nodeset::NodeSet;
+
+    #[test]
+    fn sizes_match_formula() {
+        for m in 1..6 {
+            let g = fujita_bad_instance(m);
+            assert_eq!(g.n(), 1 + m + m * m);
+        }
+    }
+
+    #[test]
+    fn poor_node_has_degree_m() {
+        let g = fujita_bad_instance(4);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.min_degree(), Some(4));
+    }
+
+    #[test]
+    fn gates_touch_their_cliques() {
+        let m = 3;
+        let g = fujita_bad_instance(m);
+        // gate 1 (id 2) is adjacent to u and all of R_1 (ids 1+m+m .. 1+m+2m).
+        assert!(g.has_edge(0, 2));
+        for j in 0..m {
+            assert!(g.has_edge(2, (1 + m + m + j) as NodeId));
+        }
+        assert_eq!(g.degree(2), 1 + m);
+    }
+
+    #[test]
+    fn cliques_are_cliques() {
+        let m = 3;
+        let g = fujita_bad_instance(m);
+        let base = 1 + m;
+        for a in 0..m {
+            for b in a + 1..m {
+                assert!(g.has_edge((base + a) as NodeId, (base + b) as NodeId));
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_partition_is_valid() {
+        for m in 1..6 {
+            let g = fujita_bad_instance(m);
+            let sets: Vec<NodeSet> = fujita_optimal_partition(m)
+                .into_iter()
+                .map(|s| NodeSet::from_iter(g.n(), s))
+                .collect();
+            assert_eq!(sets.len(), fujita_optimal_partition_size(m));
+            assert!(is_disjoint_dominating_family(&g, &sets), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn optimum_is_tight_via_poor_node() {
+        // No family larger than m+1 exists: each DS must hit N⁺(u).
+        let m = 4;
+        let g = fujita_bad_instance(m);
+        assert_eq!(g.closed_degree(0), m + 1);
+        // Sanity: a set avoiding N⁺(u) entirely is not dominating.
+        let all_cliques: NodeSet =
+            NodeSet::from_iter(g.n(), (1 + m as NodeId)..(g.n() as NodeId));
+        assert!(is_dominating_set(&g, &all_cliques) == false || m == 0);
+    }
+}

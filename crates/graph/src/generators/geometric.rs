@@ -1,0 +1,175 @@
+//! Random geometric graphs (unit disk graphs).
+//!
+//! `n` points are placed uniformly at random in the unit square and two
+//! nodes are adjacent iff their Euclidean distance is at most `r`. This is
+//! the unit disk graph model the paper's §3 discusses as the standard
+//! abstraction of wireless connectivity; the paper's algorithms do not
+//! require it (they work on arbitrary graphs), but sensor-style workloads
+//! should be evaluated on it.
+//!
+//! Neighbor search uses a uniform grid of cell width `r`, so construction is
+//! `O(n + m)` expected rather than `O(n²)`.
+
+use crate::csr::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A geometric graph together with the node positions that induced it.
+#[derive(Clone, Debug)]
+pub struct GeometricGraph {
+    /// The induced unit disk graph.
+    pub graph: Graph,
+    /// Position of node `v` in the unit square.
+    pub positions: Vec<(f64, f64)>,
+    /// The connection radius used.
+    pub radius: f64,
+}
+
+/// Samples a random geometric graph with `n` nodes and radius `r` in
+/// `[0, 1]²`.
+///
+/// # Panics
+/// Panics unless `r > 0`.
+pub fn random_geometric(n: usize, r: f64, seed: u64) -> GeometricGraph {
+    assert!(r > 0.0, "radius must be positive, got {r}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions: Vec<(f64, f64)> =
+        (0..n).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
+    let graph = unit_disk_graph(&positions, r);
+    GeometricGraph { graph, positions, radius: r }
+}
+
+/// Builds the unit disk graph over explicit positions with radius `r`.
+pub fn unit_disk_graph(positions: &[(f64, f64)], r: f64) -> Graph {
+    assert!(r > 0.0, "radius must be positive, got {r}");
+    let n = positions.len();
+    // Cell width must be ≥ r for the 3×3 neighborhood search to be exhaustive,
+    // so cells ≤ floor(1/r). Cap at ~√n cells per axis: finer grids than that
+    // only add bucket overhead (and would OOM for microscopic radii).
+    let cells = ((1.0 / r).floor() as usize)
+        .min((n as f64).sqrt().ceil() as usize)
+        .max(1);
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 / r) as usize).min(cells - 1);
+        let cy = ((p.1 / r) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    // Bucket node ids by cell.
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in positions.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells + cx].push(i as NodeId);
+    }
+    let r2 = r * r;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        let (cx, cy) = cell_of((x, y));
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
+                    continue;
+                }
+                for &j in &buckets[ny as usize * cells + nx as usize] {
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let (px, py) = positions[j as usize];
+                    let (ddx, ddy) = (px - x, py - y);
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        edges.push((i as NodeId, j));
+                    }
+                }
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Radius that gives expected average degree ≈ `d` for `n` uniform points:
+/// solves `π r² (n−1) = d` (ignoring boundary effects).
+pub fn radius_for_avg_degree(n: usize, d: f64) -> f64 {
+    if n < 2 {
+        return 0.1;
+    }
+    (d / (std::f64::consts::PI * (n as f64 - 1.0))).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force O(n²) reference construction.
+    fn brute(positions: &[(f64, f64)], r: f64) -> Graph {
+        let n = positions.len();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = positions[i].0 - positions[j].0;
+                let dy = positions[i].1 - positions[j].1;
+                if dx * dx + dy * dy <= r * r {
+                    edges.push((i as NodeId, j as NodeId));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn grid_bucketing_matches_brute_force() {
+        for seed in 0..5 {
+            let gg = random_geometric(200, 0.13, seed);
+            let reference = brute(&gg.positions, 0.13);
+            assert_eq!(gg.graph, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_geometric(100, 0.2, 9);
+        let b = random_geometric(100, 0.2, 9);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn radius_one_gives_complete_graph() {
+        // Any two points in [0,1]² are within distance √2 < 1.5.
+        let gg = random_geometric(20, 1.5, 4);
+        assert_eq!(gg.graph.m(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn tiny_radius_gives_sparse_graph() {
+        let gg = random_geometric(50, 1e-6, 4);
+        assert_eq!(gg.graph.m(), 0);
+    }
+
+    #[test]
+    fn explicit_positions() {
+        let pos = [(0.0, 0.0), (0.05, 0.0), (0.5, 0.5), (0.52, 0.5)];
+        let g = unit_disk_graph(&pos, 0.1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        let pos = [(0.0, 0.0), (0.1, 0.0)];
+        let g = unit_disk_graph(&pos, 0.1);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn avg_degree_heuristic_is_reasonable() {
+        let n = 2000;
+        let r = radius_for_avg_degree(n, 15.0);
+        let gg = random_geometric(n, r, 11);
+        let avg = 2.0 * gg.graph.m() as f64 / n as f64;
+        // Boundary effects push the empirical mean below the target.
+        assert!(avg > 9.0 && avg < 17.0, "avg degree {avg}");
+    }
+}

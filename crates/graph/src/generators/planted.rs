@@ -1,0 +1,122 @@
+//! Families with exactly known domatic number, used as ground truth.
+//!
+//! | family | domatic number | witness |
+//! |--------|----------------|---------|
+//! | `K_n` | `n` | the `n` singletons |
+//! | `C_n`, `3 ∣ n` | `3` | the three residue classes mod 3 |
+//! | `C_n`, `3 ∤ n`, `n ≥ 4` | `2` | alternating-ish split (see below) |
+//! | star `S_n` (n ≥ 2) | `2` | `{center}` and `{all leaves}` |
+//! | `k` disjoint `K_s`, `s ≥ k` | `k` | `k` transversals |
+
+use crate::csr::{Graph, NodeId};
+use crate::nodeset::NodeSet;
+
+/// A disjoint union of `cliques` cliques, each of size `size`. Clique `i`
+/// occupies ids `i*size .. (i+1)*size`. Its domatic number is exactly
+/// `size` (each dominating set needs ≥ 1 node per clique; the `size`
+/// transversals achieve it).
+pub fn disjoint_cliques(cliques: usize, size: usize) -> Graph {
+    assert!(size >= 1);
+    let n = cliques * size;
+    let mut edges = Vec::new();
+    for c in 0..cliques {
+        let base = c * size;
+        for a in 0..size {
+            for b in a + 1..size {
+                edges.push(((base + a) as NodeId, (base + b) as NodeId));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The optimal domatic partition of [`disjoint_cliques`]: the `size`
+/// transversals (`j`-th set takes the `j`-th node of each clique).
+pub fn disjoint_cliques_partition(cliques: usize, size: usize) -> Vec<NodeSet> {
+    let n = cliques * size;
+    (0..size)
+        .map(|j| {
+            NodeSet::from_iter(n, (0..cliques).map(|c| (c * size + j) as NodeId))
+        })
+        .collect()
+}
+
+/// The exact domatic number of the cycle `C_n` (`n ≥ 3`): 3 when `3 ∣ n`,
+/// else 2.
+pub fn cycle_domatic_number(n: usize) -> usize {
+    assert!(n >= 3);
+    if n % 3 == 0 {
+        3
+    } else {
+        2
+    }
+}
+
+/// An optimal domatic partition of `C_n`.
+pub fn cycle_domatic_partition(n: usize) -> Vec<NodeSet> {
+    assert!(n >= 3);
+    if n % 3 == 0 {
+        // Residue classes mod 3: node v is dominated by the class member
+        // among {v-1, v, v+1}.
+        (0..3)
+            .map(|r| {
+                NodeSet::from_iter(
+                    n,
+                    (0..n).filter(|v| v % 3 == r).map(|v| v as NodeId),
+                )
+            })
+            .collect()
+    } else {
+        // Two sets: nodes at even positions of a traversal, odd positions.
+        // Every node has both an even and an odd closed neighbor because
+        // consecutive nodes alternate (the wrap-around pair of equal parity
+        // when n is odd only *adds* coverage).
+        let even = NodeSet::from_iter(n, (0..n).step_by(2).map(|v| v as NodeId));
+        let odd = NodeSet::from_iter(n, (1..n).step_by(2).map(|v| v as NodeId));
+        vec![even, odd]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domination::is_disjoint_dominating_family;
+    use crate::generators::regular::cycle;
+
+    #[test]
+    fn disjoint_cliques_shape() {
+        let g = disjoint_cliques(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 6);
+        assert!(g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 4)); // across cliques
+    }
+
+    #[test]
+    fn transversal_partition_is_optimal() {
+        for (c, s) in [(2, 2), (3, 4), (5, 3), (1, 6)] {
+            let g = disjoint_cliques(c, s);
+            let parts = disjoint_cliques_partition(c, s);
+            assert_eq!(parts.len(), s);
+            assert!(is_disjoint_dominating_family(&g, &parts), "c={c}, s={s}");
+        }
+    }
+
+    #[test]
+    fn cycle_partitions_are_valid_and_sized() {
+        for n in 3..20 {
+            let g = cycle(n);
+            let parts = cycle_domatic_partition(n);
+            assert_eq!(parts.len(), cycle_domatic_number(n), "n = {n}");
+            assert!(is_disjoint_dominating_family(&g, &parts), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cycle_domatic_number_cases() {
+        assert_eq!(cycle_domatic_number(3), 3);
+        assert_eq!(cycle_domatic_number(4), 2);
+        assert_eq!(cycle_domatic_number(5), 2);
+        assert_eq!(cycle_domatic_number(9), 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! Barabási–Albert preferential attachment — heavy-tailed degree
+//! distributions, the stress case for degree-sensitive algorithms (the
+//! paper's guarantees depend on the *minimum* degree; BA graphs keep δ
+//! small while Δ grows, separating the two).
+
+use crate::csr::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a Barabási–Albert graph: starts from a clique on `m + 1`
+/// nodes; every subsequent node attaches to `m` distinct existing nodes
+/// chosen with probability proportional to their degree.
+///
+/// # Panics
+/// Panics unless `1 ≤ m` and `n ≥ m + 1`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment count m must be ≥ 1");
+    assert!(n >= m + 1, "need n ≥ m + 1, got n = {n}, m = {m}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m);
+    // `targets` holds one entry per edge endpoint: sampling uniformly from
+    // it is degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for u in 0..=m {
+        for v in u + 1..=m {
+            edges.push((u as NodeId, v as NodeId));
+            endpoints.push(u as NodeId);
+            endpoints.push(v as NodeId);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((v as NodeId, t));
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn edge_count_formula() {
+        // (m+1 choose 2) seed edges + m per added node.
+        let g = barabasi_albert(50, 3, 1);
+        assert_eq!(g.n(), 50);
+        assert_eq!(g.m(), 6 + (50 - 4) * 3);
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = barabasi_albert(200, 2, 5);
+        assert_eq!(g.min_degree(), Some(2));
+        // Heavy tail: the max degree should far exceed the minimum.
+        assert!(g.max_degree().unwrap() >= 10);
+    }
+
+    #[test]
+    fn connected_by_construction() {
+        for seed in 0..5 {
+            assert!(is_connected(&barabasi_albert(100, 2, seed)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert(80, 3, 9), barabasi_albert(80, 3, 9));
+        assert_ne!(barabasi_albert(80, 3, 9), barabasi_albert(80, 3, 10));
+    }
+
+    #[test]
+    fn minimal_case() {
+        let g = barabasi_albert(2, 1, 0);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ m + 1")]
+    fn too_small_n_rejected() {
+        barabasi_albert(3, 3, 0);
+    }
+}

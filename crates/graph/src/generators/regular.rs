@@ -1,0 +1,140 @@
+//! Deterministic structured families: paths, cycles, stars, cliques,
+//! complete bipartite graphs, and hypercubes.
+
+use crate::csr::{Graph, NodeId};
+
+/// The path `P_n`: nodes `0 — 1 — … — n−1`.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(NodeId, NodeId)> =
+        (1..n).map(|v| ((v - 1) as NodeId, v as NodeId)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The cycle `C_n` (requires `n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes, got {n}");
+    let mut edges: Vec<(NodeId, NodeId)> =
+        (1..n).map(|v| ((v - 1) as NodeId, v as NodeId)).collect();
+    edges.push((n as NodeId - 1, 0));
+    Graph::from_edges(n, &edges)
+}
+
+/// The star `S_n`: node 0 is the center, nodes `1..n` are leaves.
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<(NodeId, NodeId)> = (1..n).map(|v| (0, v as NodeId)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The complete bipartite graph `K_{a,b}`: left side `0..a`, right side
+/// `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u as NodeId, (a + v) as NodeId));
+        }
+    }
+    Graph::from_edges(a + b, &edges)
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes; `u ~ v` iff they
+/// differ in exactly one bit.
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d <= 20, "hypercube dimension {d} too large");
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d as usize / 2);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_degrees() {
+        let g = path(5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(path(1).m(), 0);
+        assert_eq!(path(0).n(), 0);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(7);
+        assert_eq!(g.m(), 7);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(6, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_rejects_tiny() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(8);
+        assert_eq!(g.degree(0), 7);
+        for v in 1..8 {
+            assert_eq!(g.degree(v), 1);
+            assert!(g.has_edge(0, v));
+        }
+    }
+
+    #[test]
+    fn complete_graph_regular() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.min_degree(), Some(5));
+        assert_eq!(g.max_degree(), Some(5));
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(2), 2);
+        assert!(!g.has_edge(0, 1)); // same side
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(3);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 12);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 3);
+        }
+        assert!(g.has_edge(0b000, 0b100));
+        assert!(!g.has_edge(0b000, 0b110));
+        assert_eq!(hypercube(0).n(), 1);
+    }
+}

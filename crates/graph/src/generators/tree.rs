@@ -1,0 +1,105 @@
+//! Tree generators.
+
+use crate::csr::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random recursive tree: node `v` (for `v ≥ 1`) attaches to a
+/// uniformly random earlier node. (Not uniform over all labelled trees, but
+/// the standard "random attachment" model; cheap and connected by
+/// construction.)
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        let parent = rng.random_range(0..v as NodeId);
+        edges.push((parent, v as NodeId));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A complete `k`-ary tree with `n` nodes in heap order: the children of
+/// node `v` are `k·v + 1, …, k·v + k` (when `< n`).
+pub fn kary_tree(n: usize, k: usize) -> Graph {
+    assert!(k >= 1, "arity must be at least 1");
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        let parent = ((v - 1) / k) as NodeId;
+        edges.push((parent, v as NodeId));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A caterpillar: a spine path of `spine` nodes, with `legs` pendant leaves
+/// attached to every spine node. Spine ids come first (`0..spine`).
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut edges = Vec::new();
+    for s in 1..spine {
+        edges.push(((s - 1) as NodeId, s as NodeId));
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + s * legs + l;
+            edges.push((s as NodeId, leaf as NodeId));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..5 {
+            let g = random_tree(50, seed);
+            assert_eq!(g.m(), 49);
+            assert_eq!(connected_components(&g).count, 1);
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic() {
+        assert_eq!(random_tree(30, 5), random_tree(30, 5));
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = kary_tree(7, 2);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(2, 6));
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn unary_tree_is_path() {
+        let g = kary_tree(5, 1);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(3, 2);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 2 + 6);
+        assert_eq!(g.degree(1), 4); // middle spine: 2 spine + 2 legs
+        assert_eq!(g.degree(3), 1); // a leaf
+        assert_eq!(connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn tiny_trees() {
+        assert_eq!(random_tree(0, 0).n(), 0);
+        assert_eq!(random_tree(1, 0).m(), 0);
+        assert_eq!(kary_tree(1, 3).m(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! A dense bitset over node ids.
+//!
+//! Dominating sets, MIS outputs, and coverage masks are all subsets of
+//! `0..n`; a `u64`-word bitset gives O(n/64) union/intersection and
+//! branch-free membership tests, which keeps the per-slot domination checks
+//! in the schedule validator cheap (those checks dominate the validation
+//! cost for long schedules).
+
+use crate::csr::NodeId;
+
+/// A fixed-universe set of node ids backed by a flat `Vec<u64>`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NodeSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// The empty set over universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        NodeSet { n, words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// The full set `{0, …, n−1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = NodeSet::new(n);
+        for v in 0..n as NodeId {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of node ids.
+    ///
+    /// # Panics
+    /// Panics if any id is `>= n`.
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(n: usize, iter: I) -> Self {
+        let mut s = NodeSet::new(n);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Universe size (not the cardinality; see [`NodeSet::len`]).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts `v`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let v = v as usize;
+        assert!(v < self.n, "node {v} out of universe {}", self.n);
+        let (w, b) = (v / 64, v % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let v = v as usize;
+        assert!(v < self.n, "node {v} out of universe {}", self.n);
+        let (w, b) = (v / 64, v % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let v = v as usize;
+        v < self.n && self.words[v / 64] & (1 << (v % 64)) != 0
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union with `other` (same universe).
+    pub fn union_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other` (same universe).
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference `self \ other` (same universe).
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether `self` and `other` share no element.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some((wi * 64) as NodeId + b as NodeId)
+                }
+            })
+        })
+    }
+
+    /// Collects members into a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Builds a set whose universe is just large enough for the max element.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let items: Vec<NodeId> = iter.into_iter().collect();
+        let n = items.iter().map(|&v| v as usize + 1).max().unwrap_or(0);
+        NodeSet::from_iter(n, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeSet::new(100);
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn len_and_iter_order() {
+        let s = NodeSet::from_iter(200, [5, 150, 63, 64, 0]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.to_vec(), vec![0, 5, 63, 64, 150]);
+    }
+
+    #[test]
+    fn full_set() {
+        let s = NodeSet::full(65);
+        assert_eq!(s.len(), 65);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_iter(10, [1, 2, 3]);
+        let b = NodeSet::from_iter(10, [3, 4]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 3, 4]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![3]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn disjoint_and_subset() {
+        let a = NodeSet::from_iter(10, [1, 2]);
+        let b = NodeSet::from_iter(10, [3, 4]);
+        let c = NodeSet::from_iter(10, [1, 2, 3]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&c));
+        assert!(a.is_subset(&c));
+        assert!(!c.is_subset(&a));
+    }
+
+    #[test]
+    fn contains_out_of_universe_is_false() {
+        let s = NodeSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_universe_panics() {
+        NodeSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn from_iterator_trait_sizes_universe() {
+        let s: NodeSet = [2 as NodeId, 9].into_iter().collect();
+        assert_eq!(s.universe(), 10);
+        assert!(s.contains(9));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = NodeSet::from_iter(10, [1, 2, 3]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

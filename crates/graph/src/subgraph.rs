@@ -1,0 +1,104 @@
+//! Induced subgraphs and node deletion — the substrate for failure
+//! injection (dead nodes disappear from the topology).
+
+use crate::csr::{Graph, NodeId};
+use crate::nodeset::NodeSet;
+
+/// An induced subgraph together with the id mappings between the original
+/// graph and the compacted one.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The subgraph over the kept nodes, relabelled to `0..k`.
+    pub graph: Graph,
+    /// `to_original[new_id] = old_id`.
+    pub to_original: Vec<NodeId>,
+    /// `to_new[old_id] = Some(new_id)` for kept nodes, `None` otherwise.
+    pub to_new: Vec<Option<NodeId>>,
+}
+
+/// Builds the subgraph induced by `keep`.
+pub fn induced_subgraph(g: &Graph, keep: &NodeSet) -> InducedSubgraph {
+    assert_eq!(keep.universe(), g.n(), "keep mask universe mismatch");
+    let mut to_new = vec![None; g.n()];
+    let mut to_original = Vec::with_capacity(keep.len());
+    for v in keep.iter() {
+        to_new[v as usize] = Some(to_original.len() as NodeId);
+        to_original.push(v);
+    }
+    let mut edges = Vec::new();
+    for (u, v) in g.edges() {
+        if let (Some(nu), Some(nv)) = (to_new[u as usize], to_new[v as usize]) {
+            edges.push((nu, nv));
+        }
+    }
+    InducedSubgraph {
+        graph: Graph::from_edges(to_original.len(), &edges),
+        to_original,
+        to_new,
+    }
+}
+
+/// Removes the given nodes, returning the induced subgraph on the rest.
+pub fn remove_nodes(g: &Graph, dead: &NodeSet) -> InducedSubgraph {
+    let mut keep = NodeSet::full(g.n());
+    keep.difference_with(dead);
+    induced_subgraph(g, &keep)
+}
+
+/// Translates a node set on the subgraph back to original ids.
+pub fn lift_set(sub: &InducedSubgraph, set: &NodeSet, original_n: usize) -> NodeSet {
+    NodeSet::from_iter(original_n, set.iter().map(|v| sub.to_original[v as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::{complete, cycle};
+
+    #[test]
+    fn induced_subgraph_of_cycle() {
+        let g = cycle(6);
+        let keep = NodeSet::from_iter(6, [0, 1, 2, 4]);
+        let sub = induced_subgraph(&g, &keep);
+        assert_eq!(sub.graph.n(), 4);
+        // Edges kept: (0,1), (1,2); node 4 isolated (3 and 5 removed).
+        assert_eq!(sub.graph.m(), 2);
+        assert_eq!(sub.to_original, vec![0, 1, 2, 4]);
+        assert_eq!(sub.to_new[4], Some(3));
+        assert_eq!(sub.to_new[3], None);
+    }
+
+    #[test]
+    fn remove_nodes_complement() {
+        let g = complete(5);
+        let dead = NodeSet::from_iter(5, [0, 4]);
+        let sub = remove_nodes(&g, &dead);
+        assert_eq!(sub.graph.n(), 3);
+        assert_eq!(sub.graph.m(), 3); // K_3
+    }
+
+    #[test]
+    fn lift_set_roundtrip() {
+        let g = cycle(6);
+        let keep = NodeSet::from_iter(6, [1, 3, 5]);
+        let sub = induced_subgraph(&g, &keep);
+        let s = NodeSet::from_iter(3, [0, 2]); // new ids 0→1, 2→5
+        let lifted = lift_set(&sub, &s, 6);
+        assert_eq!(lifted.to_vec(), vec![1, 5]);
+    }
+
+    #[test]
+    fn keep_everything_is_identity() {
+        let g = cycle(5);
+        let sub = induced_subgraph(&g, &NodeSet::full(5));
+        assert_eq!(sub.graph, g);
+    }
+
+    #[test]
+    fn keep_nothing_is_empty() {
+        let g = cycle(5);
+        let sub = induced_subgraph(&g, &NodeSet::new(5));
+        assert_eq!(sub.graph.n(), 0);
+        assert_eq!(sub.graph.m(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Breadth-first traversal, connectivity, and distance utilities.
+
+use crate::csr::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance sentinel for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `src`; unreachable nodes get [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == UNREACHABLE {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-components labelling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component id of `v`, in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Sizes of the components, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.count];
+        for &l in &self.label {
+            s[l as usize] += 1;
+        }
+        s
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Labels connected components with consecutive ids in discovery order.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.n();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n as NodeId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = count as u32;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = count as u32;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count }
+}
+
+/// Whether the graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() <= 1 || connected_components(g).count == 1
+}
+
+/// Exact eccentricity of `src`: the maximum finite BFS distance. Returns
+/// `None` if some node is unreachable from `src`.
+pub fn eccentricity(g: &Graph, src: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, src);
+    let mut max = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Exact diameter by all-pairs BFS — `O(n·m)`, intended for small graphs.
+/// Returns `None` if the graph is disconnected or has no nodes.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// The set of nodes within distance ≤ 2 of `v`, excluding `v` itself — the
+/// "2-hop neighborhood" the paper's distributed algorithms learn in their
+/// two communication rounds.
+pub fn two_hop_neighborhood(g: &Graph, v: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.n()];
+    seen[v as usize] = true;
+    let mut out = Vec::new();
+    for &u in g.neighbors(v) {
+        if !seen[u as usize] {
+            seen[u as usize] = true;
+            out.push(u);
+        }
+    }
+    for &u in g.neighbors(v) {
+        for &w in g.neighbors(u) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                out.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::{complete, cycle, path, star};
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_of_disjoint_edges() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 4);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_ne!(c.label[0], c.label[2]);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2, 2]);
+        assert_eq!(c.largest(), 2);
+    }
+
+    #[test]
+    fn connectivity_predicates() {
+        assert!(is_connected(&cycle(5)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&path(5)), Some(4));
+        assert_eq!(diameter(&cycle(6)), Some(3));
+        assert_eq!(diameter(&complete(4)), Some(1));
+        assert_eq!(diameter(&star(10)), Some(2));
+        assert_eq!(diameter(&Graph::empty(2)), None);
+        assert_eq!(diameter(&Graph::empty(0)), None);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = star(5);
+        assert_eq!(eccentricity(&g, 0), Some(1));
+        assert_eq!(eccentricity(&g, 1), Some(2));
+    }
+
+    #[test]
+    fn two_hop_on_path() {
+        let g = path(6);
+        assert_eq!(two_hop_neighborhood(&g, 0), vec![1, 2]);
+        assert_eq!(two_hop_neighborhood(&g, 2), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn two_hop_excludes_self() {
+        let g = cycle(4);
+        // In C_4 node 0's two-hop neighborhood is everyone else.
+        assert_eq!(two_hop_neighborhood(&g, 0), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the graph substrate.
+
+use domatic_graph::domination::{
+    greedy_dominating_set, is_dominating_set, make_minimal, uncovered_nodes,
+};
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::independent::{greedy_mis, is_maximal_independent, luby_mis};
+use domatic_graph::nodeset::NodeSet;
+use domatic_graph::subgraph::induced_subgraph;
+use domatic_graph::traversal::{bfs_distances, connected_components, UNREACHABLE};
+use domatic_graph::{Graph, NodeId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Arbitrary small graph: n in 1..40, random edge list.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..120);
+        edges.prop_map(move |es| Graph::from_edges(n, &es))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_is_symmetric_and_degree_sum_is_2m(g in arb_graph()) {
+        prop_assert!(g.is_symmetric());
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+    }
+
+    #[test]
+    fn edges_iterator_matches_has_edge(g in arb_graph()) {
+        let listed: BTreeSet<(NodeId, NodeId)> = g.edges().collect();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let expect = u < v && g.has_edge(u, v);
+                prop_assert_eq!(listed.contains(&(u, v)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn nodeset_matches_btreeset_model(
+        ops in proptest::collection::vec((0u8..4, 0u32..64), 0..200)
+    ) {
+        let mut real = NodeSet::new(64);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for (op, v) in ops {
+            match op {
+                0 => { prop_assert_eq!(real.insert(v), model.insert(v)); }
+                1 => { prop_assert_eq!(real.remove(v), model.remove(&v)); }
+                2 => { prop_assert_eq!(real.contains(v), model.contains(&v)); }
+                _ => {
+                    prop_assert_eq!(real.len(), model.len());
+                    prop_assert_eq!(real.to_vec(), model.iter().copied().collect::<Vec<_>>());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_vertex_set_dominates(g in arb_graph()) {
+        prop_assert!(is_dominating_set(&g, &NodeSet::full(g.n())));
+        prop_assert!(uncovered_nodes(&g, &NodeSet::full(g.n()), 1).is_empty());
+    }
+
+    #[test]
+    fn greedy_ds_dominates_and_minimalization_preserves(g in arb_graph()) {
+        let ds = greedy_dominating_set(&g, &NodeSet::full(g.n())).unwrap();
+        prop_assert!(is_dominating_set(&g, &ds));
+        let min = make_minimal(&g, &ds);
+        prop_assert!(is_dominating_set(&g, &min));
+        prop_assert!(min.is_subset(&ds));
+        // Minimality: every member is essential.
+        for v in min.to_vec() {
+            let mut s = min.clone();
+            s.remove(v);
+            prop_assert!(!is_dominating_set(&g, &s));
+        }
+    }
+
+    #[test]
+    fn mis_algorithms_produce_maximal_independent_sets(g in arb_graph(), seed in 0u64..1000) {
+        let greedy = greedy_mis(&g);
+        prop_assert!(is_maximal_independent(&g, &greedy));
+        let luby = luby_mis(&g, seed);
+        prop_assert!(is_maximal_independent(&g, &luby.mis));
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent(g in arb_graph()) {
+        let d = bfs_distances(&g, 0);
+        prop_assert_eq!(d[0], 0);
+        // Triangle-ish inequality along edges: reachable endpoints of an
+        // edge differ by at most 1.
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != UNREACHABLE || dv != UNREACHABLE {
+                prop_assert!(du != UNREACHABLE && dv != UNREACHABLE);
+                prop_assert!(du.abs_diff(dv) <= 1);
+            }
+        }
+        // Components agree with reachability from node 0.
+        let comps = connected_components(&g);
+        for v in g.nodes() {
+            prop_assert_eq!(comps.label[v as usize] == comps.label[0], d[v as usize] != UNREACHABLE);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges(g in arb_graph(), mask_seed in 0u64..1u64 << 32) {
+        // Keep nodes whose bit in mask_seed is set (cyclic).
+        let keep = NodeSet::from_iter(
+            g.n(),
+            (0..g.n() as NodeId).filter(|v| (mask_seed >> (v % 32)) & 1 == 1),
+        );
+        let sub = induced_subgraph(&g, &keep);
+        prop_assert_eq!(sub.graph.n(), keep.len());
+        for (a, b) in sub.graph.edges() {
+            let (oa, ob) = (sub.to_original[a as usize], sub.to_original[b as usize]);
+            prop_assert!(g.has_edge(oa, ob));
+        }
+        // Every kept edge survives.
+        for (u, v) in g.edges() {
+            if keep.contains(u) && keep.contains(v) {
+                let (nu, nv) = (sub.to_new[u as usize].unwrap(), sub.to_new[v as usize].unwrap());
+                prop_assert!(sub.graph.has_edge(nu, nv));
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_respects_probability_extremes(n in 1usize..30, seed in 0u64..100) {
+        prop_assert_eq!(gnp(n, 0.0, seed).m(), 0);
+        let full = gnp(n, 1.0, seed);
+        prop_assert_eq!(full.m(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn edge_list_io_roundtrip(g in arb_graph()) {
+        let text = domatic_graph::io::to_edge_list(&g);
+        let g2 = domatic_graph::io::parse_edge_list(&text).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+}

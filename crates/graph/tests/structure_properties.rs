@@ -1,0 +1,110 @@
+//! Property tests cross-checking the structural analyzers (max-flow
+//! vertex connectivity, k-core decomposition) against brute force on
+//! small random graphs.
+
+use domatic_graph::flow::vertex_connectivity;
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::kcore::core_decomposition;
+use domatic_graph::nodeset::NodeSet;
+use domatic_graph::subgraph::remove_nodes;
+use domatic_graph::traversal::is_connected;
+use domatic_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..12, 0.15f64..0.95, 0u64..400).prop_map(|(n, p, seed)| gnp(n, p, seed))
+}
+
+/// Brute-force vertex connectivity: the size of the smallest vertex subset
+/// whose removal disconnects the graph (or n−1 for complete graphs).
+fn brute_vertex_connectivity(g: &Graph) -> usize {
+    let n = g.n();
+    if !is_connected(g) {
+        return 0;
+    }
+    if g.m() == n * (n - 1) / 2 {
+        return n - 1;
+    }
+    // Try all subsets by increasing size; n ≤ 12 keeps this feasible.
+    for k in 1..n {
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            let dead = NodeSet::from_iter(
+                n,
+                (0..n as NodeId).filter(|&v| mask >> v & 1 == 1),
+            );
+            let sub = remove_nodes(g, &dead);
+            if sub.graph.n() >= 2 && !is_connected(&sub.graph) {
+                return k;
+            }
+        }
+    }
+    n - 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flow_connectivity_matches_brute_force(g in arb_graph()) {
+        prop_assert_eq!(vertex_connectivity(&g), brute_vertex_connectivity(&g));
+    }
+
+    #[test]
+    fn coreness_is_monotone_under_edge_addition(
+        n in 3usize..15, p in 0.1f64..0.6, seed in 0u64..200
+    ) {
+        // Adding an edge can only raise (never lower) any node's coreness.
+        let g = gnp(n, p, seed);
+        let dec = core_decomposition(&g);
+        // Find a missing edge to add.
+        let mut extra = None;
+        'outer: for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                if !g.has_edge(u, v) {
+                    extra = Some((u, v));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((u, v)) = extra {
+            let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+            edges.push((u, v));
+            let g2 = Graph::from_edges(n, &edges);
+            let dec2 = core_decomposition(&g2);
+            for w in 0..n {
+                prop_assert!(
+                    dec2.coreness[w] >= dec.coreness[w],
+                    "node {} coreness dropped {} -> {}",
+                    w, dec.coreness[w], dec2.coreness[w]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coreness_bounds(g in arb_graph()) {
+        let dec = core_decomposition(&g);
+        for v in 0..g.n() as NodeId {
+            // coreness ≤ degree, and the degeneracy bounds everyone.
+            prop_assert!(dec.coreness[v as usize] as usize <= g.degree(v));
+            prop_assert!(dec.coreness[v as usize] <= dec.degeneracy);
+        }
+        // δ ≤ degeneracy ≤ Δ on non-empty graphs (the first node peeled
+        // still has its full degree ≥ δ).
+        if g.n() > 0 {
+            prop_assert!(dec.degeneracy as usize >= g.min_degree().unwrap_or(0));
+            prop_assert!((dec.degeneracy as usize) <= g.max_degree().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn connectivity_sandwich(g in arb_graph()) {
+        // κ(G) ≤ δ(G), and κ ≥ 1 iff connected (n ≥ 2).
+        let k = vertex_connectivity(&g);
+        prop_assert!(k <= g.min_degree().unwrap_or(0));
+        prop_assert_eq!(k >= 1, is_connected(&g) && g.n() >= 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Enumeration of minimal dominating sets (small graphs only).
+//!
+//! The maximum-cluster-lifetime LP needs one column per dominating set; it
+//! suffices to enumerate *minimal* dominating sets, because any schedule
+//! slot using a non-minimal set can shift its time onto a minimal subset
+//! without violating any battery budget (budgets only constrain membership
+//! time from above).
+//!
+//! The enumeration branches on the lowest-id uncovered node `v`: every
+//! dominating set must contain some `u ∈ N⁺(v)`. This visits every minimal
+//! dominating set at least once; results are deduplicated and filtered to
+//! the minimal ones.
+
+use domatic_graph::domination::{is_dominating_set, make_minimal};
+use domatic_graph::{Graph, NodeId, NodeSet};
+use std::collections::BTreeSet;
+
+/// Enumeration failure: the set family exceeded the configured cap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TooManySets {
+    /// The cap that was hit.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for TooManySets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "more than {} candidate dominating sets; instance too large", self.cap)
+    }
+}
+
+impl std::error::Error for TooManySets {}
+
+/// Enumerates all *minimal* dominating sets of `g`, each as a sorted node
+/// vector, in lexicographic order. Fails once more than `cap` candidate
+/// sets have been generated (guard against exponential blow-up).
+pub fn minimal_dominating_sets(g: &Graph, cap: usize) -> Result<Vec<Vec<NodeId>>, TooManySets> {
+    let n = g.n();
+    if n == 0 {
+        // The empty set dominates the empty graph.
+        return Ok(vec![Vec::new()]);
+    }
+    let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    let mut chosen: Vec<NodeId> = Vec::new();
+    let mut cover_count = vec![0u32; n];
+    rec(g, &mut chosen, &mut cover_count, 0, &mut out, cap)?;
+    Ok(out.into_iter().collect())
+}
+
+fn rec(
+    g: &Graph,
+    chosen: &mut Vec<NodeId>,
+    cover_count: &mut Vec<u32>,
+    uncovered_from: usize,
+    out: &mut BTreeSet<Vec<NodeId>>,
+    cap: usize,
+) -> Result<(), TooManySets> {
+    // Find the first uncovered node at or after the hint.
+    let mut v = uncovered_from;
+    while v < g.n() && cover_count[v] > 0 {
+        v += 1;
+    }
+    if v == g.n() {
+        // Fully covered: minimalize and record.
+        let set = NodeSet::from_iter(g.n(), chosen.iter().copied());
+        let min = make_minimal(g, &set);
+        out.insert(min.to_vec());
+        if out.len() > cap {
+            return Err(TooManySets { cap });
+        }
+        return Ok(());
+    }
+    let v = v as NodeId;
+    // Branch: some u ∈ N⁺(v) must be chosen.
+    let mut candidates: Vec<NodeId> = vec![v];
+    candidates.extend_from_slice(g.neighbors(v));
+    for u in candidates {
+        if chosen.contains(&u) {
+            continue;
+        }
+        chosen.push(u);
+        cover_count[u as usize] += 1;
+        for &w in g.neighbors(u) {
+            cover_count[w as usize] += 1;
+        }
+        rec(g, chosen, cover_count, v as usize, out, cap)?;
+        let u = chosen.pop().unwrap();
+        cover_count[u as usize] -= 1;
+        for &w in g.neighbors(u) {
+            cover_count[w as usize] -= 1;
+        }
+    }
+    Ok(())
+}
+
+/// Exact domatic number by backtracking over minimal dominating sets.
+///
+/// Finds the largest `k` such that `k` pairwise disjoint dominating sets
+/// exist. Exponential; intended for ground-truth on instances with at most
+/// a few dozen minimal dominating sets.
+pub fn exact_domatic_number(g: &Graph, cap: usize) -> Result<usize, TooManySets> {
+    let sets = minimal_dominating_sets(g, cap)?;
+    let masks: Vec<NodeSet> = sets
+        .iter()
+        .map(|s| NodeSet::from_iter(g.n(), s.iter().copied()))
+        .collect();
+    // Upper bound: min closed degree.
+    let ub = (0..g.n() as NodeId)
+        .map(|v| g.closed_degree(v))
+        .min()
+        .unwrap_or(0);
+    let mut best = 0usize;
+    let mut used = NodeSet::new(g.n());
+    fn dfs(
+        masks: &[NodeSet],
+        used: &mut NodeSet,
+        start: usize,
+        depth: usize,
+        best: &mut usize,
+        ub: usize,
+    ) {
+        if depth > *best {
+            *best = depth;
+        }
+        if *best >= ub {
+            return;
+        }
+        for i in start..masks.len() {
+            if masks[i].is_disjoint(used) {
+                used.union_with(&masks[i]);
+                dfs(masks, used, i + 1, depth + 1, best, ub);
+                used.difference_with(&masks[i]);
+                if *best >= ub {
+                    return;
+                }
+            }
+        }
+    }
+    if g.n() == 0 {
+        return Ok(0);
+    }
+    dfs(&masks, &mut used, 0, 0, &mut best, ub);
+    Ok(best)
+}
+
+/// Sanity helper: asserts each enumerated set is a minimal dominating set.
+pub fn all_minimal_and_dominating(g: &Graph, sets: &[Vec<NodeId>]) -> bool {
+    sets.iter().all(|s| {
+        let set = NodeSet::from_iter(g.n(), s.iter().copied());
+        if !is_dominating_set(g, &set) {
+            return false;
+        }
+        s.iter().all(|&v| {
+            let mut smaller = set.clone();
+            smaller.remove(v);
+            !is_dominating_set(g, &smaller)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::fujita::{fujita_bad_instance, fujita_optimal_partition_size};
+    use domatic_graph::generators::planted::{cycle_domatic_number, disjoint_cliques};
+    use domatic_graph::generators::regular::{complete, cycle, path, star};
+
+    #[test]
+    fn star_minimal_sets() {
+        // Star S_4: minimal dominating sets are {center} and {all leaves}…
+        // plus none other ({center, leaf} is not minimal).
+        let g = star(4);
+        let sets = minimal_dominating_sets(&g, 1000).unwrap();
+        assert!(sets.contains(&vec![0]));
+        assert!(sets.contains(&vec![1, 2, 3]));
+        assert_eq!(sets.len(), 2);
+        assert!(all_minimal_and_dominating(&g, &sets));
+    }
+
+    #[test]
+    fn complete_graph_minimal_sets_are_singletons() {
+        let g = complete(5);
+        let sets = minimal_dominating_sets(&g, 1000).unwrap();
+        assert_eq!(sets.len(), 5);
+        assert!(sets.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn path_p3_minimal_sets() {
+        // P_3 (0—1—2): minimal DSs: {1}, {0,2}.
+        let g = path(3);
+        let sets = minimal_dominating_sets(&g, 1000).unwrap();
+        assert_eq!(sets, vec![vec![0, 2], vec![1]]);
+        assert!(all_minimal_and_dominating(&g, &sets));
+    }
+
+    #[test]
+    fn cycle_c5_sets_are_valid_and_minimal() {
+        let g = cycle(5);
+        let sets = minimal_dominating_sets(&g, 1000).unwrap();
+        assert!(all_minimal_and_dominating(&g, &sets));
+        // C_5 minimum dominating set has size 2; check one is found.
+        assert!(sets.iter().any(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn cap_triggers_on_dense_instances() {
+        let g = complete(12);
+        assert_eq!(minimal_dominating_sets(&g, 5), Err(TooManySets { cap: 5 }));
+    }
+
+    #[test]
+    fn empty_graph_has_empty_dominating_set() {
+        let g = Graph::empty(0);
+        assert_eq!(minimal_dominating_sets(&g, 10).unwrap(), vec![Vec::<NodeId>::new()]);
+        assert_eq!(exact_domatic_number(&g, 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn exact_domatic_number_of_known_families() {
+        assert_eq!(exact_domatic_number(&complete(4), 1000).unwrap(), 4);
+        assert_eq!(exact_domatic_number(&star(5), 1000).unwrap(), 2);
+        for n in [3usize, 4, 5, 6, 7, 9] {
+            assert_eq!(
+                exact_domatic_number(&cycle(n), 100_000).unwrap(),
+                cycle_domatic_number(n),
+                "C_{n}"
+            );
+        }
+        let g = disjoint_cliques(2, 3);
+        assert_eq!(exact_domatic_number(&g, 10_000).unwrap(), 3);
+    }
+
+    #[test]
+    fn exact_domatic_number_of_fujita_family() {
+        for m in 1..4 {
+            let g = fujita_bad_instance(m);
+            assert_eq!(
+                exact_domatic_number(&g, 2_000_000).unwrap(),
+                fujita_optimal_partition_size(m),
+                "m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_node_forces_membership() {
+        let g = Graph::empty(2);
+        let sets = minimal_dominating_sets(&g, 100).unwrap();
+        assert_eq!(sets, vec![vec![0, 1]]);
+        assert_eq!(exact_domatic_number(&g, 100).unwrap(), 1);
+    }
+
+    use domatic_graph::Graph;
+}

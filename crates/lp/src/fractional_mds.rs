@@ -1,0 +1,208 @@
+//! The fractional minimum dominating set LP and randomized rounding.
+//!
+//! The covering LP
+//!
+//! ```text
+//!   min Σ_v x_v    s.t.   Σ_{u ∈ N⁺(v)} x_u ≥ 1  ∀v,   x ≥ 0
+//! ```
+//!
+//! lower-bounds the domination number γ(G), and `⌈ln Δ⌉`-scaled randomized
+//! rounding turns its solution into an integral dominating set of expected
+//! size `O(log Δ) · γ_f` — the classical LP view of the `ln Δ` hardness
+//! threshold the paper's §3 discusses (Feige \[4\], Lund–Yannakakis \[18\]).
+//! Also the fractional *domatic number* connection: Feige et al. relate
+//! the domatic number to `δ + 1` via exactly this kind of LP duality.
+//!
+//! The solver is our dense simplex (one variable and one constraint per
+//! node), adequate for a few hundred nodes.
+
+use crate::problem::LinearProgram;
+use crate::simplex::{solve, LpSolution};
+use domatic_graph::domination::{is_dominating_set, make_minimal};
+use domatic_graph::{Graph, NodeId, NodeSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The optimal fractional dominating set.
+#[derive(Clone, Debug)]
+pub struct FractionalMds {
+    /// Optimal fractional weight `γ_f = Σ x_v ≤ γ(G)`.
+    pub weight: f64,
+    /// The witness `x` vector.
+    pub x: Vec<f64>,
+}
+
+/// Solves the fractional MDS LP exactly. Returns `None` only for the
+/// node-less graph (the LP is always feasible otherwise: `x = 1`).
+///
+/// ```
+/// use domatic_lp::fractional_mds::fractional_mds;
+/// use domatic_graph::generators::regular::cycle;
+///
+/// // C_9: x_v = 1/3 everywhere is optimal → γ_f = 3.
+/// let f = fractional_mds(&cycle(9)).unwrap();
+/// assert!((f.weight - 3.0).abs() < 1e-6);
+/// ```
+pub fn fractional_mds(g: &Graph) -> Option<FractionalMds> {
+    let n = g.n();
+    if n == 0 {
+        return None;
+    }
+    // Maximize −Σ x_v ⇔ minimize Σ x_v.
+    let mut lp = LinearProgram::maximize(vec![-1.0; n]);
+    for v in 0..n as NodeId {
+        let mut row = vec![0.0; n];
+        row[v as usize] = 1.0;
+        for &u in g.neighbors(v) {
+            row[u as usize] = 1.0;
+        }
+        lp.add_ge(row, 1.0);
+    }
+    match solve(&lp) {
+        LpSolution::Optimal { objective, x } => {
+            Some(FractionalMds { weight: -objective, x })
+        }
+        other => unreachable!("fractional MDS LP is feasible and bounded, got {other:?}"),
+    }
+}
+
+/// Randomized rounding: include `v` with probability
+/// `min(1, x_v · ln(Δ+1) · boost)`, then repair any uncovered node by
+/// adding its best fractional closed neighbor, and minimalize. Always
+/// returns a minimal dominating set.
+pub fn round_fractional(g: &Graph, frac: &FractionalMds, seed: u64) -> NodeSet {
+    let n = g.n();
+    let scale = ((g.max_degree().unwrap_or(0) as f64) + 2.0).ln();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = NodeSet::new(n);
+    for v in 0..n as NodeId {
+        let p = (frac.x[v as usize] * scale).min(1.0);
+        if rng.random::<f64>() < p {
+            set.insert(v);
+        }
+    }
+    // Repair: each uncovered node adds its fractionally heaviest closed
+    // neighbor (deterministic, so the result is reproducible per seed).
+    for v in 0..n as NodeId {
+        let covered = set.contains(v) || g.neighbors(v).iter().any(|&u| set.contains(u));
+        if !covered {
+            let mut best = v;
+            let mut best_x = frac.x[v as usize];
+            for &u in g.neighbors(v) {
+                if frac.x[u as usize] > best_x {
+                    best = u;
+                    best_x = frac.x[u as usize];
+                }
+            }
+            set.insert(best);
+        }
+    }
+    debug_assert!(is_dominating_set(g, &set));
+    make_minimal(g, &set)
+}
+
+/// Convenience: LP lower bound, rounded set, and the implied sandwich
+/// `γ_f ≤ γ ≤ |rounded|` in one call.
+pub fn mds_via_lp(g: &Graph, seed: u64) -> Option<(f64, NodeSet)> {
+    let frac = fractional_mds(g)?;
+    let rounded = round_fractional(g, &frac, seed);
+    Some((frac.weight, rounded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::domination::greedy_dominating_set;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::{complete, cycle, star};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn star_fractional_weight_is_one() {
+        // x_center = 1 covers everyone.
+        let g = star(10);
+        let f = fractional_mds(&g).unwrap();
+        assert!(close(f.weight, 1.0), "{}", f.weight);
+    }
+
+    #[test]
+    fn complete_graph_weight_is_one() {
+        let g = complete(8);
+        let f = fractional_mds(&g).unwrap();
+        assert!(close(f.weight, 1.0));
+    }
+
+    #[test]
+    fn cycle_weight_is_n_over_3() {
+        // C_n: each x_v = 1/3 is optimal (every closed neighborhood has 3
+        // nodes), weight n/3.
+        let g = cycle(9);
+        let f = fractional_mds(&g).unwrap();
+        assert!(close(f.weight, 3.0), "{}", f.weight);
+        let g12 = cycle(12);
+        assert!(close(fractional_mds(&g12).unwrap().weight, 4.0));
+    }
+
+    #[test]
+    fn fractional_lower_bounds_greedy() {
+        for seed in 0..5 {
+            let g = gnp_with_avg_degree(60, 8.0, seed);
+            let f = fractional_mds(&g).unwrap();
+            let greedy = greedy_dominating_set(&g, &NodeSet::full(60)).unwrap();
+            assert!(
+                f.weight <= greedy.len() as f64 + 1e-6,
+                "seed {seed}: γ_f {} > greedy {}",
+                f.weight,
+                greedy.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rounding_always_dominates_and_is_minimal() {
+        for seed in 0..5 {
+            let g = gnp_with_avg_degree(50, 6.0, seed);
+            let (gamma_f, set) = mds_via_lp(&g, seed).unwrap();
+            assert!(is_dominating_set(&g, &set), "seed {seed}");
+            assert!(set.len() as f64 + 1e-6 >= gamma_f, "rounding beat the LP bound");
+            for v in set.to_vec() {
+                let mut s = set.clone();
+                s.remove(v);
+                assert!(!is_dominating_set(&g, &s));
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_quality_is_logarithmic() {
+        // |rounded| ≤ (ln Δ + 2) · γ_f + slack, checked empirically.
+        let g = gnp_with_avg_degree(80, 10.0, 3);
+        let f = fractional_mds(&g).unwrap();
+        let set = round_fractional(&g, &f, 1);
+        let budget = (f.weight * (((g.max_degree().unwrap() + 2) as f64).ln() + 2.0)).ceil();
+        assert!(
+            (set.len() as f64) <= budget,
+            "|D| = {} exceeds O(log Δ)·γ_f = {budget}",
+            set.len()
+        );
+    }
+
+    #[test]
+    fn empty_graph_returns_none() {
+        assert!(fractional_mds(&Graph::empty(0)).is_none());
+    }
+
+    #[test]
+    fn isolated_nodes_get_weight_one_each() {
+        let g = Graph::empty(4);
+        let f = fractional_mds(&g).unwrap();
+        assert!(close(f.weight, 4.0));
+        let set = round_fractional(&g, &f, 0);
+        assert_eq!(set.len(), 4);
+    }
+
+    use domatic_graph::Graph;
+}

@@ -1,0 +1,284 @@
+//! Branch-and-bound integer optimization over the lifetime LP.
+//!
+//! [`super::domatic_lp::exact_integral_lifetime`] explores the battery
+//! state space and is limited to tiny `Π(b_v + 1)`. This solver instead
+//! branches on the LP relaxation's fractional activation times, which
+//! scales with the number of *minimal dominating sets* and the optimum's
+//! fractionality rather than with battery size — complementary coverage,
+//! and each validates the other in tests.
+//!
+//! Standard maximization B&B: solve the relaxation; if some `t_j` is
+//! fractional, split into `t_j ≤ ⌊t_j⌋` and `t_j ≥ ⌈t_j⌉`; prune when the
+//! relaxation bound cannot beat the incumbent. All inputs are integers,
+//! so incumbent comparisons use a 1-unit integrality gap.
+
+use crate::enumerate::minimal_dominating_sets;
+use crate::domatic_lp::ExactError;
+use crate::problem::LinearProgram;
+use crate::simplex::{solve, LpSolution};
+use domatic_graph::{Graph, NodeId};
+
+const EPS: f64 = 1e-6;
+
+/// An integral optimum with its witness schedule.
+#[derive(Clone, Debug)]
+pub struct IntegralOptimum {
+    /// Optimal integral lifetime.
+    pub lifetime: u64,
+    /// `(dominating set, integer duration)` pairs with positive duration.
+    pub schedule: Vec<(Vec<NodeId>, u64)>,
+    /// Branch-and-bound nodes explored (diagnostics).
+    pub nodes_explored: usize,
+}
+
+/// Solves the integral maximum-cluster-lifetime problem by branch and
+/// bound over the dominating-set LP.
+///
+/// ```
+/// use domatic_lp::ilp::branch_and_bound_lifetime;
+/// use domatic_lp::figure1_instance;
+///
+/// let (g, b32) = figure1_instance();
+/// let b: Vec<u64> = b32.iter().map(|&x| x as u64).collect();
+/// let opt = branch_and_bound_lifetime(&g, &b, 1_000_000).unwrap();
+/// assert_eq!(opt.lifetime, 6); // the paper's Figure 1 optimum
+/// ```
+pub fn branch_and_bound_lifetime(
+    g: &Graph,
+    batteries: &[u64],
+    cap: usize,
+) -> Result<IntegralOptimum, ExactError> {
+    if batteries.len() != g.n() {
+        return Err(ExactError::BatteryArity { expected: g.n(), got: batteries.len() });
+    }
+    let sets = minimal_dominating_sets(g, cap)?;
+    if g.n() == 0 {
+        return Ok(IntegralOptimum { lifetime: 0, schedule: Vec::new(), nodes_explored: 0 });
+    }
+    let k = sets.len();
+    // Static membership rows.
+    let mut membership: Vec<Vec<f64>> = vec![vec![0.0; k]; g.n()];
+    for (j, set) in sets.iter().enumerate() {
+        for &v in set {
+            membership[v as usize][j] = 1.0;
+        }
+    }
+    // Per-variable bound intervals, tightened along branches. Upper bound
+    // starts at each set's bottleneck battery.
+    let ub0: Vec<u64> = sets
+        .iter()
+        .map(|s| s.iter().map(|&v| batteries[v as usize]).min().unwrap_or(0))
+        .collect();
+
+    struct BnB<'a> {
+        membership: &'a [Vec<f64>],
+        batteries: &'a [u64],
+        k: usize,
+        best: u64,
+        best_x: Vec<u64>,
+        nodes: usize,
+    }
+
+    impl BnB<'_> {
+        fn relax(&self, lo: &[u64], hi: &[u64]) -> Option<(f64, Vec<f64>)> {
+            let mut lp = LinearProgram::maximize(vec![1.0; self.k]);
+            for (v, row) in self.membership.iter().enumerate() {
+                lp.add_le(row.clone(), self.batteries[v] as f64);
+            }
+            for j in 0..self.k {
+                let mut row = vec![0.0; self.k];
+                row[j] = 1.0;
+                lp.add_le(row.clone(), hi[j] as f64);
+                if lo[j] > 0 {
+                    lp.add_ge(row, lo[j] as f64);
+                }
+            }
+            match solve(&lp) {
+                LpSolution::Optimal { objective, x } => Some((objective, x)),
+                LpSolution::Infeasible => None,
+                LpSolution::Unbounded => unreachable!("bounded by battery rows"),
+            }
+        }
+
+        fn run(&mut self, lo: Vec<u64>, hi: Vec<u64>) {
+            self.nodes += 1;
+            let Some((bound, x)) = self.relax(&lo, &hi) else { return };
+            // Integral data ⇒ the integral optimum is ≤ ⌊bound + eps⌋.
+            if (bound + EPS).floor() as u64 <= self.best {
+                return;
+            }
+            // Most fractional variable.
+            let mut branch: Option<(usize, f64)> = None;
+            for (j, &xj) in x.iter().enumerate() {
+                let frac = (xj - xj.round()).abs();
+                if frac > EPS {
+                    let dist = (xj.fract() - 0.5).abs();
+                    if branch.map_or(true, |(_, d)| dist < d) {
+                        branch = Some((j, dist));
+                    }
+                }
+            }
+            match branch {
+                None => {
+                    // Integral solution.
+                    let val: u64 = x.iter().map(|&v| v.round() as u64).sum();
+                    if val > self.best {
+                        self.best = val;
+                        self.best_x = x.iter().map(|&v| v.round() as u64).collect();
+                    }
+                }
+                Some((j, _)) => {
+                    let xj = x[j];
+                    // Down branch: t_j ≤ ⌊x_j⌋.
+                    let mut hi_down = hi.clone();
+                    hi_down[j] = xj.floor() as u64;
+                    if hi_down[j] >= lo[j] {
+                        self.run(lo.clone(), hi_down);
+                    }
+                    // Up branch: t_j ≥ ⌈x_j⌉.
+                    let mut lo_up = lo;
+                    lo_up[j] = xj.ceil() as u64;
+                    if lo_up[j] <= hi[j] {
+                        self.run(lo_up, hi);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut bnb = BnB {
+        membership: &membership,
+        batteries,
+        k,
+        best: 0,
+        best_x: vec![0; k],
+        nodes: 0,
+    };
+    bnb.run(vec![0; k], ub0);
+
+    let schedule = sets
+        .into_iter()
+        .zip(&bnb.best_x)
+        .filter(|(_, &t)| t > 0)
+        .map(|(s, &t)| (s, t))
+        .collect();
+    Ok(IntegralOptimum { lifetime: bnb.best, schedule, nodes_explored: bnb.nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domatic_lp::{exact_integral_lifetime, figure1_instance, lp_optimal_lifetime};
+    use domatic_graph::generators::gnp::gnp;
+    use domatic_graph::generators::regular::{complete, cycle, path, star};
+
+    #[test]
+    fn agrees_with_state_space_solver_on_small_instances() {
+        for seed in 0..8 {
+            let g = gnp(8, 0.4, seed);
+            let b = vec![2u64; 8];
+            let b32: Vec<u32> = b.iter().map(|&x| x as u32).collect();
+            let bb = branch_and_bound_lifetime(&g, &b, 1_000_000).unwrap();
+            let dfs = exact_integral_lifetime(&g, &b32, 1_000_000).unwrap();
+            assert_eq!(bb.lifetime, dfs as u64, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn figure1_gives_six() {
+        let (g, b32) = figure1_instance();
+        let b: Vec<u64> = b32.iter().map(|&x| x as u64).collect();
+        let opt = branch_and_bound_lifetimes_checked(&g, &b);
+        assert_eq!(opt.lifetime, 6);
+    }
+
+    /// Helper: solve and sanity-check the witness schedule's feasibility.
+    fn branch_and_bound_lifetimes_checked(
+        g: &domatic_graph::Graph,
+        b: &[u64],
+    ) -> IntegralOptimum {
+        let opt = branch_and_bound_lifetime(g, b, 1_000_000).unwrap();
+        let mut used = vec![0u64; g.n()];
+        for (set, t) in &opt.schedule {
+            for &v in set {
+                used[v as usize] += t;
+            }
+        }
+        for v in 0..g.n() {
+            assert!(used[v] <= b[v], "node {v} over budget");
+        }
+        let total: u64 = opt.schedule.iter().map(|(_, t)| t).sum();
+        assert_eq!(total, opt.lifetime);
+        opt
+    }
+
+    #[test]
+    fn handles_large_batteries_where_dfs_cannot() {
+        // b = 50 per node: the state-space DFS would have 51^9 states; the
+        // LP-based B&B is immediate (the relaxation is already integral
+        // up to scaling).
+        let g = cycle(9);
+        let b = vec![50u64; 9];
+        let opt = branch_and_bound_lifetimes_checked(&g, &b);
+        // C_9, b: optimum = 3b (three residue classes).
+        assert_eq!(opt.lifetime, 150);
+    }
+
+    #[test]
+    fn never_exceeds_the_fractional_optimum() {
+        for seed in 0..5 {
+            let g = gnp(10, 0.35, seed);
+            let b = vec![3u64; 10];
+            let frac = lp_optimal_lifetime(&g, &vec![3.0; 10], 1_000_000)
+                .unwrap()
+                .lifetime;
+            let int = branch_and_bound_lifetime(&g, &b, 1_000_000).unwrap();
+            assert!(int.lifetime as f64 <= frac + 1e-6, "seed {seed}");
+            // And is at least ⌊frac⌋ − k slack… in fact ≥ frac − #sets, but
+            // just check positivity on connected-ish instances.
+            assert!(int.lifetime >= 3, "seed {seed}: {}", int.lifetime);
+        }
+    }
+
+    #[test]
+    fn known_closed_forms() {
+        assert_eq!(
+            branch_and_bound_lifetimes_checked(&complete(5), &[4; 5]).lifetime,
+            20
+        );
+        assert_eq!(
+            branch_and_bound_lifetimes_checked(&star(6), &[3; 6]).lifetime,
+            6
+        );
+        // P_3: {1} and {0,2} disjoint → 2b.
+        assert_eq!(
+            branch_and_bound_lifetimes_checked(&path(3), &[7; 3]).lifetime,
+            14
+        );
+    }
+
+    #[test]
+    fn nonuniform_batteries() {
+        // Star with rich center: {0} for 9 slots + leaves once.
+        let g = star(4);
+        let opt = branch_and_bound_lifetimes_checked(&g, &[9, 1, 1, 1]);
+        assert_eq!(opt.lifetime, 10);
+    }
+
+    #[test]
+    fn battery_arity_checked() {
+        let g = cycle(4);
+        assert!(matches!(
+            branch_and_bound_lifetime(&g, &[1; 3], 100),
+            Err(ExactError::BatteryArity { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_batteries() {
+        let g = cycle(4);
+        let opt = branch_and_bound_lifetime(&g, &[0; 4], 1000).unwrap();
+        assert_eq!(opt.lifetime, 0);
+        assert!(opt.schedule.is_empty());
+    }
+}

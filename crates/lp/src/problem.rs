@@ -1,0 +1,135 @@
+//! Linear program model: `max c·x` subject to linear constraints and
+//! `x ≥ 0`.
+
+/// Relation of a constraint row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// A single constraint row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Constraint {
+    /// Coefficients, one per variable.
+    pub coeffs: Vec<f64>,
+    /// Row relation.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A maximization LP over non-negative variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// A program maximizing `objective · x` with no constraints yet.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        LinearProgram { objective, constraints: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// The objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraint rows.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    fn push(&mut self, coeffs: Vec<f64>, relation: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(
+            coeffs.len(),
+            self.objective.len(),
+            "constraint arity {} != variable count {}",
+            coeffs.len(),
+            self.objective.len()
+        );
+        assert!(rhs.is_finite(), "rhs must be finite");
+        assert!(coeffs.iter().all(|v| v.is_finite()), "coefficients must be finite");
+        self.constraints.push(Constraint { coeffs, relation, rhs });
+        self
+    }
+
+    /// Adds `coeffs · x ≤ rhs`.
+    pub fn add_le(&mut self, coeffs: Vec<f64>, rhs: f64) -> &mut Self {
+        self.push(coeffs, Relation::Le, rhs)
+    }
+
+    /// Adds `coeffs · x ≥ rhs`.
+    pub fn add_ge(&mut self, coeffs: Vec<f64>, rhs: f64) -> &mut Self {
+        self.push(coeffs, Relation::Ge, rhs)
+    }
+
+    /// Adds `coeffs · x = rhs`.
+    pub fn add_eq(&mut self, coeffs: Vec<f64>, rhs: f64) -> &mut Self {
+        self.push(coeffs, Relation::Eq, rhs)
+    }
+
+    /// Checks an assignment against every constraint within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_rows() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 2.0]);
+        lp.add_le(vec![1.0, 1.0], 3.0).add_ge(vec![1.0, 0.0], 1.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.constraints().len(), 2);
+        assert_eq!(lp.constraints()[1].relation, Relation::Ge);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        LinearProgram::maximize(vec![1.0]).add_le(vec![1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rhs_panics() {
+        LinearProgram::maximize(vec![1.0]).add_le(vec![1.0], f64::NAN);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_le(vec![1.0, 1.0], 2.0);
+        lp.add_eq(vec![1.0, 0.0], 1.0);
+        assert!(lp.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.0, 1.5], 1e-9));
+        assert!(!lp.is_feasible(&[0.5, 0.5], 1e-9)); // violates equality
+        assert!(!lp.is_feasible(&[-0.1, 1.1], 1e-9)); // negative variable
+        assert!(!lp.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+}

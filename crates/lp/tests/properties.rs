@@ -1,0 +1,181 @@
+//! Property-based tests for the simplex solver and the exact lifetime
+//! pipeline.
+
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::Graph;
+use domatic_lp::{
+    exact_integral_lifetime, lp_optimal_lifetime, minimal_dominating_sets, solve,
+    LinearProgram, LpSolution,
+};
+use proptest::prelude::*;
+
+/// A random feasible, bounded LP: maximize c·x s.t. x_i ≤ u_i and a few
+/// random extra ≤-rows with non-negative coefficients (keeps it bounded).
+fn arb_bounded_lp() -> impl Strategy<Value = LinearProgram> {
+    (1usize..5).prop_flat_map(|nvars| {
+        let obj = proptest::collection::vec(0.0f64..10.0, nvars);
+        let ubs = proptest::collection::vec(0.1f64..10.0, nvars);
+        let extra = proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..5.0, nvars), 0.5f64..20.0),
+            0..4,
+        );
+        (obj, ubs, extra).prop_map(move |(obj, ubs, extra)| {
+            let mut lp = LinearProgram::maximize(obj);
+            for (i, ub) in ubs.iter().enumerate() {
+                let mut row = vec![0.0; nvars];
+                row[i] = 1.0;
+                lp.add_le(row, *ub);
+            }
+            for (coeffs, rhs) in extra {
+                lp.add_le(coeffs, rhs);
+            }
+            lp
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simplex_solution_is_feasible_and_beats_random_points(
+        lp in arb_bounded_lp(),
+        samples in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 5), 10),
+    ) {
+        let sol = solve(&lp);
+        let LpSolution::Optimal { objective, x } = sol else {
+            return Err(TestCaseError::fail("bounded feasible LP must solve"));
+        };
+        prop_assert!(lp.is_feasible(&x, 1e-6));
+        // Scale random unit-cube samples into the box and check none beats
+        // the reported optimum (a weak but effective optimality check).
+        for s in samples {
+            let candidate: Vec<f64> = (0..lp.num_vars())
+                .map(|i| s[i % s.len()] * 10.0)
+                .collect();
+            if lp.is_feasible(&candidate, 1e-9) {
+                let val: f64 = lp
+                    .objective()
+                    .iter()
+                    .zip(&candidate)
+                    .map(|(c, v)| c * v)
+                    .sum();
+                prop_assert!(val <= objective + 1e-6, "{val} > {objective}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_batteries_scales_the_lp_linearly(seed in 0u64..50, scale in 1u64..5) {
+        let g = gnp(9, 0.35, seed);
+        let base: Vec<f64> = vec![1.0; 9];
+        let scaled: Vec<f64> = vec![scale as f64; 9];
+        let l1 = lp_optimal_lifetime(&g, &base, 1_000_000).unwrap().lifetime;
+        let ls = lp_optimal_lifetime(&g, &scaled, 1_000_000).unwrap().lifetime;
+        prop_assert!((ls - scale as f64 * l1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integral_is_at_most_fractional_and_bounds_hold(seed in 0u64..40) {
+        let g = gnp(8, 0.4, seed);
+        let b = 2u32;
+        let frac = lp_optimal_lifetime(&g, &vec![b as f64; 8], 1_000_000).unwrap().lifetime;
+        let int = exact_integral_lifetime(&g, &[b; 8], 1_000_000).unwrap();
+        prop_assert!(int as f64 <= frac + 1e-6);
+        // Lemma 4.1 with exact arithmetic.
+        let delta = g.min_degree().unwrap() as f64;
+        prop_assert!(frac <= (b as f64) * (delta + 1.0) + 1e-6);
+    }
+
+    #[test]
+    fn enumerated_sets_are_minimal_dominating(seed in 0u64..50) {
+        let g = gnp(9, 0.3, seed);
+        let sets = minimal_dominating_sets(&g, 1_000_000).unwrap();
+        prop_assert!(!sets.is_empty());
+        prop_assert!(domatic_lp::enumerate::all_minimal_and_dominating(&g, &sets));
+        // No duplicates.
+        let mut sorted = sets.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sets.len());
+    }
+
+    #[test]
+    fn lp_witness_schedule_respects_budgets(seed in 0u64..30) {
+        let g = gnp(8, 0.4, seed);
+        let b: Vec<f64> = (0..8).map(|v| 1.0 + (v % 3) as f64).collect();
+        let opt = lp_optimal_lifetime(&g, &b, 1_000_000).unwrap();
+        let mut used = vec![0.0; 8];
+        for (set, t) in &opt.schedule {
+            for &v in set {
+                used[v as usize] += t;
+            }
+        }
+        for v in 0..8 {
+            prop_assert!(used[v] <= b[v] + 1e-6);
+        }
+        let total: f64 = opt.schedule.iter().map(|(_, t)| t).sum();
+        prop_assert!((total - opt.lifetime).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn isolated_vertices_force_themselves_into_every_set() {
+    let g = Graph::empty(3);
+    let sets = minimal_dominating_sets(&g, 100).unwrap();
+    assert_eq!(sets, vec![vec![0, 1, 2]]);
+}
+
+/// Exact reference for 2-variable LPs with only ≤ rows: the optimum lies
+/// at a vertex — an intersection of two constraint lines (including the
+/// axes x = 0, y = 0). Enumerate all pairs, keep feasible points, maximize.
+fn brute_force_2var(lp: &LinearProgram) -> Option<f64> {
+    // Gather all lines as (a, b, c): a·x + b·y = c.
+    let mut lines: Vec<(f64, f64, f64)> = vec![(1.0, 0.0, 0.0), (0.0, 1.0, 0.0)];
+    for con in lp.constraints() {
+        lines.push((con.coeffs[0], con.coeffs[1], con.rhs));
+    }
+    let mut best: Option<f64> = None;
+    for i in 0..lines.len() {
+        for j in i + 1..lines.len() {
+            let (a1, b1, c1) = lines[i];
+            let (a2, b2, c2) = lines[j];
+            let det = a1 * b2 - a2 * b1;
+            if det.abs() < 1e-9 {
+                continue;
+            }
+            let x = (c1 * b2 - c2 * b1) / det;
+            let y = (a1 * c2 - a2 * c1) / det;
+            if lp.is_feasible(&[x, y], 1e-7) {
+                let val = lp.objective()[0] * x + lp.objective()[1] * y;
+                best = Some(best.map_or(val, |b: f64| b.max(val)));
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn simplex_matches_vertex_enumeration_in_2d(
+        obj in proptest::collection::vec(0.1f64..5.0, 2),
+        rows in proptest::collection::vec(
+            (0.0f64..4.0, 0.0f64..4.0, 0.5f64..10.0), 1..6),
+        ub in 1.0f64..8.0,
+    ) {
+        let mut lp = LinearProgram::maximize(obj);
+        // Box constraints keep it bounded even if all rows are slack.
+        lp.add_le(vec![1.0, 0.0], ub);
+        lp.add_le(vec![0.0, 1.0], ub);
+        for (a, b, c) in rows {
+            lp.add_le(vec![a, b], c);
+        }
+        let simplex_val = solve(&lp).objective().expect("feasible bounded LP");
+        let brute = brute_force_2var(&lp).expect("origin is feasible");
+        prop_assert!(
+            (simplex_val - brute).abs() < 1e-5,
+            "simplex {simplex_val} vs brute {brute}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! The energy model of the sensor-network simulation.
+//!
+//! The paper's premise (§1): "the energy consumed in the active mode …
+//! is typically orders of magnitude higher than in the sleep mode." We
+//! model per-slot costs for the two modes; the default ratio (100:1) is the
+//! conservative end of that "orders of magnitude".
+
+/// Per-slot energy costs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Energy a node spends per slot while active (clusterhead duty:
+    /// radio on, sensing, forwarding).
+    pub active_cost: f64,
+    /// Energy per slot while asleep (clock + wake-up radio).
+    pub sleep_cost: f64,
+}
+
+impl EnergyModel {
+    /// The default model: active = 1 unit/slot, sleep = 0.01 unit/slot.
+    pub fn standard() -> Self {
+        EnergyModel { active_cost: 1.0, sleep_cost: 0.01 }
+    }
+
+    /// An idealized model where sleeping is completely free — this matches
+    /// the paper's abstraction, where `b_v` counts only active slots.
+    pub fn ideal() -> Self {
+        EnergyModel { active_cost: 1.0, sleep_cost: 0.0 }
+    }
+
+    /// Creates a model from an active:sleep cost ratio.
+    ///
+    /// # Panics
+    /// Panics unless `ratio ≥ 1`.
+    pub fn with_ratio(ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "active/sleep ratio must be ≥ 1, got {ratio}");
+        EnergyModel { active_cost: 1.0, sleep_cost: 1.0 / ratio }
+    }
+
+    /// Slots of active duty a battery of `capacity` supports (ignoring
+    /// sleep drain) — the `b_v` of the paper's abstraction.
+    pub fn active_slots(&self, capacity: f64) -> u64 {
+        if self.active_cost <= 0.0 {
+            return u64::MAX;
+        }
+        (capacity / self.active_cost).floor() as u64
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_ratio_is_100() {
+        let m = EnergyModel::standard();
+        assert!((m.active_cost / m.sleep_cost - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_sleep_is_free() {
+        assert_eq!(EnergyModel::ideal().sleep_cost, 0.0);
+    }
+
+    #[test]
+    fn ratio_constructor() {
+        let m = EnergyModel::with_ratio(1000.0);
+        assert!((m.sleep_cost - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn ratio_below_one_rejected() {
+        EnergyModel::with_ratio(0.5);
+    }
+
+    #[test]
+    fn active_slots_floor() {
+        let m = EnergyModel::standard();
+        assert_eq!(m.active_slots(5.9), 5);
+        assert_eq!(m.active_slots(0.0), 0);
+    }
+}

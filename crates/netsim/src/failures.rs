@@ -1,0 +1,108 @@
+//! Node-failure injection for fault-tolerance experiments (paper §6: "node
+//! failure is an event of non-negligible probability").
+
+use domatic_graph::{NodeId, NodeSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kills nodes during a simulation: independent per-slot crashes plus an
+/// optional scripted kill list.
+#[derive(Clone, Debug)]
+pub struct FailureInjector {
+    /// Per-node, per-slot crash probability.
+    pub p_crash: f64,
+    rng: StdRng,
+    scripted: Vec<(u64, NodeId)>,
+}
+
+impl FailureInjector {
+    /// Random crashes only.
+    pub fn random(p_crash: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_crash), "p_crash must be a probability");
+        FailureInjector { p_crash, rng: StdRng::seed_from_u64(seed), scripted: Vec::new() }
+    }
+
+    /// Scripted failures only: `(slot, node)` pairs.
+    pub fn scripted(kills: Vec<(u64, NodeId)>) -> Self {
+        FailureInjector { p_crash: 0.0, rng: StdRng::seed_from_u64(0), scripted: kills }
+    }
+
+    /// Adds scripted kills to a random injector.
+    pub fn with_scripted(mut self, kills: Vec<(u64, NodeId)>) -> Self {
+        self.scripted.extend(kills);
+        self
+    }
+
+    /// Applies this slot's failures to the `dead` mask. Called by the
+    /// simulator once per slot with the slot index.
+    pub fn kill_this_slot(&mut self, slot: u64, dead: &mut NodeSet) {
+        for &(s, v) in &self.scripted {
+            if s == slot && (v as usize) < dead.universe() {
+                dead.insert(v);
+            }
+        }
+        if self.p_crash > 0.0 {
+            for v in 0..dead.universe() as NodeId {
+                if !dead.contains(v) && self.rng.random::<f64>() < self.p_crash {
+                    dead.insert(v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_kills_fire_on_their_slot() {
+        let mut inj = FailureInjector::scripted(vec![(2, 1), (5, 3)]);
+        let mut dead = NodeSet::new(6);
+        inj.kill_this_slot(0, &mut dead);
+        assert!(dead.is_empty());
+        inj.kill_this_slot(2, &mut dead);
+        assert_eq!(dead.to_vec(), vec![1]);
+        inj.kill_this_slot(5, &mut dead);
+        assert_eq!(dead.to_vec(), vec![1, 3]);
+    }
+
+    #[test]
+    fn random_crashes_accumulate() {
+        let mut inj = FailureInjector::random(0.5, 42);
+        let mut dead = NodeSet::new(100);
+        for slot in 0..10 {
+            inj.kill_this_slot(slot, &mut dead);
+        }
+        // P[survive 10 slots] = 2^-10; essentially everyone is dead.
+        assert!(dead.len() >= 95, "only {} dead", dead.len());
+    }
+
+    #[test]
+    fn zero_probability_never_kills() {
+        let mut inj = FailureInjector::random(0.0, 1);
+        let mut dead = NodeSet::new(50);
+        for slot in 0..100 {
+            inj.kill_this_slot(slot, &mut dead);
+        }
+        assert!(dead.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = FailureInjector::random(0.3, seed);
+            let mut dead = NodeSet::new(40);
+            inj.kill_this_slot(0, &mut dead);
+            dead.to_vec()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        FailureInjector::random(1.5, 0);
+    }
+}

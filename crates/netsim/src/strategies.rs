@@ -1,0 +1,309 @@
+//! Activation strategies compared by experiment E9.
+//!
+//! A strategy decides, slot by slot, which nodes stay awake. The simulator
+//! (see [`crate::sim`]) judges it: the awake set must dominate the alive
+//! nodes, and awake nodes pay the active energy cost.
+
+use crate::energy::EnergyModel;
+use domatic_graph::domination::greedy_dominating_set;
+use domatic_graph::{Graph, NodeId, NodeSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A slot-by-slot activation policy.
+pub trait Strategy {
+    /// Human-readable name for report tables.
+    fn name(&self) -> &'static str;
+
+    /// Proposes the active set for the current slot, given each node's
+    /// remaining energy (`energy[v] < model.active_cost` means `v` cannot
+    /// serve this slot). Returning `None` concedes: the strategy knows it
+    /// can no longer cover the network.
+    fn next_active(
+        &mut self,
+        g: &Graph,
+        energy: &[f64],
+        model: &EnergyModel,
+        slot: u64,
+    ) -> Option<NodeSet>;
+}
+
+/// Which nodes have enough charge to serve this slot.
+pub fn serviceable(energy: &[f64], model: &EnergyModel) -> NodeSet {
+    NodeSet::from_iter(
+        energy.len(),
+        energy
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e >= model.active_cost)
+            .map(|(v, _)| v as NodeId),
+    )
+}
+
+/// Baseline: everyone stays awake (no clustering at all). Burns energy
+/// fastest; the paper's motivation for dominating-set clustering.
+pub struct AllActive;
+
+impl Strategy for AllActive {
+    fn name(&self) -> &'static str {
+        "all-active"
+    }
+    fn next_active(
+        &mut self,
+        _g: &Graph,
+        energy: &[f64],
+        model: &EnergyModel,
+        _slot: u64,
+    ) -> Option<NodeSet> {
+        Some(serviceable(energy, model))
+    }
+}
+
+/// Baseline: compute one good (greedy) dominating set and keep it awake
+/// until a member dies, then recompute among survivors. This is "find the
+/// best dominating set" without lifetime planning — the strawman the paper
+/// argues against ("what does the best dominating set help if the battery
+/// of the dominators are irrevocably depleted…").
+pub struct SingleMds {
+    current: Option<NodeSet>,
+    started: bool,
+    recompute: bool,
+}
+
+impl SingleMds {
+    /// Adaptive variant: recomputes a fresh dominating set among survivors
+    /// whenever a member dies (a strong baseline — it implicitly rotates).
+    pub fn new() -> Self {
+        SingleMds { current: None, started: false, recompute: true }
+    }
+
+    /// Static variant: computes one dominating set up front and concedes
+    /// the moment any member can no longer serve — the paper's literal
+    /// strawman ("what does the best dominating set help if the battery of
+    /// the dominators are irrevocably depleted…").
+    pub fn static_once() -> Self {
+        SingleMds { current: None, started: false, recompute: false }
+    }
+}
+
+impl Default for SingleMds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for SingleMds {
+    fn name(&self) -> &'static str {
+        if self.recompute {
+            "single-mds(adaptive)"
+        } else {
+            "single-mds(static)"
+        }
+    }
+    fn next_active(
+        &mut self,
+        g: &Graph,
+        energy: &[f64],
+        model: &EnergyModel,
+        _slot: u64,
+    ) -> Option<NodeSet> {
+        let ok = serviceable(energy, model);
+        let stale = match &self.current {
+            Some(set) => !set.is_subset(&ok),
+            None => true,
+        };
+        if stale {
+            if self.started && !self.recompute {
+                return None; // static clustering dies with its dominators
+            }
+            self.current = greedy_dominating_set(g, &ok);
+            self.started = true;
+        }
+        self.current.clone()
+    }
+}
+
+/// Baseline: each slot, re-run the greedy dominating set over the
+/// currently serviceable nodes, tie-broken by a random permutation — a
+/// simple load-spreading rotation without the paper's disjointness
+/// structure.
+pub struct RandomRotation {
+    rng: StdRng,
+}
+
+impl RandomRotation {
+    /// A rotation strategy with its own RNG stream.
+    pub fn new(seed: u64) -> Self {
+        RandomRotation { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Strategy for RandomRotation {
+    fn name(&self) -> &'static str {
+        "random-rotation"
+    }
+    fn next_active(
+        &mut self,
+        g: &Graph,
+        energy: &[f64],
+        model: &EnergyModel,
+        _slot: u64,
+    ) -> Option<NodeSet> {
+        // Bias toward high-energy nodes: drop each serviceable node from
+        // candidacy with probability proportional to its depletion, then
+        // greedily dominate with the survivors (falling back to all
+        // serviceable nodes if the thinned set cannot dominate).
+        let ok = serviceable(energy, model);
+        let mut thinned = NodeSet::new(energy.len());
+        let e_max = energy.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+        for v in ok.iter() {
+            let keep = (energy[v as usize] / e_max).max(0.05);
+            if self.rng.random::<f64>() < keep {
+                thinned.insert(v);
+            }
+        }
+        greedy_dominating_set(g, &thinned).or_else(|| greedy_dominating_set(g, &ok))
+    }
+}
+
+/// The paper's approach: a precomputed family of (ideally disjoint)
+/// dominating sets, activated round-robin; classes whose members can no
+/// longer serve are skipped.
+pub struct DomaticRotation {
+    classes: Vec<NodeSet>,
+    cursor: usize,
+    /// Slots to dwell on a class before rotating (the uniform algorithm
+    /// dwells `b`; 1 spreads wear most evenly under sleep drain).
+    dwell: u64,
+    in_class: u64,
+}
+
+impl DomaticRotation {
+    /// Rotates through `classes`, dwelling `dwell` slots on each.
+    pub fn new(classes: Vec<NodeSet>, dwell: u64) -> Self {
+        DomaticRotation { classes, cursor: 0, dwell: dwell.max(1), in_class: 0 }
+    }
+}
+
+impl Strategy for DomaticRotation {
+    fn name(&self) -> &'static str {
+        "domatic"
+    }
+    fn next_active(
+        &mut self,
+        g: &Graph,
+        energy: &[f64],
+        model: &EnergyModel,
+        _slot: u64,
+    ) -> Option<NodeSet> {
+        if self.classes.is_empty() {
+            return None;
+        }
+        let ok = serviceable(energy, model);
+        // Advance dwell.
+        if self.in_class >= self.dwell {
+            self.cursor = (self.cursor + 1) % self.classes.len();
+            self.in_class = 0;
+        }
+        // Find the next class that is fully serviceable; after a full
+        // cycle of dead classes, fall back to greedy over survivors.
+        for probe in 0..self.classes.len() {
+            let idx = (self.cursor + probe) % self.classes.len();
+            if self.classes[idx].is_subset(&ok) {
+                self.cursor = idx;
+                self.in_class += 1;
+                return Some(self.classes[idx].clone());
+            }
+        }
+        greedy_dominating_set(g, &ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::domination::is_dominating_set;
+    use domatic_graph::generators::regular::star;
+
+    #[test]
+    fn serviceable_thresholds() {
+        let m = EnergyModel::standard();
+        let s = serviceable(&[2.0, 0.5, 1.0], &m);
+        assert_eq!(s.to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn all_active_returns_serviceable() {
+        let g = star(4);
+        let m = EnergyModel::standard();
+        let mut strat = AllActive;
+        let s = strat.next_active(&g, &[2.0, 2.0, 0.0, 2.0], &m, 0).unwrap();
+        assert_eq!(s.to_vec(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn single_mds_caches_until_death() {
+        let g = star(4);
+        let m = EnergyModel::standard();
+        let mut strat = SingleMds::new();
+        let s1 = strat.next_active(&g, &[5.0; 4], &m, 0).unwrap();
+        assert_eq!(s1.to_vec(), vec![0]); // greedy picks the center
+        let s2 = strat.next_active(&g, &[4.0, 5.0, 5.0, 5.0], &m, 1).unwrap();
+        assert_eq!(s2, s1);
+        // Center dies: must recompute to the leaves.
+        let s3 = strat.next_active(&g, &[0.0, 5.0, 5.0, 5.0], &m, 2).unwrap();
+        assert!(!s3.contains(0));
+        assert!(is_dominating_set(&g, &s3));
+    }
+
+    #[test]
+    fn domatic_rotation_cycles_classes() {
+        let g = star(4);
+        let classes = vec![
+            NodeSet::from_iter(4, [0]),
+            NodeSet::from_iter(4, [1, 2, 3]),
+        ];
+        let m = EnergyModel::ideal();
+        let mut strat = DomaticRotation::new(classes, 1);
+        let e = [9.0; 4];
+        let a = strat.next_active(&g, &e, &m, 0).unwrap();
+        let b = strat.next_active(&g, &e, &m, 1).unwrap();
+        let c = strat.next_active(&g, &e, &m, 2).unwrap();
+        assert_eq!(a.to_vec(), vec![0]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn domatic_rotation_skips_dead_classes() {
+        let g = star(4);
+        let classes = vec![
+            NodeSet::from_iter(4, [0]),
+            NodeSet::from_iter(4, [1, 2, 3]),
+        ];
+        let m = EnergyModel::standard();
+        let mut strat = DomaticRotation::new(classes, 1);
+        // Center dead: class 0 unusable, should serve class 1.
+        let s = strat.next_active(&g, &[0.0, 5.0, 5.0, 5.0], &m, 0).unwrap();
+        assert_eq!(s.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn random_rotation_always_dominates_while_possible() {
+        let g = star(6);
+        let m = EnergyModel::standard();
+        let mut strat = RandomRotation::new(3);
+        for slot in 0..20 {
+            let s = strat.next_active(&g, &[5.0; 6], &m, slot).unwrap();
+            assert!(is_dominating_set(&g, &s), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn empty_classes_concede() {
+        let g = star(3);
+        let m = EnergyModel::standard();
+        let mut strat = DomaticRotation::new(vec![], 1);
+        assert!(strat.next_active(&g, &[5.0; 3], &m, 0).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Schedule normalization: merging adjacent identical steps and rendering
+//! human-readable summaries for the experiment tables.
+
+use crate::Schedule;
+
+/// Merges adjacent entries with identical sets into single longer entries.
+/// The result is observationally equivalent (`active_set_at` agrees at all
+/// times) but has the minimum number of steps, which matters when steps
+/// carry a real-world switching cost (cluster handover traffic).
+pub fn compact(schedule: &Schedule) -> Schedule {
+    let mut out = Schedule::new();
+    let mut pending: Option<(domatic_graph::NodeSet, u64)> = None;
+    for e in schedule.entries() {
+        match &mut pending {
+            Some((set, dur)) if *set == e.set => *dur += e.duration,
+            Some((set, dur)) => {
+                out.push(set.clone(), *dur);
+                *set = e.set.clone();
+                *dur = e.duration;
+            }
+            None => pending = Some((e.set.clone(), e.duration)),
+        }
+    }
+    if let Some((set, dur)) = pending {
+        out.push(set, dur);
+    }
+    out
+}
+
+/// Number of *switches* (adjacent steps with different sets) a schedule
+/// performs — the clustering handover count.
+pub fn switch_count(schedule: &Schedule) -> usize {
+    schedule
+        .entries()
+        .windows(2)
+        .filter(|w| w[0].set != w[1].set)
+        .count()
+}
+
+/// Renders a schedule like `"{0,3}×2 → {1,4}×2 → {2,5,6}×2"` for reports.
+pub fn render(schedule: &Schedule) -> String {
+    let mut parts = Vec::with_capacity(schedule.num_steps());
+    for e in schedule.entries() {
+        let ids: Vec<String> = e.set.iter().map(|v| v.to_string()).collect();
+        parts.push(format!("{{{}}}×{}", ids.join(","), e.duration));
+    }
+    if parts.is_empty() {
+        "(empty)".to_string()
+    } else {
+        parts.join(" → ")
+    }
+}
+
+/// Renders a per-node Gantt chart:
+///
+/// ```text
+/// node 0: ██░░░░
+/// node 1: ░░██░░
+/// ```
+///
+/// `█` = active slot, `░` = asleep. Intended for small demos (`domatic
+/// schedule --gantt`); the output is `n` lines of `lifetime` glyphs, so
+/// keep both modest.
+pub fn render_gantt(schedule: &Schedule, n: usize) -> String {
+    let lifetime = schedule.lifetime();
+    let width = n.to_string().len();
+    let mut out = String::with_capacity(n * (lifetime as usize + 12));
+    for v in 0..n as u32 {
+        out.push_str(&format!("node {v:>width$}: "));
+        let mut t = 0u64;
+        for e in schedule.entries() {
+            let glyph = if e.set.contains(v) { '█' } else { '░' };
+            for _ in 0..e.duration {
+                out.push(glyph);
+            }
+            t += e.duration;
+        }
+        let _ = t;
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::{NodeId, NodeSet};
+
+    fn set(n: usize, members: &[NodeId]) -> NodeSet {
+        NodeSet::from_iter(n, members.iter().copied())
+    }
+
+    #[test]
+    fn compact_merges_adjacent_duplicates() {
+        let s = Schedule::from_entries([
+            (set(3, &[0]), 1),
+            (set(3, &[0]), 2),
+            (set(3, &[1]), 1),
+            (set(3, &[0]), 1),
+        ]);
+        let c = compact(&s);
+        assert_eq!(c.num_steps(), 3);
+        assert_eq!(c.lifetime(), s.lifetime());
+        assert_eq!(c.entries()[0].duration, 3);
+        // Observational equivalence.
+        for t in 0..s.lifetime() {
+            assert_eq!(s.active_set_at(t), c.active_set_at(t));
+        }
+    }
+
+    #[test]
+    fn compact_of_empty_is_empty() {
+        assert!(compact(&Schedule::new()).is_empty());
+    }
+
+    #[test]
+    fn switch_count_counts_changes() {
+        let s = Schedule::from_entries([
+            (set(3, &[0]), 1),
+            (set(3, &[0]), 1),
+            (set(3, &[1]), 1),
+        ]);
+        assert_eq!(switch_count(&s), 1);
+        assert_eq!(switch_count(&compact(&s)), 1);
+        assert_eq!(switch_count(&Schedule::new()), 0);
+    }
+
+    #[test]
+    fn render_formats() {
+        let s = Schedule::from_entries([(set(3, &[0, 2]), 2), (set(3, &[1]), 1)]);
+        assert_eq!(render(&s), "{0,2}×2 → {1}×1");
+        assert_eq!(render(&Schedule::new()), "(empty)");
+    }
+
+    #[test]
+    fn gantt_shape() {
+        let s = Schedule::from_entries([(set(3, &[0, 2]), 2), (set(3, &[1]), 1)]);
+        let g = render_gantt(&s, 3);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "node 0: ██░");
+        assert_eq!(lines[1], "node 1: ░░█");
+        assert_eq!(lines[2], "node 2: ██░");
+    }
+
+    #[test]
+    fn gantt_of_empty_schedule() {
+        let g = render_gantt(&Schedule::new(), 2);
+        assert_eq!(g, "node 0: \nnode 1: \n");
+    }
+}

@@ -1,0 +1,152 @@
+//! A plain-text schedule format, so schedules can be produced by one tool
+//! and audited/replayed by another (`domatic schedule --out` /
+//! `domatic validate`).
+//!
+//! ```text
+//! schedule v1
+//! n <universe-size>
+//! <duration> <node> <node> …
+//! <duration> <node> <node> …
+//! ```
+//!
+//! Comments (`#`) and blank lines are ignored.
+
+use crate::Schedule;
+use domatic_graph::{NodeId, NodeSet};
+use std::fmt;
+
+/// Parse errors for the schedule format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScheduleParseError {
+    ScheduleParseError { line, message: message.into() }
+}
+
+/// Serializes a schedule over a universe of `n` nodes.
+pub fn to_text(schedule: &Schedule, n: usize) -> String {
+    let mut out = String::from("schedule v1\n");
+    out.push_str(&format!("n {n}\n"));
+    for e in schedule.entries() {
+        out.push_str(&e.duration.to_string());
+        for v in e.set.iter() {
+            out.push(' ');
+            out.push_str(&v.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the format written by [`to_text`]; returns the schedule and the
+/// universe size.
+pub fn from_text(text: &str) -> Result<(Schedule, usize), ScheduleParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (l1, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != "schedule v1" {
+        return Err(err(l1, format!("expected 'schedule v1', got '{header}'")));
+    }
+    let (l2, nline) = lines.next().ok_or_else(|| err(l1, "missing 'n' line"))?;
+    let n: usize = nline
+        .strip_prefix("n ")
+        .ok_or_else(|| err(l2, "expected 'n <count>'"))?
+        .trim()
+        .parse()
+        .map_err(|_| err(l2, "invalid node count"))?;
+    let mut schedule = Schedule::new();
+    for (ln, line) in lines {
+        let mut parts = line.split_whitespace();
+        let duration: u64 = parts
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|_| err(ln, "invalid duration"))?;
+        let mut set = NodeSet::new(n);
+        for tok in parts {
+            let v: NodeId = tok.parse().map_err(|_| err(ln, format!("invalid node id '{tok}'")))?;
+            if (v as usize) >= n {
+                return Err(err(ln, format!("node {v} out of universe {n}")));
+            }
+            set.insert(v);
+        }
+        schedule.push(set, duration);
+    }
+    Ok((schedule, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule::from_entries([
+            (NodeSet::from_iter(5, [0, 3]), 2),
+            (NodeSet::from_iter(5, [1, 2, 4]), 1),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let text = to_text(&s, 5);
+        let (s2, n) = from_text(&text).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn format_shape() {
+        let text = to_text(&sample(), 5);
+        assert_eq!(text, "schedule v1\nn 5\n2 0 3\n1 1 2 4\n");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let (s, n) = from_text("# hi\nschedule v1\n\nn 3\n# entry\n2 0 1\n").unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(s.lifetime(), 2);
+    }
+
+    #[test]
+    fn zero_duration_entries_dropped_on_parse() {
+        let (s, _) = from_text("schedule v1\nn 2\n0 0\n1 1\n").unwrap();
+        assert_eq!(s.num_steps(), 1);
+    }
+
+    #[test]
+    fn empty_sets_are_representable() {
+        let (s, _) = from_text("schedule v1\nn 2\n3\n").unwrap();
+        assert_eq!(s.lifetime(), 3);
+        assert_eq!(s.entries()[0].set.len(), 0);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(from_text("").is_err());
+        let e = from_text("nope\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = from_text("schedule v1\nbad\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = from_text("schedule v1\nn 2\nx 0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = from_text("schedule v1\nn 2\n1 9\n").unwrap_err();
+        assert!(e.to_string().contains("out of universe"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Quality metrics for schedules beyond raw lifetime: how big the active
+//! sets are (energy burn rate) and how evenly the load is spread.
+
+use crate::energy::Batteries;
+use crate::Schedule;
+use domatic_graph::NodeId;
+
+/// Aggregate metrics of a schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleMetrics {
+    /// Total lifetime `Σ t_i`.
+    pub lifetime: u64,
+    /// Number of distinct activation steps.
+    pub steps: usize,
+    /// Time-weighted mean active-set size (nodes awake per time unit).
+    pub mean_active: f64,
+    /// Largest active set used.
+    pub max_active: usize,
+    /// Smallest active set used (0 for an empty schedule).
+    pub min_active: usize,
+    /// Jain's fairness index of per-node active time, in `(0, 1]`;
+    /// 1 means perfectly even load. 0 for an all-idle schedule.
+    pub fairness: f64,
+    /// Fraction of total battery energy actually consumed.
+    pub utilization: f64,
+}
+
+/// Computes [`ScheduleMetrics`] for a schedule over `n` nodes.
+pub fn schedule_metrics(schedule: &Schedule, batteries: &Batteries) -> ScheduleMetrics {
+    let n = batteries.n();
+    let lifetime = schedule.lifetime();
+    let mut weighted = 0u128;
+    let mut max_active = 0usize;
+    let mut min_active = usize::MAX;
+    for e in schedule.entries() {
+        let size = e.set.len();
+        weighted += size as u128 * e.duration as u128;
+        max_active = max_active.max(size);
+        min_active = min_active.min(size);
+    }
+    if schedule.is_empty() {
+        min_active = 0;
+    }
+    let mean_active = if lifetime == 0 {
+        0.0
+    } else {
+        weighted as f64 / lifetime as f64
+    };
+    let active: Vec<u64> = (0..n as NodeId).map(|v| schedule.active_time(v)).collect();
+    let sum: f64 = active.iter().map(|&a| a as f64).sum();
+    let sumsq: f64 = active.iter().map(|&a| (a as f64) * (a as f64)).sum();
+    let fairness = if sumsq == 0.0 {
+        0.0
+    } else {
+        sum * sum / (n as f64 * sumsq)
+    };
+    let total_budget: u64 = batteries.as_slice().iter().sum();
+    let utilization = if total_budget == 0 {
+        0.0
+    } else {
+        sum / total_budget as f64
+    };
+    ScheduleMetrics {
+        lifetime,
+        steps: schedule.num_steps(),
+        mean_active,
+        max_active,
+        min_active,
+        fairness,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::NodeSet;
+
+    fn set(n: usize, members: &[NodeId]) -> NodeSet {
+        NodeSet::from_iter(n, members.iter().copied())
+    }
+
+    #[test]
+    fn metrics_of_empty_schedule() {
+        let m = schedule_metrics(&Schedule::new(), &Batteries::uniform(4, 2));
+        assert_eq!(m.lifetime, 0);
+        assert_eq!(m.steps, 0);
+        assert_eq!(m.mean_active, 0.0);
+        assert_eq!(m.min_active, 0);
+        assert_eq!(m.fairness, 0.0);
+        assert_eq!(m.utilization, 0.0);
+    }
+
+    #[test]
+    fn mean_active_is_time_weighted() {
+        let s = Schedule::from_entries([
+            (set(4, &[0]), 3),        // size 1 for 3 units
+            (set(4, &[1, 2, 3]), 1),  // size 3 for 1 unit
+        ]);
+        let m = schedule_metrics(&s, &Batteries::uniform(4, 3));
+        assert!((m.mean_active - 6.0 / 4.0).abs() < 1e-12);
+        assert_eq!(m.max_active, 3);
+        assert_eq!(m.min_active, 1);
+    }
+
+    #[test]
+    fn perfect_fairness() {
+        // Each node active exactly once.
+        let s = Schedule::from_entries([
+            (set(2, &[0]), 1),
+            (set(2, &[1]), 1),
+        ]);
+        let m = schedule_metrics(&s, &Batteries::uniform(2, 1));
+        assert!((m.fairness - 1.0).abs() < 1e-12);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_fairness_is_low() {
+        // One node does everything.
+        let s = Schedule::from_entries([(set(4, &[0]), 4)]);
+        let m = schedule_metrics(&s, &Batteries::uniform(4, 4));
+        assert!((m.fairness - 0.25).abs() < 1e-12);
+        assert!((m.utilization - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_counts_partial_budgets() {
+        let s = Schedule::from_entries([(set(2, &[0, 1]), 1)]);
+        let m = schedule_metrics(&s, &Batteries::from_vec(vec![2, 2]));
+        assert!((m.utilization - 0.5).abs() < 1e-12);
+    }
+}

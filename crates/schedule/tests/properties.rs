@@ -1,0 +1,122 @@
+//! Property-based tests for schedules, ledgers, and validation.
+
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::NodeSet;
+use domatic_schedule::compact::{compact, switch_count};
+use domatic_schedule::metrics::schedule_metrics;
+use domatic_schedule::{longest_valid_prefix, validate_schedule, Batteries, EnergyLedger, Schedule};
+use proptest::prelude::*;
+
+/// Arbitrary schedule over a 16-node universe.
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0u32..16, 0..8), 0u64..5),
+        0..10,
+    )
+    .prop_map(|entries| {
+        Schedule::from_entries(
+            entries
+                .into_iter()
+                .map(|(members, d)| (NodeSet::from_iter(16, members), d)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn lifetime_equals_sum_of_active_sets_at_each_time(s in arb_schedule()) {
+        let l = s.lifetime();
+        for t in 0..l {
+            prop_assert!(s.active_set_at(t).is_some());
+        }
+        prop_assert!(s.active_set_at(l).is_none());
+    }
+
+    #[test]
+    fn active_time_sums_to_weighted_sizes(s in arb_schedule()) {
+        let total_active: u64 = (0..16u32).map(|v| s.active_time(v)).sum();
+        let weighted: u64 = s.entries().iter().map(|e| e.set.len() as u64 * e.duration).sum();
+        prop_assert_eq!(total_active, weighted);
+    }
+
+    #[test]
+    fn truncation_is_monotone_and_exact(s in arb_schedule(), limit in 0u64..30) {
+        let t = s.truncated(limit);
+        prop_assert_eq!(t.lifetime(), s.lifetime().min(limit));
+        // Truncation preserves the time-indexed view.
+        for time in 0..t.lifetime() {
+            prop_assert_eq!(t.active_set_at(time), s.active_set_at(time));
+        }
+    }
+
+    #[test]
+    fn compaction_is_observationally_equivalent(s in arb_schedule()) {
+        let c = compact(&s);
+        prop_assert_eq!(c.lifetime(), s.lifetime());
+        prop_assert!(c.num_steps() <= s.num_steps());
+        for t in 0..s.lifetime() {
+            prop_assert_eq!(s.active_set_at(t), c.active_set_at(t));
+        }
+        prop_assert_eq!(switch_count(&c), switch_count(&s));
+        // Compacting twice is idempotent.
+        prop_assert_eq!(compact(&c), c);
+    }
+
+    #[test]
+    fn ledger_charge_is_all_or_nothing(
+        sets in proptest::collection::vec(
+            (proptest::collection::vec(0u32..12, 0..6), 1u64..4), 0..12),
+        budgets in proptest::collection::vec(0u64..6, 12),
+    ) {
+        let batteries = Batteries::from_vec(budgets.clone());
+        let mut ledger = EnergyLedger::new(batteries);
+        for (members, d) in sets {
+            let set = NodeSet::from_iter(12, members);
+            let before: Vec<u64> = (0..12u32).map(|v| ledger.used(v)).collect();
+            match ledger.charge(&set, d) {
+                Ok(()) => {
+                    for v in 0..12u32 {
+                        let expect = before[v as usize] + if set.contains(v) { d } else { 0 };
+                        prop_assert_eq!(ledger.used(v), expect);
+                        prop_assert!(ledger.used(v) <= budgets[v as usize]);
+                    }
+                }
+                Err(_) => {
+                    for v in 0..12u32 {
+                        prop_assert_eq!(ledger.used(v), before[v as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_prefix_always_validates(
+        s in arb_schedule(),
+        budgets in proptest::collection::vec(0u64..6, 16),
+        seed in 0u64..100,
+    ) {
+        let g = gnp(16, 0.3, seed);
+        let batteries = Batteries::from_vec(budgets);
+        let p = longest_valid_prefix(&g, &batteries, &s, 1);
+        prop_assert!(validate_schedule(&g, &batteries, &p, 1).is_ok());
+        prop_assert!(p.lifetime() <= s.lifetime());
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent(
+        s in arb_schedule(),
+        budgets in proptest::collection::vec(1u64..6, 16),
+    ) {
+        let batteries = Batteries::from_vec(budgets);
+        let m = schedule_metrics(&s, &batteries);
+        prop_assert_eq!(m.lifetime, s.lifetime());
+        prop_assert_eq!(m.steps, s.num_steps());
+        prop_assert!(m.fairness >= 0.0 && m.fairness <= 1.0 + 1e-12);
+        prop_assert!(m.min_active <= m.max_active || m.steps == 0);
+        if m.lifetime > 0 {
+            prop_assert!(m.mean_active <= m.max_active as f64 + 1e-12);
+            prop_assert!(m.mean_active >= m.min_active as f64 - 1e-12);
+        }
+    }
+}

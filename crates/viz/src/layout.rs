@@ -1,0 +1,170 @@
+//! Node layouts for topology figures.
+//!
+//! Geometric graphs carry their own positions; everything else gets a
+//! deterministic layout: circular for small graphs, or a few iterations
+//! of a simple spring embedder seeded from the circular start.
+
+use domatic_graph::{Graph, NodeId};
+
+/// Positions in the unit square, one per node.
+pub type Layout = Vec<(f64, f64)>;
+
+/// Nodes on a circle (deterministic; fine for cycles, cliques, demos).
+pub fn circular(n: usize) -> Layout {
+    let r = 0.45;
+    (0..n)
+        .map(|i| {
+            let a = 2.0 * std::f64::consts::PI * i as f64 / n.max(1) as f64;
+            (0.5 + r * a.cos(), 0.5 + r * a.sin())
+        })
+        .collect()
+}
+
+/// Scales explicit positions (e.g. a geometric graph's) into the unit
+/// square with a small margin, preserving aspect ratio.
+pub fn from_positions(positions: &[(f64, f64)]) -> Layout {
+    if positions.is_empty() {
+        return Vec::new();
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in positions {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let span = (max_x - min_x).max(max_y - min_y).max(1e-12);
+    let margin = 0.05;
+    let scale = (1.0 - 2.0 * margin) / span;
+    positions
+        .iter()
+        .map(|&(x, y)| (margin + (x - min_x) * scale, margin + (y - min_y) * scale))
+        .collect()
+}
+
+/// A deterministic spring embedding: circular start, `iterations` rounds
+/// of attraction along edges plus repulsion from the centroid of
+/// non-neighbors (cheap O(n·δ̄) approximation). Good enough to make
+/// community structure visible in demos; not a general graph-drawing
+/// algorithm.
+pub fn spring(g: &Graph, iterations: usize) -> Layout {
+    let n = g.n();
+    let mut pos = circular(n);
+    if n < 3 {
+        return pos;
+    }
+    let step0 = 0.05;
+    for it in 0..iterations {
+        let step = step0 * (1.0 - it as f64 / iterations.max(1) as f64);
+        // Global centroid for the repulsion approximation.
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for &(x, y) in &pos {
+            cx += x;
+            cy += y;
+        }
+        cx /= n as f64;
+        cy /= n as f64;
+        let mut next = pos.clone();
+        for v in 0..n as NodeId {
+            let (x, y) = pos[v as usize];
+            let mut dx = 0.0;
+            let mut dy = 0.0;
+            // Attraction to neighbors.
+            for &u in g.neighbors(v) {
+                let (ux, uy) = pos[u as usize];
+                dx += ux - x;
+                dy += uy - y;
+            }
+            let d = g.degree(v).max(1) as f64;
+            dx /= d;
+            dy /= d;
+            // Repulsion from the centroid (keeps the drawing spread out).
+            let rx = x - cx;
+            let ry = y - cy;
+            let rn = (rx * rx + ry * ry).sqrt().max(1e-6);
+            dx += 0.3 * rx / rn;
+            dy += 0.3 * ry / rn;
+            next[v as usize] = (
+                (x + step * dx).clamp(0.02, 0.98),
+                (y + step * dy).clamp(0.02, 0.98),
+            );
+        }
+        pos = next;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::cycle;
+
+    fn in_unit_square(l: &Layout) -> bool {
+        l.iter().all(|&(x, y)| (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y))
+    }
+
+    #[test]
+    fn circular_is_on_a_circle() {
+        let l = circular(8);
+        assert_eq!(l.len(), 8);
+        assert!(in_unit_square(&l));
+        for &(x, y) in &l {
+            let r = ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt();
+            assert!((r - 0.45).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_positions_normalizes() {
+        let l = from_positions(&[(10.0, 10.0), (20.0, 30.0)]);
+        assert!(in_unit_square(&l));
+        // Aspect preserved: x-span (10) is half the y-span (20).
+        let dx = (l[1].0 - l[0].0).abs();
+        let dy = (l[1].1 - l[0].1).abs();
+        assert!((dy / dx - 2.0).abs() < 1e-9);
+        assert!(from_positions(&[]).is_empty());
+        // Degenerate (all same point) doesn't NaN.
+        let d = from_positions(&[(1.0, 1.0), (1.0, 1.0)]);
+        assert!(in_unit_square(&d));
+    }
+
+    #[test]
+    fn spring_stays_in_bounds_and_is_deterministic() {
+        let g = gnp_with_avg_degree(40, 5.0, 3);
+        let a = spring(&g, 30);
+        let b = spring(&g, 30);
+        assert_eq!(a, b);
+        assert!(in_unit_square(&a));
+        assert_eq!(a.len(), 40);
+    }
+
+    #[test]
+    fn spring_contracts_edges() {
+        // After embedding, mean edge length should be below the circular
+        // start's mean edge length for a sparse random graph.
+        let g = gnp_with_avg_degree(60, 4.0, 5);
+        let start = circular(60);
+        let end = spring(&g, 60);
+        let mean_len = |l: &Layout| {
+            let mut s = 0.0;
+            let mut c = 0usize;
+            for (u, v) in g.edges() {
+                let (ax, ay) = l[u as usize];
+                let (bx, by) = l[v as usize];
+                s += ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+                c += 1;
+            }
+            s / c as f64
+        };
+        assert!(mean_len(&end) < mean_len(&start));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(spring(&cycle(3), 10).len(), 3);
+        assert!(spring(&domatic_graph::Graph::empty(1), 5).len() == 1);
+        assert!(circular(0).is_empty());
+    }
+}

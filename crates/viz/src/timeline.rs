@@ -1,0 +1,98 @@
+//! Schedule timelines: an SVG Gantt chart, one row per node, colored by
+//! the entry (class) that has the node awake.
+
+use crate::svg::{class_color, SvgDoc};
+use domatic_schedule::Schedule;
+
+/// Rendering options for timelines.
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineStyle {
+    /// Pixel width of one time slot.
+    pub slot_width: f64,
+    /// Pixel height of one node row.
+    pub row_height: f64,
+    /// Left margin for node labels.
+    pub label_width: f64,
+}
+
+impl Default for TimelineStyle {
+    fn default() -> Self {
+        TimelineStyle { slot_width: 8.0, row_height: 10.0, label_width: 60.0 }
+    }
+}
+
+/// Renders the schedule as a Gantt chart over `n` nodes. Awake slots are
+/// colored by entry index; asleep slots are left white.
+pub fn render_timeline(schedule: &Schedule, n: usize, style: &TimelineStyle) -> String {
+    let lifetime = schedule.lifetime();
+    let width = style.label_width + lifetime as f64 * style.slot_width + 10.0;
+    let height = (n as f64 + 2.0) * style.row_height + 20.0;
+    let mut doc = SvgDoc::new(width.max(80.0), height.max(40.0));
+    // Time axis ticks every 5 slots.
+    for t in (0..=lifetime).step_by(5) {
+        let x = style.label_width + t as f64 * style.slot_width;
+        doc.text(x, 12.0, 9.0, &t.to_string());
+    }
+    for v in 0..n as u32 {
+        let y = 20.0 + v as f64 * style.row_height;
+        doc.text(2.0, y + style.row_height - 2.0, 9.0, &format!("node {v}"));
+        let mut t = 0u64;
+        for (i, e) in schedule.entries().iter().enumerate() {
+            if e.set.contains(v) {
+                let x = style.label_width + t as f64 * style.slot_width;
+                doc.rect(
+                    x,
+                    y,
+                    e.duration as f64 * style.slot_width,
+                    style.row_height - 1.0,
+                    class_color(i as u32),
+                );
+            }
+            t += e.duration;
+        }
+    }
+    doc.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::NodeSet;
+
+    #[test]
+    fn awake_slots_become_rects() {
+        let s = Schedule::from_entries([
+            (NodeSet::from_iter(3, [0u32, 2]), 2),
+            (NodeSet::from_iter(3, [1u32]), 3),
+        ]);
+        let svg = render_timeline(&s, 3, &TimelineStyle::default());
+        // Background rect + 3 awake bars (node 0, node 2, node 1).
+        assert_eq!(svg.matches("<rect").count(), 1 + 3);
+        assert!(svg.contains("node 0"));
+        assert!(svg.contains("node 2"));
+        // Entry 0 color and entry 1 color both present.
+        assert!(svg.contains(class_color(0)));
+        assert!(svg.contains(class_color(1)));
+    }
+
+    #[test]
+    fn empty_schedule_still_renders() {
+        let svg = render_timeline(&Schedule::new(), 2, &TimelineStyle::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("node 1"));
+    }
+
+    #[test]
+    fn widths_scale_with_lifetime() {
+        let short = Schedule::from_entries([(NodeSet::from_iter(1, [0u32]), 1)]);
+        let long = Schedule::from_entries([(NodeSet::from_iter(1, [0u32]), 50)]);
+        let style = TimelineStyle::default();
+        let a = render_timeline(&short, 1, &style);
+        let b = render_timeline(&long, 1, &style);
+        let get_w = |s: &str| {
+            let i = s.find("width=\"").unwrap() + 7;
+            s[i..].split('"').next().unwrap().parse::<f64>().unwrap()
+        };
+        assert!(get_w(&b) > get_w(&a));
+    }
+}

@@ -1,0 +1,95 @@
+//! Topology figures: the network with nodes colored by partition class.
+
+use crate::layout::Layout;
+use crate::svg::{class_color, SvgDoc};
+use domatic_graph::{Graph, NodeSet};
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct TopologyStyle {
+    /// Canvas size in pixels (square).
+    pub size: f64,
+    /// Node radius in pixels.
+    pub node_radius: f64,
+    /// Edge stroke width.
+    pub edge_width: f64,
+}
+
+impl Default for TopologyStyle {
+    fn default() -> Self {
+        TopologyStyle { size: 640.0, node_radius: 5.0, edge_width: 0.6 }
+    }
+}
+
+/// Renders the graph with nodes colored by their class in `classes`
+/// (first containing class wins; unclassed nodes are gray).
+///
+/// # Panics
+/// Panics if `layout.len() != g.n()`.
+pub fn render_topology(
+    g: &Graph,
+    layout: &Layout,
+    classes: &[NodeSet],
+    style: &TopologyStyle,
+) -> String {
+    assert_eq!(layout.len(), g.n(), "layout size mismatch");
+    let s = style.size;
+    let px = |p: (f64, f64)| (p.0 * s, p.1 * s);
+    let mut doc = SvgDoc::new(s, s);
+    for (u, v) in g.edges() {
+        let (x1, y1) = px(layout[u as usize]);
+        let (x2, y2) = px(layout[v as usize]);
+        doc.line(x1, y1, x2, y2, "#cccccc", style.edge_width);
+    }
+    for v in g.nodes() {
+        let class = classes.iter().position(|c| c.contains(v));
+        let fill = class.map(|i| class_color(i as u32)).unwrap_or("#aaaaaa");
+        let (x, y) = px(layout[v as usize]);
+        doc.circle(x, y, style.node_radius, fill);
+    }
+    // Legend.
+    for (i, c) in classes.iter().enumerate().take(8) {
+        let y = 14.0 + 14.0 * i as f64;
+        doc.circle(12.0, y, 5.0, class_color(i as u32));
+        doc.text(22.0, y + 4.0, 11.0, &format!("class {i} ({} nodes)", c.len()));
+    }
+    doc.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::circular;
+    use domatic_graph::generators::regular::cycle;
+
+    #[test]
+    fn renders_all_nodes_and_edges() {
+        let g = cycle(6);
+        let layout = circular(6);
+        let classes = vec![
+            NodeSet::from_iter(6, [0u32, 2, 4]),
+            NodeSet::from_iter(6, [1u32, 3, 5]),
+        ];
+        let svg = render_topology(&g, &layout, &classes, &TopologyStyle::default());
+        assert_eq!(svg.matches("<line").count(), 6);
+        // 6 node circles + 2 legend dots.
+        assert_eq!(svg.matches("<circle").count(), 8);
+        assert!(svg.contains("class 0 (3 nodes)"));
+        assert!(svg.contains("#4c72b0"));
+        assert!(svg.contains("#dd8452"));
+    }
+
+    #[test]
+    fn unclassed_nodes_are_gray() {
+        let g = cycle(4);
+        let svg = render_topology(&g, &circular(4), &[], &TopologyStyle::default());
+        assert_eq!(svg.matches("#aaaaaa").count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout size mismatch")]
+    fn layout_mismatch_panics() {
+        let g = cycle(4);
+        render_topology(&g, &circular(3), &[], &TopologyStyle::default());
+    }
+}

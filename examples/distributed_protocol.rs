@@ -1,0 +1,62 @@
+//! The algorithms as actual distributed protocols: run Algorithm 1 and 2
+//! on the synchronous message-passing engine and print the communication
+//! bill — the paper's "constant number of communication rounds" claim,
+//! measured.
+//!
+//! ```text
+//! cargo run --release --example distributed_protocol
+//! ```
+
+use domatic::distsim::protocols::general::distributed_general_schedule;
+use domatic::distsim::protocols::uniform::distributed_uniform_schedule;
+use domatic::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let b = 3u64;
+    println!(
+        "{:<10} {:>7} {:>7} {:>9} {:>9} {:>11} {:>10}",
+        "protocol", "n", "rounds", "tx/node", "rx/node", "bytes/node", "lifetime"
+    );
+    for n in [500usize, 2000, 8000] {
+        let gg = graph::generators::geometric::random_geometric(
+            n,
+            graph::generators::geometric::radius_for_avg_degree(n, 25.0),
+            n as u64,
+        );
+        let g = gg.graph;
+
+        // Algorithm 1: one round — each node broadcasts its degree once.
+        let (raw, _, stats) = distributed_uniform_schedule(&g, b, 3.0, 1, 4);
+        let batteries = Batteries::uniform(n, b);
+        let valid = schedule::longest_valid_prefix(&g, &batteries, &raw, 1);
+        println!(
+            "{:<10} {:>7} {:>7} {:>9.2} {:>9.2} {:>11.2} {:>10}",
+            "uniform",
+            n,
+            stats.rounds,
+            stats.transmissions_per_node(n),
+            stats.receptions_per_node(n),
+            stats.bytes_received as f64 / n as f64,
+            valid.lifetime()
+        );
+
+        // Algorithm 2: two rounds — batteries, then 2-hop summaries.
+        let mut rng = StdRng::seed_from_u64(9);
+        let nb = Batteries::from_vec((0..n).map(|_| rng.random_range(1..=5)).collect());
+        let (raw2, _, stats2) = distributed_general_schedule(&g, &nb, 3.0, 1, 4);
+        let valid2 = schedule::longest_valid_prefix(&g, &nb, &raw2, 1);
+        println!(
+            "{:<10} {:>7} {:>7} {:>9.2} {:>9.2} {:>11.2} {:>10}",
+            "general",
+            n,
+            stats2.rounds,
+            stats2.transmissions_per_node(n),
+            stats2.receptions_per_node(n),
+            stats2.bytes_received as f64 / n as f64,
+            valid2.lifetime()
+        );
+    }
+    println!("\nrounds and tx/node stay constant as n grows 16× — the paper's locality claim.");
+}

@@ -1,0 +1,70 @@
+//! Fault-tolerant clustering (paper §6): keep every node covered by k
+//! dominators so single crashes never leave sensors unattended, and watch
+//! what that costs in lifetime.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerant_clustering
+//! ```
+
+use domatic::prelude::*;
+use domatic::netsim::{simulate, DomaticRotation, EnergyModel, FailureInjector, SimConfig};
+
+fn main() {
+    let n = 400;
+    let b = 6u64;
+    let g = graph::generators::gnp::gnp_with_avg_degree(n, 80.0, 3);
+    let batteries = Batteries::uniform(n, b);
+    println!("topology: {}", graph::properties::describe(&g));
+
+    // Algorithm 3 for k = 1, 2, 3: the schedule's lifetime shrinks like
+    // 1/k (Lemma 6.1), buying redundancy with lifetime.
+    println!("\nAlgorithm 3 schedules (b = {b}):");
+    println!("{:<4} {:>16} {:>16} {:>12}", "k", "valid lifetime", "bound b(δ+1)/k", "ratio");
+    for k in [1usize, 2, 3] {
+        let (sched, _) = core::stochastic::best_fault_tolerant(&g, b, k, 3.0, 8, 17);
+        schedule::validate_schedule(&g, &batteries, &sched, k).expect("validated prefix");
+        let bound = core::bounds::fault_tolerant_upper_bound(&g, b, k);
+        println!(
+            "{:<4} {:>16} {:>16} {:>12.2}",
+            k,
+            sched.lifetime(),
+            bound,
+            bound as f64 / sched.lifetime().max(1) as f64
+        );
+    }
+
+    // Why pay for k = 2? Under random node crashes, a 1-dominating
+    // rotation loses coverage at the first unlucky crash; the 2-dominating
+    // rotation rides through single failures.
+    println!("\ncrash injection (p = 0.003 per node per slot):");
+    let partition = core::feige::feige_partition(&g, &core::feige::FeigeParams::default());
+    let classes = partition.classes;
+    for k in [1usize, 2] {
+        // Merge k consecutive classes into k-dominating sets (Algorithm 3,
+        // phase 2 construction).
+        let merged: Vec<NodeSet> = classes
+            .chunks(k)
+            .filter(|ch| ch.len() == k)
+            .map(|ch| {
+                let mut m = NodeSet::new(n);
+                for c in ch {
+                    m.union_with(c);
+                }
+                m
+            })
+            .collect();
+        let cfg = SimConfig { model: EnergyModel::standard(), k, max_slots: 1_000_000, switch_cost: 0.0 };
+        let mut inj = FailureInjector::random(0.003, 11);
+        let res = simulate(
+            &g,
+            &vec![b as f64; n],
+            &mut DomaticRotation::new(merged, 1),
+            &cfg,
+            Some(&mut inj),
+        );
+        println!(
+            "  k = {k}: survived {} slots, ended by {:?}",
+            res.lifetime, res.end
+        );
+    }
+}

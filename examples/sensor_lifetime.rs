@@ -1,0 +1,53 @@
+//! The data-gathering scenario from the paper's introduction: compare
+//! activation strategies on a simulated sensor network and see how much
+//! lifetime dominating-set rotation buys.
+//!
+//! ```text
+//! cargo run --release --example sensor_lifetime
+//! ```
+
+use domatic::prelude::*;
+use domatic::netsim::{
+    simulate, AllActive, DomaticRotation, EnergyModel, SimConfig, SingleMds, Strategy,
+};
+
+fn main() {
+    let n = 400;
+    let g = graph::generators::gnp::gnp_with_avg_degree(n, 80.0, 7);
+    let capacity = 30.0; // slots of active duty per battery
+    let energies = vec![capacity; n];
+    let cfg = SimConfig { model: EnergyModel::standard(), k: 1, max_slots: 1_000_000, switch_cost: 0.0 };
+    println!("topology: {}", graph::properties::describe(&g));
+    println!("battery: {capacity} units, active costs 1/slot, sleep 0.01/slot\n");
+
+    // Build the paper's rotation: a repaired random coloring whose classes
+    // are disjoint dominating sets.
+    let partition = core::feige::feige_partition(&g, &core::feige::FeigeParams::default());
+    println!(
+        "domatic partition: {} disjoint dominating sets (target {})",
+        partition.classes.len(),
+        partition.target
+    );
+
+    let mut strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(AllActive),
+        Box::new(SingleMds::static_once()),
+        Box::new(SingleMds::new()),
+        Box::new(DomaticRotation::new(partition.classes, 1)),
+    ];
+
+    println!(
+        "\n{:<22} {:>10} {:>12} {:>12}",
+        "strategy", "lifetime", "delivered", "mean awake"
+    );
+    for s in strategies.iter_mut() {
+        let name = s.name();
+        let res = simulate(&g, &energies, s.as_mut(), &cfg, None);
+        println!(
+            "{:<22} {:>10} {:>12} {:>12.1}",
+            name, res.lifetime, res.delivered, res.mean_active
+        );
+    }
+    println!("\nthe domatic rotation multiplies lifetime by ≈ the number of disjoint");
+    println!("dominating sets — the paper's core argument for lifetime-aware clustering.");
+}

@@ -1,0 +1,340 @@
+//! `domatic` — command-line front end: run the lifetime schedulers on an
+//! edge-list topology file.
+//!
+//! ```text
+//! domatic info <graph.txt>
+//! domatic schedule <graph.txt> [--b N] [--k K] [--alg uniform|general|greedy|ft] \
+//!                  [--seed S] [--trials R] [--verbose] [--out schedule.txt]
+//! domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]
+//! domatic partition <graph.txt> [--alg greedy|feige|augmented]
+//! domatic simulate <graph.txt> [--b N] [--k K]
+//! domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]
+//! domatic optimum <graph.txt> [--b N]      # exact LP, small graphs only
+//! ```
+//!
+//! The graph format is `domatic_graph::io`'s: a `n <count>` header then
+//! one `u v` edge per line (`#` comments allowed).
+
+use domatic::core::bounds::{fault_tolerant_upper_bound, general_upper_bound};
+use domatic::core::stochastic::{best_fault_tolerant, best_general, best_uniform};
+use domatic::core::greedy::greedy_general_schedule;
+use domatic::lp::lp_optimal_lifetime;
+use domatic::prelude::*;
+use domatic::schedule::compact::render;
+use domatic::schedule::metrics::schedule_metrics;
+use domatic::schedule::validate_schedule;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg uniform|general|greedy|ft] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]"
+    );
+    std::process::exit(2)
+}
+
+fn load_graph(path: &str) -> Graph {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    domatic::graph::io::parse_edge_list(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+struct Opts {
+    b: u64,
+    k: usize,
+    alg: String,
+    seed: u64,
+    trials: u64,
+    verbose: bool,
+    gantt: bool,
+    out: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        b: 3,
+        k: 1,
+        alg: "uniform".into(),
+        seed: 0,
+        trials: 8,
+        verbose: false,
+        gantt: false,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--b" => o.b = next("--b").parse().unwrap_or_else(|_| usage()),
+            "--k" => o.k = next("--k").parse().unwrap_or_else(|_| usage()),
+            "--alg" => o.alg = next("--alg"),
+            "--seed" => o.seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--trials" => o.trials = next("--trials").parse().unwrap_or_else(|_| usage()),
+            "--verbose" => o.verbose = true,
+            "--gantt" => o.gantt = true,
+            "--out" => o.out = Some(next("--out")),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.clone(), r.to_vec()),
+        None => usage(),
+    };
+    match cmd.as_str() {
+        "info" => {
+            let path = rest.first().unwrap_or_else(|| usage());
+            let g = load_graph(path);
+            println!("{}", domatic::graph::properties::describe(&g));
+            println!(
+                "connected: {}",
+                domatic::graph::traversal::is_connected(&g)
+            );
+            if let Some(delta) = g.min_degree() {
+                println!("domatic number upper bound (δ+1): {}", delta + 1);
+            }
+            let dec = domatic::graph::kcore::core_decomposition(&g);
+            println!(
+                "degeneracy (max core): {} — scheduling headroom of the bulk vs δ's certificate",
+                dec.degeneracy
+            );
+            if g.n() <= 150 {
+                let kappa = domatic::graph::flow::vertex_connectivity(&g);
+                println!(
+                    "vertex connectivity κ: {kappa} — ceiling for CONNECTED domatic partitions"
+                );
+            }
+        }
+        "schedule" => {
+            let path = rest.first().unwrap_or_else(|| usage());
+            let o = parse_opts(&rest[1..]);
+            let g = load_graph(path);
+            let batteries = Batteries::uniform(g.n(), o.b);
+            let (schedule, label, bound) = match o.alg.as_str() {
+                "uniform" => {
+                    let (s, seed) = best_uniform(&g, o.b, 3.0, o.trials, o.seed);
+                    (s, format!("Algorithm 1 (seed {seed})"), general_upper_bound(&g, &batteries))
+                }
+                "general" => {
+                    let (s, seed) = best_general(&g, &batteries, 3.0, o.trials, o.seed);
+                    (s, format!("Algorithm 2 (seed {seed})"), general_upper_bound(&g, &batteries))
+                }
+                "greedy" => (
+                    greedy_general_schedule(&g, &batteries),
+                    "greedy baseline".to_string(),
+                    general_upper_bound(&g, &batteries),
+                ),
+                "ft" => {
+                    let (s, seed) = best_fault_tolerant(&g, o.b, o.k, 3.0, o.trials, o.seed);
+                    (
+                        s,
+                        format!("Algorithm 3, k = {} (seed {seed})", o.k),
+                        fault_tolerant_upper_bound(&g, o.b, o.k),
+                    )
+                }
+                _ => usage(),
+            };
+            validate_schedule(&g, &batteries, &schedule, o.k).unwrap_or_else(|v| {
+                eprintln!("internal error: emitted schedule invalid: {v}");
+                std::process::exit(1);
+            });
+            println!("{label}: lifetime {} (upper bound {bound})", schedule.lifetime());
+            let m = schedule_metrics(&schedule, &batteries);
+            println!(
+                "steps {} | mean awake {:.1} | utilization {:.0}% | fairness {:.2}",
+                m.steps,
+                m.mean_active,
+                100.0 * m.utilization,
+                m.fairness
+            );
+            if o.verbose {
+                println!("{}", render(&schedule));
+            }
+            if o.gantt {
+                print!("{}", domatic::schedule::compact::render_gantt(&schedule, g.n()));
+            }
+            if let Some(path) = &o.out {
+                let text = domatic::schedule::io::to_text(&schedule, g.n());
+                std::fs::write(path, text).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!("wrote {path}");
+            }
+        }
+        "validate" => {
+            let (gpath, spath) = match (rest.first(), rest.get(1)) {
+                (Some(a), Some(b)) => (a.clone(), b.clone()),
+                _ => usage(),
+            };
+            let o = parse_opts(&rest[2..]);
+            let g = load_graph(&gpath);
+            let text = std::fs::read_to_string(&spath).unwrap_or_else(|e| {
+                eprintln!("cannot read {spath}: {e}");
+                std::process::exit(1);
+            });
+            let (schedule, universe) =
+                domatic::schedule::io::from_text(&text).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+            if universe != g.n() {
+                eprintln!("schedule universe {universe} != graph size {}", g.n());
+                std::process::exit(1);
+            }
+            let batteries = Batteries::uniform(g.n(), o.b);
+            match validate_schedule(&g, &batteries, &schedule, o.k) {
+                Ok(()) => println!(
+                    "VALID: lifetime {} at tolerance k = {} within b = {}",
+                    schedule.lifetime(),
+                    o.k,
+                    o.b
+                ),
+                Err(v) => {
+                    println!("INVALID: {v}");
+                    std::process::exit(3);
+                }
+            }
+        }
+        "partition" => {
+            let path = rest.first().unwrap_or_else(|| usage());
+            let o = parse_opts(&rest[1..]);
+            let g = load_graph(path);
+            use domatic::core::augment::augment_partition;
+            use domatic::core::feige::{feige_partition, FeigeParams};
+            use domatic::core::greedy::greedy_domatic_partition;
+            let classes = match o.alg.as_str() {
+                // "uniform" is parse_opts' default; map it to greedy here.
+                "greedy" | "uniform" => greedy_domatic_partition(&g),
+                "feige" => {
+                    feige_partition(&g, &FeigeParams { c: 3.0, max_sweeps: 60, seed: o.seed })
+                        .classes
+                }
+                "augmented" => {
+                    augment_partition(&g, greedy_domatic_partition(&g)).classes
+                }
+                _ => usage(),
+            };
+            println!(
+                "{} disjoint dominating sets (δ+1 ceiling: {})",
+                classes.len(),
+                g.min_degree().map_or(0, |d| d + 1)
+            );
+            for (i, c) in classes.iter().enumerate() {
+                if o.verbose {
+                    println!("  class {i}: {:?}", c.to_vec());
+                } else if i < 5 {
+                    println!("  class {i}: {} nodes", c.len());
+                }
+            }
+            if !o.verbose && classes.len() > 5 {
+                println!("  … ({} more; --verbose for members)", classes.len() - 5);
+            }
+        }
+        "simulate" => {
+            let path = rest.first().unwrap_or_else(|| usage());
+            let o = parse_opts(&rest[1..]);
+            let g = load_graph(path);
+            use domatic::core::greedy::greedy_domatic_partition;
+            use domatic::netsim::{
+                simulate, AllActive, DomaticRotation, EnergyModel, SimConfig, SingleMds,
+                Strategy,
+            };
+            let cfg = SimConfig {
+                model: EnergyModel::standard(),
+                k: o.k,
+                max_slots: 1_000_000,
+                switch_cost: 0.0,
+            };
+            let energies = vec![o.b as f64; g.n()];
+            let classes = greedy_domatic_partition(&g);
+            let mut strategies: Vec<Box<dyn Strategy>> = vec![
+                Box::new(AllActive),
+                Box::new(SingleMds::static_once()),
+                Box::new(DomaticRotation::new(classes, 1)),
+            ];
+            println!(
+                "{:<22} {:>10} {:>12} {:>12}",
+                "strategy", "lifetime", "delivered", "mean awake"
+            );
+            for s in strategies.iter_mut() {
+                let name = s.name();
+                let res = simulate(&g, &energies, s.as_mut(), &cfg, None);
+                println!(
+                    "{:<22} {:>10} {:>12} {:>12.1}",
+                    name, res.lifetime, res.delivered, res.mean_active
+                );
+            }
+        }
+        "render" => {
+            let path = rest.first().unwrap_or_else(|| usage());
+            let o = parse_opts(&rest[1..]);
+            let Some(out) = &o.out else {
+                eprintln!("render needs --out <file.svg>");
+                std::process::exit(2);
+            };
+            let g = load_graph(path);
+            use domatic::core::augment::augment_partition;
+            use domatic::core::feige::{feige_partition, FeigeParams};
+            use domatic::core::greedy::greedy_domatic_partition;
+            let classes = match o.alg.as_str() {
+                "greedy" | "uniform" => greedy_domatic_partition(&g),
+                "feige" => {
+                    feige_partition(&g, &FeigeParams { c: 3.0, max_sweeps: 60, seed: o.seed })
+                        .classes
+                }
+                "augmented" => augment_partition(&g, greedy_domatic_partition(&g)).classes,
+                _ => usage(),
+            };
+            let layout = domatic::viz::spring(&g, 80);
+            let svg = domatic::viz::render_topology(
+                &g,
+                &layout,
+                &classes,
+                &domatic::viz::TopologyStyle::default(),
+            );
+            std::fs::write(out, svg).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {out} ({} classes)", classes.len());
+        }
+        "optimum" => {
+            let path = rest.first().unwrap_or_else(|| usage());
+            let o = parse_opts(&rest[1..]);
+            let g = load_graph(path);
+            if g.n() > 24 {
+                eprintln!(
+                    "optimum enumerates minimal dominating sets; {} nodes is too many (max 24)",
+                    g.n()
+                );
+                std::process::exit(1);
+            }
+            match lp_optimal_lifetime(&g, &vec![o.b as f64; g.n()], 5_000_000) {
+                Ok(opt) => {
+                    println!("exact L_OPT = {:.3}", opt.lifetime);
+                    for (set, t) in &opt.schedule {
+                        println!("  {set:?} × {t:.3}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("exact solve failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,45 @@
+//! The experiment harness CLI.
+//!
+//! ```text
+//! experiments              # list experiments
+//! experiments all          # run the full suite
+//! experiments e1 e6        # run selected experiments
+//! ```
+//!
+//! Every table printed here corresponds to a row of DESIGN.md §3 and is
+//! recorded in EXPERIMENTS.md.
+
+use domatic::experiments::{registry, run_by_id};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        println!("domatic experiment harness — reproduction of Moscibroda & Wattenhofer, IPDPS 2005\n");
+        println!("usage: experiments <id>... | all\n");
+        for e in registry() {
+            println!("  {:4}  {}", e.id, e.summary);
+        }
+        return;
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        registry().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        let start = Instant::now();
+        match run_by_id(&id) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{}", t.render());
+                }
+                println!("[{} finished in {:.1?}]\n", id, start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' — run with no arguments for the list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

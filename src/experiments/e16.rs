@@ -1,0 +1,72 @@
+//! E16 — extension: multi-epoch rescheduling.
+//!
+//! The paper's algorithms color once and commit; re-running the
+//! constant-round protocol on residual batteries (each epoch is a fresh
+//! instance of the general problem) recovers much of the gap to the
+//! centralized greedy while staying fully distributed. This quantifies
+//! the gain and its communication price (2 rounds per epoch).
+
+use crate::experiments::table::Table;
+use crate::experiments::workloads::{random_batteries, Family};
+use domatic_core::bounds::general_upper_bound;
+use domatic_core::epochs::epoch_schedule;
+use domatic_core::general::{general_schedule, GeneralParams};
+use domatic_core::greedy::greedy_general_schedule;
+use domatic_schedule::longest_valid_prefix;
+
+/// Runs E16 and returns its tables.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E16 / multi-epoch rescheduling — Algorithm 2 rerun on residual batteries",
+        &["family", "n", "τ", "single-shot", "epochs (≤20)", "#epochs", "rounds", "greedy (centralized)"],
+    );
+    for (family, n) in [
+        (Family::Gnp { avg_degree: 80.0 }, 300usize),
+        (Family::Gnp { avg_degree: 150.0 }, 400),
+        (Family::Rgg { avg_degree: 60.0 }, 300),
+    ] {
+        let g = family.build(n, 41 + n as u64);
+        let b = random_batteries(g.n(), 5, 71 + n as u64);
+        let params = GeneralParams { c: 3.0, seed: 9 };
+        let (raw, _) = general_schedule(&g, &b, &params);
+        let single = longest_valid_prefix(&g, &b, &raw, 1).lifetime();
+        let multi = epoch_schedule(&g, &b, &params, 20);
+        let greedy = greedy_general_schedule(&g, &b).lifetime();
+        t.row(vec![
+            family.label(),
+            n.to_string(),
+            general_upper_bound(&g, &b).to_string(),
+            single.to_string(),
+            multi.schedule.lifetime().to_string(),
+            multi.epoch_lifetimes.len().to_string(),
+            multi.rounds.to_string(),
+            greedy.to_string(),
+        ]);
+    }
+    t.note("each epoch costs 2 communication rounds; the whole multi-epoch run stays O(#epochs), independent of n");
+    t.note("epochs add ~10–150% lifetime for a handful of extra rounds, but a gap to the centralized greedy remains:");
+    t.note("residual batteries grow skewed, which shrinks each later epoch's certified prefix — the guarantee, not the energy, runs out");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_strictly_improve_on_a_dense_instance() {
+        let g = Family::Gnp { avg_degree: 150.0 }.build(400, 41 + 400);
+        let b = random_batteries(400, 5, 71 + 400);
+        let params = GeneralParams { c: 3.0, seed: 9 };
+        let (raw, _) = general_schedule(&g, &b, &params);
+        let single = longest_valid_prefix(&g, &b, &raw, 1).lifetime();
+        let multi = epoch_schedule(&g, &b, &params, 20);
+        assert!(
+            multi.schedule.lifetime() > single,
+            "epochs {} vs single {}",
+            multi.schedule.lifetime(),
+            single
+        );
+        assert!(multi.schedule.lifetime() <= general_upper_bound(&g, &b));
+    }
+}

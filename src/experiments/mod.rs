@@ -1,0 +1,102 @@
+//! The experiment suite: every quantitative claim of the paper, as a
+//! regenerable table.
+//!
+//! The paper has one quantitative figure (Figure 1) and no evaluation
+//! tables — its results are lemmas and theorems. The reproduction
+//! therefore (a) reproduces Figure 1 exactly (E1) and (b) validates every
+//! quantitative claim empirically (E2–E10). DESIGN.md §3 is the index;
+//! EXPERIMENTS.md records paper-vs-measured for each.
+//!
+//! Run any experiment with `cargo run --release --bin experiments -- <id>`
+//! (`all` runs the suite).
+
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e13;
+pub mod e14;
+pub mod e15;
+pub mod e16;
+pub mod e17;
+pub mod e18;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod stats;
+pub mod table;
+pub mod workloads;
+
+use table::Table;
+
+/// An experiment's id, headline, and runner.
+pub struct Experiment {
+    /// Identifier accepted on the command line (e.g. `"e1"`).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub summary: &'static str,
+    /// Produces the experiment's tables.
+    pub run: fn() -> Vec<Table>,
+}
+
+/// The registry, in presentation order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "e1", summary: "Figure 1: the worked example, exact optimum 6", run: e1::run },
+        Experiment { id: "e2", summary: "Theorem 4.3: uniform algorithm is O(log n)-approx", run: e2::run },
+        Experiment { id: "e3", summary: "Lemma 4.2: color classes dominate w.h.p.", run: e3::run },
+        Experiment { id: "e4", summary: "Theorem 5.3: general (non-uniform) batteries", run: e4::run },
+        Experiment { id: "e5", summary: "Theorem 6.2: k-tolerant, both regimes", run: e5::run },
+        Experiment { id: "e6", summary: "Greedy baseline and its Ω(√n) collapse", run: e6::run },
+        Experiment { id: "e7", summary: "Feige et al. Ω(δ/ln Δ) partition, constructively", run: e7::run },
+        Experiment { id: "e8", summary: "Distributed cost: constant rounds, O(1) msgs/node", run: e8::run },
+        Experiment { id: "e9", summary: "End-to-end network-lifetime simulation", run: e9::run },
+        Experiment { id: "e10", summary: "Ablations: range constant c, best-of-R restarts", run: e10::run },
+        Experiment { id: "e11", summary: "Extension (§7): connected-clustering lifetime", run: e11::run },
+        Experiment { id: "e12", summary: "Extension (§7): general k-tolerant heuristic", run: e12::run },
+        Experiment { id: "e13", summary: "Extension (§7): sensitivity to the n estimate", run: e13::run },
+        Experiment { id: "e14", summary: "Extension: data-gathering delivery cost", run: e14::run },
+        Experiment { id: "e15", summary: "Ablation: dwell time vs switching cost", run: e15::run },
+        Experiment { id: "e16", summary: "Extension: multi-epoch rescheduling", run: e16::run },
+        Experiment { id: "e17", summary: "Extension: MAC cost of one round over slotted ALOHA", run: e17::run },
+        Experiment { id: "e18", summary: "Extension: partition augmentation (local search)", run: e18::run },
+    ]
+}
+
+/// Runs one experiment by id; `None` if the id is unknown.
+pub fn run_by_id(id: &str) -> Option<Vec<Table>> {
+    registry().into_iter().find(|e| e.id == id).map(|e| (e.run)())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_e1_to_e10() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        for want in [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14", "e15", "e16", "e17", "e18",
+        ] {
+            assert!(ids.contains(&want), "{want} missing");
+        }
+        assert_eq!(ids.len(), 18);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_by_id("e99").is_none());
+    }
+
+    #[test]
+    fn e1_runs_by_id() {
+        let tables = run_by_id("e1").unwrap();
+        assert!(!tables.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Tiny summary-statistics helpers for multi-seed experiment cells.
+
+/// Summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarizes a sample; `None` if empty.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some(Summary { n, mean, std: var.sqrt(), min, max })
+}
+
+impl Summary {
+    /// `"12.3 ± 1.4"` formatting for table cells.
+    pub fn pm(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean, self.std)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of
+    /// the mean (`1.96·σ/√n`); 0 for n ≤ 1.
+    pub fn ci95(&self) -> f64 {
+        if self.n <= 1 {
+            0.0
+        } else {
+            1.96 * self.std / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Runs `f(seed)` for seeds `0..trials` and summarizes.
+pub fn summarize_seeds(trials: u64, f: impl Fn(u64) -> f64) -> Summary {
+    let xs: Vec<f64> = (0..trials).map(f).collect();
+    summarize(&xs).expect("trials >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = summarize(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        // {1, 2, 3}: mean 2, sample std 1.
+        let s = summarize(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.ci95() - 1.96 / 3f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.pm(), "2.0 ± 1.0");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(summarize(&[]).is_none());
+        let s = summarize(&[5.0]).unwrap();
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn seeded_runner() {
+        let s = summarize_seeds(4, |seed| seed as f64);
+        assert_eq!(s.mean, 1.5);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 3.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared workload construction for the experiment suite.
+
+use domatic_graph::generators::geometric::{radius_for_avg_degree, random_geometric};
+use domatic_graph::generators::gnp::gnp_with_avg_degree;
+use domatic_graph::generators::grid::{grid, GridKind};
+use domatic_graph::generators::preferential::barabasi_albert;
+use domatic_graph::Graph;
+use domatic_schedule::Batteries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A topology family, parameterized only by size and seed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Family {
+    /// Random geometric graph (unit disk) with target average degree.
+    Rgg {
+        /// Target average degree (controls the radius).
+        avg_degree: f64,
+    },
+    /// Erdős–Rényi with target average degree.
+    Gnp {
+        /// Target average degree (controls `p`).
+        avg_degree: f64,
+    },
+    /// √n × √n torus with the 8-neighborhood (degree 8 everywhere).
+    Torus8,
+    /// Barabási–Albert preferential attachment (heavy-tailed degrees,
+    /// δ = m while Δ = Θ(√n) — separates the paper's δ- and Δ-dependences).
+    ScaleFree {
+        /// Edges added per new node (also the minimum degree).
+        m: usize,
+    },
+}
+
+impl Family {
+    /// Short label for table rows.
+    pub fn label(&self) -> String {
+        match self {
+            Family::Rgg { avg_degree } => format!("rgg(d̄={avg_degree})"),
+            Family::Gnp { avg_degree } => format!("gnp(d̄={avg_degree})"),
+            Family::Torus8 => "torus8".to_string(),
+            Family::ScaleFree { m } => format!("ba(m={m})"),
+        }
+    }
+
+    /// Builds an instance of roughly `n` nodes (the torus rounds to a
+    /// square).
+    pub fn build(&self, n: usize, seed: u64) -> Graph {
+        match self {
+            Family::Rgg { avg_degree } => {
+                random_geometric(n, radius_for_avg_degree(n, *avg_degree), seed).graph
+            }
+            Family::Gnp { avg_degree } => gnp_with_avg_degree(n, *avg_degree, seed),
+            Family::Torus8 => {
+                let side = (n as f64).sqrt().round().max(3.0) as usize;
+                grid(side, side, GridKind::EightConnected, true)
+            }
+            Family::ScaleFree { m } => barabasi_albert(n, *m, seed),
+        }
+    }
+}
+
+/// Uniform random batteries in `1..=hi`, deterministic per seed.
+pub fn random_batteries(n: usize, hi: u64, seed: u64) -> Batteries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Batteries::from_vec((0..n).map(|_| rng.random_range(1..=hi)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_at_requested_sizes() {
+        let r = Family::Rgg { avg_degree: 10.0 }.build(100, 1);
+        assert_eq!(r.n(), 100);
+        let g = Family::Gnp { avg_degree: 10.0 }.build(100, 1);
+        assert_eq!(g.n(), 100);
+        let t = Family::Torus8.build(100, 1);
+        assert_eq!(t.n(), 100);
+        assert_eq!(t.min_degree(), Some(8));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(
+            Family::Rgg { avg_degree: 10.0 }.label(),
+            Family::Gnp { avg_degree: 10.0 }.label()
+        );
+    }
+
+    #[test]
+    fn random_batteries_in_range() {
+        let b = random_batteries(200, 5, 3);
+        assert!(b.as_slice().iter().all(|&x| (1..=5).contains(&x)));
+        assert_eq!(random_batteries(200, 5, 3), random_batteries(200, 5, 3));
+    }
+}

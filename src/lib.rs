@@ -1,0 +1,64 @@
+//! # domatic
+//!
+//! A Rust reproduction of **Moscibroda & Wattenhofer, “Maximizing the
+//! Lifetime of Dominating Sets”, IPDPS 2005** — randomized, local
+//! approximation algorithms that schedule disjoint dominating sets so a
+//! battery-powered network stays clustered for as long as possible.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! - [`graph`] *(domatic-graph)* — CSR graphs, generators, domination
+//!   predicates, MIS;
+//! - [`lp`] *(domatic-lp)* — exact `L_OPT` via a from-scratch simplex over
+//!   enumerated minimal dominating sets;
+//! - [`schedule`] *(domatic-schedule)* — schedule types, energy ledgers,
+//!   validation;
+//! - [`core`] *(domatic-core)* — the paper's Algorithms 1–3, the L_OPT
+//!   bounds, greedy/Feige baselines, parallel restarts;
+//! - [`distsim`] *(domatic-distsim)* — the algorithms as genuinely local
+//!   protocols on a synchronous round engine;
+//! - [`netsim`] *(domatic-netsim)* — end-to-end sensor-network lifetime
+//!   simulation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use domatic::prelude::*;
+//!
+//! // A 200-node sensor field, batteries good for 3 active slots.
+//! let gg = graph::generators::geometric::random_geometric(
+//!     200,
+//!     graph::generators::geometric::radius_for_avg_degree(200, 25.0),
+//!     42,
+//! );
+//! let g = gg.graph;
+//! let b = 3u64;
+//!
+//! // Algorithm 1: one message round, then everyone picks a color.
+//! let (raw, coloring) = core::uniform::uniform_schedule(
+//!     &g, b, &core::uniform::UniformParams::default());
+//!
+//! // Validate (the guarantee is w.h.p.) and compare against Lemma 4.1.
+//! let batteries = schedule::Batteries::uniform(g.n(), b);
+//! let valid = schedule::longest_valid_prefix(&g, &batteries, &raw, 1);
+//! let bound = core::bounds::uniform_upper_bound(&g, b);
+//! assert!(valid.lifetime() >= b * coloring.guaranteed_classes as u64);
+//! assert!(valid.lifetime() <= bound);
+//! ```
+
+pub mod experiments;
+
+pub use domatic_core as core;
+pub use domatic_distsim as distsim;
+pub use domatic_graph as graph;
+pub use domatic_lp as lp;
+pub use domatic_netsim as netsim;
+pub use domatic_schedule as schedule;
+pub use domatic_viz as viz;
+
+/// One-line import for examples and downstream code.
+pub mod prelude {
+    pub use crate::{core, distsim, graph, lp, netsim, schedule, viz};
+    pub use domatic_graph::{Graph, NodeId, NodeSet};
+    pub use domatic_schedule::{Batteries, Schedule};
+}

@@ -1,0 +1,72 @@
+//! Integration: the paper's Figure 1, end to end, with every claim the
+//! figure makes checked mechanically.
+
+use domatic::lp::{exact_integral_lifetime, figure1_instance, lp_optimal_lifetime};
+use domatic::prelude::*;
+use domatic::schedule::{validate_schedule, Violation};
+
+#[test]
+fn figure1_full_story() {
+    let (g, b32) = figure1_instance();
+    let batteries = Batteries::from_vec(b32.iter().map(|&x| x as u64).collect());
+
+    // The figure's numbers: 7 nodes, uniform battery 2, optimum 6.
+    assert_eq!(g.n(), 7);
+    assert!(batteries.is_uniform());
+    assert_eq!(batteries.get(0), 2);
+
+    // Exact optimum: 6, both fractional and integral.
+    let frac = lp_optimal_lifetime(&g, &batteries.to_f64(), 5_000_000).unwrap();
+    assert!((frac.lifetime - 6.0).abs() < 1e-6);
+    assert_eq!(exact_integral_lifetime(&g, &b32, 5_000_000).unwrap(), 6);
+
+    // The witness: three dominating sets, two slots each.
+    let d_a = NodeSet::from_iter(7, [0u32, 3]);
+    let d_b = NodeSet::from_iter(7, [1u32, 4]);
+    let d_c = NodeSet::from_iter(7, [2u32, 5, 6]);
+    let schedule = Schedule::from_entries([
+        (d_a.clone(), 2),
+        (d_b.clone(), 2),
+        (d_c.clone(), 2),
+    ]);
+    validate_schedule(&g, &batteries, &schedule, 1).unwrap();
+    assert_eq!(schedule.lifetime(), 6);
+
+    // "After the last step, node v cannot be covered anymore": every node
+    // in N⁺(v) has exhausted its battery. Extending by ANY dominating set
+    // for one more slot must violate some budget.
+    let poor = 6u32;
+    let used: Vec<u64> = (0..7).map(|v| schedule.active_time(v)).collect();
+    for &u in g.neighbors(poor) {
+        assert_eq!(used[u as usize], batteries.get(u), "neighbor {u} must be spent");
+    }
+    assert_eq!(used[poor as usize], batteries.get(poor));
+
+    // Mechanical check: appending any minimal dominating set breaks the
+    // budget of someone in N⁺(v).
+    let all_min = domatic::lp::minimal_dominating_sets(&g, 1_000_000).unwrap();
+    for ds in all_min {
+        let mut extended = schedule.clone();
+        extended.push(NodeSet::from_iter(7, ds.iter().copied()), 1);
+        let err = validate_schedule(&g, &batteries, &extended, 1).unwrap_err();
+        assert!(matches!(err, Violation::OverBudget { .. }));
+    }
+}
+
+#[test]
+fn figure1_optimum_is_not_unique() {
+    // The paper notes "the optimal solution is not unique" — exhibit a
+    // second, structurally different optimal schedule.
+    let (g, _) = figure1_instance();
+    let batteries = Batteries::uniform(7, 2);
+    let alt = Schedule::from_entries([
+        (NodeSet::from_iter(7, [0u32, 3]), 1),
+        (NodeSet::from_iter(7, [1u32, 4]), 1),
+        (NodeSet::from_iter(7, [6u32, 2, 5]), 1),
+        (NodeSet::from_iter(7, [0u32, 3]), 1),
+        (NodeSet::from_iter(7, [1u32, 4]), 1),
+        (NodeSet::from_iter(7, [6u32, 2, 5]), 1),
+    ]);
+    validate_schedule(&g, &batteries, &alt, 1).unwrap();
+    assert_eq!(alt.lifetime(), 6);
+}

@@ -1,0 +1,83 @@
+//! Integration: the k-tolerant pipeline — Algorithm 3, Lemma 6.1, the
+//! distributed variant, and the netsim crash story.
+
+use domatic::core::bounds::fault_tolerant_upper_bound;
+use domatic::core::fault_tolerant::fault_tolerant_schedule;
+use domatic::core::uniform::UniformParams;
+use domatic::distsim::protocols::fault_tolerant::distributed_fault_tolerant_schedule;
+use domatic::netsim::{simulate, DomaticRotation, EnergyModel, FailureInjector, SimConfig};
+use domatic::prelude::*;
+use domatic::schedule::{longest_valid_prefix, validate_schedule};
+
+#[test]
+fn k_sweep_respects_lemma_6_1_and_halving_floor() {
+    let g = graph::generators::gnp::gnp_with_avg_degree(300, 90.0, 6);
+    let b = 6u64;
+    let batteries = Batteries::uniform(g.n(), b);
+    let delta = g.min_degree().unwrap();
+    let mut last = u64::MAX;
+    for k in [1usize, 2, 3, 4] {
+        assert!(delta >= k, "fixture must satisfy δ ≥ k");
+        let run = fault_tolerant_schedule(&g, b, k, &UniformParams { c: 3.0, seed: 3 });
+        let valid = longest_valid_prefix(&g, &batteries, &run.schedule, k);
+        validate_schedule(&g, &batteries, &valid, k).unwrap();
+        assert!(valid.lifetime() >= b / 2, "k={k}: everyone-on floor violated");
+        assert!(
+            valid.lifetime() <= fault_tolerant_upper_bound(&g, b, k),
+            "k={k}: Lemma 6.1 violated"
+        );
+        // Higher tolerance can never increase the validated lifetime on
+        // the same coloring.
+        assert!(valid.lifetime() <= last, "k={k} beat k={}", k - 1);
+        last = valid.lifetime();
+    }
+}
+
+#[test]
+fn distributed_and_centralized_ft_share_structure() {
+    let g = graph::generators::gnp::gnp_with_avg_degree(200, 80.0, 2);
+    let b = 4u64;
+    let k = 2usize;
+    let central = fault_tolerant_schedule(&g, b, k, &UniformParams { c: 3.0, seed: 1 });
+    let distributed = distributed_fault_tolerant_schedule(&g, b, k, 3.0, 1, 4);
+    assert_eq!(central.phase1, distributed.phase1);
+    assert_eq!(central.phase2_each, distributed.phase2_each);
+    // Both validate at tolerance k.
+    let batteries = Batteries::uniform(g.n(), b);
+    for s in [central.schedule, distributed.schedule] {
+        let valid = longest_valid_prefix(&g, &batteries, &s, k);
+        validate_schedule(&g, &batteries, &valid, k).unwrap();
+        assert!(valid.lifetime() >= b / 2);
+    }
+}
+
+#[test]
+fn merged_schedule_survives_scripted_crash_in_simulation() {
+    // Build a 2-tolerant rotation and crash an active node mid-run: the
+    // simulation must keep full coverage through the crash slot.
+    let g = graph::generators::gnp::gnp_with_avg_degree(200, 80.0, 5);
+    let run = fault_tolerant_schedule(&g, 8, 2, &UniformParams { c: 3.0, seed: 4 });
+    // Use the schedule's merged phase-2 classes as rotation sets.
+    let classes: Vec<NodeSet> = run
+        .schedule
+        .entries()
+        .iter()
+        .skip(1) // skip the everyone-on phase
+        .map(|e| e.set.clone())
+        .collect();
+    assert!(!classes.is_empty());
+    // Crash one member of the first class at slot 1.
+    let victim = classes[0].iter().next().unwrap();
+    let cfg = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 50, switch_cost: 0.0 };
+    let mut inj = FailureInjector::scripted(vec![(1, victim)]);
+    let res = simulate(
+        &g,
+        &vec![8.0; g.n()],
+        &mut DomaticRotation::new(classes, 4),
+        &cfg,
+        Some(&mut inj),
+    );
+    // The 2-dominating class still 1-dominates without the victim, so the
+    // crash slot survives.
+    assert!(res.lifetime > 1, "crash at slot 1 ended the run: {:?}", res.end);
+}

@@ -1,0 +1,84 @@
+//! Integration: the general (non-uniform battery) pipeline — Algorithm 2
+//! against Lemma 5.1, the LP optimum, and the greedy baseline.
+
+use domatic::core::bounds::general_upper_bound;
+use domatic::core::general::{general_schedule, GeneralParams};
+use domatic::core::greedy::greedy_general_schedule;
+use domatic::core::stochastic::best_general;
+use domatic::lp::lp_optimal_lifetime;
+use domatic::prelude::*;
+use domatic::schedule::{longest_valid_prefix, validate_schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn batteries(n: usize, hi: u64, seed: u64) -> Batteries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Batteries::from_vec((0..n).map(|_| rng.random_range(1..=hi)).collect())
+}
+
+#[test]
+fn algorithm2_budget_and_bound_invariants() {
+    let g = graph::generators::gnp::gnp_with_avg_degree(250, 70.0, 4);
+    let b = batteries(250, 6, 11);
+    for seed in 0..5 {
+        let (raw, mc) = general_schedule(&g, &b, &GeneralParams { c: 3.0, seed });
+        // Budget holds on the RAW schedule by construction, not just the
+        // validated prefix.
+        for v in 0..g.n() as NodeId {
+            assert!(raw.active_time(v) <= b.get(v), "seed {seed}, node {v}");
+        }
+        let valid = longest_valid_prefix(&g, &b, &raw, 1);
+        validate_schedule(&g, &b, &valid, 1).unwrap();
+        assert!(valid.lifetime() <= general_upper_bound(&g, &b));
+        assert!(valid.lifetime() >= mc.guaranteed_classes as u64 || mc.guaranteed_classes == 0);
+    }
+}
+
+#[test]
+fn greedy_and_algorithm2_both_below_lp_optimum() {
+    for seed in 0..3 {
+        let g = graph::generators::gnp::gnp_with_avg_degree(12, 5.0, seed);
+        let b = batteries(12, 3, seed + 100);
+        let opt = lp_optimal_lifetime(&g, &b.to_f64(), 5_000_000).unwrap().lifetime;
+        let (alg, _) = best_general(&g, &b, 3.0, 10, 0);
+        let greedy = greedy_general_schedule(&g, &b);
+        validate_schedule(&g, &b, &greedy, 1).unwrap();
+        assert!(alg.lifetime() as f64 <= opt + 1e-6, "seed {seed}");
+        assert!(greedy.lifetime() as f64 <= opt + 1e-6, "seed {seed}");
+        // The energy-coverage bound caps the LP too (Lemma 5.1 proof).
+        assert!(opt <= general_upper_bound(&g, &b) as f64 + 1e-6, "seed {seed}");
+    }
+}
+
+#[test]
+fn uniform_battery_input_reduces_general_to_uniform_shape() {
+    // With b_v = b the general algorithm's guarantee must be within a
+    // constant of the uniform one's on the same graph: both divide the
+    // same neighborhood energy by a log factor.
+    let g = graph::generators::gnp::gnp_with_avg_degree(300, 120.0, 8);
+    let b = 3u64;
+    let uni = Batteries::uniform(g.n(), b);
+    let (raw, mc) = general_schedule(&g, &uni, &GeneralParams { c: 3.0, seed: 2 });
+    let valid = longest_valid_prefix(&g, &uni, &raw, 1);
+    assert!(mc.guaranteed_classes >= 1);
+    assert!(valid.lifetime() >= mc.guaranteed_classes as u64);
+    // Each node's active time is ≤ b by the distinct-color construction.
+    for v in 0..g.n() as NodeId {
+        assert!(raw.active_time(v) <= b);
+    }
+}
+
+#[test]
+fn zero_and_skewed_batteries_are_handled() {
+    let g = graph::generators::regular::star(10);
+    // Center rich, leaves dead: only {center} dominates; lifetime = b_center.
+    let b = Batteries::from_vec(
+        std::iter::once(7u64).chain(std::iter::repeat(0).take(9)).collect(),
+    );
+    let greedy = greedy_general_schedule(&g, &b);
+    validate_schedule(&g, &b, &greedy, 1).unwrap();
+    assert_eq!(greedy.lifetime(), 7);
+    let (raw, _) = general_schedule(&g, &b, &GeneralParams::default());
+    let valid = longest_valid_prefix(&g, &b, &raw, 1);
+    validate_schedule(&g, &b, &valid, 1).unwrap();
+}

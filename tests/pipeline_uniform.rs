@@ -1,0 +1,87 @@
+//! Integration: the full uniform-case pipeline across crates —
+//! generator → Algorithm 1 → validation → bounds → exact LP.
+
+use domatic::prelude::*;
+use domatic::core::bounds::uniform_upper_bound;
+use domatic::core::stochastic::best_uniform;
+use domatic::core::uniform::{uniform_schedule, UniformParams};
+use domatic::lp::lp_optimal_lifetime;
+use domatic::schedule::{longest_valid_prefix, validate_schedule};
+
+#[test]
+fn algorithm1_respects_bound_and_validates_across_families() {
+    let b = 3u64;
+    let instances: Vec<(&str, Graph)> = vec![
+        ("gnp", graph::generators::gnp::gnp_with_avg_degree(300, 60.0, 1)),
+        (
+            "rgg",
+            graph::generators::geometric::random_geometric(
+                300,
+                graph::generators::geometric::radius_for_avg_degree(300, 30.0),
+                2,
+            )
+            .graph,
+        ),
+        ("torus", graph::generators::grid::grid(17, 17, graph::generators::grid::GridKind::EightConnected, true)),
+        ("complete", graph::generators::regular::complete(120)),
+    ];
+    for (name, g) in instances {
+        let batteries = Batteries::uniform(g.n(), b);
+        let (raw, coloring) = uniform_schedule(&g, b, &UniformParams { c: 3.0, seed: 7 });
+        let valid = longest_valid_prefix(&g, &batteries, &raw, 1);
+        validate_schedule(&g, &batteries, &valid, 1).unwrap();
+        assert!(
+            valid.lifetime() <= uniform_upper_bound(&g, b),
+            "{name}: lifetime exceeds Lemma 4.1"
+        );
+        assert!(
+            valid.lifetime() >= b,
+            "{name}: even one class must give b slots"
+        );
+        assert!(coloring.num_classes >= coloring.guaranteed_classes.min(coloring.num_classes));
+    }
+}
+
+#[test]
+fn lp_optimum_between_algorithm_and_bound_on_small_instances() {
+    // L_ALG ≤ L_OPT ≤ b(δ+1) must hold with exact arithmetic.
+    let b = 2u64;
+    for (n, d, seed) in [(10usize, 4.0, 1u64), (12, 5.0, 2), (14, 4.0, 3)] {
+        let g = graph::generators::gnp::gnp_with_avg_degree(n, d, seed);
+        let (sched, _) = best_uniform(&g, b, 3.0, 10, 5);
+        let opt = lp_optimal_lifetime(&g, &vec![b as f64; n], 5_000_000)
+            .unwrap()
+            .lifetime;
+        assert!(
+            sched.lifetime() as f64 <= opt + 1e-6,
+            "n={n}: algorithm {} beat the optimum {}",
+            sched.lifetime(),
+            opt
+        );
+        assert!(
+            opt <= uniform_upper_bound(&g, b) as f64 + 1e-6,
+            "n={n}: LP {} above Lemma 4.1 {}",
+            opt,
+            uniform_upper_bound(&g, b)
+        );
+    }
+}
+
+#[test]
+fn centralized_and_distributed_algorithm1_agree_statistically() {
+    use domatic::distsim::protocols::uniform::distributed_uniform_schedule;
+    // Same graph, same guarantees: both versions' validated lifetimes must
+    // land in [b · guaranteed, b(δ+1)].
+    let g = graph::generators::gnp::gnp_with_avg_degree(400, 120.0, 9);
+    let b = 2u64;
+    let batteries = Batteries::uniform(g.n(), b);
+    let (c_raw, c_col) = uniform_schedule(&g, b, &UniformParams { c: 3.0, seed: 3 });
+    let (d_raw, d_col, stats) = distributed_uniform_schedule(&g, b, 3.0, 3, 4);
+    assert_eq!(c_col.guaranteed_classes, d_col.guaranteed_classes);
+    assert_eq!(stats.rounds, 1);
+    for raw in [c_raw, d_raw] {
+        let valid = longest_valid_prefix(&g, &batteries, &raw, 1);
+        assert!(valid.lifetime() >= b * c_col.guaranteed_classes as u64);
+        assert!(valid.lifetime() <= uniform_upper_bound(&g, b));
+    }
+}
