@@ -1,0 +1,67 @@
+//! Overhead of telemetry with no sink attached (the library default).
+//!
+//! The contract in `domatic_telemetry::span`: a disabled `span!` is one
+//! relaxed atomic increment, and a cached `count!` is one relaxed atomic
+//! add — instrumented hot paths must cost nothing measurable when nobody
+//! is listening. These benches pin that down against an empty baseline
+//! and against the enabled (recording) path for contrast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use domatic_telemetry as telemetry;
+use std::hint::black_box;
+
+fn bench_disabled_overhead(c: &mut Criterion) {
+    telemetry::set_enabled(false);
+    let mut group = c.benchmark_group("telemetry_overhead");
+
+    group.bench_function("baseline_empty_loop", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                black_box(i);
+            }
+        });
+    });
+    group.bench_function("disabled_span_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                let _span = telemetry::span!("bench.noop");
+                black_box(i);
+            }
+        });
+    });
+    group.bench_function("disabled_count_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                telemetry::count!("bench.noop.counter");
+                black_box(i);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_enabled_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_enabled");
+    group.bench_function("enabled_span_x1000", |b| {
+        telemetry::set_enabled(true);
+        b.iter(|| {
+            for i in 0..1000u64 {
+                let _span = telemetry::span!("bench.live");
+                black_box(i);
+            }
+        });
+        telemetry::set_enabled(false);
+    });
+    group.bench_function("histogram_record_x1000", |b| {
+        let h = telemetry::global().histogram("bench.hist");
+        b.iter(|| {
+            for i in 0..1000u64 {
+                h.record(black_box(i));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disabled_overhead, bench_enabled_recording);
+criterion_main!(benches);

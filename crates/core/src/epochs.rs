@@ -118,7 +118,7 @@ mod tests {
             multi.schedule.lifetime() >= multi.epoch_lifetimes[0],
             "composition lost lifetime"
         );
-        assert!(multi.epoch_lifetimes.len() >= 1);
+        assert!(!multi.epoch_lifetimes.is_empty());
         // And in aggregate it should be at least as good as one shot (the
         // first epoch alone is statistically equivalent to it).
         assert!(

@@ -69,6 +69,8 @@ pub fn fault_tolerant_schedule(
     params: &UniformParams,
 ) -> FaultTolerantRun {
     assert!(k >= 1, "tolerance k must be at least 1");
+    let _span = domatic_telemetry::span!("ft.schedule");
+    domatic_telemetry::count!("core.ft.schedules");
     let n = g.n();
     let coloring = uniform_coloring(g, params);
     let phase1 = b / 2;

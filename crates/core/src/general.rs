@@ -89,6 +89,8 @@ pub fn general_coloring(
     params: &GeneralParams,
 ) -> MultiColorAssignment {
     assert_eq!(g.n(), batteries.n(), "graph/battery size mismatch");
+    let _span = domatic_telemetry::span!("general.color_assign");
+    domatic_telemetry::count!("core.general.colorings");
     let n = g.n();
     // Round 1 quantities.
     let bhat: Vec<u64> = (0..n as NodeId)
@@ -134,6 +136,7 @@ pub fn general_coloring(
     } else {
         general_color_range(general_upper_bound(g, batteries), batteries.max(), n, params.c)
     };
+    domatic_telemetry::global().observe("core.general.num_classes", u64::from(num_classes));
     MultiColorAssignment { color_sets, num_classes, guaranteed_classes: guaranteed }
 }
 

@@ -24,6 +24,7 @@ use domatic_schedule::{Batteries, EnergyLedger, Schedule};
 /// assert_eq!(parts.len(), 5);
 /// ```
 pub fn greedy_domatic_partition(g: &Graph) -> Vec<NodeSet> {
+    let _span = domatic_telemetry::span!("greedy.partition");
     let mut alive = NodeSet::full(g.n());
     let mut out = Vec::new();
     if g.n() == 0 {
@@ -33,6 +34,7 @@ pub fn greedy_domatic_partition(g: &Graph) -> Vec<NodeSet> {
         alive.difference_with(&ds);
         out.push(ds);
     }
+    domatic_telemetry::global().observe("core.greedy.partition_classes", out.len() as u64);
     out
 }
 
@@ -51,6 +53,7 @@ pub fn greedy_uniform_schedule(g: &Graph, b: u64) -> Schedule {
 /// powerful with skewed batteries.
 pub fn greedy_general_schedule(g: &Graph, batteries: &Batteries) -> Schedule {
     assert_eq!(g.n(), batteries.n(), "graph/battery size mismatch");
+    let _span = domatic_telemetry::span!("greedy.general_schedule");
     let mut ledger = EnergyLedger::new(batteries.clone());
     let mut schedule = Schedule::new();
     if g.n() == 0 {
@@ -125,7 +128,7 @@ mod tests {
             let greedy = greedy_domatic_partition(&g).len();
             let opt = fujita_optimal_partition_size(m);
             assert!(greedy <= 3, "m = {m}: greedy found {greedy}");
-            assert!(opt >= m + 1);
+            assert!(opt > m);
         }
     }
 

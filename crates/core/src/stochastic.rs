@@ -71,11 +71,15 @@ pub fn best_of<F>(trials: u64, base_seed: u64, f: F) -> (Schedule, u64)
 where
     F: Fn(u64) -> Schedule + Sync,
 {
+    let _span = domatic_telemetry::span!("stochastic.best_of");
     (0..trials.max(1))
         .into_par_iter()
         .map(|i| {
             let seed = base_seed.wrapping_add(i);
-            (f(seed), seed)
+            let s = f(seed);
+            domatic_telemetry::count!("core.best_of.trials");
+            domatic_telemetry::global().observe("core.best_of.trial_lifetime", s.lifetime());
+            (s, seed)
         })
         .reduce_with(|a, b| {
             // Prefer longer lifetime; on ties prefer the smaller seed.

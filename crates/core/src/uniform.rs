@@ -65,6 +65,8 @@ pub fn uniform_coloring_with_estimate(
     n_estimate: usize,
     params: &UniformParams,
 ) -> ColorAssignment {
+    let _span = domatic_telemetry::span!("uniform.color_assign");
+    domatic_telemetry::count!("core.uniform.colorings");
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut colors = Vec::with_capacity(g.n());
     let mut num_classes = 0u32;
@@ -79,6 +81,7 @@ pub fn uniform_coloring_with_estimate(
         Some(delta) => color_range(delta, n_estimate, params.c),
         None => 0,
     };
+    domatic_telemetry::global().observe("core.uniform.num_classes", u64::from(num_classes));
     ColorAssignment { colors, num_classes, guaranteed_classes: guaranteed }
 }
 

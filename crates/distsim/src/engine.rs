@@ -61,8 +61,10 @@ pub fn run_protocol_lossy<P: Protocol>(
     let receptions = AtomicU64::new(0);
     let bytes_received = AtomicU64::new(0);
 
+    let run_span = domatic_telemetry::span!("distsim.run");
     let rounds = protocol.rounds();
     for round in 0..rounds {
+        let _round_span = domatic_telemetry::span!("distsim.round");
         // Phase 1: publish broadcasts.
         {
             let states = &states[..];
@@ -117,6 +119,8 @@ pub fn run_protocol_lossy<P: Protocol>(
         receptions: receptions.into_inner(),
         bytes_received: bytes_received.into_inner(),
     };
+    stats.publish(domatic_telemetry::global());
+    drop(run_span);
     (outputs, stats)
 }
 

@@ -91,7 +91,7 @@ impl Protocol for LubyProtocol {
     }
 
     fn broadcast(&self, _v: NodeId, st: &LubyState, round: usize) -> Option<Msg> {
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             // Competition round: undecided nodes advertise a random value.
             // (We reuse the Battery payload as an opaque u64.)
             match st.status {
@@ -108,7 +108,7 @@ impl Protocol for LubyProtocol {
     }
 
     fn receive(&self, v: NodeId, st: &mut LubyState, round: usize, inbox: &[Msg]) {
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             if st.status != Status::Undecided {
                 return;
             }
@@ -137,12 +137,11 @@ impl Protocol for LubyProtocol {
         } else {
             match st.status {
                 Status::FreshlyIn => st.status = Status::In,
-                Status::Undecided => {
-                    if inbox.iter().any(|m| matches!(m, Msg::Battery(u64::MAX))) {
+                Status::Undecided
+                    if inbox.iter().any(|m| matches!(m, Msg::Battery(u64::MAX))) => {
                         st.status = Status::Out;
                         st.decided_round = round;
                     }
-                }
                 _ => {}
             }
         }

@@ -1,5 +1,7 @@
 //! Communication-cost accounting for protocol runs.
 
+use domatic_telemetry::Registry;
+
 /// Cost of one protocol execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct RunStats {
@@ -33,6 +35,64 @@ impl RunStats {
             self.receptions as f64 / n as f64
         }
     }
+
+    /// Folds another run's costs into this one. Rounds add (the runs are
+    /// viewed as executed back to back), as do all message tallies.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.transmissions += other.transmissions;
+        self.receptions += other.receptions;
+        self.bytes_received += other.bytes_received;
+    }
+
+    /// Adds this run's costs to `registry` under the `distsim.*` counters
+    /// (the names `From<&Registry>` reads back).
+    pub fn publish(&self, registry: &Registry) {
+        registry.incr("distsim.rounds", self.rounds as u64);
+        registry.incr("distsim.transmissions", self.transmissions);
+        registry.incr("distsim.receptions", self.receptions);
+        registry.incr("distsim.bytes_received", self.bytes_received);
+    }
+}
+
+impl std::ops::AddAssign<&RunStats> for RunStats {
+    fn add_assign(&mut self, other: &RunStats) {
+        self.merge(other);
+    }
+}
+
+impl std::iter::Sum for RunStats {
+    fn sum<I: Iterator<Item = RunStats>>(iter: I) -> RunStats {
+        let mut acc = RunStats::default();
+        for s in iter {
+            acc.merge(&s);
+        }
+        acc
+    }
+}
+
+impl<'a> std::iter::Sum<&'a RunStats> for RunStats {
+    fn sum<I: Iterator<Item = &'a RunStats>>(iter: I) -> RunStats {
+        let mut acc = RunStats::default();
+        for s in iter {
+            acc.merge(s);
+        }
+        acc
+    }
+}
+
+/// Reads back the totals accumulated by [`RunStats::publish`] — the bridge
+/// the `experiments --json` exporter uses to report communication cost
+/// without threading every protocol's stats through the table layer.
+impl From<&Registry> for RunStats {
+    fn from(registry: &Registry) -> RunStats {
+        RunStats {
+            rounds: registry.counter_value("distsim.rounds") as usize,
+            transmissions: registry.counter_value("distsim.transmissions"),
+            receptions: registry.counter_value("distsim.receptions"),
+            bytes_received: registry.counter_value("distsim.bytes_received"),
+        }
+    }
 }
 
 impl std::fmt::Display for RunStats {
@@ -61,5 +121,49 @@ mod tests {
     fn display_format() {
         let s = RunStats { rounds: 1, transmissions: 2, receptions: 3, bytes_received: 4 };
         assert_eq!(s.to_string(), "rounds=1 tx=2 rx=3 bytes=4");
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = RunStats { rounds: 2, transmissions: 10, receptions: 30, bytes_received: 120 };
+        let b = RunStats { rounds: 3, transmissions: 5, receptions: 7, bytes_received: 28 };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            RunStats { rounds: 5, transmissions: 15, receptions: 37, bytes_received: 148 }
+        );
+        a += &b;
+        assert_eq!(a.rounds, 8);
+        assert_eq!(a.transmissions, 20);
+    }
+
+    #[test]
+    fn sum_over_iterators() {
+        let runs = vec![
+            RunStats { rounds: 1, transmissions: 1, receptions: 2, bytes_received: 8 },
+            RunStats { rounds: 2, transmissions: 3, receptions: 4, bytes_received: 16 },
+            RunStats::default(),
+        ];
+        let by_ref: RunStats = runs.iter().sum();
+        let by_val: RunStats = runs.clone().into_iter().sum();
+        assert_eq!(by_ref, by_val);
+        assert_eq!(
+            by_ref,
+            RunStats { rounds: 3, transmissions: 4, receptions: 6, bytes_received: 24 }
+        );
+        let empty: RunStats = std::iter::empty::<RunStats>().sum();
+        assert_eq!(empty, RunStats::default());
+    }
+
+    #[test]
+    fn publish_round_trips_through_registry() {
+        let reg = Registry::new();
+        let a = RunStats { rounds: 2, transmissions: 20, receptions: 60, bytes_received: 240 };
+        let b = RunStats { rounds: 1, transmissions: 5, receptions: 8, bytes_received: 32 };
+        a.publish(&reg);
+        b.publish(&reg);
+        let mut want = a;
+        want.merge(&b);
+        assert_eq!(RunStats::from(&reg), want);
     }
 }

@@ -82,7 +82,7 @@ pub fn connect_dominating_set(g: &Graph, ds: &NodeSet, alive: &NodeSet) -> Optio
                 queue.push_back(u);
             }
         }
-        let Some(mut t) = target else { return None };
+        let mut t = target?;
         // Walk back, inserting intermediate nodes.
         while let Some(p) = parent[t as usize] {
             cds.insert(t);

@@ -96,8 +96,8 @@ impl Graph {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         offsets.push(0);
-        for v in 0..n {
-            acc += deg[v];
+        for &d in deg.iter().take(n) {
+            acc += d;
             offsets.push(acc);
         }
         let mut cursor = offsets.clone();
@@ -167,7 +167,7 @@ impl Graph {
     /// Iterator over all node ids `0..n`.
     #[inline]
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.n() as NodeId).into_iter()
+        0..self.n() as NodeId
     }
 
     /// Iterator over undirected edges, each reported once as `(u, v)` with
@@ -208,7 +208,7 @@ impl Graph {
     pub fn is_symmetric(&self) -> bool {
         for u in self.nodes() {
             for &v in self.neighbors(u) {
-                if !self.neighbors(v).binary_search(&u).is_ok() {
+                if self.neighbors(v).binary_search(&u).is_err() {
                     return false;
                 }
             }

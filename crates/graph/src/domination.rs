@@ -8,6 +8,7 @@
 
 use crate::csr::{Graph, NodeId};
 use crate::nodeset::NodeSet;
+use domatic_telemetry::count;
 use rayon::prelude::*;
 
 /// Number of dominators of `v` in `set`: `|N⁺(v) ∩ set|`.
@@ -22,12 +23,14 @@ pub fn dominator_count(g: &Graph, set: &NodeSet, v: NodeId) -> usize {
 
 /// Whether `set` is a dominating set of `g`.
 pub fn is_dominating_set(g: &Graph, set: &NodeSet) -> bool {
+    count!("graph.domination.checks");
     g.nodes().all(|v| dominator_count(g, set, v) >= 1)
 }
 
 /// Whether `set` is a k-dominating set of `g` (every node has ≥ k
 /// dominators in its closed neighborhood).
 pub fn is_k_dominating_set(g: &Graph, set: &NodeSet, k: usize) -> bool {
+    count!("graph.domination.checks");
     g.nodes().all(|v| dominator_count(g, set, v) >= k)
 }
 
@@ -42,6 +45,7 @@ pub fn uncovered_nodes(g: &Graph, set: &NodeSet, k: usize) -> Vec<NodeId> {
 /// across the rayon pool. Worth it only above ~10⁵ nodes — the sequential
 /// check is a linear scan of the CSR arrays and is already memory-bound.
 pub fn is_dominating_set_par(g: &Graph, set: &NodeSet) -> bool {
+    count!("graph.domination.checks");
     (0..g.n() as NodeId)
         .into_par_iter()
         .all(|v| dominator_count(g, set, v) >= 1)
@@ -49,6 +53,7 @@ pub fn is_dominating_set_par(g: &Graph, set: &NodeSet) -> bool {
 
 /// Parallel k-domination check; see [`is_dominating_set_par`].
 pub fn is_k_dominating_set_par(g: &Graph, set: &NodeSet, k: usize) -> bool {
+    count!("graph.domination.checks");
     (0..g.n() as NodeId)
         .into_par_iter()
         .all(|v| dominator_count(g, set, v) >= k)
@@ -82,6 +87,7 @@ pub fn is_disjoint_dominating_family(g: &Graph, sets: &[NodeSet]) -> bool {
 /// disjoint dominating sets for a domatic partition. Returns `None` if the
 /// alive nodes cannot dominate `g` (some node has no alive closed neighbor).
 pub fn greedy_dominating_set(g: &Graph, alive: &NodeSet) -> Option<NodeSet> {
+    count!("graph.domination.greedy_extractions");
     let n = g.n();
     let mut covered = NodeSet::new(n);
     let mut chosen = NodeSet::new(n);
@@ -97,7 +103,7 @@ pub fn greedy_dominating_set(g: &Graph, alive: &NodeSet) -> Option<NodeSet> {
         let mut best: Option<(usize, NodeId)> = None;
         for v in 0..n as NodeId {
             let gv = gain[v as usize];
-            if gv > 0 && best.map_or(true, |(bg, _)| gv > bg) {
+            if gv > 0 && best.is_none_or(|(bg, _)| gv > bg) {
                 best = Some((gv, v));
             }
         }

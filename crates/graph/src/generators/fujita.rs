@@ -159,6 +159,6 @@ mod tests {
         // Sanity: a set avoiding N⁺(u) entirely is not dominating.
         let all_cliques: NodeSet =
             NodeSet::from_iter(g.n(), (1 + m as NodeId)..(g.n() as NodeId));
-        assert!(is_dominating_set(&g, &all_cliques) == false || m == 0);
+        assert!(!is_dominating_set(&g, &all_cliques) || m == 0);
     }
 }

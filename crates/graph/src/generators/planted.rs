@@ -45,7 +45,7 @@ pub fn disjoint_cliques_partition(cliques: usize, size: usize) -> Vec<NodeSet> {
 /// else 2.
 pub fn cycle_domatic_number(n: usize) -> usize {
     assert!(n >= 3);
-    if n % 3 == 0 {
+    if n.is_multiple_of(3) {
         3
     } else {
         2
@@ -55,7 +55,7 @@ pub fn cycle_domatic_number(n: usize) -> usize {
 /// An optimal domatic partition of `C_n`.
 pub fn cycle_domatic_partition(n: usize) -> Vec<NodeSet> {
     assert!(n >= 3);
-    if n % 3 == 0 {
+    if n.is_multiple_of(3) {
         // Residue classes mod 3: node v is dominated by the class member
         // among {v-1, v, v+1}.
         (0..3)

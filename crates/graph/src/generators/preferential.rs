@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 /// Panics unless `1 ≤ m` and `n ≥ m + 1`.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m >= 1, "attachment count m must be ≥ 1");
-    assert!(n >= m + 1, "need n ≥ m + 1, got n = {n}, m = {m}");
+    assert!(n > m, "need n ≥ m + 1, got n = {n}, m = {m}");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m);
     // `targets` holds one entry per edge endpoint: sampling uniformly from

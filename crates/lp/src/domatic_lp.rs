@@ -99,7 +99,6 @@ pub fn lp_optimal_lifetime(
                 .into_iter()
                 .zip(x)
                 .filter(|(_, t)| *t > 1e-9)
-                .map(|(s, t)| (s, t))
                 .collect();
             Ok(FractionalOptimum { lifetime: objective, schedule })
         }
@@ -212,7 +211,7 @@ mod tests {
         let b = vec![2.0; 6];
         let opt = lp_optimal_lifetime(&g, &b, 100_000).unwrap();
         // Check budgets respected by the witness schedule.
-        let mut used = vec![0.0; 6];
+        let mut used = [0.0; 6];
         for (set, t) in &opt.schedule {
             assert!(*t > 0.0);
             for &v in set {

@@ -113,7 +113,7 @@ pub fn branch_and_bound_lifetime(
                 let frac = (xj - xj.round()).abs();
                 if frac > EPS {
                     let dist = (xj.fract() - 0.5).abs();
-                    if branch.map_or(true, |(_, d)| dist < d) {
+                    if branch.is_none_or(|(_, d)| dist < d) {
                         branch = Some((j, dist));
                     }
                 }
@@ -229,7 +229,7 @@ mod tests {
         for seed in 0..5 {
             let g = gnp(10, 0.35, seed);
             let b = vec![3u64; 10];
-            let frac = lp_optimal_lifetime(&g, &vec![3.0; 10], 1_000_000)
+            let frac = lp_optimal_lifetime(&g, &[3.0; 10], 1_000_000)
                 .unwrap()
                 .lifetime;
             let int = branch_and_bound_lifetime(&g, &b, 1_000_000).unwrap();

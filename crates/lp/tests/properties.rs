@@ -79,7 +79,7 @@ proptest! {
     fn integral_is_at_most_fractional_and_bounds_hold(seed in 0u64..40) {
         let g = gnp(8, 0.4, seed);
         let b = 2u32;
-        let frac = lp_optimal_lifetime(&g, &vec![b as f64; 8], 1_000_000).unwrap().lifetime;
+        let frac = lp_optimal_lifetime(&g, &[b as f64; 8], 1_000_000).unwrap().lifetime;
         let int = exact_integral_lifetime(&g, &[b; 8], 1_000_000).unwrap();
         prop_assert!(int as f64 <= frac + 1e-6);
         // Lemma 4.1 with exact arithmetic.
@@ -104,7 +104,7 @@ proptest! {
         let g = gnp(8, 0.4, seed);
         let b: Vec<f64> = (0..8).map(|v| 1.0 + (v % 3) as f64).collect();
         let opt = lp_optimal_lifetime(&g, &b, 1_000_000).unwrap();
-        let mut used = vec![0.0; 8];
+        let mut used = [0.0; 8];
         for (set, t) in &opt.schedule {
             for &v in set {
                 used[v as usize] += t;

@@ -111,6 +111,7 @@ pub fn simulate_observed(
     observer: &mut dyn FnMut(SlotRecord),
 ) -> SimResult {
     assert_eq!(g.n(), initial_energy.len(), "graph/energy size mismatch");
+    let _span = domatic_telemetry::span!("netsim.simulate");
     let n = g.n();
     let mut energy = initial_energy.to_vec();
     let mut dead = NodeSet::new(n);
@@ -125,14 +126,16 @@ pub fn simulate_observed(
             break EndReason::SlotLimit;
         }
         // Battery deaths (sleep drain can kill a node outright).
-        for v in 0..n {
-            if energy[v] <= 0.0 {
+        for (v, &e) in energy.iter().enumerate() {
+            if e <= 0.0 {
                 dead.insert(v as NodeId);
             }
         }
         // Injected failures.
         if let Some(inj) = failures.as_deref_mut() {
+            let before = dead.len();
             inj.kill_this_slot(lifetime, &mut dead);
+            domatic_telemetry::count!("netsim.injected_failures", (dead.len() - before) as u64);
         }
         if dead.len() == n {
             break EndReason::AllDead;
@@ -204,6 +207,12 @@ pub fn simulate_observed(
         .zip(&energy)
         .map(|(&e0, &e)| e0 - e.max(0.0))
         .sum();
+    let telemetry = domatic_telemetry::global();
+    domatic_telemetry::count!("netsim.slots", lifetime);
+    domatic_telemetry::count!("netsim.delivered", delivered);
+    domatic_telemetry::count!("netsim.wakeups", wakeups);
+    domatic_telemetry::count!("netsim.deaths", dead.len() as u64);
+    telemetry.observe_f64("netsim.energy_spent", energy_spent);
     SimResult {
         lifetime,
         delivered,

@@ -102,7 +102,7 @@ fn scripted_failure_of_sole_dominator_ends_coverage() {
     let mut inj = FailureInjector::scripted(vec![(2, 0)]);
     let res = simulate(
         &g,
-        &vec![50.0; 6],
+        &[50.0; 6],
         &mut DomaticRotation::new(classes, 1),
         &cfg,
         Some(&mut inj),

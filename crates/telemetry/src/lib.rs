@@ -1,0 +1,59 @@
+//! # domatic-telemetry
+//!
+//! Workspace-wide observability: hierarchical span timers, named
+//! counters, log-bucket histograms (p50/p90/p99), a thread-safe global
+//! [`Registry`], and pluggable sinks (human table, machine JSON-lines).
+//!
+//! The paper's claims are quantitative — round counts, per-node message
+//! complexity, lifetime ratios — so every scheduler and simulator in the
+//! workspace records what it does here, and the binaries decide whether
+//! anyone is listening:
+//!
+//! - **Nobody listening (default):** spans elide to one relaxed atomic
+//!   increment, counters are one atomic add. Library code never pays for
+//!   instrumentation it can't see.
+//! - **`domatic … --trace`:** span timing is enabled and the span tree
+//!   prints after the subcommand.
+//! - **`experiments … --json out.json`:** each experiment emits one
+//!   JSON-lines record with its tables plus the telemetry snapshot —
+//!   the format committed as `BENCH_*.json`.
+//!
+//! ## Recording
+//!
+//! ```
+//! use domatic_telemetry as telemetry;
+//!
+//! telemetry::set_enabled(true); // binaries do this when a sink attaches
+//! {
+//!     let _span = telemetry::span!("readme.schedule");
+//!     telemetry::count!("readme.domination.checks", 3);
+//!     telemetry::global().observe("readme.rounds", 17);
+//! }
+//! let snap = telemetry::global().snapshot();
+//! assert_eq!(snap.counters["readme.domination.checks"], 3);
+//! assert_eq!(snap.spans["readme.schedule"].count, 1);
+//! telemetry::set_enabled(false);
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+pub mod span;
+
+pub use hist::{Histogram, HistSummary};
+pub use registry::{Counter, Registry, SpanStat};
+pub use sink::{JsonLinesSink, Sink, TableSink};
+pub use snapshot::Snapshot;
+pub use span::{enabled, set_enabled, spans_elided, Span};
+
+use std::sync::OnceLock;
+
+/// The process-global registry all instrumented workspace code records
+/// into. Binaries snapshot/reset it around units of work; libraries only
+/// write.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

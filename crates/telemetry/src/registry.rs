@@ -1,0 +1,216 @@
+//! The metric registry: named counters, histograms, and span
+//! aggregates behind one thread-safe handle.
+//!
+//! Lock discipline: name → handle maps sit behind `parking_lot` locks,
+//! but the handles themselves are `Arc`-shared atomics — so the hot path
+//! (bumping a counter you already hold) is a single relaxed atomic add,
+//! and even the name lookup is a read-lock plus hash. The [`crate::count!`]
+//! macro caches the handle per call-site, making steady-state cost
+//! exactly one atomic add.
+
+use crate::hist::Histogram;
+use crate::snapshot::Snapshot;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable counter handle (monotone u64).
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregate of one span path: invocation count and total wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds across all entries (children included — a
+    /// parent's total covers its subtree, as wall clocks do).
+    pub total_ns: u64,
+}
+
+/// A set of named metrics. Most code uses the process-global instance
+/// via [`crate::global`]; tests construct private ones.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Counter>>,
+    hists: RwLock<HashMap<String, Arc<Histogram>>>,
+    spans: Mutex<HashMap<String, SpanStat>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use. Cache the
+    /// handle in hot loops (or use [`crate::count!`], which does).
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Adds `delta` to the counter named `name`.
+    pub fn incr(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Current value of a counter; 0 if it was never touched.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.read().get(name).map_or(0, Counter::get)
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.hists.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.hists
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Records one observation into the histogram named `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Records `value` scaled by 1000 (three decimals of precision) —
+    /// for physical quantities tracked as f64, e.g. energy units.
+    pub fn observe_f64(&self, name: &str, value: f64) {
+        self.observe(name, (value.max(0.0) * 1000.0).round() as u64);
+    }
+
+    /// Folds one completed span occurrence into the aggregate for `path`.
+    pub fn record_span(&self, path: &str, elapsed_ns: u64) {
+        let mut spans = self.spans.lock();
+        let stat = spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed_ns;
+    }
+
+    /// Aggregate for one span path, if it ever completed.
+    pub fn span_stat(&self, path: &str) -> Option<SpanStat> {
+        self.spans.lock().get(path).copied()
+    }
+
+    /// Point-in-time copy of everything the registry holds.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .hists
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summarize()))
+                .collect(),
+            spans: self
+                .spans
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Zeroes counters and histograms and forgets span aggregates.
+    /// Existing [`Counter`] handles stay wired to their (zeroed) cells.
+    pub fn reset(&self) {
+        for c in self.counters.read().values() {
+            c.cell.store(0, Ordering::Relaxed);
+        }
+        for h in self.hists.read().values() {
+            h.reset();
+        }
+        self.spans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_handles() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.incr();
+        assert_eq!(r.counter_value("x"), 3);
+        assert_eq!(r.counter_value("never"), 0);
+    }
+
+    #[test]
+    fn reset_keeps_handles_live() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.add(5);
+        r.reset();
+        assert_eq!(r.counter_value("x"), 0);
+        c.incr();
+        assert_eq!(r.counter_value("x"), 1);
+    }
+
+    #[test]
+    fn spans_aggregate() {
+        let r = Registry::new();
+        r.record_span("a/b", 100);
+        r.record_span("a/b", 50);
+        assert_eq!(r.span_stat("a/b"), Some(SpanStat { count: 2, total_ns: 150 }));
+        assert_eq!(r.span_stat("a"), None);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_scoped_threads() {
+        let r = Registry::new();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = r.counter("hits");
+                s.spawn(move |_| {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(r.counter_value("hits"), 80_000);
+    }
+}

@@ -1,0 +1,159 @@
+//! Point-in-time registry state: the unit sinks consume.
+
+use crate::hist::HistSummary;
+use crate::json::Json;
+use crate::registry::SpanStat;
+use std::collections::BTreeMap;
+
+/// Everything a [`crate::registry::Registry`] held at snapshot time.
+/// BTreeMaps keep rendering deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Span aggregates by `a/b/c` path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Snapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// The snapshot as a JSON object:
+    ///
+    /// ```json
+    /// {"counters": {"name": 1},
+    ///  "histograms": {"name": {"count":..,"sum":..,"mean":..,"p50":..,"p90":..,"p99":..,"max":..}},
+    ///  "spans": {"a/b": {"count":..,"total_ns":..}}}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Int(v as i128)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::obj([
+                        ("count".into(), Json::Int(h.count as i128)),
+                        ("sum".into(), Json::Int(h.sum as i128)),
+                        ("mean".into(), Json::Num(h.mean)),
+                        ("p50".into(), Json::Int(h.p50 as i128)),
+                        ("p90".into(), Json::Int(h.p90 as i128)),
+                        ("p99".into(), Json::Int(h.p99 as i128)),
+                        ("max".into(), Json::Int(h.max as i128)),
+                    ]),
+                )
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Json::obj([
+                        ("count".into(), Json::Int(s.count as i128)),
+                        ("total_ns".into(), Json::Int(s.total_ns as i128)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(
+            [
+                ("counters".to_string(), Json::Obj(counters)),
+                ("histograms".to_string(), Json::Obj(histograms)),
+                ("spans".to_string(), Json::Obj(spans)),
+            ]
+            .into(),
+        )
+    }
+
+    /// Renders the span aggregates as an indented tree, children under
+    /// their `parent/child` prefixes, siblings in path order:
+    ///
+    /// ```text
+    /// schedule                      1×      1.24ms
+    ///   uniform.color_assign        8×    310.00µs
+    /// ```
+    pub fn render_span_tree(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .spans
+            .keys()
+            .map(|p| {
+                let depth = p.matches('/').count();
+                let leaf = p.rsplit('/').next().unwrap_or(p);
+                2 * depth + leaf.chars().count()
+            })
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        for (path, stat) in &self.spans {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let indent = "  ".repeat(depth);
+            let label = format!("{indent}{leaf}");
+            let pad = width - (2 * depth + leaf.chars().count());
+            out.push_str(&format!(
+                "{label}{}  {:>8}×  {:>12}\n",
+                " ".repeat(pad),
+                stat.count,
+                format_ns(stat.total_ns),
+            ));
+        }
+        out
+    }
+}
+
+/// Human duration: picks ns/µs/ms/s to keep 3 significant digits.
+pub fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.2}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(5), "5ns");
+        assert_eq!(format_ns(1_500), "1.50µs");
+        assert_eq!(format_ns(2_000_000), "2.00ms");
+        assert_eq!(format_ns(3_100_000_000), "3.10s");
+    }
+
+    #[test]
+    fn span_tree_indents_children() {
+        let mut snap = Snapshot::default();
+        snap.spans.insert("a".into(), SpanStat { count: 1, total_ns: 10 });
+        snap.spans
+            .insert("a/b".into(), SpanStat { count: 2, total_ns: 5 });
+        let tree = snap.render_span_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("  b "));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("c".into(), 7);
+        let j = snap.to_json();
+        assert_eq!(j.get("counters").unwrap().get("c").unwrap().as_int(), Some(7));
+        assert!(j.get("spans").is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! Integration tests for domatic-telemetry: histogram boundaries,
+//! nested span aggregation, concurrency, and JSON sink round-trips.
+//!
+//! Span tests share the process-global registry (the span stack is
+//! global by design), so every test uses its own `name.` prefix rather
+//! than resetting — tests run concurrently within this binary.
+
+use domatic_telemetry as telemetry;
+use telemetry::hist::{bucket_index, bucket_upper_bound, Histogram};
+use telemetry::{json, JsonLinesSink, Registry, Sink, TableSink};
+
+/// Tests that flip the process-wide enabled flag take this lock so the
+/// parallel test harness cannot interleave them.
+static ENABLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn histogram_bucket_boundaries_are_powers_of_two() {
+    // Exactly at and around each boundary up to 2^16.
+    for exp in 1..16u32 {
+        let v = 1u64 << exp;
+        assert_eq!(bucket_index(v), exp as usize + 1, "at 2^{exp}");
+        assert_eq!(bucket_index(v - 1), exp as usize, "below 2^{exp}");
+        assert_eq!(bucket_index(v + 1), exp as usize + 1, "above 2^{exp}");
+    }
+    // A value is never above its bucket's upper bound…
+    for v in [0u64, 1, 2, 3, 4, 5, 100, 1023, 1024, u64::MAX] {
+        assert!(v <= bucket_upper_bound(bucket_index(v)), "{v}");
+    }
+    // …and the estimate is within 2× of the true value.
+    let h = Histogram::new();
+    h.record(1000);
+    let p50 = h.quantile(0.5);
+    assert!((1000..=2000).contains(&p50), "{p50}");
+}
+
+#[test]
+fn nested_spans_aggregate_under_parent_paths() {
+    let _serial = ENABLE_LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+    for _ in 0..3 {
+        let _outer = telemetry::span!("nest.outer");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        for _ in 0..2 {
+            let _inner = telemetry::span!("nest.inner");
+        }
+    }
+    telemetry::set_enabled(false);
+
+    let reg = telemetry::global();
+    let outer = reg.span_stat("nest.outer").unwrap();
+    let inner = reg.span_stat("nest.outer/nest.inner").unwrap();
+    assert_eq!(outer.count, 3);
+    assert_eq!(inner.count, 6);
+    // Wall-clock containment: the parent's total covers its children.
+    assert!(
+        outer.total_ns >= inner.total_ns,
+        "outer {} < inner {}",
+        outer.total_ns,
+        inner.total_ns
+    );
+    // There is no bare "nest.inner" path — nesting was recorded.
+    assert!(reg.span_stat("nest.inner").is_none());
+}
+
+#[test]
+fn disabled_spans_are_elided_not_recorded() {
+    let _serial = ENABLE_LOCK.lock().unwrap();
+    assert!(!telemetry::enabled());
+    let before = telemetry::spans_elided();
+    {
+        let _span = telemetry::span!("elide.me");
+    }
+    assert_eq!(telemetry::global().span_stat("elide.me"), None);
+    assert!(telemetry::spans_elided() > before);
+}
+
+#[test]
+fn concurrent_counter_increments_sum_exactly() {
+    // The rayon shim is sequential, so drive real parallelism with
+    // scoped threads *through the same Counter API rayon users hit*.
+    let reg = Registry::new();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 25_000;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = reg.counter("conc.hits");
+            let h = reg.histogram("conc.obs");
+            s.spawn(move |_| {
+                for i in 0..PER_THREAD {
+                    c.incr();
+                    if i % 1000 == 0 {
+                        h.record(i);
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(reg.counter_value("conc.hits"), THREADS as u64 * PER_THREAD);
+    assert_eq!(reg.histogram("conc.obs").count(), (THREADS * 25) as u64);
+
+    // And the rayon-shaped call pattern (par_iter over a shared counter)
+    // agrees with the sequential sum.
+    use rayon::prelude::*;
+    let c = reg.counter("conc.rayon");
+    (0..1000u64).into_par_iter().for_each(|_| c.incr());
+    assert_eq!(reg.counter_value("conc.rayon"), 1000);
+}
+
+#[test]
+fn json_sink_round_trips_through_parser() {
+    let reg = Registry::new();
+    reg.incr("rt.transmissions", 42);
+    reg.incr("rt.rounds", 3);
+    reg.observe("rt.latency_ns", 1_500);
+    reg.observe("rt.latency_ns", 90_000);
+    reg.record_span("rt.run", 123_456_789);
+    reg.record_span("rt.run/rt.phase", 23_456_789);
+
+    let snap = reg.snapshot();
+    let mut sink = JsonLinesSink::new(Vec::new());
+    sink.emit("round-trip", &snap).unwrap();
+    let line = String::from_utf8(sink.into_inner()).unwrap();
+
+    let v = json::parse(line.trim()).unwrap();
+    assert_eq!(v.get("label").unwrap().as_str(), Some("round-trip"));
+    let tel = v.get("telemetry").unwrap();
+    let counters = tel.get("counters").unwrap();
+    assert_eq!(counters.get("rt.transmissions").unwrap().as_int(), Some(42));
+    assert_eq!(counters.get("rt.rounds").unwrap().as_int(), Some(3));
+    let hist = tel.get("histograms").unwrap().get("rt.latency_ns").unwrap();
+    assert_eq!(hist.get("count").unwrap().as_int(), Some(2));
+    assert_eq!(hist.get("sum").unwrap().as_int(), Some(91_500));
+    let spans = tel.get("spans").unwrap();
+    assert_eq!(
+        spans.get("rt.run").unwrap().get("total_ns").unwrap().as_int(),
+        Some(123_456_789)
+    );
+    assert_eq!(
+        spans.get("rt.run/rt.phase").unwrap().get("count").unwrap().as_int(),
+        Some(1)
+    );
+}
+
+#[test]
+fn table_sink_renders_nested_tree() {
+    let reg = Registry::new();
+    reg.incr("tbl.checks", 5);
+    reg.record_span("tbl.sched", 2_000_000);
+    reg.record_span("tbl.sched/tbl.color", 500_000);
+    let mut sink = TableSink::new(Vec::new());
+    sink.emit("tbl", &reg.snapshot()).unwrap();
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    assert!(text.contains("tbl.checks"));
+    // The child renders indented under its parent, leaf name only.
+    let child_line = text.lines().find(|l| l.contains("tbl.color")).unwrap();
+    assert!(child_line.starts_with("    tbl.color") || child_line.contains("  tbl.color"));
+    assert!(!child_line.contains("tbl.sched/"));
+}

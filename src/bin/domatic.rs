@@ -14,6 +14,10 @@
 //!
 //! The graph format is `domatic_graph::io`'s: a `n <count>` header then
 //! one `u v` edge per line (`#` comments allowed).
+//!
+//! Every subcommand additionally accepts `--trace`: enables span timing
+//! and prints the telemetry snapshot (counters plus the nested span tree)
+//! after the subcommand finishes.
 
 use domatic::core::bounds::{fault_tolerant_upper_bound, general_upper_bound};
 use domatic::core::stochastic::{best_fault_tolerant, best_general, best_uniform};
@@ -26,7 +30,7 @@ use domatic::schedule::validate_schedule;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg uniform|general|greedy|ft] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]"
+        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg uniform|general|greedy|ft] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\nany subcommand also takes --trace (print timing spans and counters on exit)"
     );
     std::process::exit(2)
 }
@@ -88,12 +92,28 @@ fn parse_opts(args: &[String]) -> Opts {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    if trace {
+        args.retain(|a| a != "--trace");
+        domatic_telemetry::set_enabled(true);
+    }
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => usage(),
     };
-    match cmd.as_str() {
+    run_command(&cmd, &rest);
+    if trace {
+        use domatic_telemetry::Sink;
+        let snapshot = domatic_telemetry::global().snapshot();
+        let mut sink = domatic_telemetry::TableSink::new(std::io::stderr());
+        sink.emit(&cmd, &snapshot).expect("write trace");
+    }
+}
+
+fn run_command(cmd: &str, rest: &[String]) {
+    let rest = rest.to_vec();
+    match cmd {
         "info" => {
             let path = rest.first().unwrap_or_else(|| usage());
             let g = load_graph(path);

@@ -1,40 +1,104 @@
 //! The experiment harness CLI.
 //!
 //! ```text
-//! experiments              # list experiments
-//! experiments all          # run the full suite
-//! experiments e1 e6        # run selected experiments
+//! experiments                      # list experiments
+//! experiments all                  # run the full suite
+//! experiments e1 e6                # run selected experiments
+//! experiments e1 --json out.json   # also write machine-readable results
 //! ```
 //!
 //! Every table printed here corresponds to a row of DESIGN.md §3 and is
-//! recorded in EXPERIMENTS.md.
+//! recorded in EXPERIMENTS.md. With `--json <path>`, each experiment
+//! additionally appends one JSON object (one line) to `path`:
+//!
+//! ```text
+//! {"experiment": "e1", "wall_ms": 12.3,
+//!  "tables": [{"title", "headers", "rows", "notes"}, …],
+//!  "run_stats": {"rounds", "transmissions", "receptions", "bytes_received"},
+//!  "telemetry": {"counters", "histograms", "spans"}}
+//! ```
+//!
+//! `run_stats` totals the distributed-protocol communication cost of the
+//! experiment (zeros when it ran no protocol); `telemetry.spans` carries
+//! wall-clock totals per instrumented code path. The file is the format
+//! committed as `BENCH_*.json`; see README §Observability for jq recipes.
 
 use domatic::experiments::{registry, run_by_id};
+use domatic_distsim::RunStats;
+use domatic_telemetry as telemetry;
+use domatic_telemetry::json::Json;
+use std::io::Write;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(a);
+        }
+    }
+    if ids.is_empty() {
         println!("domatic experiment harness — reproduction of Moscibroda & Wattenhofer, IPDPS 2005\n");
-        println!("usage: experiments <id>... | all\n");
+        println!("usage: experiments <id>... | all [--json <path>]\n");
         for e in registry() {
             println!("  {:4}  {}", e.id, e.summary);
         }
         return;
     }
-    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
-        registry().iter().map(|e| e.id.to_string()).collect()
-    } else {
-        args
-    };
+    if ids.iter().any(|a| a == "all") {
+        ids = registry().iter().map(|e| e.id.to_string()).collect();
+    }
+
+    let mut json_out = json_path.map(|p| {
+        let f = std::fs::File::create(&p)
+            .unwrap_or_else(|e| panic!("cannot create {p}: {e}"));
+        // Span timing is only worth paying for when someone records it.
+        telemetry::set_enabled(true);
+        std::io::BufWriter::new(f)
+    });
+
     for id in ids {
+        telemetry::global().reset();
         let start = Instant::now();
-        match run_by_id(&id) {
+        // Scoped so the span closes (and records) before the snapshot:
+        // every JSON record then carries at least the "experiment" span's
+        // wall-clock total, with instrumented code paths nested under it.
+        let result = {
+            let _span = telemetry::span!("experiment");
+            run_by_id(&id)
+        };
+        match result {
             Some(tables) => {
-                for t in tables {
+                let wall = start.elapsed();
+                for t in &tables {
                     println!("{}", t.render());
                 }
-                println!("[{} finished in {:.1?}]\n", id, start.elapsed());
+                println!("[{} finished in {:.1?}]\n", id, wall);
+                if let Some(out) = json_out.as_mut() {
+                    let snapshot = telemetry::global().snapshot();
+                    let run_stats = RunStats::from(telemetry::global());
+                    let record = Json::obj([
+                        ("experiment".into(), Json::Str(id.clone())),
+                        ("wall_ms".into(), Json::Num(wall.as_secs_f64() * 1e3)),
+                        (
+                            "tables".into(),
+                            Json::Arr(tables.iter().map(|t| t.to_json()).collect()),
+                        ),
+                        ("run_stats".into(), run_stats_json(&run_stats)),
+                        ("telemetry".into(), snapshot.to_json()),
+                    ]);
+                    writeln!(out, "{}", record.render()).expect("write json line");
+                }
             }
             None => {
                 eprintln!("unknown experiment '{id}' — run with no arguments for the list");
@@ -42,4 +106,18 @@ fn main() {
             }
         }
     }
+    if let Some(mut out) = json_out {
+        out.flush().expect("flush json output");
+    }
+}
+
+/// The `run_stats` object: always emits all four keys, so consumers can
+/// rely on `.run_stats.rounds` existing even for purely local experiments.
+fn run_stats_json(s: &RunStats) -> Json {
+    Json::obj([
+        ("rounds".into(), Json::Int(s.rounds as i128)),
+        ("transmissions".into(), Json::Int(s.transmissions as i128)),
+        ("receptions".into(), Json::Int(s.receptions as i128)),
+        ("bytes_received".into(), Json::Int(s.bytes_received as i128)),
+    ])
 }

@@ -45,6 +45,37 @@ impl Table {
         self.rows.len()
     }
 
+    /// Column headers, in order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Footnotes, in insertion order.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// The table as a JSON object (`{title, headers, rows, notes}`) —
+    /// the shape `experiments --json` emits.
+    pub fn to_json(&self) -> domatic_telemetry::json::Json {
+        use domatic_telemetry::json::Json;
+        let strs = |xs: &[String]| Json::Arr(xs.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::obj([
+            ("title".into(), Json::Str(self.title.clone())),
+            ("headers".into(), strs(&self.headers)),
+            (
+                "rows".into(),
+                Json::Arr(self.rows.iter().map(|r| strs(r)).collect()),
+            ),
+            ("notes".into(), strs(&self.notes)),
+        ])
+    }
+
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
         let cols = self.headers.len();
@@ -129,5 +160,19 @@ mod tests {
         assert_eq!(f2(1.005), "1.00"); // bankers-ish rounding of format!
         assert_eq!(f2(2.0), "2.00");
         assert_eq!(f3(0.12345), "0.123");
+    }
+
+    #[test]
+    fn json_shape_round_trips() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]).note("n");
+        let v = domatic_telemetry::json::parse(&t.to_json().render()).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("demo"));
+        let headers = match v.get("headers").unwrap() {
+            domatic_telemetry::json::Json::Arr(xs) => xs.len(),
+            _ => panic!("headers not an array"),
+        };
+        assert_eq!(headers, 2);
+        assert!(t.to_json().render().contains("\"notes\":[\"n\"]"));
     }
 }

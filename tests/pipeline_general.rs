@@ -73,7 +73,7 @@ fn zero_and_skewed_batteries_are_handled() {
     let g = graph::generators::regular::star(10);
     // Center rich, leaves dead: only {center} dominates; lifetime = b_center.
     let b = Batteries::from_vec(
-        std::iter::once(7u64).chain(std::iter::repeat(0).take(9)).collect(),
+        std::iter::once(7u64).chain(std::iter::repeat_n(0, 9)).collect(),
     );
     let greedy = greedy_general_schedule(&g, &b);
     validate_schedule(&g, &b, &greedy, 1).unwrap();

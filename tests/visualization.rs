@@ -88,7 +88,7 @@ fn spring_and_circular_layouts_drive_the_same_renderer() {
 fn single_mds_trace_has_constant_awake_set_until_death() {
     let g = graph::generators::regular::star(8);
     let cfg = traced_config(1, 1000);
-    let trace = simulate_traced(&g, &vec![4.0; 8], &mut SingleMds::new(), &cfg, None);
+    let trace = simulate_traced(&g, &[4.0; 8], &mut SingleMds::new(), &cfg, None);
     // The first 4 slots all use {center}; compaction collapses them.
     let compacted = compact(&trace.to_schedule());
     assert!(compacted.num_steps() <= 2);

@@ -1,0 +1,61 @@
+//! Offline subset of `crossbeam`: scoped threads, backed by
+//! `std::thread::scope` (stable since 1.63, after crossbeam's API was
+//! designed). Genuinely concurrent — unlike the sequential `rayon` shim,
+//! nothing is emulated here.
+
+/// Scoped threads.
+pub mod thread {
+    /// Token passed to spawned closures. Upstream passes `&Scope` so
+    /// spawned threads can spawn siblings; the workspace never does, and
+    /// a zero-sized token keeps the std-scope borrow checker happy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ScopeHandle;
+
+    /// A scope within which spawned threads are guaranteed joined.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread joined before [`scope`] returns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(ScopeHandle) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(ScopeHandle))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined
+    /// before this returns. A panic in any spawned thread propagates
+    /// (std behavior), so the `Ok` wrapper mirrors upstream's signature
+    /// without ever carrying an `Err` in practice.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+}

@@ -1,0 +1,386 @@
+//! Offline subset of `proptest`.
+//!
+//! Provides the surface the workspace's property tests use — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, and
+//! [`collection::vec`] — generating cases from a deterministic RNG.
+//! Differences from upstream: no shrinking (a failing case panics with
+//! its case index; rerun under a debugger or log the inputs), and no
+//! persisted failure regressions. Case counts honor
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then a dependent strategy from it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Rejects values failing `f` (bounded retries, then panic —
+        /// upstream gives up similarly on hard-to-satisfy filters).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { base: self, whence, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        base: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.base.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter retry budget exhausted: {}", self.whence);
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i64);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait IntoSizeRange {
+        /// Draws a length.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors of `element` values with lengths from `size`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic RNG driving case generation.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A test-case failure signalled by value instead of by panic
+    /// (upstream also uses this to drive shrinking; here it simply
+    /// panics at the case boundary).
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The generated case should not count (e.g. precondition unmet).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given explanation.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection with the given explanation.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    /// Runner configuration (only `cases` is honored).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the workspace's heavier
+            // graph properties fast while staying statistically useful.
+            Config { cases: 64 }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub use rand;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Supports the upstream grammar the workspace
+/// uses: an optional `#![proptest_config(...)]` header and `fn
+/// name(pat in strategy, ...) { body }` items (with optional attributes
+/// such as `#[test]` and `#[ignore]`).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                // Seed differs per property (by name) so sibling tests
+                // explore different corners, but is fixed per build for
+                // reproducibility.
+                let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    __seed = (__seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                for __case in 0..cfg.cases {
+                    let mut __rng = <$crate::test_runner::TestRng as $crate::rand::SeedableRng>::
+                        seed_from_u64(__seed.wrapping_add(__case as u64));
+                    // Bodies may `return Err(TestCaseError)` (upstream's
+                    // Result convention) or just assert/panic; the closure
+                    // is what makes that `return` local to the case.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $( let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng); )*
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::core::result::Result::Err(e) => {
+                            panic!("proptest case {} of {}: {}", __case, cfg.cases, e)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assertion macros: upstream routes these through the shrinking
+/// machinery; with no shrinking they are plain assertions.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..50).prop_flat_map(|a| (Just(a), 0u32..50))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_honored(v in crate::collection::vec(0u8..4, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn flat_map_threads_value(p in arb_pair()) {
+            prop_assert!(p.0 < 50 && p.1 < 50);
+        }
+
+        #[test]
+        fn map_applies(d in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(d % 2, 0);
+            prop_assert!(d < 20);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline subset of `rayon`'s parallel-iterator API.
+//!
+//! The build environment has no registry access, so this shim provides
+//! the `into_par_iter()` / `par_iter()` surface the workspace uses and
+//! executes it **sequentially**. Semantics are identical (rayon's
+//! contract makes parallel and sequential execution observationally
+//! equivalent for the associative reductions the workspace performs);
+//! only the speedup is absent. Callers needing real parallelism use
+//! `crossbeam::thread::scope` (see `domatic-distsim`'s engine), which is
+//! backed by `std::thread` and genuinely concurrent.
+
+/// A "parallel" iterator: a thin wrapper over a sequential one.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+/// Conversion into a parallel iterator (blanket over [`IntoIterator`]).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Wraps `self` for the parallel-iterator API.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> ParIter<I::IntoIter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+/// `par_iter()` on collections whose shared reference iterates.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing counterpart of [`IntoParallelIterator::into_par_iter`].
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Element-wise transform.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter { inner: self.inner.map(f) }
+    }
+
+    /// Element-wise filter.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter { inner: self.inner.filter(f) }
+    }
+
+    /// Short-circuiting universal quantifier.
+    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
+        self.inner.all(f)
+    }
+
+    /// Short-circuiting existential quantifier.
+    pub fn any<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
+        self.inner.any(f)
+    }
+
+    /// Side-effecting consumption.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// Associative fold; `None` on an empty iterator.
+    pub fn reduce_with<F: FnMut(I::Item, I::Item) -> I::Item>(self, f: F) -> Option<I::Item> {
+        self.inner.reduce(f)
+    }
+
+    /// Collects into any [`FromIterator`] target.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Sum of the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Element count.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+}
+
+/// The import surface rayon users expect.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let total = (0u64..100)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce_with(|a, b| a + b);
+        assert_eq!(total, Some((0u64..100).map(|x| x * x).sum()));
+    }
+
+    #[test]
+    fn all_short_circuits() {
+        assert!((0..10).into_par_iter().all(|x| x < 10));
+        assert!(!(0..10).into_par_iter().all(|x| x < 5));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 6);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn collect_and_filter() {
+        let odd: Vec<i32> = (0..10).into_par_iter().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odd, vec![1, 3, 5, 7, 9]);
+    }
+}
