@@ -1,0 +1,212 @@
+//! `bench-baseline`: measures the parallel runtime against the same
+//! workloads at one thread, and writes the comparison as machine-readable
+//! JSON (the file committed as `BENCH_parallel.json`).
+//!
+//! ```text
+//! bench-baseline                        # compare 1 vs available-cores
+//! bench-baseline --threads 4            # compare 1 vs 4
+//! bench-baseline --out BENCH_parallel.json
+//! bench-baseline --quick                # smaller fixtures (CI smoke)
+//! ```
+//!
+//! The pool size is fixed per process, so the binary re-executes itself
+//! (`--measure`, an internal flag) once per thread count with
+//! `RAYON_NUM_THREADS` set, and the parent merges the two runs. Each
+//! target reports a checksum alongside its timing; the parent refuses to
+//! write output if any checksum differs between the one-thread and
+//! N-thread legs — the speedup table is only meaningful for bit-identical
+//! results.
+
+use domatic_bench::{gnp_fixture, rgg_fixture};
+use domatic_core::stochastic::best_uniform;
+use domatic_graph::domination::{greedy_dominating_set, is_k_dominating_set_par};
+use domatic_graph::NodeSet;
+use domatic_telemetry::json::Json;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One measurable workload: returns a determinism checksum; the harness
+/// times it.
+struct Target {
+    name: &'static str,
+    /// What the target exercises, for the JSON record.
+    kind: &'static str,
+    run: Box<dyn Fn() -> u64>,
+    /// Timed repetitions (the fastest is reported, standard practice for
+    /// ns/op on a noisy machine).
+    reps: u32,
+}
+
+fn targets(quick: bool) -> Vec<Target> {
+    let scale = if quick { 1 } else { 4 };
+    let n_check = 30_000 * scale;
+    let n_sched = 400 * scale;
+    let trials = if quick { 8 } else { 16 };
+    let check_graph = rgg_fixture(n_check);
+    let check_set = NodeSet::from_iter(
+        n_check,
+        (0..n_check as u32).filter(|v| v % 3 != 2),
+    );
+    let sched_graph = gnp_fixture(n_sched);
+    let greedy_graph = rgg_fixture(n_check / 2);
+    vec![
+        Target {
+            name: "graph.is_k_dominating_set_par",
+            kind: "parallel short-circuit all over node chunks",
+            run: Box::new(move || {
+                u64::from(is_k_dominating_set_par(&check_graph, &check_set, 1))
+            }),
+            reps: if quick { 5 } else { 20 },
+        },
+        Target {
+            name: "core.best_uniform",
+            kind: "parallel best-of-R restarts (map + ordered reduce)",
+            run: Box::new(move || {
+                let (s, seed) = best_uniform(&sched_graph, 2, 3.0, trials, 0);
+                s.lifetime().wrapping_mul(1_000_003).wrapping_add(seed)
+            }),
+            reps: if quick { 3 } else { 5 },
+        },
+        Target {
+            name: "graph.greedy_dominating_set",
+            kind: "sequential lazy-decrement heap argmax",
+            run: Box::new(move || {
+                let alive = NodeSet::full(greedy_graph.n());
+                greedy_dominating_set(&greedy_graph, &alive)
+                    .map_or(0, |ds| ds.len() as u64)
+            }),
+            reps: if quick { 3 } else { 10 },
+        },
+    ]
+}
+
+/// Child mode: run every target under the pool this process was born
+/// with, print `target<TAB>name<TAB>ns<TAB>checksum` lines, exit.
+fn measure(quick: bool) {
+    for t in targets(quick) {
+        let mut best_ns = u64::MAX;
+        let mut checksum = 0u64;
+        for _ in 0..t.reps {
+            let start = Instant::now();
+            checksum = (t.run)();
+            best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
+        }
+        println!("target\t{}\t{}\t{}", t.name, best_ns, checksum);
+    }
+}
+
+/// One measurement leg: re-exec ourselves with the pool pinned to
+/// `threads` and collect `name -> (ns, checksum)`.
+fn run_leg(threads: usize, quick: bool) -> BTreeMap<String, (u64, u64)> {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--measure").env("RAYON_NUM_THREADS", threads.to_string());
+    if quick {
+        cmd.arg("--quick");
+    }
+    let out = cmd.output().expect("spawn measurement child");
+    if !out.status.success() {
+        eprintln!(
+            "measurement child ({threads} threads) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::process::exit(1);
+    }
+    let mut results = BTreeMap::new();
+    for line in String::from_utf8_lossy(&out.stdout).lines() {
+        let mut parts = line.split('\t');
+        if parts.next() != Some("target") {
+            continue;
+        }
+        let (Some(name), Some(ns), Some(sum)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let ns: u64 = ns.parse().expect("ns field");
+        let sum: u64 = sum.parse().expect("checksum field");
+        results.insert(name.to_string(), (ns, sum));
+    }
+    results
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--measure") {
+        measure(quick);
+        return;
+    }
+    let mut out_path = "BENCH_parallel.json".to_string();
+    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out requires a path").clone(),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--threads requires a positive integer")
+            }
+            "--quick" => {}
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: bench-baseline [--threads N] [--out PATH] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("measuring at 1 thread…");
+    let base = run_leg(1, quick);
+    eprintln!("measuring at {threads} threads…");
+    let par = run_leg(threads, quick);
+
+    let mut rows = Vec::new();
+    let kinds: BTreeMap<&str, &str> =
+        targets(true).iter().map(|t| (t.name, t.kind)).collect();
+    for (name, &(ns1, sum1)) in &base {
+        let &(ns_n, sum_n) = par
+            .get(name)
+            .unwrap_or_else(|| panic!("target {name} missing from {threads}-thread leg"));
+        if sum1 != sum_n {
+            eprintln!(
+                "DETERMINISM VIOLATION: {name} checksum {sum1} at 1 thread \
+                 but {sum_n} at {threads} threads — refusing to write output"
+            );
+            std::process::exit(1);
+        }
+        let speedup = ns1 as f64 / ns_n as f64;
+        eprintln!("  {name}: {ns1} ns/op @1t, {ns_n} ns/op @{threads}t ({speedup:.2}x)");
+        rows.push(Json::obj([
+            ("name".into(), Json::Str((*name).clone())),
+            ("kind".into(), Json::Str(kinds.get(name.as_str()).copied().unwrap_or("").into())),
+            ("ns_per_op_1_thread".into(), Json::Int(ns1 as i128)),
+            ("ns_per_op_n_threads".into(), Json::Int(ns_n as i128)),
+            ("speedup".into(), Json::Num((speedup * 100.0).round() / 100.0)),
+            ("checksum_match".into(), Json::Bool(true)),
+        ]));
+    }
+
+    let record = Json::obj([
+        ("bench".into(), Json::Str("parallel-baseline".into())),
+        (
+            "machine".into(),
+            Json::obj([
+                ("cores".into(), Json::Int(cores as i128)),
+                ("os".into(), Json::Str(std::env::consts::OS.into())),
+                ("arch".into(), Json::Str(std::env::consts::ARCH.into())),
+            ]),
+        ),
+        ("threads_compared".into(), Json::Arr(vec![Json::Int(1), Json::Int(threads as i128)])),
+        ("quick".into(), Json::Bool(quick)),
+        ("targets".into(), Json::Arr(rows)),
+    ]);
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    writeln!(f, "{}", record.render()).expect("write bench record");
+    eprintln!("wrote {out_path}");
+}

@@ -9,6 +9,7 @@
 //! every algorithm in the workspace treats `Graph` as shared read-only data,
 //! which makes parallel traversal trivially data-race free.
 
+use rayon::prelude::*;
 use std::fmt;
 
 /// Identifier of a node: a dense index in `0..n`.
@@ -204,16 +205,21 @@ impl Graph {
         best
     }
 
-    /// Checks symmetry of the adjacency structure (used in debug assertions).
+    /// Checks symmetry of the adjacency structure (used in debug
+    /// assertions). Large graphs fan the per-node check out across the
+    /// rayon pool; an asymmetric pair found by any worker cancels the
+    /// remaining chunks.
     pub fn is_symmetric(&self) -> bool {
-        for u in self.nodes() {
-            for &v in self.neighbors(u) {
-                if self.neighbors(v).binary_search(&u).is_err() {
-                    return false;
-                }
-            }
+        let node_ok = |u: NodeId| {
+            self.neighbors(u)
+                .iter()
+                .all(|&v| self.neighbors(v).binary_search(&u).is_ok())
+        };
+        if crate::use_parallel(self.n()) {
+            (0..self.n() as NodeId).into_par_iter().all(node_ok)
+        } else {
+            self.nodes().all(node_ok)
         }
-        true
     }
 
     /// Total memory of the CSR arrays in bytes (diagnostics).

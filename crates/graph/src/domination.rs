@@ -10,6 +10,8 @@ use crate::csr::{Graph, NodeId};
 use crate::nodeset::NodeSet;
 use domatic_telemetry::count;
 use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Number of dominators of `v` in `set`: `|N⁺(v) ∩ set|`.
 #[inline]
@@ -22,16 +24,39 @@ pub fn dominator_count(g: &Graph, set: &NodeSet, v: NodeId) -> usize {
 }
 
 /// Whether `set` is a dominating set of `g`.
+///
+/// Auto-dispatches: graphs with at least [`crate::PAR_DISPATCH_THRESHOLD`]
+/// nodes are checked across the rayon pool (when it has more than one
+/// worker), smaller ones with a sequential scan. Use
+/// [`is_dominating_set_par`] to force the parallel path.
 pub fn is_dominating_set(g: &Graph, set: &NodeSet) -> bool {
     count!("graph.domination.checks");
-    g.nodes().all(|v| dominator_count(g, set, v) >= 1)
+    if crate::use_parallel(g.n()) {
+        check_k_dominating_par(g, set, 1)
+    } else {
+        g.nodes().all(|v| dominator_count(g, set, v) >= 1)
+    }
 }
 
 /// Whether `set` is a k-dominating set of `g` (every node has ≥ k
-/// dominators in its closed neighborhood).
+/// dominators in its closed neighborhood). Auto-dispatches like
+/// [`is_dominating_set`].
 pub fn is_k_dominating_set(g: &Graph, set: &NodeSet, k: usize) -> bool {
     count!("graph.domination.checks");
-    g.nodes().all(|v| dominator_count(g, set, v) >= k)
+    if crate::use_parallel(g.n()) {
+        check_k_dominating_par(g, set, k)
+    } else {
+        g.nodes().all(|v| dominator_count(g, set, v) >= k)
+    }
+}
+
+/// The shared parallel kernel: chunks of the node range fan out across
+/// the pool, and the short-circuiting `all` cancels remaining chunks as
+/// soon as any worker finds an under-dominated node.
+fn check_k_dominating_par(g: &Graph, set: &NodeSet, k: usize) -> bool {
+    (0..g.n() as NodeId)
+        .into_par_iter()
+        .all(|v| dominator_count(g, set, v) >= k)
 }
 
 /// All nodes with fewer than `k` dominators in `set` (empty ⇔ k-dominating).
@@ -39,24 +64,20 @@ pub fn uncovered_nodes(g: &Graph, set: &NodeSet, k: usize) -> Vec<NodeId> {
     g.nodes().filter(|&v| dominator_count(g, set, v) < k).collect()
 }
 
-/// Parallel domination check for large graphs.
+/// Forced-parallel domination check.
 ///
-/// Semantically identical to [`is_dominating_set`]; splits the node range
-/// across the rayon pool. Worth it only above ~10⁵ nodes — the sequential
-/// check is a linear scan of the CSR arrays and is already memory-bound.
+/// Semantically identical to [`is_dominating_set`] but always splits the
+/// node range across the rayon pool, regardless of graph size. Most
+/// callers should prefer [`is_dominating_set`], which dispatches by size.
 pub fn is_dominating_set_par(g: &Graph, set: &NodeSet) -> bool {
     count!("graph.domination.checks");
-    (0..g.n() as NodeId)
-        .into_par_iter()
-        .all(|v| dominator_count(g, set, v) >= 1)
+    check_k_dominating_par(g, set, 1)
 }
 
-/// Parallel k-domination check; see [`is_dominating_set_par`].
+/// Forced-parallel k-domination check; see [`is_dominating_set_par`].
 pub fn is_k_dominating_set_par(g: &Graph, set: &NodeSet, k: usize) -> bool {
     count!("graph.domination.checks");
-    (0..g.n() as NodeId)
-        .into_par_iter()
-        .all(|v| dominator_count(g, set, v) >= k)
+    check_k_dominating_par(g, set, k)
 }
 
 /// Checks that `sets` form a *domatic partition prefix*: pairwise disjoint
@@ -95,20 +116,27 @@ pub fn greedy_dominating_set(g: &Graph, alive: &NodeSet) -> Option<NodeSet> {
     let mut gain: Vec<usize> = (0..n as NodeId)
         .map(|v| if alive.contains(v) { g.closed_degree(v) } else { 0 })
         .collect();
+    // Lazy-decrement max-heap over (gain, lowest-id-wins). Gains only
+    // decrease, so an entry is pushed whenever a gain drops to a new
+    // (positive) level and stale entries — whose recorded gain no longer
+    // matches `gain[v]` — are discarded on pop. Total work is
+    // O((n + m) log n) versus the previous O(n · |D|) full rescan per
+    // round. `Reverse(v)` makes the heap break gain ties toward the
+    // smallest id, exactly matching the scan it replaces.
+    let mut heap: BinaryHeap<(usize, Reverse<NodeId>)> = (0..n as NodeId)
+        .filter(|&v| gain[v as usize] > 0)
+        .map(|v| (gain[v as usize], Reverse(v)))
+        .collect();
     let mut num_covered = 0usize;
     while num_covered < n {
-        // Linear scan keeps this O(n · |D|); a heap would be O(m log n) but
-        // gains only decrease, so the scan is simpler and fast enough for
-        // the instance sizes the experiments use.
-        let mut best: Option<(usize, NodeId)> = None;
-        for v in 0..n as NodeId {
-            let gv = gain[v as usize];
-            if gv > 0 && best.is_none_or(|(bg, _)| gv > bg) {
-                best = Some((gv, v));
+        let v = loop {
+            let (gv, Reverse(v)) = heap.pop()?;
+            if gain[v as usize] == gv {
+                break v;
             }
-        }
-        let (_, v) = best?;
+        };
         chosen.insert(v);
+        gain[v as usize] = 0;
         // Mark N⁺(v) covered and decrement gains of their closed neighbors.
         let mut newly: Vec<NodeId> = Vec::new();
         if !covered.contains(v) {
@@ -122,16 +150,19 @@ pub fn greedy_dominating_set(g: &Graph, alive: &NodeSet) -> Option<NodeSet> {
         for &u in &newly {
             covered.insert(u);
             num_covered += 1;
-            if alive.contains(u) {
-                gain[u as usize] = gain[u as usize].saturating_sub(1);
-            }
-            for &w in g.neighbors(u) {
-                if alive.contains(w) {
-                    gain[w as usize] = gain[w as usize].saturating_sub(1);
+            let decrement = |w: NodeId, gain: &mut Vec<usize>, heap: &mut BinaryHeap<_>| {
+                if alive.contains(w) && gain[w as usize] > 0 {
+                    gain[w as usize] -= 1;
+                    if gain[w as usize] > 0 {
+                        heap.push((gain[w as usize], Reverse(w)));
+                    }
                 }
+            };
+            decrement(u, &mut gain, &mut heap);
+            for &w in g.neighbors(u) {
+                decrement(w, &mut gain, &mut heap);
             }
         }
-        gain[v as usize] = 0;
     }
     Some(chosen)
 }

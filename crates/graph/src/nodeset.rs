@@ -21,13 +21,16 @@ impl NodeSet {
         NodeSet { n, words: vec![0; n.div_ceil(64)] }
     }
 
-    /// The full set `{0, …, n−1}`.
+    /// The full set `{0, …, n−1}`: whole `u64` words written at once,
+    /// with the partial tail word masked down to the universe boundary.
     pub fn full(n: usize) -> Self {
-        let mut s = NodeSet::new(n);
-        for v in 0..n as NodeId {
-            s.insert(v);
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            if let Some(tail) = words.last_mut() {
+                *tail = (1u64 << (n % 64)) - 1;
+            }
         }
-        s
+        NodeSet { n, words }
     }
 
     /// Builds a set from an iterator of node ids.
@@ -128,7 +131,8 @@ impl NodeSet {
         self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
     }
 
-    /// Iterates members in increasing order.
+    /// Iterates members in increasing order, one `trailing_zeros` per
+    /// member (zero words are skipped in one comparison each).
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
             let mut w = w;
@@ -144,9 +148,12 @@ impl NodeSet {
         })
     }
 
-    /// Collects members into a sorted `Vec`.
+    /// Collects members into a sorted `Vec` (sized up front from the
+    /// popcount so the fill never reallocates).
     pub fn to_vec(&self) -> Vec<NodeId> {
-        self.iter().collect()
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.iter());
+        out
     }
 }
 
@@ -188,6 +195,21 @@ mod tests {
         assert_eq!(s.len(), 65);
         assert!(s.contains(64));
         assert!(!s.contains(65));
+    }
+
+    #[test]
+    fn full_set_word_boundaries() {
+        // The word-fill path must mask the tail exactly at every
+        // alignment: empty, sub-word, word-aligned, word-plus-tail.
+        for n in [0usize, 1, 63, 64, 65, 127, 128, 200] {
+            let s = NodeSet::full(n);
+            assert_eq!(s.len(), n, "cardinality for n = {n}");
+            assert_eq!(s.to_vec(), (0..n as NodeId).collect::<Vec<_>>());
+            if n > 0 {
+                assert!(s.contains(n as NodeId - 1));
+            }
+            assert!(!s.contains(n as NodeId));
+        }
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Stress tests: the pool's short-circuiting `all`/`any` must agree with
+//! the sequential scan on every randomized input, including the ones
+//! engineered to trip early-exit cancellation (a failing witness planted
+//! in an arbitrary chunk).
+
+use domatic_graph::domination::{
+    dominator_count, is_dominating_set, is_dominating_set_par, is_k_dominating_set,
+    is_k_dominating_set_par,
+};
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::nodeset::NodeSet;
+use domatic_graph::{Graph, NodeId};
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..60, 0.02f64..0.7, 0u64..1000).prop_map(|(n, p, seed)| gnp(n, p, seed))
+}
+
+/// A random subset of the vertex set, from a membership bitmask seed.
+fn arb_set(n: usize, seed: u64) -> NodeSet {
+    NodeSet::from_iter(
+        n,
+        (0..n as NodeId).filter(|v| (seed >> (v % 64)) & 1 == 1 || u64::from(*v) == seed % 97),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn par_domination_check_matches_sequential_scan(
+        g in arb_graph(), mask in 0u64..u64::MAX, k in 1usize..4
+    ) {
+        let set = arb_set(g.n(), mask);
+        let seq_dom = (0..g.n() as NodeId).all(|v| dominator_count(&g, &set, v) >= 1);
+        let seq_kdom = (0..g.n() as NodeId).all(|v| dominator_count(&g, &set, v) >= k);
+        prop_assert_eq!(is_dominating_set_par(&g, &set), seq_dom);
+        prop_assert_eq!(is_k_dominating_set_par(&g, &set, k), seq_kdom);
+        // The auto-dispatching entry points agree with both.
+        prop_assert_eq!(is_dominating_set(&g, &set), seq_dom);
+        prop_assert_eq!(is_k_dominating_set(&g, &set, k), seq_kdom);
+    }
+
+    #[test]
+    fn par_all_and_any_match_sequential_on_planted_witnesses(
+        len in 1usize..5000, witness in 0usize..1_000_000, threshold in 0u32..100
+    ) {
+        // Plant a single failing index anywhere (sometimes out of range,
+        // so the predicate holds everywhere) and check that cancellation
+        // never changes the answer, only the work done.
+        let bad = witness % (len * 2);
+        let pred = |i: usize| i != bad && (i as u32 % 100) <= threshold.max(90);
+        prop_assert_eq!(
+            (0..len).into_par_iter().all(pred),
+            (0..len).all(pred)
+        );
+        prop_assert_eq!(
+            (0..len).into_par_iter().any(|i| i == bad),
+            (0..len).any(|i| i == bad)
+        );
+    }
+
+    #[test]
+    fn par_filter_map_collect_preserves_input_order(
+        v in proptest::collection::vec(0u32..10_000, 0..3000)
+    ) {
+        let par: Vec<u64> = v
+            .par_iter()
+            .map(|&x| u64::from(x) * 3)
+            .filter(|x| x % 2 == 0)
+            .collect();
+        let seq: Vec<u64> = v
+            .iter()
+            .map(|&x| u64::from(x) * 3)
+            .filter(|x| x % 2 == 0)
+            .collect();
+        prop_assert_eq!(par, seq);
+    }
+}

@@ -43,7 +43,7 @@ pub mod snapshot;
 pub mod span;
 
 pub use hist::{Histogram, HistSummary};
-pub use registry::{Counter, Registry, SpanStat};
+pub use registry::{Counter, Gauge, Registry, SpanStat};
 pub use sink::{JsonLinesSink, Sink, TableSink};
 pub use snapshot::Snapshot;
 pub use span::{enabled, set_enabled, spans_elided, Span};

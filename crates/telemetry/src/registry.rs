@@ -40,6 +40,29 @@ impl Counter {
     }
 }
 
+/// A shareable gauge handle: a last-write-wins u64 for point-in-time
+/// facts about the process (thread counts, pool sizes, configured
+/// limits) — unlike a [`Counter`], it is not monotone and survives
+/// [`Registry::reset`], since the fact it states remains true across
+/// units of work.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
 /// Aggregate of one span path: invocation count and total wall time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SpanStat {
@@ -55,6 +78,7 @@ pub struct SpanStat {
 #[derive(Default)]
 pub struct Registry {
     counters: RwLock<HashMap<String, Counter>>,
+    gauges: RwLock<HashMap<String, Gauge>>,
     hists: RwLock<HashMap<String, Arc<Histogram>>>,
     spans: Mutex<HashMap<String, SpanStat>>,
 }
@@ -86,6 +110,28 @@ impl Registry {
     /// Current value of a counter; 0 if it was never touched.
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters.read().get(name).map_or(0, Counter::get)
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Sets the gauge named `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.gauge(name).set(value);
+    }
+
+    /// Current value of a gauge; 0 if it was never set.
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.gauges.read().get(name).map_or(0, Gauge::get)
     }
 
     /// The histogram named `name`, created empty on first use.
@@ -134,6 +180,12 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
             histograms: self
                 .hists
                 .read()
@@ -151,6 +203,8 @@ impl Registry {
 
     /// Zeroes counters and histograms and forgets span aggregates.
     /// Existing [`Counter`] handles stay wired to their (zeroed) cells.
+    /// Gauges keep their values: they state current process facts (e.g.
+    /// `runtime.threads`), which resetting per-unit-of-work would erase.
     pub fn reset(&self) {
         for c in self.counters.read().values() {
             c.cell.store(0, Ordering::Relaxed);
@@ -165,6 +219,18 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauges_last_write_wins_and_survive_reset() {
+        let r = Registry::new();
+        r.set_gauge("threads", 4);
+        r.set_gauge("threads", 8);
+        assert_eq!(r.gauge_value("threads"), 8);
+        assert_eq!(r.gauge_value("never"), 0);
+        r.reset();
+        assert_eq!(r.gauge_value("threads"), 8, "reset must keep gauges");
+        assert_eq!(r.snapshot().gauges["threads"], 8);
+    }
 
     #[test]
     fn counters_accumulate_and_share_handles() {

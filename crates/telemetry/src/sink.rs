@@ -41,6 +41,18 @@ impl<W: Write> Sink for TableSink<W> {
                 writeln!(self.out, "  {name:<width$}  {value:>14}")?;
             }
         }
+        if !snapshot.gauges.is_empty() {
+            let width = snapshot
+                .gauges
+                .keys()
+                .map(|k| k.chars().count())
+                .max()
+                .unwrap_or(0);
+            writeln!(self.out, "gauges:")?;
+            for (name, value) in &snapshot.gauges {
+                writeln!(self.out, "  {name:<width$}  {value:>14}")?;
+            }
+        }
         if !snapshot.histograms.is_empty() {
             writeln!(self.out, "histograms (count mean p50 p90 p99 max):")?;
             for (name, h) in &snapshot.histograms {

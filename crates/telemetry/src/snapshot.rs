@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name (point-in-time process facts).
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistSummary>,
     /// Span aggregates by `a/b/c` path.
@@ -20,19 +22,28 @@ pub struct Snapshot {
 impl Snapshot {
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
     }
 
     /// The snapshot as a JSON object:
     ///
     /// ```json
     /// {"counters": {"name": 1},
+    ///  "gauges": {"name": 4},
     ///  "histograms": {"name": {"count":..,"sum":..,"mean":..,"p50":..,"p90":..,"p99":..,"max":..}},
     ///  "spans": {"a/b": {"count":..,"total_ns":..}}}
     /// ```
     pub fn to_json(&self) -> Json {
         let counters = self
             .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Int(v as i128)))
+            .collect();
+        let gauges = self
+            .gauges
             .iter()
             .map(|(k, &v)| (k.clone(), Json::Int(v as i128)))
             .collect();
@@ -70,6 +81,7 @@ impl Snapshot {
         Json::Obj(
             [
                 ("counters".to_string(), Json::Obj(counters)),
+                ("gauges".to_string(), Json::Obj(gauges)),
                 ("histograms".to_string(), Json::Obj(histograms)),
                 ("spans".to_string(), Json::Obj(spans)),
             ]

@@ -76,8 +76,8 @@ fn disabled_spans_are_elided_not_recorded() {
 
 #[test]
 fn concurrent_counter_increments_sum_exactly() {
-    // The rayon shim is sequential, so drive real parallelism with
-    // scoped threads *through the same Counter API rayon users hit*.
+    // Drive parallelism two ways: raw scoped threads *through the same
+    // Counter API rayon users hit*, then the rayon pool itself below.
     let reg = Registry::new();
     const THREADS: usize = 8;
     const PER_THREAD: u64 = 25_000;
@@ -99,8 +99,9 @@ fn concurrent_counter_increments_sum_exactly() {
     assert_eq!(reg.counter_value("conc.hits"), THREADS as u64 * PER_THREAD);
     assert_eq!(reg.histogram("conc.obs").count(), (THREADS * 25) as u64);
 
-    // And the rayon-shaped call pattern (par_iter over a shared counter)
-    // agrees with the sequential sum.
+    // And incrementing from the rayon pool's own workers (par_iter over
+    // a shared counter) agrees with the sequential sum — one relaxed
+    // atomic add per item survives real work distribution.
     use rayon::prelude::*;
     let c = reg.counter("conc.rayon");
     (0..1000u64).into_par_iter().for_each(|_| c.incr());

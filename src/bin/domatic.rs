@@ -15,9 +15,10 @@
 //! The graph format is `domatic_graph::io`'s: a `n <count>` header then
 //! one `u v` edge per line (`#` comments allowed).
 //!
-//! Every subcommand additionally accepts `--trace`: enables span timing
-//! and prints the telemetry snapshot (counters plus the nested span tree)
-//! after the subcommand finishes.
+//! Every subcommand additionally accepts `--trace` (enables span timing
+//! and prints the telemetry snapshot — counters plus the nested span tree
+//! — after the subcommand finishes) and `--threads N` (sizes the global
+//! thread pool; defaults to `RAYON_NUM_THREADS` or the available cores).
 
 use domatic::core::bounds::{fault_tolerant_upper_bound, general_upper_bound};
 use domatic::core::stochastic::{best_fault_tolerant, best_general, best_uniform};
@@ -30,7 +31,7 @@ use domatic::schedule::validate_schedule;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg uniform|general|greedy|ft] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\nany subcommand also takes --trace (print timing spans and counters on exit)"
+        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg uniform|general|greedy|ft] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)"
     );
     std::process::exit(2)
 }
@@ -98,6 +99,21 @@ fn main() {
         args.retain(|a| a != "--trace");
         domatic_telemetry::set_enabled(true);
     }
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            });
+        args.drain(i..=i + 1);
+        if rayon::ThreadPoolBuilder::new().num_threads(n).build_global().is_err() {
+            eprintln!("--threads: thread pool already initialized; flag ignored");
+        }
+    }
+    domatic_telemetry::global()
+        .set_gauge("runtime.threads", rayon::current_num_threads() as u64);
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => usage(),

@@ -5,6 +5,7 @@
 //! experiments all                  # run the full suite
 //! experiments e1 e6                # run selected experiments
 //! experiments e1 --json out.json   # also write machine-readable results
+//! experiments all --threads 4      # size the global thread pool
 //! ```
 //!
 //! Every table printed here corresponds to a row of DESIGN.md §3 and is
@@ -43,13 +44,25 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--threads" {
+            let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--threads requires a positive integer");
+                std::process::exit(2);
+            });
+            if rayon::ThreadPoolBuilder::new().num_threads(n).build_global().is_err() {
+                eprintln!("--threads: thread pool already initialized; flag ignored");
+            }
         } else {
             ids.push(a);
         }
     }
+    // Recorded as a gauge (not a counter) so per-experiment registry
+    // resets keep it: every JSON record then states the pool size that
+    // produced it.
+    telemetry::global().set_gauge("runtime.threads", rayon::current_num_threads() as u64);
     if ids.is_empty() {
         println!("domatic experiment harness — reproduction of Moscibroda & Wattenhofer, IPDPS 2005\n");
-        println!("usage: experiments <id>... | all [--json <path>]\n");
+        println!("usage: experiments <id>... | all [--json <path>] [--threads N]\n");
         for e in registry() {
             println!("  {:4}  {}", e.id, e.summary);
         }

@@ -1,7 +1,7 @@
 //! Offline subset of `crossbeam`: scoped threads, backed by
 //! `std::thread::scope` (stable since 1.63, after crossbeam's API was
-//! designed). Genuinely concurrent — unlike the sequential `rayon` shim,
-//! nothing is emulated here.
+//! designed). Genuinely concurrent, like the workspace's `rayon` shim,
+//! which runs a real `std::thread` worker pool.
 
 /// Scoped threads.
 pub mod thread {

@@ -1,15 +1,44 @@
-//! Offline subset of `rayon`'s parallel-iterator API.
+//! Offline subset of `rayon`'s parallel-iterator API — **genuinely
+//! parallel** since PR 2.
 //!
 //! The build environment has no registry access, so this shim provides
-//! the `into_par_iter()` / `par_iter()` surface the workspace uses and
-//! executes it **sequentially**. Semantics are identical (rayon's
-//! contract makes parallel and sequential execution observationally
-//! equivalent for the associative reductions the workspace performs);
-//! only the speedup is absent. Callers needing real parallelism use
-//! `crossbeam::thread::scope` (see `domatic-distsim`'s engine), which is
-//! backed by `std::thread` and genuinely concurrent.
+//! the `into_par_iter()` / `par_iter()` surface the workspace uses,
+//! executed on a real work-stealing pool of `std::thread` workers (see
+//! [`pool`]): lazily spawned, sized by `ThreadPoolBuilder` /
+//! `RAYON_NUM_THREADS` / available cores, with chunked input splitting,
+//! per-worker queues, stealing, and early-exit cancellation for the
+//! short-circuiting `all`/`any` reductions.
+//!
+//! Determinism contract: for the associative reductions the workspace
+//! performs, results are **bit-identical at any thread count**. Inputs
+//! are split into chunks by input length only (never by thread count),
+//! each chunk is folded sequentially in input order, and chunk results
+//! are combined in chunk order — so `reduce_with`, `sum`, and `collect`
+//! see exactly the same reduction tree whether the pool has 1 worker or
+//! 64. With a single-threaded pool everything runs inline and this
+//! degenerates to the old sequential shim.
 
-/// A "parallel" iterator: a thin wrapper over a sequential one.
+mod pool;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The fused per-item pipeline: source element in, final element out
+/// (`None` when a `filter` stage dropped it).
+type Pipe<'a, S, T> = Box<dyn Fn(S) -> Option<T> + Send + Sync + 'a>;
+
+/// What [`ParallelIterator::decompose`] yields: the materialized source
+/// elements plus the fused pipeline to run over each of them.
+type Decomposed<'a, S, T> = (Vec<S>, Pipe<'a, S, T>);
+
+/// Inputs are split into at most this many chunks; the cap is a function
+/// of input length only, so the reduction tree — and therefore every
+/// result — is independent of the pool size. Short inputs get one chunk
+/// per item: the workspace's short par-iters (best-of-R restarts) have
+/// few, expensive elements, and those are exactly the ones that must
+/// spread across workers.
+const MAX_CHUNKS: usize = 64;
+
+/// A "parallel" iterator over the elements of a sequential one.
 pub struct ParIter<I> {
     inner: I,
 }
@@ -53,61 +82,330 @@ where
     }
 }
 
-impl<I: Iterator> ParIter<I> {
+/// The operations every parallel-iterator stage supports. Adapter stages
+/// ([`Map`], [`Filter`]) defer their closures into a fused per-item
+/// pipeline that runs on the pool workers, so the *work* of a `map`
+/// parallelizes, not just the terminal reduction.
+pub trait ParallelIterator: Sized {
+    /// Final element type of the pipeline.
+    type Item: Send;
+    /// Source element type, before any `map`/`filter` stage.
+    type Source: Send;
+
+    /// Materializes the source elements and the fused pipeline. The
+    /// plumbing method — terminal operations call it, then fan chunks of
+    /// the sources out across the pool.
+    fn decompose<'a>(self) -> Decomposed<'a, Self::Source, Self::Item>
+    where
+        Self: 'a;
+
     /// Element-wise transform.
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter { inner: self.inner.map(f) }
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Send + Sync,
+    {
+        Map { base: self, f }
     }
 
     /// Element-wise filter.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter { inner: self.inner.filter(f) }
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { base: self, f }
     }
 
-    /// Short-circuiting universal quantifier.
-    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
-        self.inner.all(f)
+    /// Short-circuiting universal quantifier. A counterexample found by
+    /// any worker raises a cancellation flag the other chunks poll, so
+    /// large checks stop soon after the first failure anywhere.
+    fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Send + Sync,
+    {
+        let (sources, pipe) = self.decompose();
+        let failed = AtomicBool::new(false);
+        run_chunked(sources, &|chunk: Vec<Self::Source>| {
+            for s in chunk {
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(item) = pipe(s) {
+                    if !f(item) {
+                        failed.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        });
+        !failed.load(Ordering::Relaxed)
     }
 
-    /// Short-circuiting existential quantifier.
-    pub fn any<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
-        self.inner.any(f)
+    /// Short-circuiting existential quantifier; see [`ParallelIterator::all`].
+    fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Send + Sync,
+    {
+        let (sources, pipe) = self.decompose();
+        let found = AtomicBool::new(false);
+        run_chunked(sources, &|chunk: Vec<Self::Source>| {
+            for s in chunk {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(item) = pipe(s) {
+                    if f(item) {
+                        found.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        });
+        found.load(Ordering::Relaxed)
     }
 
     /// Side-effecting consumption.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.inner.for_each(f)
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let (sources, pipe) = self.decompose();
+        run_chunked(sources, &|chunk: Vec<Self::Source>| {
+            for s in chunk {
+                if let Some(item) = pipe(s) {
+                    f(item);
+                }
+            }
+        });
     }
 
-    /// Associative fold; `None` on an empty iterator.
-    pub fn reduce_with<F: FnMut(I::Item, I::Item) -> I::Item>(self, f: F) -> Option<I::Item> {
-        self.inner.reduce(f)
+    /// Associative fold; `None` on an empty iterator. Chunk partials are
+    /// combined in chunk order, so for associative `f` the result equals
+    /// the sequential fold at every thread count.
+    fn reduce_with<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let (sources, pipe) = self.decompose();
+        let partials = run_chunked(sources, &|chunk: Vec<Self::Source>| {
+            chunk.into_iter().filter_map(&pipe).reduce(&f)
+        });
+        partials.into_iter().flatten().reduce(&f)
     }
 
-    /// Collects into any [`FromIterator`] target.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.inner.collect()
+    /// Collects into any [`FromIterator`] target, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let (sources, pipe) = self.decompose();
+        let partials = run_chunked(sources, &|chunk: Vec<Self::Source>| {
+            chunk.into_iter().filter_map(&pipe).collect::<Vec<_>>()
+        });
+        partials.into_iter().flatten().collect()
     }
 
-    /// Sum of the elements.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.inner.sum()
+    /// Sum of the elements (chunk partials summed in chunk order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let (sources, pipe) = self.decompose();
+        let partials = run_chunked(sources, &|chunk: Vec<Self::Source>| {
+            chunk.into_iter().filter_map(&pipe).sum::<S>()
+        });
+        partials.into_iter().sum()
     }
 
     /// Element count.
-    pub fn count(self) -> usize {
-        self.inner.count()
+    fn count(self) -> usize {
+        let (sources, pipe) = self.decompose();
+        let partials = run_chunked(sources, &|chunk: Vec<Self::Source>| {
+            chunk.into_iter().filter_map(&pipe).count()
+        });
+        partials.into_iter().sum()
     }
+}
+
+impl<I> ParallelIterator for ParIter<I>
+where
+    I: Iterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Source = I::Item;
+
+    fn decompose<'a>(self) -> Decomposed<'a, I::Item, I::Item>
+    where
+        Self: 'a,
+    {
+        (self.inner.collect(), Box::new(Some))
+    }
+}
+
+/// Deferred element-wise transform (see [`ParallelIterator::map`]).
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, O, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    O: Send,
+    F: Fn(P::Item) -> O + Send + Sync,
+{
+    type Item = O;
+    type Source = P::Source;
+
+    fn decompose<'a>(self) -> Decomposed<'a, P::Source, O>
+    where
+        Self: 'a,
+    {
+        let (sources, pipe) = self.base.decompose();
+        let f = self.f;
+        (sources, Box::new(move |s| pipe(s).map(&f)))
+    }
+}
+
+/// Deferred element-wise filter (see [`ParallelIterator::filter`]).
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+    type Source = P::Source;
+
+    fn decompose<'a>(self) -> Decomposed<'a, P::Source, P::Item>
+    where
+        Self: 'a,
+    {
+        let (sources, pipe) = self.base.decompose();
+        let f = self.f;
+        (sources, Box::new(move |s| pipe(s).filter(|t| f(t))))
+    }
+}
+
+/// Splits `items` into order-preserving chunks (boundaries depend only on
+/// `items.len()`), folds each chunk with `fold` — on the pool when it has
+/// more than one worker and the input warrants it, inline otherwise — and
+/// returns the chunk results in chunk order.
+fn run_chunked<S, R>(items: Vec<S>, fold: &(dyn Fn(Vec<S>) -> R + Sync)) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+{
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk_len = len.div_ceil(MAX_CHUNKS);
+    let num_chunks = len.div_ceil(chunk_len);
+
+    let mut chunks: Vec<Vec<S>> = Vec::with_capacity(num_chunks);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    debug_assert_eq!(chunks.len(), num_chunks);
+
+    if num_chunks == 1 || pool::num_threads() == 1 {
+        return chunks.into_iter().map(fold).collect();
+    }
+
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..num_chunks).map(|_| std::sync::Mutex::new(None)).collect();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .zip(&slots)
+        .map(|(chunk, slot)| {
+            Box::new(move || {
+                *slot.lock().unwrap() = Some(fold(chunk));
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::run_batch(tasks);
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("pool batch completed every chunk")
+        })
+        .collect()
+}
+
+/// Configures the not-yet-spawned global pool, mirroring upstream's
+/// builder surface.
+///
+/// ```
+/// // Binaries call this before any parallel work:
+/// let _ = rayon::ThreadPoolBuilder::new().num_threads(4).build_global();
+/// ```
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// The global pool was already configured or spawned with another size.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (pool size from `RAYON_NUM_THREADS`
+    /// or the number of available cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` worker threads; `0` keeps the default sizing.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration into the global pool. Errors if the
+    /// pool was already configured or spawned with a different size
+    /// (matching upstream's build-once contract).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        if self.num_threads == 0 || pool::configure_threads(self.num_threads) {
+            Ok(())
+        } else {
+            Err(ThreadPoolBuildError)
+        }
+    }
+}
+
+/// The number of worker threads the global pool has (or will have once
+/// its first batch spawns it).
+pub fn current_num_threads() -> usize {
+    pool::num_threads()
 }
 
 /// The import surface rayon users expect.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelIterator,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn map_reduce_matches_sequential() {
@@ -125,6 +423,12 @@ mod tests {
     }
 
     #[test]
+    fn any_finds_witness() {
+        assert!((0..10_000).into_par_iter().any(|x| x == 9_999));
+        assert!(!(0..10_000).into_par_iter().any(|x| x > 10_000));
+    }
+
+    #[test]
     fn par_iter_borrows() {
         let v = vec![1, 2, 3];
         let s: i32 = v.par_iter().map(|&x| x).sum();
@@ -136,5 +440,81 @@ mod tests {
     fn collect_and_filter() {
         let odd: Vec<i32> = (0..10).into_par_iter().filter(|x| x % 2 == 1).collect();
         assert_eq!(odd, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn collect_preserves_order_on_large_inputs() {
+        let v: Vec<u32> = (0..100_000).into_par_iter().map(|x| x * 2).collect();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
+    }
+
+    #[test]
+    fn for_each_visits_every_element_exactly_once() {
+        let hits = AtomicU64::new(0);
+        (0..50_000u64)
+            .into_par_iter()
+            .for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 50_000);
+    }
+
+    #[test]
+    fn reduce_is_deterministic_for_associative_ops() {
+        // Max-by-key with index tiebreak: the workspace's best-of pattern.
+        let pick = |a: (u64, u64), b: (u64, u64)| {
+            match (a.0 % 97).cmp(&(b.0 % 97)) {
+                std::cmp::Ordering::Greater => a,
+                std::cmp::Ordering::Less => b,
+                std::cmp::Ordering::Equal => {
+                    if a.1 <= b.1 {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        };
+        let par = (0..10_000u64)
+            .into_par_iter()
+            .map(|i| (i.wrapping_mul(2654435761), i))
+            .reduce_with(pick);
+        let seq = (0..10_000u64)
+            .map(|i| (i.wrapping_mul(2654435761), i))
+            .reduce(pick);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn count_and_sum() {
+        assert_eq!((0..1_000).into_par_iter().filter(|x| x % 3 == 0).count(), 334);
+        let s: u64 = (0..1_000u64).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!((0..0).into_par_iter().reduce_with(|a, _| a), None);
+        let v: Vec<i32> = (0..0).into_par_iter().collect();
+        assert!(v.is_empty());
+        assert!((0..0).into_par_iter().all(|_: i32| false));
+        assert!(!(0..0).into_par_iter().any(|_: i32| true));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_parallel_iterators_complete() {
+        let total: u64 = (0..64u64)
+            .into_par_iter()
+            .map(|i| (0..100u64).into_par_iter().map(|j| i + j).sum::<u64>())
+            .sum();
+        let expected: u64 = (0..64u64)
+            .map(|i| (0..100u64).map(|j| i + j).sum::<u64>())
+            .sum();
+        assert_eq!(total, expected);
     }
 }

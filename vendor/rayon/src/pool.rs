@@ -1,0 +1,333 @@
+//! The global work-stealing thread pool behind the parallel iterators.
+//!
+//! Layout: one lazily-spawned pool of `std::thread` workers (size from
+//! [`ThreadPoolBuilder`](crate::ThreadPoolBuilder), then `RAYON_NUM_THREADS`,
+//! then the number of available cores). Each worker owns a local deque;
+//! batches are submitted round-robin across the local queues, workers pop
+//! their own queue from the front and steal from siblings' backs when idle.
+//!
+//! Blocking discipline: [`run_batch`] is the only entry point. The
+//! submitting thread *helps* — while its batch is unfinished it executes
+//! queued tasks itself instead of parking — so nested parallel iterators
+//! (a task that itself submits a batch) can never deadlock the pool: every
+//! thread that waits also drains work.
+//!
+//! Lifetime discipline: tasks may borrow the submitter's stack (chunk
+//! data, the fused pipeline closure, cancellation flags). That is sound
+//! because `run_batch` does not return until every task in the batch has
+//! finished running — the lifetime erasure below is confined to that
+//! window. A panic inside a task is caught on the worker, carried through
+//! the batch latch, and resumed on the submitting thread.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A unit of work queued on the pool (lifetime already erased).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared pool state. Workers are detached `std::thread`s that loop over
+/// this for the life of the process (the pool is never torn down, like
+/// upstream rayon's global pool).
+struct Pool {
+    /// One local queue per worker; batch submission round-robins here.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Bumped on every submission; workers sleep on it when idle.
+    generation: Mutex<u64>,
+    /// Wakes idle workers after a submission.
+    work_available: Condvar,
+    /// Round-robin cursor for batch submission.
+    next_queue: AtomicUsize,
+    /// Worker count (≥ 1; 1 means "run everything inline").
+    threads: usize,
+}
+
+/// Requested size for the not-yet-spawned global pool (set by
+/// `ThreadPoolBuilder::build_global`).
+static CONFIGURED: OnceLock<usize> = OnceLock::new();
+/// The global pool, spawned on first use.
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Resolves the pool size without spawning it: builder override, then
+/// `RAYON_NUM_THREADS` (a positive integer; `0`/unset/garbage falls
+/// through), then available cores.
+fn resolve_threads() -> usize {
+    if let Some(&n) = CONFIGURED.get() {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Records the builder's requested size. Fails (returns `false`) if the
+/// pool was already spawned with a different size, or a different size
+/// was already configured.
+pub(crate) fn configure_threads(n: usize) -> bool {
+    if let Some(pool) = POOL.get() {
+        return pool.threads == n.max(1);
+    }
+    let stored = *CONFIGURED.get_or_init(|| n);
+    stored == n
+}
+
+/// The size the global pool has (or would have once spawned).
+pub(crate) fn num_threads() -> usize {
+    POOL.get().map_or_else(resolve_threads, |p| p.threads)
+}
+
+/// The spawned global pool.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = resolve_threads().max(1);
+        Pool {
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            generation: Mutex::new(0),
+            work_available: Condvar::new(),
+            next_queue: AtomicUsize::new(0),
+            threads,
+        }
+    })
+}
+
+/// Spawns the detached worker threads exactly once (separate from pool
+/// construction so `num_threads()` can answer without spawning).
+fn ensure_workers() -> &'static Pool {
+    static SPAWNED: OnceLock<()> = OnceLock::new();
+    let p = pool();
+    SPAWNED.get_or_init(|| {
+        for idx in 0..p.threads {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{idx}"))
+                .spawn(move || worker_loop(pool(), idx))
+                .expect("spawn pool worker");
+        }
+    });
+    p
+}
+
+impl Pool {
+    /// Pops one task: own queue front first, then steal siblings' backs,
+    /// starting after `home` so steals spread instead of converging.
+    fn find_work(&self, home: usize) -> Option<Task> {
+        if let Some(t) = self.locals[home].lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        let k = self.locals.len();
+        for off in 1..k {
+            let victim = (home + off) % k;
+            if let Some(t) = self.locals[victim].lock().unwrap().pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Pushes a batch round-robin across the local queues and wakes
+    /// sleeping workers.
+    fn submit(&self, tasks: Vec<Task>) {
+        for t in tasks {
+            let q = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.locals.len();
+            self.locals[q].lock().unwrap().push_back(t);
+        }
+        let mut generation = self.generation.lock().unwrap();
+        *generation = generation.wrapping_add(1);
+        drop(generation);
+        self.work_available.notify_all();
+    }
+}
+
+/// A worker: run everything reachable, sleep when the queues look empty.
+fn worker_loop(pool: &'static Pool, idx: usize) {
+    loop {
+        // Snapshot the generation *before* scanning so a submission that
+        // races the scan is seen as a generation change, not missed.
+        let seen = *pool.generation.lock().unwrap();
+        while let Some(task) = pool.find_work(idx) {
+            task();
+        }
+        let guard = pool.generation.lock().unwrap();
+        if *guard == seen {
+            // Timed wait as a belt-and-braces backstop against any missed
+            // wakeup; 50ms of idle latency is invisible to batch runtimes.
+            let _ = pool
+                .work_available
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap();
+        }
+    }
+}
+
+/// Completion latch for one batch, including panic transport.
+struct Latch {
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn task_finished(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done.lock().unwrap();
+            *done = true;
+            drop(done);
+            self.all_done.notify_all();
+        }
+    }
+}
+
+/// Runs a batch of tasks to completion on the global pool, helping from
+/// the calling thread. Tasks may borrow data on the caller's stack; they
+/// are all dead (not merely scheduled) when this returns. Panics inside
+/// tasks are re-raised here after the whole batch drains.
+///
+/// With a single-threaded pool the batch simply runs inline, in order —
+/// the degenerate case is exactly the old sequential shim.
+pub(crate) fn run_batch(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    let pool = ensure_workers();
+    if pool.threads == 1 {
+        let mut caught: Option<Box<dyn std::any::Any + Send>> = None;
+        for t in tasks {
+            match catch_unwind(AssertUnwindSafe(t)) {
+                Ok(()) => {}
+                Err(p) => caught = Some(caught.unwrap_or(p)),
+            }
+        }
+        if let Some(p) = caught {
+            resume_unwind(p);
+        }
+        return;
+    }
+
+    let latch = Latch {
+        remaining: AtomicUsize::new(tasks.len()),
+        done: Mutex::new(false),
+        all_done: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+    let latch_ref: &Latch = &latch;
+
+    let wrapped: Vec<Task> = tasks
+        .into_iter()
+        .map(|t| {
+            let job = move || {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(t)) {
+                    latch_ref.panic.lock().unwrap().get_or_insert(p);
+                }
+                latch_ref.task_finished();
+            };
+            // SAFETY: the closure borrows `latch` and whatever `t`
+            // borrows from the caller's stack. `run_batch` blocks below
+            // until `remaining` hits zero, and the decrement is the last
+            // action of every wrapped task, so no task touches those
+            // borrows after this function returns.
+            unsafe { erase_lifetime(Box::new(job)) }
+        })
+        .collect();
+
+    pool.submit(wrapped);
+
+    // Help: drain tasks (ours or anyone's — executing a queued task is
+    // always valid work) instead of blocking, then park briefly only when
+    // the queues are dry but our batch is still in flight on workers.
+    let home = pool.next_queue.load(Ordering::Relaxed) % pool.locals.len();
+    while latch.remaining.load(Ordering::Acquire) > 0 {
+        if let Some(task) = pool.find_work(home) {
+            task();
+            continue;
+        }
+        let done = latch.done.lock().unwrap();
+        if !*done {
+            let _ = latch
+                .all_done
+                .wait_timeout(done, Duration::from_millis(1))
+                .unwrap();
+        }
+    }
+
+    let caught = latch.panic.lock().unwrap().take();
+    if let Some(p) = caught {
+        resume_unwind(p);
+    }
+}
+
+/// Erases a task's borrow lifetimes so it can sit in the `'static` queue.
+/// Sole caller is [`run_batch`], which upholds the required invariant:
+/// the erased task finishes before the borrows it captures go away.
+unsafe fn erase_lifetime<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
+    std::mem::transmute(task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn batch_runs_every_task_and_blocks_until_done() {
+        let hits = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..100)
+            .map(|_| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_batch(tasks);
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        let total = AtomicU64::new(0);
+        let outer: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let total = &total;
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                        .map(|_| {
+                            Box::new(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            })
+                                as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    run_batch(inner);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_batch(outer);
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panics_propagate_to_submitter() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("boom from task {i}");
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_batch(tasks);
+        }));
+        assert!(result.is_err());
+    }
+}
