@@ -26,12 +26,29 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::time::Instant;
 
+/// Static `(name, kind)` descriptions of every target, usable without
+/// constructing the graph fixtures — the merge step only needs these
+/// strings to label JSON rows. `targets()` draws its names from here so
+/// the two can't drift apart.
+const TARGET_KINDS: &[(&str, &str)] = &[
+    (
+        "graph.is_k_dominating_set_par",
+        "parallel short-circuit all over node chunks",
+    ),
+    (
+        "core.best_uniform",
+        "parallel best-of-R restarts (map + ordered reduce)",
+    ),
+    (
+        "graph.greedy_dominating_set",
+        "sequential lazy-decrement heap argmax",
+    ),
+];
+
 /// One measurable workload: returns a determinism checksum; the harness
 /// times it.
 struct Target {
     name: &'static str,
-    /// What the target exercises, for the JSON record.
-    kind: &'static str,
     run: Box<dyn Fn() -> u64>,
     /// Timed repetitions (the fastest is reported, standard practice for
     /// ns/op on a noisy machine).
@@ -52,16 +69,14 @@ fn targets(quick: bool) -> Vec<Target> {
     let greedy_graph = rgg_fixture(n_check / 2);
     vec![
         Target {
-            name: "graph.is_k_dominating_set_par",
-            kind: "parallel short-circuit all over node chunks",
+            name: TARGET_KINDS[0].0,
             run: Box::new(move || {
                 u64::from(is_k_dominating_set_par(&check_graph, &check_set, 1))
             }),
             reps: if quick { 5 } else { 20 },
         },
         Target {
-            name: "core.best_uniform",
-            kind: "parallel best-of-R restarts (map + ordered reduce)",
+            name: TARGET_KINDS[1].0,
             run: Box::new(move || {
                 let (s, seed) = best_uniform(&sched_graph, 2, 3.0, trials, 0);
                 s.lifetime().wrapping_mul(1_000_003).wrapping_add(seed)
@@ -69,8 +84,7 @@ fn targets(quick: bool) -> Vec<Target> {
             reps: if quick { 3 } else { 5 },
         },
         Target {
-            name: "graph.greedy_dominating_set",
-            kind: "sequential lazy-decrement heap argmax",
+            name: TARGET_KINDS[2].0,
             run: Box::new(move || {
                 let alive = NodeSet::full(greedy_graph.n());
                 greedy_dominating_set(&greedy_graph, &alive)
@@ -166,8 +180,7 @@ fn main() {
     let par = run_leg(threads, quick);
 
     let mut rows = Vec::new();
-    let kinds: BTreeMap<&str, &str> =
-        targets(true).iter().map(|t| (t.name, t.kind)).collect();
+    let kinds: BTreeMap<&str, &str> = TARGET_KINDS.iter().copied().collect();
     for (name, &(ns1, sum1)) in &base {
         let &(ns_n, sum_n) = par
             .get(name)

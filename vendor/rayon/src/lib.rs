@@ -340,8 +340,10 @@ where
         .collect()
 }
 
-/// Configures the not-yet-spawned global pool, mirroring upstream's
-/// builder surface.
+/// Sizes the global pool, mirroring upstream's builder surface.
+/// `build_global` creates the pool at the requested size in one atomic
+/// step (worker threads still start lazily), so success means the running
+/// pool really has that size.
 ///
 /// ```
 /// // Binaries call this before any parallel work:

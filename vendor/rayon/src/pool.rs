@@ -22,7 +22,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 /// A unit of work queued on the pool (lifetime already erased).
@@ -44,21 +44,14 @@ struct Pool {
     threads: usize,
 }
 
-/// Requested size for the not-yet-spawned global pool (set by
-/// `ThreadPoolBuilder::build_global`).
-static CONFIGURED: OnceLock<usize> = OnceLock::new();
-/// The global pool, spawned on first use.
+/// The global pool: initialized eagerly at an explicit size by
+/// `ThreadPoolBuilder::build_global`, or lazily on first use.
 static POOL: OnceLock<Pool> = OnceLock::new();
 
-/// Resolves the pool size without spawning it: builder override, then
-/// `RAYON_NUM_THREADS` (a positive integer; `0`/unset/garbage falls
-/// through), then available cores.
+/// Resolves the pool size without spawning it: `RAYON_NUM_THREADS` (a
+/// positive integer; `0`/unset/garbage falls through), then available
+/// cores.
 fn resolve_threads() -> usize {
-    if let Some(&n) = CONFIGURED.get() {
-        if n > 0 {
-            return n;
-        }
-    }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
@@ -69,15 +62,25 @@ fn resolve_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Records the builder's requested size. Fails (returns `false`) if the
-/// pool was already spawned with a different size, or a different size
-/// was already configured.
-pub(crate) fn configure_threads(n: usize) -> bool {
-    if let Some(pool) = POOL.get() {
-        return pool.threads == n.max(1);
+fn new_pool(threads: usize) -> Pool {
+    Pool {
+        locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        generation: Mutex::new(0),
+        work_available: Condvar::new(),
+        next_queue: AtomicUsize::new(0),
+        threads,
     }
-    let stored = *CONFIGURED.get_or_init(|| n);
-    stored == n
+}
+
+/// Installs the builder's requested size by initializing the global pool
+/// at that size (worker threads still spawn lazily, on first submission).
+/// Configuration and pool creation are a single `OnceLock` step, so a
+/// concurrent first `run_batch` can never leave a differently-sized pool
+/// running after this reports success. Fails (returns `false`) if the
+/// pool already exists with a different size.
+pub(crate) fn configure_threads(n: usize) -> bool {
+    let n = n.max(1);
+    POOL.get_or_init(|| new_pool(n)).threads == n
 }
 
 /// The size the global pool has (or would have once spawned).
@@ -87,16 +90,7 @@ pub(crate) fn num_threads() -> usize {
 
 /// The spawned global pool.
 fn pool() -> &'static Pool {
-    POOL.get_or_init(|| {
-        let threads = resolve_threads().max(1);
-        Pool {
-            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-            generation: Mutex::new(0),
-            work_available: Condvar::new(),
-            next_queue: AtomicUsize::new(0),
-            threads,
-        }
-    })
+    POOL.get_or_init(|| new_pool(resolve_threads()))
 }
 
 /// Spawns the detached worker threads exactly once (separate from pool
@@ -212,28 +206,35 @@ pub(crate) fn run_batch(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         return;
     }
 
-    let latch = Latch {
+    // The latch is heap-allocated and co-owned by every wrapped task: the
+    // worker that performs the final decrement is still inside
+    // `task_finished` (touching `done`/`all_done`) when the submitter can
+    // first observe `remaining == 0` and return, so the latch must outlive
+    // this stack frame. The Arc keeps it alive until that worker's last
+    // access completes.
+    let latch = Arc::new(Latch {
         remaining: AtomicUsize::new(tasks.len()),
         done: Mutex::new(false),
         all_done: Condvar::new(),
         panic: Mutex::new(None),
-    };
-    let latch_ref: &Latch = &latch;
+    });
 
     let wrapped: Vec<Task> = tasks
         .into_iter()
         .map(|t| {
+            let latch = Arc::clone(&latch);
             let job = move || {
                 if let Err(p) = catch_unwind(AssertUnwindSafe(t)) {
-                    latch_ref.panic.lock().unwrap().get_or_insert(p);
+                    latch.panic.lock().unwrap().get_or_insert(p);
                 }
-                latch_ref.task_finished();
+                latch.task_finished();
             };
-            // SAFETY: the closure borrows `latch` and whatever `t`
-            // borrows from the caller's stack. `run_batch` blocks below
-            // until `remaining` hits zero, and the decrement is the last
-            // action of every wrapped task, so no task touches those
-            // borrows after this function returns.
+            // SAFETY: the erased borrows are confined to `t`, which
+            // borrows the caller's stack. `run_batch` blocks below until
+            // `remaining` hits zero, and every task fully runs and drops
+            // `t` *before* its decrement, so no caller-stack borrow is
+            // touched after this function returns. The latch itself is
+            // Arc-owned by the task, not borrowed.
             unsafe { erase_lifetime(Box::new(job)) }
         })
         .collect();
@@ -312,6 +313,27 @@ mod tests {
             .collect();
         run_batch(outer);
         assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn many_tiny_batches_stress_the_latch_window() {
+        // Regression guard for the latch lifetime: tiny batches maximize
+        // the window in which a worker's final decrement races the
+        // submitter's return. The latch is Arc-owned by the tasks, so this
+        // must be clean under Miri/TSan, not just pass.
+        let hits = AtomicU64::new(0);
+        for _ in 0..2_000 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..2)
+                .map(|_| {
+                    let hits = &hits;
+                    Box::new(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_batch(tasks);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 4_000);
     }
 
     #[test]
