@@ -17,6 +17,9 @@
 //! N-thread legs — the speedup table is only meaningful for bit-identical
 //! results.
 
+// Benchmarks pin the deprecated free functions so the baseline series
+// stays comparable across the Solver-API migration.
+#![allow(deprecated)]
 use domatic_bench::{gnp_fixture, rgg_fixture};
 use domatic_core::stochastic::best_uniform;
 use domatic_graph::domination::{greedy_dominating_set, is_k_dominating_set_par};

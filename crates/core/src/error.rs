@@ -1,0 +1,124 @@
+//! The workspace-wide error type.
+//!
+//! Before the `Solver` redesign every entry point had its own failure
+//! convention: `graph::io` returned `GraphError`, `schedule::io` returned
+//! `ScheduleParseError`, `validate_schedule` returned a `Violation`, and
+//! the binaries stitched them together with `unwrap_or_else(exit)`.
+//! [`DomaticError`] unifies them: everything a solver, loader, or the
+//! adaptive runtime can fail with converts into it via `From`, so
+//! fallible paths compose with `?` all the way up to `main`.
+
+use domatic_graph::builder::GraphError;
+use domatic_schedule::io::ScheduleParseError;
+use domatic_schedule::Violation;
+use std::fmt;
+
+/// Any failure the domatic toolchain can produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DomaticError {
+    /// Graph construction or edge-list parsing failed.
+    Graph(GraphError),
+    /// Schedule-file parsing failed.
+    ScheduleParse(ScheduleParseError),
+    /// A schedule failed validation; carries the typed violation rather
+    /// than a formatted string, so callers can match on the cause.
+    InvalidSchedule(Violation),
+    /// A solver that requires uniform batteries was handed a non-uniform
+    /// vector (Algorithm 1 and Algorithm 3 are defined for `b_v = b`).
+    NonUniformBatteries {
+        /// The solver that rejected the instance.
+        solver: &'static str,
+    },
+    /// Graph and battery vector disagree on the node count.
+    SizeMismatch {
+        /// Nodes in the graph.
+        graph: usize,
+        /// Entries in the battery vector.
+        batteries: usize,
+    },
+    /// A solver name not present in [`crate::solver::solver_registry`].
+    UnknownSolver {
+        /// The requested name.
+        name: String,
+    },
+    /// A file could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for DomaticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomaticError::Graph(e) => write!(f, "graph error: {e}"),
+            DomaticError::ScheduleParse(e) => write!(f, "{e}"),
+            DomaticError::InvalidSchedule(v) => write!(f, "invalid schedule: {v}"),
+            DomaticError::NonUniformBatteries { solver } => write!(
+                f,
+                "solver '{solver}' requires uniform batteries (use 'general' or 'greedy')"
+            ),
+            DomaticError::SizeMismatch { graph, batteries } => {
+                write!(f, "graph has {graph} nodes but battery vector has {batteries}")
+            }
+            DomaticError::UnknownSolver { name } => {
+                write!(
+                    f,
+                    "unknown solver '{name}' (available: {})",
+                    crate::solver::solver_names().join(", ")
+                )
+            }
+            DomaticError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DomaticError {}
+
+impl From<GraphError> for DomaticError {
+    fn from(e: GraphError) -> Self {
+        DomaticError::Graph(e)
+    }
+}
+
+impl From<ScheduleParseError> for DomaticError {
+    fn from(e: ScheduleParseError) -> Self {
+        DomaticError::ScheduleParse(e)
+    }
+}
+
+impl From<Violation> for DomaticError {
+    fn from(v: Violation) -> Self {
+        DomaticError::InvalidSchedule(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_the_cause() {
+        let g: DomaticError = GraphError::SelfLoop { node: 3 }.into();
+        assert!(matches!(g, DomaticError::Graph(GraphError::SelfLoop { node: 3 })));
+
+        let v: DomaticError =
+            Violation::OverBudget { node: 1, active: 5, budget: 2 }.into();
+        assert!(v.to_string().contains("node 1 active 5 units"));
+
+        let p: DomaticError =
+            ScheduleParseError { line: 4, message: "bad".into() }.into();
+        assert!(p.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn unknown_solver_lists_the_registry() {
+        let e = DomaticError::UnknownSolver { name: "nope".into() };
+        let msg = e.to_string();
+        for name in crate::solver::solver_names() {
+            assert!(msg.contains(name), "{msg} missing {name}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! File loading that composes with [`crate::error::DomaticError`].
+//!
+//! The binaries (and the adaptive smoke tests) all need "read this path,
+//! parse it, or tell me exactly what went wrong" — these helpers fold the
+//! OS error and the parse error into one `Result` so callers use `?`.
+
+use crate::error::DomaticError;
+use domatic_graph::Graph;
+use domatic_schedule::Schedule;
+use std::path::Path;
+
+fn read(path: &Path) -> Result<String, DomaticError> {
+    std::fs::read_to_string(path).map_err(|e| DomaticError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Reads and parses an edge-list topology file (`graph::io` format).
+pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph, DomaticError> {
+    let text = read(path.as_ref())?;
+    Ok(domatic_graph::io::parse_edge_list(&text)?)
+}
+
+/// Reads and parses a schedule file (`schedule::io` format); returns the
+/// schedule and its universe size.
+pub fn load_schedule(path: impl AsRef<Path>) -> Result<(Schedule, usize), DomaticError> {
+    let text = read(path.as_ref())?;
+    Ok(domatic_schedule::io::from_text(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let e = load_graph("/nonexistent/definitely-not-here.txt").unwrap_err();
+        assert!(matches!(e, DomaticError::Io { .. }));
+        assert!(e.to_string().contains("definitely-not-here"));
+    }
+
+    #[test]
+    fn parse_failures_convert() {
+        let dir = std::env::temp_dir().join("domatic-core-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad_graph.txt");
+        std::fs::write(&p, "0 1\n").unwrap();
+        let e = load_graph(&p).unwrap_err();
+        assert!(matches!(e, DomaticError::Graph(_)));
+
+        let s = dir.join("bad_schedule.txt");
+        std::fs::write(&s, "not a schedule\n").unwrap();
+        let e = load_schedule(&s).unwrap_err();
+        assert!(matches!(e, DomaticError::ScheduleParse(_)));
+    }
+
+    #[test]
+    fn roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("domatic-core-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = domatic_graph::generators::regular::cycle(5);
+        let gp = dir.join("ok_graph.txt");
+        std::fs::write(&gp, domatic_graph::io::to_edge_list(&g)).unwrap();
+        assert_eq!(load_graph(&gp).unwrap(), g);
+    }
+}

@@ -1,0 +1,330 @@
+//! The unified `Solver` API.
+//!
+//! Four incompatible entry points grew out of the paper's three
+//! algorithms plus the greedy baseline (`best_uniform`, `best_general`,
+//! `greedy_general_schedule`, `best_fault_tolerant`) — each with its own
+//! argument order and return shape. Everything downstream (the CLI, the
+//! experiment harness, and above all the adaptive rescheduling runtime,
+//! which must re-plan over an arbitrary surviving subgraph) wants one
+//! shape: *graph + batteries + config in, validated schedule out*.
+//!
+//! [`Solver`] is that shape. Each implementation wraps the corresponding
+//! best-of-R entry point, so at a fixed [`SolverConfig`] a solver's output
+//! is bit-identical to the historical free function (regression-tested in
+//! `tests/solver_api.rs`). The free functions remain as deprecated
+//! wrappers so existing code compiles unchanged.
+//!
+//! ```
+//! use domatic_core::solver::{Solver, SolverConfig, UniformSolver};
+//! use domatic_graph::generators::regular::complete;
+//! use domatic_schedule::Batteries;
+//!
+//! let g = complete(60);
+//! let b = Batteries::uniform(60, 2);
+//! let cfg = SolverConfig::new().seed(7).trials(4);
+//! let s = UniformSolver.schedule(&g, &b, &cfg).unwrap();
+//! assert!(s.lifetime() >= 2);
+//! ```
+
+use crate::bounds::{fault_tolerant_upper_bound, general_upper_bound};
+use crate::error::DomaticError;
+use crate::greedy::greedy_general_schedule;
+use domatic_graph::Graph;
+use domatic_schedule::{Batteries, Schedule};
+
+/// Shared solver parameters, built fluently.
+///
+/// Defaults match the CLI's historical defaults: `seed 0`, `trials 8`,
+/// `k 1`, `c 3.0` (the paper's range constant).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// Base seed; trial `i` runs with `seed + i`.
+    pub seed: u64,
+    /// Best-of-R restarts (clamped to at least 1).
+    pub trials: u64,
+    /// Domination tolerance for the fault-tolerant solver (`k`-domination).
+    pub k: usize,
+    /// The color-range constant `c` (paper §4: `c ≥ 3`).
+    pub c: f64,
+}
+
+impl SolverConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        SolverConfig { seed: 0, trials: 8, k: 1, c: 3.0 }
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of best-of-R restarts.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the fault-tolerance level `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the color-range constant `c`.
+    pub fn c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A cluster-lifetime scheduler: graph + batteries in, validated schedule
+/// out. Object-safe so runtimes can hold `&dyn Solver` / `Box<dyn Solver>`.
+pub trait Solver: Sync {
+    /// Registry name (what `--alg` accepts).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--alg` listings.
+    fn describe(&self) -> &'static str;
+
+    /// The tolerance level the emitted schedule is valid at (1 for plain
+    /// domination; the fault-tolerant solver returns `cfg.k`).
+    fn tolerance(&self, cfg: &SolverConfig) -> usize {
+        let _ = cfg;
+        1
+    }
+
+    /// The matching `L_OPT` upper bound for reporting.
+    fn upper_bound(&self, g: &Graph, b: &Batteries, cfg: &SolverConfig) -> u64 {
+        let _ = cfg;
+        general_upper_bound(g, b)
+    }
+
+    /// Computes a schedule that is valid for `(g, b)` at
+    /// [`Solver::tolerance`]. Implementations validate internally (via
+    /// `longest_valid_prefix`), so the result needs no further clipping.
+    fn schedule(
+        &self,
+        g: &Graph,
+        b: &Batteries,
+        cfg: &SolverConfig,
+    ) -> Result<Schedule, DomaticError>;
+}
+
+fn check_sizes(g: &Graph, b: &Batteries) -> Result<(), DomaticError> {
+    if g.n() != b.n() {
+        return Err(DomaticError::SizeMismatch { graph: g.n(), batteries: b.n() });
+    }
+    Ok(())
+}
+
+fn uniform_level(b: &Batteries, solver: &'static str) -> Result<u64, DomaticError> {
+    if !b.is_uniform() {
+        return Err(DomaticError::NonUniformBatteries { solver });
+    }
+    Ok(b.max())
+}
+
+/// Algorithm 1 (paper §4): uniform batteries, one random color per node.
+/// Rejects non-uniform battery vectors.
+pub struct UniformSolver;
+
+impl Solver for UniformSolver {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+    fn describe(&self) -> &'static str {
+        "Algorithm 1: uniform batteries, random coloring (best-of-R)"
+    }
+    fn schedule(
+        &self,
+        g: &Graph,
+        b: &Batteries,
+        cfg: &SolverConfig,
+    ) -> Result<Schedule, DomaticError> {
+        check_sizes(g, b)?;
+        let level = uniform_level(b, self.name())?;
+        #[allow(deprecated)]
+        let (s, _seed) = crate::stochastic::best_uniform(g, level, cfg.c, cfg.trials, cfg.seed);
+        Ok(s)
+    }
+}
+
+/// Algorithm 2 (paper §5): arbitrary batteries, `b_v` random colors per
+/// node.
+pub struct GeneralSolver;
+
+impl Solver for GeneralSolver {
+    fn name(&self) -> &'static str {
+        "general"
+    }
+    fn describe(&self) -> &'static str {
+        "Algorithm 2: general batteries, multi-coloring (best-of-R)"
+    }
+    fn schedule(
+        &self,
+        g: &Graph,
+        b: &Batteries,
+        cfg: &SolverConfig,
+    ) -> Result<Schedule, DomaticError> {
+        check_sizes(g, b)?;
+        #[allow(deprecated)]
+        let (s, _seed) = crate::stochastic::best_general(g, b, cfg.c, cfg.trials, cfg.seed);
+        Ok(s)
+    }
+}
+
+/// The deterministic greedy baseline (§3): repeatedly peel greedy
+/// dominating sets weighted by residual budget. Handles any battery
+/// vector and never fails on a non-empty instance, which makes it the
+/// replan fallback of the adaptive runtime.
+pub struct GreedySolver;
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+    fn describe(&self) -> &'static str {
+        "greedy baseline: deterministic budget-aware set peeling"
+    }
+    fn schedule(
+        &self,
+        g: &Graph,
+        b: &Batteries,
+        cfg: &SolverConfig,
+    ) -> Result<Schedule, DomaticError> {
+        let _ = cfg;
+        check_sizes(g, b)?;
+        Ok(greedy_general_schedule(g, b))
+    }
+}
+
+/// Algorithm 3 (paper §6): k-tolerant uniform schedules (everyone-on
+/// phase, then merged color classes). Rejects non-uniform batteries.
+pub struct FaultTolerantSolver;
+
+impl Solver for FaultTolerantSolver {
+    fn name(&self) -> &'static str {
+        "ft"
+    }
+    fn describe(&self) -> &'static str {
+        "Algorithm 3: k-tolerant uniform schedules (set --k)"
+    }
+    fn tolerance(&self, cfg: &SolverConfig) -> usize {
+        cfg.k.max(1)
+    }
+    fn upper_bound(&self, g: &Graph, b: &Batteries, cfg: &SolverConfig) -> u64 {
+        fault_tolerant_upper_bound(g, b.max(), cfg.k.max(1))
+    }
+    fn schedule(
+        &self,
+        g: &Graph,
+        b: &Batteries,
+        cfg: &SolverConfig,
+    ) -> Result<Schedule, DomaticError> {
+        check_sizes(g, b)?;
+        let level = uniform_level(b, self.name())?;
+        #[allow(deprecated)]
+        let (s, _seed) = crate::stochastic::best_fault_tolerant(
+            g,
+            level,
+            cfg.k.max(1),
+            cfg.c,
+            cfg.trials,
+            cfg.seed,
+        );
+        Ok(s)
+    }
+}
+
+/// Every registered solver, in presentation order. The single source of
+/// truth behind `--alg` for `schedule`, `simulate`, and `adapt`.
+pub fn solver_registry() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(UniformSolver),
+        Box::new(GeneralSolver),
+        Box::new(GreedySolver),
+        Box::new(FaultTolerantSolver),
+    ]
+}
+
+/// The registered solver names, in registry order.
+pub fn solver_names() -> Vec<&'static str> {
+    solver_registry().iter().map(|s| s.name()).collect()
+}
+
+/// Looks a solver up by name.
+pub fn make_solver(name: &str) -> Result<Box<dyn Solver>, DomaticError> {
+    solver_registry()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| DomaticError::UnknownSolver { name: name.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+    use domatic_graph::generators::regular::complete;
+    use domatic_schedule::validate_schedule;
+
+    #[test]
+    fn every_registered_solver_emits_a_valid_schedule() {
+        let g = gnp_with_avg_degree(80, 25.0, 5);
+        let b = Batteries::uniform(80, 3);
+        let cfg = SolverConfig::new().trials(4).seed(11).k(2);
+        for solver in solver_registry() {
+            let s = solver.schedule(&g, &b, &cfg).unwrap();
+            let k = solver.tolerance(&cfg);
+            validate_schedule(&g, &b, &s, k)
+                .unwrap_or_else(|v| panic!("{}: {v}", solver.name()));
+            assert!(s.lifetime() <= solver.upper_bound(&g, &b, &cfg));
+        }
+    }
+
+    #[test]
+    fn uniform_solvers_reject_nonuniform_batteries() {
+        let g = complete(10);
+        let b = Batteries::from_vec((1..=10).collect());
+        let cfg = SolverConfig::new();
+        for name in ["uniform", "ft"] {
+            let err = make_solver(name).unwrap().schedule(&g, &b, &cfg).unwrap_err();
+            assert!(matches!(err, DomaticError::NonUniformBatteries { .. }), "{name}");
+        }
+        // The general and greedy solvers accept the same instance.
+        for name in ["general", "greedy"] {
+            assert!(make_solver(name).unwrap().schedule(&g, &b, &cfg).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn size_mismatch_is_typed() {
+        let g = complete(5);
+        let b = Batteries::uniform(4, 2);
+        let err = GreedySolver.schedule(&g, &b, &SolverConfig::new()).unwrap_err();
+        assert_eq!(err, DomaticError::SizeMismatch { graph: 5, batteries: 4 });
+    }
+
+    #[test]
+    fn registry_lookup() {
+        assert_eq!(solver_names(), vec!["uniform", "general", "greedy", "ft"]);
+        assert!(make_solver("greedy").is_ok());
+        assert!(matches!(
+            make_solver("nope"),
+            Err(DomaticError::UnknownSolver { .. })
+        ));
+    }
+
+    #[test]
+    fn config_builder_sets_every_field() {
+        let cfg = SolverConfig::new().seed(9).trials(3).k(2).c(4.5);
+        assert_eq!(cfg, SolverConfig { seed: 9, trials: 3, k: 2, c: 4.5 });
+    }
+}

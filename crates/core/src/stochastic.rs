@@ -18,6 +18,7 @@ use rayon::prelude::*;
 /// (uniform), together with the seed that produced it.
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use domatic_core::stochastic::best_uniform;
 /// use domatic_graph::generators::regular::complete;
 ///
@@ -26,6 +27,10 @@ use rayon::prelude::*;
 /// assert!(schedule.lifetime() >= 2);
 /// assert!(seed < 8);
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `solver::UniformSolver` through the `Solver` trait (bit-identical output)"
+)]
 pub fn best_uniform(g: &Graph, b: u64, c: f64, trials: u64, base_seed: u64) -> (Schedule, u64) {
     let batteries = Batteries::uniform(g.n(), b);
     best_of(trials, base_seed, |seed| {
@@ -35,6 +40,10 @@ pub fn best_uniform(g: &Graph, b: u64, c: f64, trials: u64, base_seed: u64) -> (
 }
 
 /// Best-of-R for Algorithm 2 (general batteries).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `solver::GeneralSolver` through the `Solver` trait (bit-identical output)"
+)]
 pub fn best_general(
     g: &Graph,
     batteries: &Batteries,
@@ -49,6 +58,10 @@ pub fn best_general(
 }
 
 /// Best-of-R for Algorithm 3 (k-tolerant uniform).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `solver::FaultTolerantSolver` through the `Solver` trait (bit-identical output)"
+)]
 pub fn best_fault_tolerant(
     g: &Graph,
     b: u64,
@@ -99,6 +112,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers' behavior stays covered until removal
 mod tests {
     use super::*;
     use domatic_graph::generators::gnp::gnp_with_avg_degree;

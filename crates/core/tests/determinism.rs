@@ -9,6 +9,9 @@
 //! this binary under both `RAYON_NUM_THREADS=1` and `=4`; equality with
 //! the reference at both pool sizes is equality across pool sizes.
 
+// The deprecated best_* wrappers stay covered until removal: their
+// determinism IS the contract this file pins down.
+#![allow(deprecated)]
 use domatic_core::fault_tolerant::fault_tolerant_schedule;
 use domatic_core::general::{general_schedule, GeneralParams};
 use domatic_core::stochastic::{best_fault_tolerant, best_general, best_of, best_uniform};

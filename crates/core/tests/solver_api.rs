@@ -1,0 +1,65 @@
+//! Regression: the `Solver` trait wrappers are *bit-identical* to the
+//! free functions they replace, at every seed/trial setting probed. The
+//! deprecated `best_*` entry points stay callable until removal; this
+//! test is the migration contract that lets callers switch without
+//! re-validating results.
+
+#![allow(deprecated)]
+
+use domatic_core::solver::{
+    FaultTolerantSolver, GeneralSolver, GreedySolver, Solver, SolverConfig, UniformSolver,
+};
+use domatic_core::stochastic::{best_fault_tolerant, best_general, best_uniform};
+use domatic_core::greedy::greedy_general_schedule;
+use domatic_graph::generators::gnp::gnp_with_avg_degree;
+use domatic_schedule::Batteries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn uniform_solver_matches_best_uniform() {
+    let g = gnp_with_avg_degree(100, 20.0, 7);
+    for (seed, trials, b) in [(0u64, 8u64, 2u64), (42, 4, 3), (1000, 1, 5)] {
+        let cfg = SolverConfig::new().seed(seed).trials(trials);
+        let batteries = Batteries::uniform(g.n(), b);
+        let via_trait = UniformSolver.schedule(&g, &batteries, &cfg).unwrap();
+        let (direct, _) = best_uniform(&g, b, cfg.c, trials, seed);
+        assert_eq!(via_trait, direct, "seed {seed} trials {trials} b {b}");
+    }
+}
+
+#[test]
+fn general_solver_matches_best_general() {
+    let g = gnp_with_avg_degree(100, 20.0, 7);
+    let mut rng = StdRng::seed_from_u64(5);
+    let batteries = Batteries::from_vec((0..100).map(|_| rng.random_range(1..6)).collect());
+    for (seed, trials) in [(0u64, 8u64), (42, 4)] {
+        let cfg = SolverConfig::new().seed(seed).trials(trials);
+        let via_trait = GeneralSolver.schedule(&g, &batteries, &cfg).unwrap();
+        let (direct, _) = best_general(&g, &batteries, cfg.c, trials, seed);
+        assert_eq!(via_trait, direct, "seed {seed} trials {trials}");
+    }
+}
+
+#[test]
+fn fault_tolerant_solver_matches_best_fault_tolerant() {
+    let g = gnp_with_avg_degree(120, 40.0, 3);
+    for (seed, k, b) in [(0u64, 2usize, 4u64), (7, 3, 6)] {
+        let cfg = SolverConfig::new().seed(seed).trials(4).k(k);
+        let batteries = Batteries::uniform(g.n(), b);
+        let via_trait = FaultTolerantSolver.schedule(&g, &batteries, &cfg).unwrap();
+        let (direct, _) = best_fault_tolerant(&g, b, k, cfg.c, 4, seed);
+        assert_eq!(via_trait, direct, "seed {seed} k {k}");
+        assert_eq!(FaultTolerantSolver.tolerance(&cfg), k);
+    }
+}
+
+#[test]
+fn greedy_solver_matches_greedy_general_schedule() {
+    let g = gnp_with_avg_degree(80, 15.0, 11);
+    let mut rng = StdRng::seed_from_u64(2);
+    let batteries = Batteries::from_vec((0..80).map(|_| rng.random_range(0..5)).collect());
+    let cfg = SolverConfig::new();
+    let via_trait = GreedySolver.schedule(&g, &batteries, &cfg).unwrap();
+    assert_eq!(via_trait, greedy_general_schedule(&g, &batteries));
+}

@@ -50,6 +50,24 @@ pub fn lift_set(sub: &InducedSubgraph, set: &NodeSet, original_n: usize) -> Node
     NodeSet::from_iter(original_n, set.iter().map(|v| sub.to_original[v as usize]))
 }
 
+/// Translates a node set on the *original* graph to subgraph ids,
+/// dropping members that were not kept — the inverse of [`lift_set`]
+/// restricted to surviving nodes. `lift_set(sub, project_set(sub, s), n)`
+/// equals `s ∩ kept` for every `s` (round-trip tested below and in
+/// `tests/structure_properties.rs`).
+pub fn project_set(sub: &InducedSubgraph, set: &NodeSet) -> NodeSet {
+    NodeSet::from_iter(
+        sub.graph.n(),
+        set.iter().filter_map(|v| sub.to_new[v as usize]),
+    )
+}
+
+/// Translates per-original-node values (budgets, energies) into the
+/// subgraph's id space: `out[new_id] = values[to_original[new_id]]`.
+pub fn project_values<T: Copy>(sub: &InducedSubgraph, values: &[T]) -> Vec<T> {
+    sub.to_original.iter().map(|&v| values[v as usize]).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +103,29 @@ mod tests {
         let s = NodeSet::from_iter(3, [0, 2]); // new ids 0→1, 2→5
         let lifted = lift_set(&sub, &s, 6);
         assert_eq!(lifted.to_vec(), vec![1, 5]);
+    }
+
+    #[test]
+    fn project_lift_roundtrip() {
+        let g = cycle(8);
+        let keep = NodeSet::from_iter(8, [0, 2, 3, 6, 7]);
+        let sub = induced_subgraph(&g, &keep);
+        // Any original-id set: the round trip returns its kept part.
+        let s = NodeSet::from_iter(8, [1, 2, 6]);
+        let projected = project_set(&sub, &s);
+        let lifted = lift_set(&sub, &projected, 8);
+        assert_eq!(lifted.to_vec(), vec![2, 6]); // 1 was removed
+        // A subgraph-id set survives lift→project unchanged.
+        let t = NodeSet::from_iter(sub.graph.n(), [0, 4]);
+        assert_eq!(project_set(&sub, &lift_set(&sub, &t, 8)), t);
+    }
+
+    #[test]
+    fn project_values_follows_the_id_map() {
+        let g = cycle(5);
+        let keep = NodeSet::from_iter(5, [1, 3, 4]);
+        let sub = induced_subgraph(&g, &keep);
+        assert_eq!(project_values(&sub, &[10u64, 11, 12, 13, 14]), vec![11, 13, 14]);
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   rotation);
 //! - [`sim::simulate`] — slot-by-slot execution with k-coverage checking;
 //! - [`failures::FailureInjector`] — crash injection for the §6
-//!   fault-tolerance story.
+//!   fault-tolerance story;
+//! - [`failures::FailurePlan`] — pre-drawn, seed-deterministic failure
+//!   traces (crash, battery noise, transient loss);
+//! - [`adaptive`] — the online rescheduling runtime: executes a schedule
+//!   against a failure plan, detects divergence, and re-plans over the
+//!   surviving subgraph through any `domatic_core` solver.
 //!
 //! ```
 //! use domatic_netsim::energy::EnergyModel;
@@ -27,6 +32,7 @@
 //! assert!(res.lifetime >= 5); // the center alone covers 5 slots
 //! ```
 
+pub mod adaptive;
 pub mod datagather;
 pub mod energy;
 pub mod failures;
@@ -34,8 +40,14 @@ pub mod sim;
 pub mod strategies;
 pub mod trace;
 
+pub use adaptive::{
+    compare_static_adaptive, run_adaptive, run_adaptive_from, run_static, AdaptiveComparison,
+    AdaptiveConfig, AdaptiveEnd, AdaptiveRun, CoveragePoint, StaticRun,
+};
 pub use energy::EnergyModel;
-pub use failures::FailureInjector;
+pub use failures::{FailureInjector, FailureModel, FailurePlan};
 pub use sim::{simulate, simulate_observed, EndReason, SimConfig, SimResult, SlotRecord};
 pub use trace::{simulate_traced, SimTrace};
-pub use strategies::{AllActive, DomaticRotation, RandomRotation, SingleMds, Strategy};
+pub use strategies::{
+    AllActive, DomaticRotation, FollowSchedule, RandomRotation, SingleMds, Strategy,
+};

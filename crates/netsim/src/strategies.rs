@@ -219,6 +219,41 @@ impl Strategy for DomaticRotation {
     }
 }
 
+/// Plays back a precomputed [`Schedule`] slot by slot — the bridge from
+/// any [`domatic_core::solver::Solver`] output into the simulator. Members
+/// that can no longer serve are dropped from the slot's set (the simulator
+/// judges whether what's left still dominates); the strategy concedes when
+/// the schedule runs out.
+pub struct FollowSchedule {
+    schedule: domatic_schedule::Schedule,
+}
+
+impl FollowSchedule {
+    /// Follows `schedule` from slot 0.
+    pub fn new(schedule: domatic_schedule::Schedule) -> Self {
+        FollowSchedule { schedule }
+    }
+}
+
+impl Strategy for FollowSchedule {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+    fn next_active(
+        &mut self,
+        _g: &Graph,
+        energy: &[f64],
+        model: &EnergyModel,
+        slot: u64,
+    ) -> Option<NodeSet> {
+        let set = self.schedule.active_set_at(slot)?;
+        let ok = serviceable(energy, model);
+        let mut out = set.clone();
+        out.intersect_with(&ok);
+        Some(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

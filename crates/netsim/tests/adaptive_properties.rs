@@ -1,0 +1,124 @@
+//! Property tests for the adaptive rescheduling runtime: safety
+//! invariants (budgets, dead nodes), determinism, and the headline
+//! dominance relation over open-loop execution — for every topology,
+//! battery level, and failure mix.
+
+use domatic_core::solver::{GeneralSolver, SolverConfig, UniformSolver};
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::Graph;
+use domatic_netsim::{
+    compare_static_adaptive, run_adaptive, AdaptiveConfig, FailureModel, FailurePlan,
+};
+use domatic_schedule::Batteries;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl proptest::strategy::Strategy<Value = Graph> {
+    (4usize..30, 0.2f64..0.9, 0u64..300).prop_map(|(n, p, seed)| gnp(n, p, seed))
+}
+
+fn arb_models() -> impl proptest::strategy::Strategy<Value = Vec<FailureModel>> {
+    (0.0f64..0.08, 0.0f64..0.4, 0.0f64..0.2).prop_map(|(pc, pb, pl)| {
+        vec![
+            FailureModel::Crash { p: pc },
+            FailureModel::BatteryNoise { p: pb },
+            FailureModel::TransientLoss { p: pl },
+        ]
+    })
+}
+
+const SLOTS: u64 = 400;
+
+fn acfg() -> AdaptiveConfig {
+    AdaptiveConfig { max_slots: SLOTS, ..AdaptiveConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// A node is never awake beyond its nominal budget, no matter how the
+    /// plan is spliced: every replan is budgeted against the believed
+    /// ledger, and actual drain only ever exceeds believed.
+    #[test]
+    fn never_overspends_any_budget(
+        g in arb_graph(), b in 1u64..6, models in arb_models(), fseed in 0u64..500,
+    ) {
+        let batteries = Batteries::uniform(g.n(), b);
+        let plan = FailurePlan::draw(&models, g.n(), SLOTS, fseed);
+        let scfg = SolverConfig::new().seed(3).trials(2);
+        let run = run_adaptive(&g, &batteries, &GeneralSolver, &scfg, &acfg(), &plan).unwrap();
+        for v in 0..g.n() as u32 {
+            prop_assert!(
+                run.executed.active_time(v) <= b,
+                "node {v} awake {} of budget {b}",
+                run.executed.active_time(v)
+            );
+        }
+    }
+
+    /// A crashed node never appears in the executed schedule at or after
+    /// its crash slot.
+    #[test]
+    fn never_schedules_a_dead_node(
+        g in arb_graph(), b in 1u64..6, pc in 0.005f64..0.1, fseed in 0u64..500,
+    ) {
+        let batteries = Batteries::uniform(g.n(), b);
+        let plan = FailurePlan::draw(
+            &[FailureModel::Crash { p: pc }], g.n(), SLOTS, fseed,
+        );
+        let scfg = SolverConfig::new().seed(3).trials(2);
+        let run = run_adaptive(&g, &batteries, &UniformSolver, &scfg, &acfg(), &plan).unwrap();
+        let mut t = 0u64;
+        for e in run.executed.entries() {
+            for v in e.set.iter() {
+                if let Some(cs) = plan.crash_slot(v) {
+                    prop_assert!(
+                        t + e.duration <= cs,
+                        "node {v} active in [{t}, {}) but crashed at {cs}",
+                        t + e.duration
+                    );
+                }
+            }
+            t += e.duration;
+        }
+    }
+
+    /// Two runs at the same seed are indistinguishable — the failure
+    /// trace is pre-drawn and the solver is seeded, so nothing depends on
+    /// scheduling or iteration order.
+    #[test]
+    fn fixed_seed_runs_are_identical(
+        g in arb_graph(), b in 1u64..5, models in arb_models(), fseed in 0u64..500,
+    ) {
+        let batteries = Batteries::uniform(g.n(), b);
+        let plan = FailurePlan::draw(&models, g.n(), SLOTS, fseed);
+        let scfg = SolverConfig::new().seed(9).trials(2);
+        let a = run_adaptive(&g, &batteries, &GeneralSolver, &scfg, &acfg(), &plan).unwrap();
+        let c = run_adaptive(&g, &batteries, &GeneralSolver, &scfg, &acfg(), &plan).unwrap();
+        prop_assert_eq!(a.lifetime, c.lifetime);
+        prop_assert_eq!(a.replans, c.replans);
+        prop_assert_eq!(a.retries, c.retries);
+        prop_assert_eq!(a.deaths, c.deaths);
+        prop_assert_eq!(a.executed, c.executed);
+        prop_assert_eq!(a.coverage_curve, c.coverage_curve);
+    }
+
+    /// The headline guarantee: facing the identical failure trace,
+    /// adaptive execution never dies before the open-loop baseline.
+    #[test]
+    fn adaptive_never_worse_than_static(
+        g in arb_graph(), b in 1u64..6, models in arb_models(), fseed in 0u64..500,
+    ) {
+        let batteries = Batteries::uniform(g.n(), b);
+        let plan = FailurePlan::draw(&models, g.n(), SLOTS, fseed);
+        let scfg = SolverConfig::new().seed(3).trials(2);
+        let cmp = compare_static_adaptive(
+            &g, &batteries, &GeneralSolver, &scfg, &acfg(), &plan,
+        ).unwrap();
+        prop_assert!(
+            cmp.adaptive.lifetime >= cmp.static_run.lifetime,
+            "adaptive {} < static {}",
+            cmp.adaptive.lifetime,
+            cmp.static_run.lifetime
+        );
+    }
+}

@@ -150,6 +150,28 @@ impl EnergyLedger {
         )
     }
 
+    /// Charges an entire schedule into the ledger (entry by entry, in
+    /// order). On the first over-budget node the ledger keeps every fully
+    /// charged earlier entry and returns `Err((entry_index, node))` —
+    /// the budget-accounting primitive behind schedule splicing: charge
+    /// the executed prefix, then plan the remainder from what's left.
+    pub fn charge_schedule(
+        &mut self,
+        schedule: &crate::Schedule,
+    ) -> Result<(), (usize, NodeId)> {
+        for (i, e) in schedule.entries().iter().enumerate() {
+            self.charge(&e.set, e.duration).map_err(|v| (i, v))?;
+        }
+        Ok(())
+    }
+
+    /// The residual budgets as a fresh `Batteries` vector (what a replan
+    /// over survivors hands to a solver).
+    pub fn residual(&self) -> Batteries {
+        let n = self.batteries.n();
+        Batteries::from_vec((0..n as NodeId).map(|v| self.remaining(v)).collect())
+    }
+
     /// Fraction of total battery energy consumed (0 on an all-zero budget).
     pub fn utilization(&self) -> f64 {
         let total: u64 = self.batteries.as_slice().iter().sum();
@@ -227,6 +249,22 @@ mod tests {
         led.charge(&s, 2).unwrap();
         assert_eq!(led.max_duration(&s), 0);
         assert_eq!(led.max_duration(&NodeSet::new(3)), 0);
+    }
+
+    #[test]
+    fn charge_schedule_and_residual() {
+        let mut led = EnergyLedger::new(Batteries::from_vec(vec![3, 2, 2]));
+        let s = crate::Schedule::from_entries([
+            (NodeSet::from_iter(3, [0, 1]), 2),
+            (NodeSet::from_iter(3, [2]), 1),
+        ]);
+        led.charge_schedule(&s).unwrap();
+        assert_eq!(led.residual().as_slice(), &[1, 0, 1]);
+        // A second pass over-budgets at entry 0 (node 0 has 1 left, needs
+        // 2); the failed entry charges nothing.
+        let err = led.charge_schedule(&s).unwrap_err();
+        assert_eq!(err, (0, 0));
+        assert_eq!(led.residual().as_slice(), &[1, 0, 1]);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! cargo run --release --example fault_tolerant_clustering
 //! ```
 
+#![allow(deprecated)] // demonstrates the legacy entry point until removal
 use domatic::prelude::*;
 use domatic::netsim::{simulate, DomaticRotation, EnergyModel, FailureInjector, SimConfig};
 

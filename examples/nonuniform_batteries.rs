@@ -6,6 +6,7 @@
 //! cargo run --release --example nonuniform_batteries
 //! ```
 
+#![allow(deprecated)] // demonstrates the legacy entry point until removal
 use domatic::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

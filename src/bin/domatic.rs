@@ -3,47 +3,59 @@
 //!
 //! ```text
 //! domatic info <graph.txt>
-//! domatic schedule <graph.txt> [--b N] [--k K] [--alg uniform|general|greedy|ft] \
+//! domatic schedule <graph.txt> [--b N] [--k K] [--alg <solver>] \
 //!                  [--seed S] [--trials R] [--verbose] [--out schedule.txt]
 //! domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]
 //! domatic partition <graph.txt> [--alg greedy|feige|augmented]
 //! domatic simulate <graph.txt> [--b N] [--k K]
+//! domatic adapt <graph.txt> [--b N] [--k K] [--alg <solver>] [--seed S] \
+//!               [--failures none|crash|battery-noise|transient-loss|all] \
+//!               [--p P] [--slots N] [--retries N] [--drift N] [--json]
 //! domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]
 //! domatic optimum <graph.txt> [--b N]      # exact LP, small graphs only
 //! ```
 //!
-//! The graph format is `domatic_graph::io`'s: a `n <count>` header then
-//! one `u v` edge per line (`#` comments allowed).
+//! `<solver>` is any name from `domatic_core::solver::solver_registry()`
+//! (`uniform`, `general`, `greedy`, `ft`); an unknown name lists what is
+//! available. The graph format is `domatic_graph::io`'s: a `n <count>`
+//! header then one `u v` edge per line (`#` comments allowed).
 //!
 //! Every subcommand additionally accepts `--trace` (enables span timing
 //! and prints the telemetry snapshot — counters plus the nested span tree
 //! — after the subcommand finishes) and `--threads N` (sizes the global
 //! thread pool; defaults to `RAYON_NUM_THREADS` or the available cores).
 
-use domatic::core::bounds::{fault_tolerant_upper_bound, general_upper_bound};
-use domatic::core::stochastic::{best_fault_tolerant, best_general, best_uniform};
-use domatic::core::greedy::greedy_general_schedule;
-use domatic::lp::lp_optimal_lifetime;
+use domatic::core::solver::{make_solver, solver_registry, Solver, SolverConfig};
+use domatic::netsim::{
+    compare_static_adaptive, AdaptiveConfig, FailureModel, FailurePlan, FollowSchedule,
+};
 use domatic::prelude::*;
+use domatic::lp::lp_optimal_lifetime;
 use domatic::schedule::compact::render;
 use domatic::schedule::metrics::schedule_metrics;
 use domatic::schedule::validate_schedule;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg uniform|general|greedy|ft] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)"
+        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
+        domatic::core::solver::solver_names().join("|")
     );
     std::process::exit(2)
 }
 
 fn load_graph(path: &str) -> Graph {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
+    domatic::core::io::load_graph(path).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(1);
-    });
-    domatic::graph::io::parse_edge_list(&text).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        std::process::exit(1);
+    })
+}
+
+/// Resolves `--alg` through the solver registry; an unknown name exits
+/// with the registry's own "known solvers" message.
+fn resolve_solver(name: &str) -> Box<dyn Solver> {
+    make_solver(name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
     })
 }
 
@@ -56,6 +68,12 @@ struct Opts {
     verbose: bool,
     gantt: bool,
     out: Option<String>,
+    failures: String,
+    p: f64,
+    slots: u64,
+    retries: u32,
+    drift: u64,
+    json: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -68,6 +86,12 @@ fn parse_opts(args: &[String]) -> Opts {
         verbose: false,
         gantt: false,
         out: None,
+        failures: "crash".into(),
+        p: 0.02,
+        slots: 10_000,
+        retries: 2,
+        drift: 2,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -86,10 +110,20 @@ fn parse_opts(args: &[String]) -> Opts {
             "--verbose" => o.verbose = true,
             "--gantt" => o.gantt = true,
             "--out" => o.out = Some(next("--out")),
+            "--failures" => o.failures = next("--failures"),
+            "--p" => o.p = next("--p").parse().unwrap_or_else(|_| usage()),
+            "--slots" => o.slots = next("--slots").parse().unwrap_or_else(|_| usage()),
+            "--retries" => o.retries = next("--retries").parse().unwrap_or_else(|_| usage()),
+            "--drift" => o.drift = next("--drift").parse().unwrap_or_else(|_| usage()),
+            "--json" => o.json = true,
             _ => usage(),
         }
     }
     o
+}
+
+fn solver_config(o: &Opts) -> SolverConfig {
+    SolverConfig::new().seed(o.seed).trials(o.trials).k(o.k)
 }
 
 fn main() {
@@ -158,35 +192,23 @@ fn run_command(cmd: &str, rest: &[String]) {
             let o = parse_opts(&rest[1..]);
             let g = load_graph(path);
             let batteries = Batteries::uniform(g.n(), o.b);
-            let (schedule, label, bound) = match o.alg.as_str() {
-                "uniform" => {
-                    let (s, seed) = best_uniform(&g, o.b, 3.0, o.trials, o.seed);
-                    (s, format!("Algorithm 1 (seed {seed})"), general_upper_bound(&g, &batteries))
-                }
-                "general" => {
-                    let (s, seed) = best_general(&g, &batteries, 3.0, o.trials, o.seed);
-                    (s, format!("Algorithm 2 (seed {seed})"), general_upper_bound(&g, &batteries))
-                }
-                "greedy" => (
-                    greedy_general_schedule(&g, &batteries),
-                    "greedy baseline".to_string(),
-                    general_upper_bound(&g, &batteries),
-                ),
-                "ft" => {
-                    let (s, seed) = best_fault_tolerant(&g, o.b, o.k, 3.0, o.trials, o.seed);
-                    (
-                        s,
-                        format!("Algorithm 3, k = {} (seed {seed})", o.k),
-                        fault_tolerant_upper_bound(&g, o.b, o.k),
-                    )
-                }
-                _ => usage(),
-            };
-            validate_schedule(&g, &batteries, &schedule, o.k).unwrap_or_else(|v| {
+            let solver = resolve_solver(&o.alg);
+            let cfg = solver_config(&o);
+            let schedule = solver.schedule(&g, &batteries, &cfg).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            let tolerance = solver.tolerance(&cfg);
+            let bound = solver.upper_bound(&g, &batteries, &cfg);
+            validate_schedule(&g, &batteries, &schedule, tolerance).unwrap_or_else(|v| {
                 eprintln!("internal error: emitted schedule invalid: {v}");
                 std::process::exit(1);
             });
-            println!("{label}: lifetime {} (upper bound {bound})", schedule.lifetime());
+            println!(
+                "{}: lifetime {} (upper bound {bound})",
+                solver.describe(),
+                schedule.lifetime()
+            );
             let m = schedule_metrics(&schedule, &batteries);
             println!(
                 "steps {} | mean awake {:.1} | utilization {:.0}% | fairness {:.2}",
@@ -217,12 +239,8 @@ fn run_command(cmd: &str, rest: &[String]) {
             };
             let o = parse_opts(&rest[2..]);
             let g = load_graph(&gpath);
-            let text = std::fs::read_to_string(&spath).unwrap_or_else(|e| {
-                eprintln!("cannot read {spath}: {e}");
-                std::process::exit(1);
-            });
             let (schedule, universe) =
-                domatic::schedule::io::from_text(&text).unwrap_or_else(|e| {
+                domatic::core::io::load_schedule(&spath).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(1);
                 });
@@ -295,23 +313,131 @@ fn run_command(cmd: &str, rest: &[String]) {
                 switch_cost: 0.0,
             };
             let energies = vec![o.b as f64; g.n()];
+            let batteries = Batteries::uniform(g.n(), o.b);
+            let scfg = solver_config(&o);
             let classes = greedy_domatic_partition(&g);
             let mut strategies: Vec<Box<dyn Strategy>> = vec![
                 Box::new(AllActive),
                 Box::new(SingleMds::static_once()),
                 Box::new(DomaticRotation::new(classes, 1)),
             ];
+            // One schedule-playback row per registered solver.
+            let mut labels: Vec<String> =
+                strategies.iter().map(|s| s.name().to_string()).collect();
+            for solver in solver_registry() {
+                match solver.schedule(&g, &batteries, &scfg) {
+                    Ok(s) => {
+                        labels.push(format!("schedule[{}]", solver.name()));
+                        strategies.push(Box::new(FollowSchedule::new(s)));
+                    }
+                    Err(e) => eprintln!("skipping {}: {e}", solver.name()),
+                }
+            }
             println!(
                 "{:<22} {:>10} {:>12} {:>12}",
                 "strategy", "lifetime", "delivered", "mean awake"
             );
-            for s in strategies.iter_mut() {
-                let name = s.name();
+            for (label, s) in labels.iter().zip(strategies.iter_mut()) {
                 let res = simulate(&g, &energies, s.as_mut(), &cfg, None);
                 println!(
                     "{:<22} {:>10} {:>12} {:>12.1}",
-                    name, res.lifetime, res.delivered, res.mean_active
+                    label, res.lifetime, res.delivered, res.mean_active
                 );
+            }
+        }
+        "adapt" => {
+            let path = rest.first().unwrap_or_else(|| usage());
+            let o = parse_opts(&rest[1..]);
+            let g = load_graph(path);
+            let batteries = Batteries::uniform(g.n(), o.b);
+            let solver = resolve_solver(&o.alg);
+            let scfg = solver_config(&o);
+            let Some(models) = FailureModel::parse(&o.failures, o.p) else {
+                eprintln!(
+                    "unknown failure model '{}'; use none|crash|battery-noise|transient-loss|all",
+                    o.failures
+                );
+                std::process::exit(2);
+            };
+            let plan = FailurePlan::draw(&models, g.n(), o.slots, o.seed);
+            let acfg = AdaptiveConfig {
+                k: o.k,
+                drift_tolerance: o.drift,
+                max_retries: o.retries,
+                max_slots: o.slots,
+                max_replans: 64,
+                record_curve: true,
+            };
+            let cmp = compare_static_adaptive(&g, &batteries, solver.as_ref(), &scfg, &acfg, &plan)
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+            let (crashes, drains, losses) = plan.event_counts();
+            if o.json {
+                // Hand-rendered with a fixed field order so two same-seed
+                // runs emit byte-identical output.
+                let curve: Vec<String> = cmp
+                    .adaptive
+                    .coverage_curve
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{{\"slot\":{},\"covered\":{},\"alive\":{}}}",
+                            p.slot, p.covered, p.alive
+                        )
+                    })
+                    .collect();
+                println!(
+                    "{{\"n\":{},\"alg\":\"{}\",\"failures\":\"{}\",\"p\":{:?},\"seed\":{},\"b\":{},\"k\":{},\"planned\":{},\"crashes\":{crashes},\"drains\":{drains},\"losses\":{losses},\"static_lifetime\":{},\"static_end\":\"{}\",\"adaptive_lifetime\":{},\"adaptive_end\":\"{}\",\"delta\":{},\"replans\":{},\"retries\":{},\"deaths\":{},\"coverage_curve\":[{}]}}",
+                    g.n(),
+                    solver.name(),
+                    o.failures,
+                    o.p,
+                    o.seed,
+                    o.b,
+                    o.k,
+                    cmp.planned,
+                    cmp.static_run.lifetime,
+                    cmp.static_run.end.label(),
+                    cmp.adaptive.lifetime,
+                    cmp.adaptive.end.label(),
+                    cmp.delta(),
+                    cmp.adaptive.replans,
+                    cmp.adaptive.retries,
+                    cmp.adaptive.deaths,
+                    curve.join(",")
+                );
+            } else {
+                println!(
+                    "{} | failures {} (p = {}) | {} crashes, {} double drains, {} losses drawn",
+                    solver.describe(),
+                    o.failures,
+                    o.p,
+                    crashes,
+                    drains,
+                    losses
+                );
+                println!(
+                    "planned lifetime {} | static survives {} ({}) | adaptive survives {} ({})",
+                    cmp.planned,
+                    cmp.static_run.lifetime,
+                    cmp.static_run.end.label(),
+                    cmp.adaptive.lifetime,
+                    cmp.adaptive.end.label()
+                );
+                println!(
+                    "delta +{} slots | {} replans | {} retries | {} deaths",
+                    cmp.delta().max(0),
+                    cmp.adaptive.replans,
+                    cmp.adaptive.retries,
+                    cmp.adaptive.deaths
+                );
+                if o.verbose {
+                    for p in &cmp.adaptive.coverage_curve {
+                        println!("  slot {:>6}: {}/{} covered", p.slot, p.covered, p.alive);
+                    }
+                }
             }
         }
         "render" => {

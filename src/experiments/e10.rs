@@ -10,7 +10,7 @@
 
 use crate::experiments::table::{f2, f3, Table};
 use crate::experiments::workloads::Family;
-use domatic_core::stochastic::best_uniform;
+use domatic_core::solver::{Solver, SolverConfig, UniformSolver};
 use domatic_core::uniform::{uniform_coloring, uniform_schedule, UniformParams};
 use domatic_graph::domination::is_dominating_set;
 use domatic_schedule::{longest_valid_prefix, Batteries};
@@ -64,7 +64,13 @@ pub fn run() -> Vec<Table> {
     for r in [1u64, 4, 16, 64] {
         let reps = 12u64;
         let lifetimes: Vec<u64> = (0..reps)
-            .map(|i| best_uniform(&g, b, 1.0, r, 10_000 * i).0.lifetime())
+            .map(|i| {
+                let cfg = SolverConfig::new().seed(10_000 * i).trials(r).c(1.0);
+                UniformSolver
+                    .schedule(&g, &batteries, &cfg)
+                    .expect("uniform batteries")
+                    .lifetime()
+            })
             .collect();
         let sum: u64 = lifetimes.iter().sum();
         ablate_r.row(vec![

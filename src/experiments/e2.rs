@@ -12,7 +12,7 @@ use crate::experiments::stats::summarize_seeds;
 use crate::experiments::table::{f2, Table};
 use crate::experiments::workloads::Family;
 use domatic_core::bounds::{ln_n, uniform_upper_bound};
-use domatic_core::stochastic::best_uniform;
+use domatic_core::solver::{Solver, SolverConfig, UniformSolver};
 use domatic_core::uniform::{uniform_schedule, UniformParams};
 use domatic_graph::generators::regular::{cycle, path, star};
 use domatic_graph::Graph;
@@ -77,7 +77,10 @@ pub fn run() -> Vec<Table> {
         ("gnp(14)".into(), Family::Gnp { avg_degree: 5.0 }.build(14, 5)),
     ];
     for (name, g) in smalls {
-        let (sched, _) = best_uniform(&g, b, 3.0, 20, 99);
+        let cfg = SolverConfig::new().seed(99).trials(20);
+        let sched = UniformSolver
+            .schedule(&g, &Batteries::uniform(g.n(), b), &cfg)
+            .expect("uniform batteries");
         let l_alg = sched.lifetime();
         let opt = lp_optimal_lifetime(&g, &vec![b as f64; g.n()], 2_000_000)
             .expect("small instance enumerates")
@@ -108,7 +111,10 @@ mod tests {
         // The rendered ratios must all be ≥ 1 (bound is an upper bound);
         // verified structurally by re-running one cell.
         let g = Family::Torus8.build(400, 7 + 400);
-        let (s, _) = best_uniform(&g, 3, 3.0, 5, 1400);
+        let cfg = SolverConfig::new().seed(1400).trials(5);
+        let s = UniformSolver
+            .schedule(&g, &Batteries::uniform(g.n(), 3), &cfg)
+            .unwrap();
         assert!(s.lifetime() <= uniform_upper_bound(&g, 3));
         assert!(s.lifetime() >= 3); // at least one class × b
     }

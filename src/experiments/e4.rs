@@ -9,7 +9,7 @@ use crate::experiments::table::{f2, Table};
 use crate::experiments::workloads::{random_batteries, Family};
 use domatic_core::bounds::general_upper_bound;
 use domatic_core::greedy::greedy_general_schedule;
-use domatic_core::stochastic::best_general;
+use domatic_core::solver::{GeneralSolver, Solver, SolverConfig};
 use domatic_lp::lp_optimal_lifetime;
 
 /// Runs E4 and returns its tables.
@@ -30,7 +30,8 @@ pub fn run() -> Vec<Table> {
         for n in [100usize, 200, 400, 800] {
             let g = family.build(n, 17 + n as u64);
             let b = random_batteries(g.n(), bmax, 53 + n as u64);
-            let (sched, _) = best_general(&g, &b, 3.0, trials, 2000 + n as u64);
+            let cfg = SolverConfig::new().seed(2000 + n as u64).trials(trials);
+            let sched = GeneralSolver.schedule(&g, &b, &cfg).expect("sizes match");
             let l_alg = sched.lifetime();
             let greedy = greedy_general_schedule(&g, &b).lifetime();
             let tau = general_upper_bound(&g, &b);
@@ -57,7 +58,8 @@ pub fn run() -> Vec<Table> {
         ("torus(16)", Family::Torus8.build(16, 0), 3),
     ] {
         let b = random_batteries(g.n(), 4, bseed);
-        let (sched, _) = best_general(&g, &b, 3.0, 20, 7);
+        let cfg = SolverConfig::new().seed(7).trials(20);
+        let sched = GeneralSolver.schedule(&g, &b, &cfg).expect("sizes match");
         let greedy = greedy_general_schedule(&g, &b).lifetime();
         let opt = lp_optimal_lifetime(&g, &b.to_f64(), 2_000_000)
             .expect("small instance enumerates")
@@ -83,7 +85,9 @@ mod tests {
         // Re-run a single cell and check the invariant the table reports.
         let g = Family::Gnp { avg_degree: 40.0 }.build(200, 17 + 200);
         let b = random_batteries(200, 5, 53 + 200);
-        let (s, _) = best_general(&g, &b, 3.0, 3, 0);
+        let s = GeneralSolver
+            .schedule(&g, &b, &SolverConfig::new().trials(3))
+            .unwrap();
         assert!(s.lifetime() <= general_upper_bound(&g, &b));
         assert!(s.lifetime() >= 1);
     }

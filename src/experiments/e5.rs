@@ -8,7 +8,8 @@
 use crate::experiments::table::{f2, Table};
 use crate::experiments::workloads::Family;
 use domatic_core::bounds::{fault_tolerant_upper_bound, ln_n};
-use domatic_core::stochastic::best_fault_tolerant;
+use domatic_core::solver::{FaultTolerantSolver, Solver, SolverConfig};
+use domatic_schedule::Batteries;
 
 /// Runs E5 and returns its tables.
 pub fn run() -> Vec<Table> {
@@ -37,7 +38,10 @@ pub fn run() -> Vec<Table> {
                 } else {
                     "everyone-on"
                 };
-                let (sched, _) = best_fault_tolerant(&g, b, k, 3.0, trials, 40 + k as u64);
+                let cfg = SolverConfig::new().seed(40 + k as u64).trials(trials).k(k);
+                let sched = FaultTolerantSolver
+                    .schedule(&g, &Batteries::uniform(g.n(), b), &cfg)
+                    .expect("uniform batteries");
                 let l_alg = sched.lifetime();
                 let bound = fault_tolerant_upper_bound(&g, b, k);
                 t.row(vec![
@@ -67,7 +71,10 @@ mod tests {
         let g = Family::Gnp { avg_degree: 60.0 }.build(400, 23 + 400);
         let b = 6u64;
         for k in [1usize, 2, 3] {
-            let (s, _) = best_fault_tolerant(&g, b, k, 3.0, 2, 0);
+            let cfg = SolverConfig::new().trials(2).k(k);
+            let s = FaultTolerantSolver
+                .schedule(&g, &Batteries::uniform(g.n(), b), &cfg)
+                .unwrap();
             assert!(s.lifetime() >= b / 2, "k={k}");
             assert!(s.lifetime() <= fault_tolerant_upper_bound(&g, b, k), "k={k}");
         }

@@ -20,6 +20,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -65,6 +66,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "e16", summary: "Extension: multi-epoch rescheduling", run: e16::run },
         Experiment { id: "e17", summary: "Extension: MAC cost of one round over slotted ALOHA", run: e17::run },
         Experiment { id: "e18", summary: "Extension: partition augmentation (local search)", run: e18::run },
+        Experiment { id: "e19", summary: "Extension: failure survival — static vs adaptive execution", run: e19::run },
     ]
 }
 
@@ -82,11 +84,11 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
         for want in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17", "e18",
+            "e14", "e15", "e16", "e17", "e18", "e19",
         ] {
             assert!(ids.contains(&want), "{want} missing");
         }
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Integration: the general (non-uniform battery) pipeline — Algorithm 2
 //! against Lemma 5.1, the LP optimum, and the greedy baseline.
 
+// Pipeline coverage of the deprecated wrapper stays until its removal.
+#![allow(deprecated)]
 use domatic::core::bounds::general_upper_bound;
 use domatic::core::general::{general_schedule, GeneralParams};
 use domatic::core::greedy::greedy_general_schedule;

@@ -1,6 +1,8 @@
 //! Integration: the full uniform-case pipeline across crates —
 //! generator → Algorithm 1 → validation → bounds → exact LP.
 
+// Pipeline coverage of the deprecated wrapper stays until its removal.
+#![allow(deprecated)]
 use domatic::prelude::*;
 use domatic::core::bounds::uniform_upper_bound;
 use domatic::core::stochastic::best_uniform;
