@@ -13,12 +13,20 @@ fn bench_distsim(c: &mut Criterion) {
     let g = rgg_fixture(100_000);
     let b = battery_fixture(100_000);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("uniform_100k/threads", threads), &threads, |bch, &t| {
-            bch.iter(|| black_box(distributed_uniform_schedule(&g, 3, 3.0, 1, t)));
-        });
-        group.bench_with_input(BenchmarkId::new("general_100k/threads", threads), &threads, |bch, &t| {
-            bch.iter(|| black_box(distributed_general_schedule(&g, &b, 3.0, 1, t)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("uniform_100k/threads", threads),
+            &threads,
+            |bch, &t| {
+                bch.iter(|| black_box(distributed_uniform_schedule(&g, 3, 3.0, 1, t)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("general_100k/threads", threads),
+            &threads,
+            |bch, &t| {
+                bch.iter(|| black_box(distributed_general_schedule(&g, &b, 3.0, 1, t)));
+            },
+        );
     }
     group.finish();
 }

@@ -12,10 +12,14 @@ fn bench_epochs(c: &mut Criterion) {
     let g = gnp_fixture(2_000);
     let b = battery_fixture(2_000);
     for epochs in [1usize, 5, 20] {
-        group.bench_with_input(BenchmarkId::new("n=2000/epochs", epochs), &epochs, |bch, &e| {
-            let params = GeneralParams { c: 3.0, seed: 1 };
-            bch.iter(|| black_box(epoch_schedule(&g, &b, &params, e)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("n=2000/epochs", epochs),
+            &epochs,
+            |bch, &e| {
+                let params = GeneralParams { c: 3.0, seed: 1 };
+                bch.iter(|| black_box(epoch_schedule(&g, &b, &params, e)));
+            },
+        );
     }
     group.finish();
 }

@@ -15,7 +15,11 @@ fn bench_radio(c: &mut Criterion) {
             b.iter(|| {
                 black_box(disseminate_degrees(
                     g,
-                    &RadioParams { p: None, max_slots: 100_000, seed: 1 },
+                    &RadioParams {
+                        p: None,
+                        max_slots: 100_000,
+                        seed: 1,
+                    },
                 ))
             });
         });

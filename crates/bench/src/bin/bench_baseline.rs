@@ -64,18 +64,13 @@ fn targets(quick: bool) -> Vec<Target> {
     let n_sched = 400 * scale;
     let trials = if quick { 8 } else { 16 };
     let check_graph = rgg_fixture(n_check);
-    let check_set = NodeSet::from_iter(
-        n_check,
-        (0..n_check as u32).filter(|v| v % 3 != 2),
-    );
+    let check_set = NodeSet::from_iter(n_check, (0..n_check as u32).filter(|v| v % 3 != 2));
     let sched_graph = gnp_fixture(n_sched);
     let greedy_graph = rgg_fixture(n_check / 2);
     vec![
         Target {
             name: TARGET_KINDS[0].0,
-            run: Box::new(move || {
-                u64::from(is_k_dominating_set_par(&check_graph, &check_set, 1))
-            }),
+            run: Box::new(move || u64::from(is_k_dominating_set_par(&check_graph, &check_set, 1))),
             reps: if quick { 5 } else { 20 },
         },
         Target {
@@ -90,8 +85,7 @@ fn targets(quick: bool) -> Vec<Target> {
             name: TARGET_KINDS[2].0,
             run: Box::new(move || {
                 let alive = NodeSet::full(greedy_graph.n());
-                greedy_dominating_set(&greedy_graph, &alive)
-                    .map_or(0, |ds| ds.len() as u64)
+                greedy_dominating_set(&greedy_graph, &alive).map_or(0, |ds| ds.len() as u64)
             }),
             reps: if quick { 3 } else { 10 },
         },
@@ -118,7 +112,8 @@ fn measure(quick: bool) {
 fn run_leg(threads: usize, quick: bool) -> BTreeMap<String, (u64, u64)> {
     let exe = std::env::current_exe().expect("own executable path");
     let mut cmd = std::process::Command::new(exe);
-    cmd.arg("--measure").env("RAYON_NUM_THREADS", threads.to_string());
+    cmd.arg("--measure")
+        .env("RAYON_NUM_THREADS", threads.to_string());
     if quick {
         cmd.arg("--quick");
     }
@@ -136,8 +131,7 @@ fn run_leg(threads: usize, quick: bool) -> BTreeMap<String, (u64, u64)> {
         if parts.next() != Some("target") {
             continue;
         }
-        let (Some(name), Some(ns), Some(sum)) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(name), Some(ns), Some(sum)) = (parts.next(), parts.next(), parts.next()) else {
             continue;
         };
         let ns: u64 = ns.parse().expect("ns field");
@@ -199,11 +193,20 @@ fn main() {
         eprintln!("  {name}: {ns1} ns/op @1t, {ns_n} ns/op @{threads}t ({speedup:.2}x)");
         rows.push(Json::obj([
             ("name".into(), Json::Str((*name).clone())),
-            ("kind".into(), Json::Str(kinds.get(name.as_str()).copied().unwrap_or("").into())),
+            (
+                "kind".into(),
+                Json::Str(kinds.get(name.as_str()).copied().unwrap_or("").into()),
+            ),
             ("ns_per_op_1_thread".into(), Json::Int(ns1 as i128)),
             ("ns_per_op_n_threads".into(), Json::Int(ns_n as i128)),
-            ("speedup".into(), Json::Num((speedup * 100.0).round() / 100.0)),
+            (
+                "speedup".into(),
+                Json::Num((speedup * 100.0).round() / 100.0),
+            ),
             ("checksum_match".into(), Json::Bool(true)),
+            // The raw result checksum: the regression gate compares this
+            // across commits (correctness drift), not the timings.
+            ("checksum".into(), Json::Int(sum1 as i128)),
         ]));
     }
 
@@ -217,7 +220,10 @@ fn main() {
                 ("arch".into(), Json::Str(std::env::consts::ARCH.into())),
             ]),
         ),
-        ("threads_compared".into(), Json::Arr(vec![Json::Int(1), Json::Int(threads as i128)])),
+        (
+            "threads_compared".into(),
+            Json::Arr(vec![Json::Int(1), Json::Int(threads as i128)]),
+        ),
         ("quick".into(), Json::Bool(quick)),
         ("targets".into(), Json::Arr(rows)),
     ]);

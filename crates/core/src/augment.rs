@@ -89,9 +89,7 @@ pub fn augment_partition(g: &Graph, input: Vec<NodeSet>) -> AugmentResult {
             // Collect this class's redundant members one at a time
             // (redundancy changes as members leave).
             loop {
-                let candidate = classes[i]
-                    .iter()
-                    .find(|&v| is_redundant(g, &classes[i], v));
+                let candidate = classes[i].iter().find(|&v| is_redundant(g, &classes[i], v));
                 match candidate {
                     Some(v) => {
                         classes[i].remove(v);
@@ -115,7 +113,11 @@ pub fn augment_partition(g: &Graph, input: Vec<NodeSet>) -> AugmentResult {
 
     let added = classes.len() - input_len;
     debug_assert!(classes.iter().all(|c| is_dominating_set(g, c)));
-    AugmentResult { classes, added, stolen }
+    AugmentResult {
+        classes,
+        added,
+        stolen,
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +138,10 @@ mod tests {
             let res = augment_partition(&g, input.clone());
             assert!(res.classes.len() >= input.len());
             assert!(are_disjoint(&res.classes), "seed {seed}");
-            assert!(is_disjoint_dominating_family(&g, &res.classes), "seed {seed}");
+            assert!(
+                is_disjoint_dominating_family(&g, &res.classes),
+                "seed {seed}"
+            );
         }
     }
 

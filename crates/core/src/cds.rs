@@ -20,7 +20,7 @@ use domatic_graph::connected_domination::{
 };
 use domatic_graph::domination::is_dominating_set;
 use domatic_graph::{Graph, NodeId, NodeSet};
-use domatic_schedule::{EnergyLedger, Batteries, Schedule};
+use domatic_schedule::{Batteries, EnergyLedger, Schedule};
 
 /// Greedy connected domatic partition: repeatedly extract a greedy CDS
 /// from the unused nodes. The result is a family of pairwise-disjoint

@@ -75,7 +75,11 @@ pub fn epoch_schedule(
             composed.push(e.set.clone(), e.duration);
         }
     }
-    EpochRun { schedule: composed, epoch_lifetimes, rounds }
+    EpochRun {
+        schedule: composed,
+        epoch_lifetimes,
+        rounds,
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,52 @@ pub enum DomaticError {
         /// The OS error message.
         message: String,
     },
+    /// The serve queue is full; the request was rejected at admission
+    /// instead of growing the queue without bound.
+    Overloaded {
+        /// The configured in-flight capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request's deadline passed before its solve completed (or
+    /// before it was dequeued); the server keeps serving other requests.
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The server is draining for shutdown and admits no new requests.
+    ShuttingDown,
+    /// A request referenced a graph name the server has not preloaded.
+    UnknownGraph {
+        /// The requested name.
+        name: String,
+    },
+    /// A request was syntactically or semantically malformed.
+    BadRequest {
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl DomaticError {
+    /// A stable machine-readable tag for this error, the `error.kind`
+    /// field of serve responses. Clients dispatch on these strings, so
+    /// they are part of the wire protocol: never reuse or rename one.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DomaticError::Graph(_) => "graph",
+            DomaticError::ScheduleParse(_) => "schedule_parse",
+            DomaticError::InvalidSchedule(_) => "invalid_schedule",
+            DomaticError::NonUniformBatteries { .. } => "non_uniform_batteries",
+            DomaticError::SizeMismatch { .. } => "size_mismatch",
+            DomaticError::UnknownSolver { .. } => "unknown_solver",
+            DomaticError::Io { .. } => "io",
+            DomaticError::Overloaded { .. } => "overloaded",
+            DomaticError::DeadlineExceeded { .. } => "deadline",
+            DomaticError::ShuttingDown => "shutting_down",
+            DomaticError::UnknownGraph { .. } => "unknown_graph",
+            DomaticError::BadRequest { .. } => "bad_request",
+        }
+    }
 }
 
 impl fmt::Display for DomaticError {
@@ -61,7 +107,10 @@ impl fmt::Display for DomaticError {
                 "solver '{solver}' requires uniform batteries (use 'general' or 'greedy')"
             ),
             DomaticError::SizeMismatch { graph, batteries } => {
-                write!(f, "graph has {graph} nodes but battery vector has {batteries}")
+                write!(
+                    f,
+                    "graph has {graph} nodes but battery vector has {batteries}"
+                )
             }
             DomaticError::UnknownSolver { name } => {
                 write!(
@@ -71,6 +120,20 @@ impl fmt::Display for DomaticError {
                 )
             }
             DomaticError::Io { path, message } => write!(f, "{path}: {message}"),
+            DomaticError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "server overloaded: {capacity} requests already in flight"
+                )
+            }
+            DomaticError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms}ms exceeded before completion")
+            }
+            DomaticError::ShuttingDown => write!(f, "server is draining for shutdown"),
+            DomaticError::UnknownGraph { name } => {
+                write!(f, "unknown graph '{name}' (preload it at server start)")
+            }
+            DomaticError::BadRequest { message } => write!(f, "bad request: {message}"),
         }
     }
 }
@@ -102,20 +165,63 @@ mod tests {
     #[test]
     fn conversions_preserve_the_cause() {
         let g: DomaticError = GraphError::SelfLoop { node: 3 }.into();
-        assert!(matches!(g, DomaticError::Graph(GraphError::SelfLoop { node: 3 })));
+        assert!(matches!(
+            g,
+            DomaticError::Graph(GraphError::SelfLoop { node: 3 })
+        ));
 
-        let v: DomaticError =
-            Violation::OverBudget { node: 1, active: 5, budget: 2 }.into();
+        let v: DomaticError = Violation::OverBudget {
+            node: 1,
+            active: 5,
+            budget: 2,
+        }
+        .into();
         assert!(v.to_string().contains("node 1 active 5 units"));
 
-        let p: DomaticError =
-            ScheduleParseError { line: 4, message: "bad".into() }.into();
+        let p: DomaticError = ScheduleParseError {
+            line: 4,
+            message: "bad".into(),
+        }
+        .into();
         assert!(p.to_string().contains("line 4"));
     }
 
     #[test]
+    fn kinds_are_stable_wire_tags() {
+        // These strings are the serve protocol's `error.kind` values;
+        // this test pins them so a refactor can't silently rename one.
+        let cases: [(DomaticError, &str); 6] = [
+            (DomaticError::Overloaded { capacity: 8 }, "overloaded"),
+            (
+                DomaticError::DeadlineExceeded { deadline_ms: 5 },
+                "deadline",
+            ),
+            (DomaticError::ShuttingDown, "shutting_down"),
+            (
+                DomaticError::UnknownGraph { name: "g".into() },
+                "unknown_graph",
+            ),
+            (
+                DomaticError::BadRequest {
+                    message: "m".into(),
+                },
+                "bad_request",
+            ),
+            (
+                DomaticError::UnknownSolver { name: "x".into() },
+                "unknown_solver",
+            ),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind);
+        }
+    }
+
+    #[test]
     fn unknown_solver_lists_the_registry() {
-        let e = DomaticError::UnknownSolver { name: "nope".into() };
+        let e = DomaticError::UnknownSolver {
+            name: "nope".into(),
+        };
         let msg = e.to_string();
         for name in crate::solver::solver_names() {
             assert!(msg.contains(name), "{msg} missing {name}");

@@ -32,7 +32,11 @@ pub struct FeigeParams {
 
 impl Default for FeigeParams {
     fn default() -> Self {
-        FeigeParams { c: 3.0, max_sweeps: 40, seed: 0 }
+        FeigeParams {
+            c: 3.0,
+            max_sweeps: 40,
+            seed: 0,
+        }
     }
 }
 
@@ -61,7 +65,11 @@ pub fn feige_partition(g: &Graph, params: &FeigeParams) -> FeigeResult {
     let n = g.n();
     let target = feige_target(g, params.c);
     if n == 0 || target == 0 {
-        return FeigeResult { classes: Vec::new(), target, sweeps: 0 };
+        return FeigeResult {
+            classes: Vec::new(),
+            target,
+            sweeps: 0,
+        };
     }
     let k = target;
     let mut rng = StdRng::seed_from_u64(params.seed);
@@ -77,10 +85,7 @@ pub fn feige_partition(g: &Graph, params: &FeigeParams) -> FeigeResult {
         }
     }
 
-    let recolor = |w: NodeId,
-                   to: u32,
-                   color: &mut Vec<u32>,
-                   count: &mut Vec<Vec<u32>>| {
+    let recolor = |w: NodeId, to: u32, color: &mut Vec<u32>, count: &mut Vec<Vec<u32>>| {
         let from = color[w as usize];
         if from == to {
             return;
@@ -120,9 +125,8 @@ pub fn feige_partition(g: &Graph, params: &FeigeParams) -> FeigeResult {
                     }
                     ok
                 });
-                let w = redundant.unwrap_or_else(|| {
-                    candidates[rng.random_range(0..candidates.len())]
-                });
+                let w =
+                    redundant.unwrap_or_else(|| candidates[rng.random_range(0..candidates.len())]);
                 recolor(w, c, &mut color, &mut count);
                 fixed_any = true;
             }
@@ -147,7 +151,11 @@ pub fn feige_partition(g: &Graph, params: &FeigeParams) -> FeigeResult {
             classes.push(set);
         }
     }
-    FeigeResult { classes, target, sweeps }
+    FeigeResult {
+        classes,
+        target,
+        sweeps,
+    }
 }
 
 /// Checks the invariant the incremental counters maintain (test helper).
@@ -189,9 +197,19 @@ mod tests {
     fn partition_is_disjoint_dominating() {
         for seed in 0..5 {
             let g = gnp_with_avg_degree(150, 30.0, seed);
-            let res = feige_partition(&g, &FeigeParams { c: 3.0, max_sweeps: 40, seed });
+            let res = feige_partition(
+                &g,
+                &FeigeParams {
+                    c: 3.0,
+                    max_sweeps: 40,
+                    seed,
+                },
+            );
             assert!(are_disjoint(&res.classes));
-            assert!(is_disjoint_dominating_family(&g, &res.classes), "seed {seed}");
+            assert!(
+                is_disjoint_dominating_family(&g, &res.classes),
+                "seed {seed}"
+            );
         }
     }
 
@@ -199,7 +217,14 @@ mod tests {
     fn reaches_target_on_dense_random_graphs() {
         // Repair should rescue essentially all classes at this density.
         let g = gnp_with_avg_degree(200, 60.0, 11);
-        let res = feige_partition(&g, &FeigeParams { c: 3.0, max_sweeps: 60, seed: 4 });
+        let res = feige_partition(
+            &g,
+            &FeigeParams {
+                c: 3.0,
+                max_sweeps: 60,
+                seed: 4,
+            },
+        );
         assert!(
             res.classes.len() as u32 >= res.target.saturating_sub(1),
             "got {} of target {}",
@@ -220,7 +245,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = gnp_with_avg_degree(80, 20.0, 0);
-        let p = FeigeParams { c: 3.0, max_sweeps: 20, seed: 5 };
+        let p = FeigeParams {
+            c: 3.0,
+            max_sweeps: 20,
+            seed: 5,
+        };
         let a = feige_partition(&g, &p);
         let b = feige_partition(&g, &p);
         assert_eq!(a.classes, b.classes);

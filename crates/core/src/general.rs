@@ -134,10 +134,19 @@ pub fn general_coloring(
     let guaranteed = if n == 0 {
         0
     } else {
-        general_color_range(general_upper_bound(g, batteries), batteries.max(), n, params.c)
+        general_color_range(
+            general_upper_bound(g, batteries),
+            batteries.max(),
+            n,
+            params.c,
+        )
     };
     domatic_telemetry::global().observe("core.general.num_classes", u64::from(num_classes));
-    MultiColorAssignment { color_sets, num_classes, guaranteed_classes: guaranteed }
+    MultiColorAssignment {
+        color_sets,
+        num_classes,
+        guaranteed_classes: guaranteed,
+    }
 }
 
 /// Algorithm 2 end-to-end: draw colors, then activate slot `t` (all nodes

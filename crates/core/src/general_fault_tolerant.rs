@@ -58,9 +58,8 @@ pub fn general_fault_tolerant_schedule(
             merged[(c / k as u32) as usize].insert(v as NodeId);
         }
     }
-    let schedule = Schedule::from_entries(
-        merged.into_iter().filter(|m| !m.is_empty()).map(|m| (m, 1)),
-    );
+    let schedule =
+        Schedule::from_entries(merged.into_iter().filter(|m| !m.is_empty()).map(|m| (m, 1)));
     GeneralFtRun {
         merged_slots,
         guaranteed_merged: coloring.guaranteed_classes / k as u32,
@@ -118,7 +117,12 @@ mod tests {
         let b = random_batteries(200, 5, 7);
         let k = 2usize;
         let run = general_fault_tolerant_schedule(&g, &b, k, &GeneralParams { c: 3.0, seed: 1 });
-        for e in run.schedule.entries().iter().take(run.guaranteed_merged as usize) {
+        for e in run
+            .schedule
+            .entries()
+            .iter()
+            .take(run.guaranteed_merged as usize)
+        {
             assert!(is_k_dominating_set(&g, &e.set, k));
         }
         assert!(run.guaranteed_merged >= 1);

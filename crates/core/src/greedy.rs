@@ -62,12 +62,11 @@ pub fn greedy_general_schedule(g: &Graph, batteries: &Batteries) -> Schedule {
     loop {
         let alive = {
             let n = g.n();
-            NodeSet::from_iter(
-                n,
-                (0..n as NodeId).filter(|&v| ledger.remaining(v) > 0),
-            )
+            NodeSet::from_iter(n, (0..n as NodeId).filter(|&v| ledger.remaining(v) > 0))
         };
-        let Some(ds) = greedy_dominating_set(g, &alive) else { break };
+        let Some(ds) = greedy_dominating_set(g, &alive) else {
+            break;
+        };
         let d = ledger.max_duration(&ds);
         if d == 0 {
             break;

@@ -43,6 +43,7 @@ pub mod feige;
 pub mod general;
 pub mod general_fault_tolerant;
 pub mod greedy;
+pub mod hash;
 pub mod io;
 pub mod model;
 pub mod partition;
@@ -52,13 +53,14 @@ pub mod uniform;
 
 pub use bounds::{fault_tolerant_upper_bound, general_upper_bound, uniform_upper_bound};
 pub use error::DomaticError;
-pub use solver::{
-    make_solver, solver_names, solver_registry, FaultTolerantSolver, GeneralSolver,
-    GreedySolver, Solver, SolverConfig, UniformSolver,
-};
 pub use fault_tolerant::{fault_tolerant_schedule, FaultTolerantRun};
 pub use general::{general_schedule, GeneralParams, MultiColorAssignment};
 pub use greedy::{greedy_domatic_partition, greedy_general_schedule, greedy_uniform_schedule};
+pub use hash::{batteries_hash, config_hash, graph_hash, CanonicalHasher};
 pub use model::Instance;
 pub use partition::ColorAssignment;
+pub use solver::{
+    make_solver, solver_names, solver_registry, FaultTolerantSolver, GeneralSolver, GreedySolver,
+    Solver, SolverConfig, UniformSolver,
+};
 pub use uniform::{uniform_schedule, UniformParams};

@@ -75,7 +75,9 @@ pub fn schedule_battery_limited(classes: &[NodeSet], batteries: &Batteries) -> S
         }
         let d = ledger.max_duration(class);
         if d > 0 {
-            ledger.charge(class, d).expect("duration chosen within budget");
+            ledger
+                .charge(class, d)
+                .expect("duration chosen within budget");
             schedule.push(class.clone(), d);
         }
     }
@@ -130,10 +132,7 @@ mod tests {
 
     #[test]
     fn fixed_duration_schedule() {
-        let classes = vec![
-            NodeSet::from_iter(3, [0]),
-            NodeSet::from_iter(3, [1, 2]),
-        ];
+        let classes = vec![NodeSet::from_iter(3, [0]), NodeSet::from_iter(3, [1, 2])];
         let s = schedule_fixed_duration(&classes, 4);
         assert_eq!(s.lifetime(), 8);
         assert_eq!(s.num_steps(), 2);
@@ -141,10 +140,7 @@ mod tests {
 
     #[test]
     fn battery_limited_uses_bottleneck() {
-        let classes = vec![
-            NodeSet::from_iter(3, [0, 1]),
-            NodeSet::from_iter(3, [2]),
-        ];
+        let classes = vec![NodeSet::from_iter(3, [0, 1]), NodeSet::from_iter(3, [2])];
         let b = Batteries::from_vec(vec![5, 2, 7]);
         let s = schedule_battery_limited(&classes, &b);
         assert_eq!(s.entries()[0].duration, 2); // bottleneck node 1

@@ -51,7 +51,12 @@ pub struct SolverConfig {
 impl SolverConfig {
     /// The default configuration.
     pub fn new() -> Self {
-        SolverConfig { seed: 0, trials: 8, k: 1, c: 3.0 }
+        SolverConfig {
+            seed: 0,
+            trials: 8,
+            k: 1,
+            c: 3.0,
+        }
     }
 
     /// Sets the base seed.
@@ -120,7 +125,10 @@ pub trait Solver: Sync {
 
 fn check_sizes(g: &Graph, b: &Batteries) -> Result<(), DomaticError> {
     if g.n() != b.n() {
-        return Err(DomaticError::SizeMismatch { graph: g.n(), batteries: b.n() });
+        return Err(DomaticError::SizeMismatch {
+            graph: g.n(),
+            batteries: b.n(),
+        });
     }
     Ok(())
 }
@@ -265,7 +273,9 @@ pub fn make_solver(name: &str) -> Result<Box<dyn Solver>, DomaticError> {
     solver_registry()
         .into_iter()
         .find(|s| s.name() == name)
-        .ok_or_else(|| DomaticError::UnknownSolver { name: name.to_string() })
+        .ok_or_else(|| DomaticError::UnknownSolver {
+            name: name.to_string(),
+        })
 }
 
 #[cfg(test)]
@@ -283,8 +293,7 @@ mod tests {
         for solver in solver_registry() {
             let s = solver.schedule(&g, &b, &cfg).unwrap();
             let k = solver.tolerance(&cfg);
-            validate_schedule(&g, &b, &s, k)
-                .unwrap_or_else(|v| panic!("{}: {v}", solver.name()));
+            validate_schedule(&g, &b, &s, k).unwrap_or_else(|v| panic!("{}: {v}", solver.name()));
             assert!(s.lifetime() <= solver.upper_bound(&g, &b, &cfg));
         }
     }
@@ -295,12 +304,21 @@ mod tests {
         let b = Batteries::from_vec((1..=10).collect());
         let cfg = SolverConfig::new();
         for name in ["uniform", "ft"] {
-            let err = make_solver(name).unwrap().schedule(&g, &b, &cfg).unwrap_err();
-            assert!(matches!(err, DomaticError::NonUniformBatteries { .. }), "{name}");
+            let err = make_solver(name)
+                .unwrap()
+                .schedule(&g, &b, &cfg)
+                .unwrap_err();
+            assert!(
+                matches!(err, DomaticError::NonUniformBatteries { .. }),
+                "{name}"
+            );
         }
         // The general and greedy solvers accept the same instance.
         for name in ["general", "greedy"] {
-            assert!(make_solver(name).unwrap().schedule(&g, &b, &cfg).is_ok(), "{name}");
+            assert!(
+                make_solver(name).unwrap().schedule(&g, &b, &cfg).is_ok(),
+                "{name}"
+            );
         }
     }
 
@@ -308,8 +326,16 @@ mod tests {
     fn size_mismatch_is_typed() {
         let g = complete(5);
         let b = Batteries::uniform(4, 2);
-        let err = GreedySolver.schedule(&g, &b, &SolverConfig::new()).unwrap_err();
-        assert_eq!(err, DomaticError::SizeMismatch { graph: 5, batteries: 4 });
+        let err = GreedySolver
+            .schedule(&g, &b, &SolverConfig::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DomaticError::SizeMismatch {
+                graph: 5,
+                batteries: 4
+            }
+        );
     }
 
     #[test]
@@ -325,6 +351,14 @@ mod tests {
     #[test]
     fn config_builder_sets_every_field() {
         let cfg = SolverConfig::new().seed(9).trials(3).k(2).c(4.5);
-        assert_eq!(cfg, SolverConfig { seed: 9, trials: 3, k: 2, c: 4.5 });
+        assert_eq!(
+            cfg,
+            SolverConfig {
+                seed: 9,
+                trials: 3,
+                k: 2,
+                c: 4.5
+            }
+        );
     }
 }

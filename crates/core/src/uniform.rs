@@ -82,7 +82,11 @@ pub fn uniform_coloring_with_estimate(
         None => 0,
     };
     domatic_telemetry::global().observe("core.uniform.num_classes", u64::from(num_classes));
-    ColorAssignment { colors, num_classes, guaranteed_classes: guaranteed }
+    ColorAssignment {
+        colors,
+        num_classes,
+        guaranteed_classes: guaranteed,
+    }
 }
 
 /// Algorithm 1 end-to-end: color, then activate every class for `b` time
@@ -120,7 +124,10 @@ mod tests {
         let p = UniformParams { c: 3.0, seed: 9 };
         assert_eq!(uniform_coloring(&g, &p), uniform_coloring(&g, &p));
         let p2 = UniformParams { c: 3.0, seed: 10 };
-        assert_ne!(uniform_coloring(&g, &p).colors, uniform_coloring(&g, &p2).colors);
+        assert_ne!(
+            uniform_coloring(&g, &p).colors,
+            uniform_coloring(&g, &p2).colors
+        );
     }
 
     #[test]
@@ -188,7 +195,10 @@ mod tests {
                 }
             }
         }
-        assert!(failures <= 2, "too many non-dominating guaranteed classes: {failures}");
+        assert!(
+            failures <= 2,
+            "too many non-dominating guaranteed classes: {failures}"
+        );
     }
 
     #[test]

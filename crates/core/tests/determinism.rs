@@ -47,7 +47,10 @@ fn best_uniform_matches_sequential_fold() {
         longest_valid_prefix(&g, &batteries, &s, 1)
     });
     assert_eq!(par.1, seq.1, "winning seed differs from sequential fold");
-    assert_eq!(par.0, seq.0, "winning schedule differs from sequential fold");
+    assert_eq!(
+        par.0, seq.0,
+        "winning schedule differs from sequential fold"
+    );
 }
 
 #[test]
@@ -62,7 +65,10 @@ fn best_general_matches_sequential_fold() {
         longest_valid_prefix(&g, &batteries, &s, 1)
     });
     assert_eq!(par.1, seq.1, "winning seed differs from sequential fold");
-    assert_eq!(par.0, seq.0, "winning schedule differs from sequential fold");
+    assert_eq!(
+        par.0, seq.0,
+        "winning schedule differs from sequential fold"
+    );
 }
 
 #[test]
@@ -76,7 +82,10 @@ fn best_fault_tolerant_matches_sequential_fold() {
         longest_valid_prefix(&g, &batteries, &run.schedule, k)
     });
     assert_eq!(par.1, seq.1, "winning seed differs from sequential fold");
-    assert_eq!(par.0, seq.0, "winning schedule differs from sequential fold");
+    assert_eq!(
+        par.0, seq.0,
+        "winning schedule differs from sequential fold"
+    );
 }
 
 #[test]

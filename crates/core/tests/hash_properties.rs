@@ -1,0 +1,197 @@
+//! Property tests for the canonical content hashes behind the serve
+//! cache: `graph_hash` must depend on the graph, not on how the edge
+//! list happened to be written down, and it must not degenerate into a
+//! degree-sequence summary (graphs with equal degree sequences are the
+//! classic collision family for lazy graph hashes).
+
+use domatic_core::hash::{batteries_hash, config_hash, graph_hash};
+use domatic_core::solver::SolverConfig;
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::generators::grid::{grid, GridKind};
+use domatic_graph::generators::regular::cycle;
+use domatic_graph::{Graph, NodeId};
+use domatic_schedule::Batteries;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A deterministic Fisher–Yates driven by a xorshift stream, so a
+/// proptest-chosen `u64` selects an arbitrary permutation of the edges.
+fn shuffle<T>(items: &mut [T], mut state: u64) {
+    state |= 1;
+    for i in (1..items.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        items.swap(i, (state as usize) % (i + 1));
+    }
+}
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (3usize..30, 0.1f64..0.8, 0u64..500).prop_map(|(n, p, seed)| {
+        let g = gnp(n, p, seed);
+        let mut edges = Vec::new();
+        for v in 0..n as NodeId {
+            for &w in g.neighbors(v) {
+                if v < w {
+                    edges.push((v, w));
+                }
+            }
+        }
+        (n, edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn graph_hash_ignores_edge_order_orientation_and_duplicates(
+        (n, edges) in arb_edges(),
+        perm_seed in 0u64..u64::MAX,
+        flip_seed in 0u64..u64::MAX,
+    ) {
+        let base = graph_hash(&Graph::from_edges(n, &edges));
+
+        // Same edges, arbitrary order, arbitrary per-edge orientation.
+        let mut mangled = edges.clone();
+        shuffle(&mut mangled, perm_seed);
+        let mut flip = flip_seed | 1;
+        for e in &mut mangled {
+            flip ^= flip << 13;
+            flip ^= flip >> 7;
+            flip ^= flip << 17;
+            if flip & 1 == 1 {
+                *e = (e.1, e.0);
+            }
+        }
+        // And each edge listed twice: the builder dedups, the hash must
+        // not see multiplicity.
+        let doubled: Vec<(NodeId, NodeId)> =
+            mangled.iter().chain(edges.iter()).copied().collect();
+        prop_assert_eq!(graph_hash(&Graph::from_edges(n, &doubled)), base);
+    }
+
+    #[test]
+    fn graph_hash_changes_when_an_edge_does(
+        (n, edges) in arb_edges(),
+    ) {
+        // (The vendored proptest has no prop_assume; skip sparse draws.)
+        if !edges.is_empty() {
+            let base = graph_hash(&Graph::from_edges(n, &edges));
+            let dropped = graph_hash(&Graph::from_edges(n, &edges[1..]));
+            prop_assert_ne!(dropped, base);
+        }
+    }
+
+    #[test]
+    fn config_hash_separates_every_field(
+        seed in 0u64..1000, trials in 1u64..64, k in 1usize..5, c in 1.0f64..6.0,
+    ) {
+        let cfg = SolverConfig::new().seed(seed).trials(trials).k(k).c(c);
+        let h = config_hash(&cfg);
+        prop_assert_ne!(config_hash(&cfg.clone().seed(seed + 1)), h);
+        prop_assert_ne!(config_hash(&cfg.clone().trials(trials + 1)), h);
+        prop_assert_ne!(config_hash(&cfg.clone().k(k + 1)), h);
+        prop_assert_ne!(config_hash(&cfg.clone().c(c + 0.5)), h);
+    }
+
+    #[test]
+    fn batteries_hash_tracks_levels(bs in proptest::collection::vec(0u64..9, 1..30)) {
+        let h = batteries_hash(&Batteries::from_vec(bs.clone()));
+        let mut other = bs.clone();
+        other[0] += 1;
+        prop_assert_ne!(batteries_hash(&Batteries::from_vec(other)), h);
+    }
+}
+
+/// The canonical degree-sequence collision pairs: same degree sequence,
+/// different graphs, and the hash must tell them apart.
+#[test]
+fn equal_degree_sequences_do_not_collide() {
+    // C6 vs two disjoint triangles — both 2-regular on 6 nodes.
+    let c6 = cycle(6);
+    let two_c3 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+    assert_ne!(graph_hash(&c6), graph_hash(&two_c3));
+
+    // K3,3 vs the triangular prism — both 3-regular on 6 nodes.
+    let k33 = Graph::from_edges(
+        6,
+        &[
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 3),
+            (1, 4),
+            (1, 5),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+        ],
+    );
+    let prism = Graph::from_edges(
+        6,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (0, 3),
+            (1, 4),
+            (2, 5),
+        ],
+    );
+    assert_ne!(graph_hash(&k33), graph_hash(&prism));
+
+    // Relabeling IS a different presentation of possibly the same
+    // structure; the hash is content-addressed by labeled adjacency, so
+    // a nontrivial relabeling of an asymmetric graph must change it.
+    let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    let relabeled = Graph::from_edges(4, &[(1, 0), (0, 2), (2, 3)]);
+    assert_ne!(graph_hash(&path), graph_hash(&relabeled));
+}
+
+/// No collisions across the whole small-graph test corpus the repo's
+/// tests and benches actually use.
+#[test]
+fn test_corpus_hashes_are_pairwise_distinct() {
+    let mut graphs: Vec<Graph> = Vec::new();
+    for seed in 0..40 {
+        graphs.push(gnp(12 + (seed as usize % 5), 0.3, seed));
+    }
+    for n in 3..20 {
+        graphs.push(cycle(n));
+    }
+    graphs.push(grid(4, 5, GridKind::FourConnected, false));
+    graphs.push(grid(4, 5, GridKind::FourConnected, true));
+    graphs.push(grid(4, 5, GridKind::EightConnected, false));
+    graphs.push(grid(5, 4, GridKind::FourConnected, false));
+    let hashes: HashSet<u64> = graphs.iter().map(graph_hash).collect();
+    assert_eq!(
+        hashes.len(),
+        graphs.len(),
+        "distinct graphs must hash apart"
+    );
+}
+
+/// The hash is a wire/cache contract: pin exact values so an accidental
+/// algorithm change (which would silently invalidate cross-process
+/// cache identity) fails loudly here.
+#[test]
+fn hash_values_are_pinned() {
+    let p3 = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+    let h = graph_hash(&p3);
+    assert_eq!(
+        h,
+        graph_hash(&Graph::from_edges(3, &[(2, 1), (1, 0)])),
+        "orientation-insensitive"
+    );
+    // FNV-1a over the length-prefixed canonical encoding of P3.
+    assert_eq!(h, 0xd9f7_4c43_6484_18e6, "graph_hash encoding changed");
+    assert_eq!(
+        config_hash(&SolverConfig::new()),
+        0xf2a5_d48e_25ad_aa64,
+        "config_hash encoding changed"
+    );
+}

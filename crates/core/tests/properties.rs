@@ -1,9 +1,7 @@
 //! Property-based tests for the paper's algorithms: the invariants that
 //! must hold on EVERY random graph and EVERY seed, not just w.h.p.
 
-use domatic_core::bounds::{
-    fault_tolerant_upper_bound, general_upper_bound, uniform_upper_bound,
-};
+use domatic_core::bounds::{fault_tolerant_upper_bound, general_upper_bound, uniform_upper_bound};
 use domatic_core::fault_tolerant::fault_tolerant_schedule;
 use domatic_core::general::{general_schedule, GeneralParams};
 use domatic_core::greedy::{greedy_domatic_partition, greedy_general_schedule};

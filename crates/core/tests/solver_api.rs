@@ -6,11 +6,11 @@
 
 #![allow(deprecated)]
 
+use domatic_core::greedy::greedy_general_schedule;
 use domatic_core::solver::{
     FaultTolerantSolver, GeneralSolver, GreedySolver, Solver, SolverConfig, UniformSolver,
 };
 use domatic_core::stochastic::{best_fault_tolerant, best_general, best_uniform};
-use domatic_core::greedy::greedy_general_schedule;
 use domatic_graph::generators::gnp::gnp_with_avg_degree;
 use domatic_schedule::Batteries;
 use rand::rngs::StdRng;

@@ -17,7 +17,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Runs `protocol` on every node of `g` for its full round count using
 /// `threads` worker threads, returning each node's output plus the
 /// communication cost.
-pub fn run_protocol<P: Protocol>(g: &Graph, protocol: &P, threads: usize) -> (Vec<P::Output>, RunStats) {
+pub fn run_protocol<P: Protocol>(
+    g: &Graph,
+    protocol: &P,
+    threads: usize,
+) -> (Vec<P::Output>, RunStats) {
     run_protocol_lossy(g, protocol, threads, 0.0, 0)
 }
 
@@ -127,11 +131,7 @@ pub fn run_protocol_lossy<P: Protocol>(
 /// Splits `data` into `threads` contiguous chunks and runs `f(base_index,
 /// chunk)` on scoped worker threads. Chunks are disjoint `&mut` slices, so
 /// `f` may freely mutate its chunk while sharing read-only captures.
-fn parallel_indexed<T: Send>(
-    data: &mut [T],
-    threads: usize,
-    f: impl Fn(usize, &mut [T]) + Sync,
-) {
+fn parallel_indexed<T: Send>(data: &mut [T], threads: usize, f: impl Fn(usize, &mut [T]) + Sync) {
     let len = data.len();
     if len == 0 {
         return;

@@ -64,7 +64,13 @@ pub fn distributed_fault_tolerant_schedule(
             }
         }
     }
-    DistributedFtRun { schedule, decisions, stats, phase1, phase2_each }
+    DistributedFtRun {
+        schedule,
+        decisions,
+        stats,
+        phase1,
+        phase2_each,
+    }
 }
 
 #[cfg(test)]

@@ -69,13 +69,22 @@ impl Protocol for GeneralProtocol<'_> {
 
     fn init(&self, v: NodeId, _degree: usize) -> GeneralState {
         let b = self.batteries.get(v);
-        GeneralState { b, bhat: b, tau: b, bhat2: 0, tau2: u64::MAX }
+        GeneralState {
+            b,
+            bhat: b,
+            tau: b,
+            bhat2: 0,
+            tau2: u64::MAX,
+        }
     }
 
     fn broadcast(&self, _v: NodeId, st: &GeneralState, round: usize) -> Option<Msg> {
         match round {
             0 => Some(Msg::Battery(st.b)),
-            1 => Some(Msg::Summary { bhat: st.bhat, tau: st.tau }),
+            1 => Some(Msg::Summary {
+                bhat: st.bhat,
+                tau: st.tau,
+            }),
             _ => None,
         }
     }
@@ -117,7 +126,12 @@ impl Protocol for GeneralProtocol<'_> {
             }
         }
         colors.sort_unstable();
-        GeneralDecision { colors, tau2: st.tau2, bhat2: st.bhat2, range }
+        GeneralDecision {
+            colors,
+            tau2: st.tau2,
+            bhat2: st.bhat2,
+            range,
+        }
     }
 }
 
@@ -131,7 +145,12 @@ pub fn distributed_general_schedule(
     threads: usize,
 ) -> (Schedule, MultiColorAssignment, RunStats) {
     assert_eq!(g.n(), batteries.n(), "graph/battery size mismatch");
-    let protocol = GeneralProtocol { c, seed, n: g.n(), batteries };
+    let protocol = GeneralProtocol {
+        c,
+        seed,
+        n: g.n(),
+        batteries,
+    };
     let (decisions, stats) = run_protocol(g, &protocol, threads);
     let color_sets: Vec<Vec<u32>> = decisions.into_iter().map(|d| d.colors).collect();
     let num_classes = color_sets
@@ -149,7 +168,11 @@ pub fn distributed_general_schedule(
             c,
         )
     };
-    let mc = MultiColorAssignment { color_sets, num_classes, guaranteed_classes: guaranteed };
+    let mc = MultiColorAssignment {
+        color_sets,
+        num_classes,
+        guaranteed_classes: guaranteed,
+    };
     let classes = mc.classes(g.n());
     (schedule_fixed_duration(&classes, 1), mc, stats)
 }
@@ -172,7 +195,12 @@ mod tests {
     fn gossiped_aggregates_match_direct_computation() {
         let g = gnp_with_avg_degree(150, 12.0, 3);
         let b = random_batteries(150, 7, 1);
-        let protocol = GeneralProtocol { c: 3.0, seed: 0, n: g.n(), batteries: &b };
+        let protocol = GeneralProtocol {
+            c: 3.0,
+            seed: 0,
+            n: g.n(),
+            batteries: &b,
+        };
         let (decisions, _) = run_protocol(&g, &protocol, 4);
         for v in 0..g.n() as NodeId {
             // Direct τ²⁾ and b̂²⁾ from the graph.

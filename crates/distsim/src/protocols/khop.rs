@@ -131,7 +131,10 @@ mod tests {
         let (out, stats) = khop_fold(&g, &degrees, Fold::Min, 1, 4);
         assert_eq!(stats.rounds, 1);
         for v in 0..100u32 {
-            assert_eq!(out[v as usize] as usize, g.min_degree_closed_neighborhood(v));
+            assert_eq!(
+                out[v as usize] as usize,
+                g.min_degree_closed_neighborhood(v)
+            );
         }
     }
 

@@ -150,10 +150,7 @@ impl Protocol for LocalGreedyProtocol {
                 }
             }
             _ => {
-                let heard = inbox
-                    .iter()
-                    .filter(|m| matches!(m, Msg::Covered))
-                    .count() as u64;
+                let heard = inbox.iter().filter(|m| matches!(m, Msg::Covered)).count() as u64;
                 let own = u64::from(st.newly_covered);
                 st.span = st.span.saturating_sub(heard + own);
                 st.newly_covered = false;
@@ -164,7 +161,11 @@ impl Protocol for LocalGreedyProtocol {
     }
 
     fn finish(&self, _v: NodeId, st: LgState) -> LgDecision {
-        LgDecision { in_set: st.in_set, covered: st.covered, decided_round: st.decided_round }
+        LgDecision {
+            in_set: st.in_set,
+            covered: st.covered,
+            decided_round: st.decided_round,
+        }
     }
 }
 
@@ -214,7 +215,12 @@ pub fn distributed_local_greedy_ds(
         .map(|d| d.decided_round + 3)
         .max()
         .unwrap_or(0);
-    LocalGreedyRun { dominating_set: set, self_joins, rounds_used, stats }
+    LocalGreedyRun {
+        dominating_set: set,
+        self_joins,
+        rounds_used,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -274,7 +280,11 @@ mod tests {
         let run = distributed_local_greedy_ds(&g, 6, 60, 2);
         assert!(is_dominating_set(&g, &run.dominating_set));
         // γ(C_30) = 10; allow modest slack for the local protocol.
-        assert!(run.dominating_set.len() <= 16, "{}", run.dominating_set.len());
+        assert!(
+            run.dominating_set.len() <= 16,
+            "{}",
+            run.dominating_set.len()
+        );
     }
 
     #[test]

@@ -137,11 +137,10 @@ impl Protocol for LubyProtocol {
         } else {
             match st.status {
                 Status::FreshlyIn => st.status = Status::In,
-                Status::Undecided
-                    if inbox.iter().any(|m| matches!(m, Msg::Battery(u64::MAX))) => {
-                        st.status = Status::Out;
-                        st.decided_round = round;
-                    }
+                Status::Undecided if inbox.iter().any(|m| matches!(m, Msg::Battery(u64::MAX))) => {
+                    st.status = Status::Out;
+                    st.decided_round = round;
+                }
                 _ => {}
             }
         }
@@ -171,7 +170,12 @@ pub struct DistributedLubyRun {
 }
 
 /// Runs distributed Luby and collects the MIS.
-pub fn distributed_luby_mis(g: &Graph, seed: u64, max_phases: usize, threads: usize) -> DistributedLubyRun {
+pub fn distributed_luby_mis(
+    g: &Graph,
+    seed: u64,
+    max_phases: usize,
+    threads: usize,
+) -> DistributedLubyRun {
     let protocol = LubyProtocol { seed, max_phases };
     let (decisions, stats) = run_protocol(g, &protocol, threads);
     let mis = NodeSet::from_iter(
@@ -188,7 +192,12 @@ pub fn distributed_luby_mis(g: &Graph, seed: u64, max_phases: usize, threads: us
         .map(|d| d.decided_round + 1)
         .max()
         .unwrap_or(0);
-    DistributedLubyRun { mis, complete, rounds_to_quiesce, stats }
+    DistributedLubyRun {
+        mis,
+        complete,
+        rounds_to_quiesce,
+        stats,
+    }
 }
 
 #[cfg(test)]

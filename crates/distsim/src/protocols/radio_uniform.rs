@@ -39,12 +39,7 @@ pub struct RadioUniformRun {
 /// Each node's `δ²⁾` estimate is the minimum over its own degree and the
 /// degrees of the neighbors it *heard*; unheard neighbors are simply
 /// missing from the minimum.
-pub fn radio_uniform_schedule(
-    g: &Graph,
-    b: u64,
-    c: f64,
-    radio: &RadioParams,
-) -> RadioUniformRun {
+pub fn radio_uniform_schedule(g: &Graph, b: u64, c: f64, radio: &RadioParams) -> RadioUniformRun {
     let n = g.n();
     let dissemination = disseminate_degrees(g, radio);
     let mut colors = Vec::with_capacity(n);
@@ -84,7 +79,11 @@ pub fn radio_uniform_schedule(
         // Incomplete knowledge voids Lemma 4.2's certificate.
         0
     };
-    let coloring = ColorAssignment { colors, num_classes, guaranteed_classes: guaranteed };
+    let coloring = ColorAssignment {
+        colors,
+        num_classes,
+        guaranteed_classes: guaranteed,
+    };
     let classes = coloring.classes(n);
     RadioUniformRun {
         schedule: schedule_fixed_duration(&classes, b),
@@ -108,7 +107,11 @@ mod tests {
             &g,
             b,
             3.0,
-            &RadioParams { p: None, max_slots: 100_000, seed: 4 },
+            &RadioParams {
+                p: None,
+                max_slots: 100_000,
+                seed: 4,
+            },
         );
         assert!(run.dissemination.complete);
         assert_eq!(run.degraded_nodes, 0);
@@ -126,7 +129,11 @@ mod tests {
             &g,
             2,
             3.0,
-            &RadioParams { p: None, max_slots: 10, seed: 4 },
+            &RadioParams {
+                p: None,
+                max_slots: 10,
+                seed: 4,
+            },
         );
         assert!(!run.dissemination.complete);
         assert!(run.degraded_nodes > 0);
@@ -145,7 +152,11 @@ mod tests {
             &g,
             b,
             3.0,
-            &RadioParams { p: None, max_slots: 100_000, seed: 1 },
+            &RadioParams {
+                p: None,
+                max_slots: 100_000,
+                seed: 1,
+            },
         );
         for v in 0..g.n() as u32 {
             assert!(run.schedule.active_time(v) <= b);

@@ -59,7 +59,10 @@ impl Protocol for UniformProtocol {
     }
 
     fn init(&self, _v: NodeId, degree: usize) -> UniformState {
-        UniformState { degree: degree as u32, delta2: degree as u32 }
+        UniformState {
+            degree: degree as u32,
+            delta2: degree as u32,
+        }
     }
 
     fn broadcast(&self, _v: NodeId, st: &UniformState, _round: usize) -> Option<Msg> {
@@ -77,7 +80,11 @@ impl Protocol for UniformProtocol {
     fn finish(&self, v: NodeId, st: UniformState) -> UniformDecision {
         let range = color_range(st.delta2 as usize, self.n, self.c);
         let mut rng = StdRng::seed_from_u64(node_seed(self.seed, v));
-        UniformDecision { color: rng.random_range(0..range), delta2: st.delta2, range }
+        UniformDecision {
+            color: rng.random_range(0..range),
+            delta2: st.delta2,
+            range,
+        }
     }
 }
 
@@ -101,7 +108,11 @@ pub fn distributed_uniform_schedule(
         Some(delta) => color_range(delta, g.n(), c),
         None => 0,
     };
-    let coloring = ColorAssignment { colors, num_classes, guaranteed_classes: guaranteed };
+    let coloring = ColorAssignment {
+        colors,
+        num_classes,
+        guaranteed_classes: guaranteed,
+    };
     let classes = coloring.classes(g.n());
     (schedule_fixed_duration(&classes, b), coloring, stats)
 }
@@ -116,7 +127,11 @@ mod tests {
     #[test]
     fn gossiped_delta2_matches_direct_computation() {
         let g = gnp_with_avg_degree(200, 15.0, 5);
-        let protocol = UniformProtocol { c: 3.0, seed: 0, n: g.n() };
+        let protocol = UniformProtocol {
+            c: 3.0,
+            seed: 0,
+            n: g.n(),
+        };
         let (decisions, _) = run_protocol(&g, &protocol, 4);
         for v in 0..g.n() as NodeId {
             assert_eq!(
@@ -159,7 +174,11 @@ mod tests {
     #[test]
     fn colors_within_local_ranges() {
         let g = gnp_with_avg_degree(150, 50.0, 9);
-        let protocol = UniformProtocol { c: 3.0, seed: 4, n: g.n() };
+        let protocol = UniformProtocol {
+            c: 3.0,
+            seed: 4,
+            n: g.n(),
+        };
         let (decisions, _) = run_protocol(&g, &protocol, 4);
         for d in &decisions {
             assert!(d.color < d.range);

@@ -75,18 +75,15 @@ pub fn disseminate_degrees(g: &Graph, params: &RadioParams) -> DisseminationRun 
         .collect();
     // heard_from[v] = bitmap over v's adjacency index space.
     let mut heard_count = vec![0usize; n];
-    let mut heard_flag: Vec<Vec<bool>> = (0..n as NodeId)
-        .map(|v| vec![false; g.degree(v)])
-        .collect();
+    let mut heard_flag: Vec<Vec<bool>> =
+        (0..n as NodeId).map(|v| vec![false; g.degree(v)]).collect();
     // A node keeps transmitting while some neighbor may still need it; it
     // cannot know remotely, so it simply transmits for the whole run
     // (realistic for a fixed warm-up window). Done nodes still transmit.
     let mut transmissions = 0u64;
     let mut receptions = 0u64;
     let mut collisions = 0u64;
-    let mut incomplete: usize = (0..n as NodeId)
-        .filter(|&v| g.degree(v) > 0)
-        .count();
+    let mut incomplete: usize = (0..n as NodeId).filter(|&v| g.degree(v) > 0).count();
     let mut tx = vec![false; n];
     let mut slots_used = 0u64;
 
@@ -154,7 +151,11 @@ mod tests {
     use domatic_graph::Graph;
 
     fn params(seed: u64) -> RadioParams {
-        RadioParams { p: None, max_slots: 50_000, seed }
+        RadioParams {
+            p: None,
+            max_slots: 50_000,
+            seed,
+        }
     }
 
     #[test]
@@ -185,7 +186,11 @@ mod tests {
     #[test]
     fn collisions_happen_at_high_p() {
         let g = complete(20);
-        let aggressive = RadioParams { p: Some(0.9), max_slots: 5_000, seed: 3 };
+        let aggressive = RadioParams {
+            p: Some(0.9),
+            max_slots: 5_000,
+            seed: 3,
+        };
         let run = disseminate_degrees(&g, &aggressive);
         assert!(run.collisions > 0, "p = 0.9 on K_20 must collide");
     }
@@ -197,7 +202,11 @@ mod tests {
         let good = disseminate_degrees(&g, &params(5));
         let bad = disseminate_degrees(
             &g,
-            &RadioParams { p: Some(0.5), max_slots: 50_000, seed: 5 },
+            &RadioParams {
+                p: Some(0.5),
+                max_slots: 50_000,
+                seed: 5,
+            },
         );
         assert!(good.complete);
         // The mistuned run either fails or takes much longer.
@@ -235,7 +244,11 @@ mod tests {
         let g = complete(30);
         let run = disseminate_degrees(
             &g,
-            &RadioParams { p: None, max_slots: 3, seed: 1 },
+            &RadioParams {
+                p: None,
+                max_slots: 3,
+                seed: 1,
+            },
         );
         assert!(!run.complete);
         assert_eq!(run.slots_used, 3);

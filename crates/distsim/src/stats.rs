@@ -111,7 +111,12 @@ mod tests {
 
     #[test]
     fn per_node_rates() {
-        let s = RunStats { rounds: 2, transmissions: 20, receptions: 60, bytes_received: 240 };
+        let s = RunStats {
+            rounds: 2,
+            transmissions: 20,
+            receptions: 60,
+            bytes_received: 240,
+        };
         assert_eq!(s.transmissions_per_node(10), 2.0);
         assert_eq!(s.receptions_per_node(10), 6.0);
         assert_eq!(s.transmissions_per_node(0), 0.0);
@@ -119,18 +124,38 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let s = RunStats { rounds: 1, transmissions: 2, receptions: 3, bytes_received: 4 };
+        let s = RunStats {
+            rounds: 1,
+            transmissions: 2,
+            receptions: 3,
+            bytes_received: 4,
+        };
         assert_eq!(s.to_string(), "rounds=1 tx=2 rx=3 bytes=4");
     }
 
     #[test]
     fn merge_adds_componentwise() {
-        let mut a = RunStats { rounds: 2, transmissions: 10, receptions: 30, bytes_received: 120 };
-        let b = RunStats { rounds: 3, transmissions: 5, receptions: 7, bytes_received: 28 };
+        let mut a = RunStats {
+            rounds: 2,
+            transmissions: 10,
+            receptions: 30,
+            bytes_received: 120,
+        };
+        let b = RunStats {
+            rounds: 3,
+            transmissions: 5,
+            receptions: 7,
+            bytes_received: 28,
+        };
         a.merge(&b);
         assert_eq!(
             a,
-            RunStats { rounds: 5, transmissions: 15, receptions: 37, bytes_received: 148 }
+            RunStats {
+                rounds: 5,
+                transmissions: 15,
+                receptions: 37,
+                bytes_received: 148
+            }
         );
         a += &b;
         assert_eq!(a.rounds, 8);
@@ -140,8 +165,18 @@ mod tests {
     #[test]
     fn sum_over_iterators() {
         let runs = vec![
-            RunStats { rounds: 1, transmissions: 1, receptions: 2, bytes_received: 8 },
-            RunStats { rounds: 2, transmissions: 3, receptions: 4, bytes_received: 16 },
+            RunStats {
+                rounds: 1,
+                transmissions: 1,
+                receptions: 2,
+                bytes_received: 8,
+            },
+            RunStats {
+                rounds: 2,
+                transmissions: 3,
+                receptions: 4,
+                bytes_received: 16,
+            },
             RunStats::default(),
         ];
         let by_ref: RunStats = runs.iter().sum();
@@ -149,7 +184,12 @@ mod tests {
         assert_eq!(by_ref, by_val);
         assert_eq!(
             by_ref,
-            RunStats { rounds: 3, transmissions: 4, receptions: 6, bytes_received: 24 }
+            RunStats {
+                rounds: 3,
+                transmissions: 4,
+                receptions: 6,
+                bytes_received: 24
+            }
         );
         let empty: RunStats = std::iter::empty::<RunStats>().sum();
         assert_eq!(empty, RunStats::default());
@@ -158,8 +198,18 @@ mod tests {
     #[test]
     fn publish_round_trips_through_registry() {
         let reg = Registry::new();
-        let a = RunStats { rounds: 2, transmissions: 20, receptions: 60, bytes_received: 240 };
-        let b = RunStats { rounds: 1, transmissions: 5, receptions: 8, bytes_received: 32 };
+        let a = RunStats {
+            rounds: 2,
+            transmissions: 20,
+            receptions: 60,
+            bytes_received: 240,
+        };
+        let b = RunStats {
+            rounds: 1,
+            transmissions: 5,
+            receptions: 8,
+            bytes_received: 32,
+        };
         a.publish(&reg);
         b.publish(&reg);
         let mut want = a;

@@ -27,7 +27,9 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} out of range for graph with {n} nodes")
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
         }
     }
 }
@@ -57,7 +59,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph on `n` nodes with no edges yet.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes the final graph will have.
@@ -127,7 +132,10 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let mut b = GraphBuilder::new(2);
-        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop { node: 1 });
+        assert_eq!(
+            b.add_edge(1, 1).unwrap_err(),
+            GraphError::SelfLoop { node: 1 }
+        );
     }
 
     #[test]
@@ -143,7 +151,10 @@ mod tests {
         let e = GraphError::NodeOutOfRange { node: 9, n: 3 };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("3"));
-        let p = GraphError::Parse { line: 7, message: "bad token".into() };
+        let p = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(p.to_string().contains("line 7"));
     }
 }

@@ -12,7 +12,9 @@ use std::collections::VecDeque;
 /// Whether the subgraph induced by `set` is connected (vacuously true for
 /// the empty set and singletons).
 pub fn induces_connected(g: &Graph, set: &NodeSet) -> bool {
-    let Some(start) = set.iter().next() else { return true };
+    let Some(start) = set.iter().next() else {
+        return true;
+    };
     let mut seen = NodeSet::new(g.n());
     seen.insert(start);
     let mut queue = VecDeque::from([start]);
@@ -45,7 +47,9 @@ pub fn connect_dominating_set(g: &Graph, ds: &NodeSet, alive: &NodeSet) -> Optio
     let mut cds = ds.clone();
     loop {
         // Label the components of the current cds.
-        let Some(start) = cds.iter().next() else { return Some(cds) };
+        let Some(start) = cds.iter().next() else {
+            return Some(cds);
+        };
         let mut comp = NodeSet::new(g.n());
         comp.insert(start);
         let mut queue = VecDeque::from([start]);
@@ -174,11 +178,20 @@ mod tests {
     fn cds_predicate() {
         let g = path(5);
         // {1,2,3} dominates and connects.
-        assert!(is_connected_dominating_set(&g, &NodeSet::from_iter(5, [1, 2, 3])));
+        assert!(is_connected_dominating_set(
+            &g,
+            &NodeSet::from_iter(5, [1, 2, 3])
+        ));
         // {1,3} dominates but is disconnected.
-        assert!(!is_connected_dominating_set(&g, &NodeSet::from_iter(5, [1, 3])));
+        assert!(!is_connected_dominating_set(
+            &g,
+            &NodeSet::from_iter(5, [1, 3])
+        ));
         // {1,2} connects but doesn't dominate 4.
-        assert!(!is_connected_dominating_set(&g, &NodeSet::from_iter(5, [1, 2])));
+        assert!(!is_connected_dominating_set(
+            &g,
+            &NodeSet::from_iter(5, [1, 2])
+        ));
     }
 
     #[test]
@@ -232,7 +245,10 @@ mod tests {
             for v in cds.to_vec() {
                 let mut s = cds.clone();
                 s.remove(v);
-                assert!(!is_connected_dominating_set(&g, &s), "seed {seed}, node {v}");
+                assert!(
+                    !is_connected_dominating_set(&g, &s),
+                    "seed {seed}, node {v}"
+                );
             }
         }
     }
@@ -240,11 +256,20 @@ mod tests {
     #[test]
     fn max_distance_to_set_semantics() {
         let g = path(5);
-        assert_eq!(max_distance_to_set(&g, &NodeSet::from_iter(5, [2])), Some(2));
-        assert_eq!(max_distance_to_set(&g, &NodeSet::from_iter(5, [0])), Some(4));
+        assert_eq!(
+            max_distance_to_set(&g, &NodeSet::from_iter(5, [2])),
+            Some(2)
+        );
+        assert_eq!(
+            max_distance_to_set(&g, &NodeSet::from_iter(5, [0])),
+            Some(4)
+        );
         assert_eq!(max_distance_to_set(&g, &NodeSet::new(5)), None);
         let k = complete(4);
-        assert_eq!(max_distance_to_set(&k, &NodeSet::from_iter(4, [1])), Some(1));
+        assert_eq!(
+            max_distance_to_set(&k, &NodeSet::from_iter(4, [1])),
+            Some(1)
+        );
     }
 
     #[test]

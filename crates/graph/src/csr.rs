@@ -51,7 +51,10 @@ impl Graph {
         );
         let n = offsets.len() - 1;
         for v in 0..n {
-            assert!(offsets[v] <= offsets[v + 1], "offsets must be non-decreasing");
+            assert!(
+                offsets[v] <= offsets[v + 1],
+                "offsets must be non-decreasing"
+            );
             let adj = &targets[offsets[v]..offsets[v + 1]];
             for w in adj.windows(2) {
                 assert!(w[0] < w[1], "adjacency of {v} must be strictly sorted");
@@ -119,7 +122,10 @@ impl Graph {
 
     /// The empty graph on `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], targets: Vec::new() }
+        Graph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -161,7 +167,11 @@ impl Graph {
             return false;
         }
         // Search the smaller adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -331,7 +341,9 @@ mod tests {
     #[test]
     fn from_csr_roundtrip() {
         let g = triangle();
-        let offsets = (0..=g.n()).map(|v| if v == 0 { 0 } else { g.offsets[v] }).collect::<Vec<_>>();
+        let offsets = (0..=g.n())
+            .map(|v| if v == 0 { 0 } else { g.offsets[v] })
+            .collect::<Vec<_>>();
         let g2 = Graph::from_csr(offsets, g.targets.clone());
         assert_eq!(g, g2);
     }

@@ -61,7 +61,9 @@ fn check_k_dominating_par(g: &Graph, set: &NodeSet, k: usize) -> bool {
 
 /// All nodes with fewer than `k` dominators in `set` (empty ⇔ k-dominating).
 pub fn uncovered_nodes(g: &Graph, set: &NodeSet, k: usize) -> Vec<NodeId> {
-    g.nodes().filter(|&v| dominator_count(g, set, v) < k).collect()
+    g.nodes()
+        .filter(|&v| dominator_count(g, set, v) < k)
+        .collect()
 }
 
 /// Forced-parallel domination check.
@@ -114,7 +116,13 @@ pub fn greedy_dominating_set(g: &Graph, alive: &NodeSet) -> Option<NodeSet> {
     let mut chosen = NodeSet::new(n);
     // gain[v] = number of currently uncovered nodes in N⁺(v), for alive v.
     let mut gain: Vec<usize> = (0..n as NodeId)
-        .map(|v| if alive.contains(v) { g.closed_degree(v) } else { 0 })
+        .map(|v| {
+            if alive.contains(v) {
+                g.closed_degree(v)
+            } else {
+                0
+            }
+        })
         .collect();
     // Lazy-decrement max-heap over (gain, lowest-id-wins). Gains only
     // decrease, so an entry is pushed whenever a gain drops to a new
@@ -178,7 +186,9 @@ pub fn make_minimal(g: &Graph, set: &NodeSet) -> NodeSet {
         // v is droppable iff every node it was covering still has a
         // dominator; only N⁺(v) can be affected.
         let still_ok = dominator_count(g, &s, v) >= 1
-            && g.neighbors(v).iter().all(|&u| dominator_count(g, &s, u) >= 1);
+            && g.neighbors(v)
+                .iter()
+                .all(|&u| dominator_count(g, &s, u) >= 1);
         if !still_ok {
             s.insert(v);
         }

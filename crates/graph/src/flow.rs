@@ -23,7 +23,10 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// A network with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { edges: Vec::new(), adj: vec![Vec::new(); n] }
+        FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -231,10 +234,7 @@ mod tests {
     #[test]
     fn cut_vertex_detected() {
         // Two triangles joined at node 2: κ = 1.
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
-        );
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
         assert_eq!(vertex_connectivity(&g), 1);
     }
 

@@ -157,8 +157,7 @@ mod tests {
         let g = fujita_bad_instance(m);
         assert_eq!(g.closed_degree(0), m + 1);
         // Sanity: a set avoiding N⁺(u) entirely is not dominating.
-        let all_cliques: NodeSet =
-            NodeSet::from_iter(g.n(), (1 + m as NodeId)..(g.n() as NodeId));
+        let all_cliques: NodeSet = NodeSet::from_iter(g.n(), (1 + m as NodeId)..(g.n() as NodeId));
         assert!(!is_dominating_set(&g, &all_cliques) || m == 0);
     }
 }

@@ -33,10 +33,15 @@ pub struct GeometricGraph {
 pub fn random_geometric(n: usize, r: f64, seed: u64) -> GeometricGraph {
     assert!(r > 0.0, "radius must be positive, got {r}");
     let mut rng = StdRng::seed_from_u64(seed);
-    let positions: Vec<(f64, f64)> =
-        (0..n).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
     let graph = unit_disk_graph(&positions, r);
-    GeometricGraph { graph, positions, radius: r }
+    GeometricGraph {
+        graph,
+        positions,
+        radius: r,
+    }
 }
 
 /// Builds the unit disk graph over explicit positions with radius `r`.

@@ -46,7 +46,10 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 /// edges (rejection sampling; requires `m ≤ n(n−1)/2`).
 pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     let max = n * n.saturating_sub(1) / 2;
-    assert!(m <= max, "m = {m} exceeds the {max} possible edges on n = {n}");
+    assert!(
+        m <= max,
+        "m = {m} exceeds the {max} possible edges on n = {n}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);

@@ -35,9 +35,7 @@ pub fn disjoint_cliques(cliques: usize, size: usize) -> Graph {
 pub fn disjoint_cliques_partition(cliques: usize, size: usize) -> Vec<NodeSet> {
     let n = cliques * size;
     (0..size)
-        .map(|j| {
-            NodeSet::from_iter(n, (0..cliques).map(|c| (c * size + j) as NodeId))
-        })
+        .map(|j| NodeSet::from_iter(n, (0..cliques).map(|c| (c * size + j) as NodeId)))
         .collect()
 }
 
@@ -59,12 +57,7 @@ pub fn cycle_domatic_partition(n: usize) -> Vec<NodeSet> {
         // Residue classes mod 3: node v is dominated by the class member
         // among {v-1, v, v+1}.
         (0..3)
-            .map(|r| {
-                NodeSet::from_iter(
-                    n,
-                    (0..n).filter(|v| v % 3 == r).map(|v| v as NodeId),
-                )
-            })
+            .map(|r| NodeSet::from_iter(n, (0..n).filter(|v| v % 3 == r).map(|v| v as NodeId)))
             .collect()
     } else {
         // Two sets: nodes at even positions of a traversal, odd positions.

@@ -5,8 +5,7 @@ use crate::csr::{Graph, NodeId};
 
 /// The path `P_n`: nodes `0 — 1 — … — n−1`.
 pub fn path(n: usize) -> Graph {
-    let edges: Vec<(NodeId, NodeId)> =
-        (1..n).map(|v| ((v - 1) as NodeId, v as NodeId)).collect();
+    let edges: Vec<(NodeId, NodeId)> = (1..n).map(|v| ((v - 1) as NodeId, v as NodeId)).collect();
     Graph::from_edges(n, &edges)
 }
 

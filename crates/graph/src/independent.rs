@@ -23,7 +23,8 @@ pub fn is_independent(g: &Graph, set: &NodeSet) -> bool {
             .into_par_iter()
             .all(|v| g.neighbors(v).iter().all(|&u| !set.contains(u)))
     } else {
-        set.iter().all(|v| g.neighbors(v).iter().all(|&u| !set.contains(u)))
+        set.iter()
+            .all(|v| g.neighbors(v).iter().all(|&u| !set.contains(u)))
     }
 }
 

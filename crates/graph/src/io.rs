@@ -72,7 +72,10 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
     }
     match builder {
         Some(b) => Ok(b.build()),
-        None => Err(GraphError::Parse { line: 0, message: "missing 'n' header".into() }),
+        None => Err(GraphError::Parse {
+            line: 0,
+            message: "missing 'n' header".into(),
+        }),
     }
 }
 

@@ -88,7 +88,11 @@ pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
             }
         }
     }
-    CoreDecomposition { coreness, degeneracy: current_core, order }
+    CoreDecomposition {
+        coreness,
+        degeneracy: current_core,
+        order,
+    }
 }
 
 /// The k-core as an induced subgraph (may be empty).
@@ -212,7 +216,7 @@ mod tests {
         let dec = core_decomposition(&g);
         assert_eq!(g.min_degree(), Some(3));
         assert_eq!(dec.degeneracy, 3); // BA is 3-degenerate by construction
-        // …and the 3-core is large.
+                                       // …and the 3-core is large.
         let core = k_core(&g, 3);
         assert!(core.graph.n() > 100);
     }

@@ -60,7 +60,6 @@ pub mod prelude {
     pub use crate::csr::{Graph, NodeId};
     pub use crate::nodeset::NodeSet;
     pub use crate::{
-        connected_domination, domination, generators, independent, properties, subgraph,
-        traversal,
+        connected_domination, domination, generators, independent, properties, subgraph, traversal,
     };
 }

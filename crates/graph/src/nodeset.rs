@@ -18,7 +18,10 @@ pub struct NodeSet {
 impl NodeSet {
     /// The empty set over universe `0..n`.
     pub fn new(n: usize) -> Self {
-        NodeSet { n, words: vec![0; n.div_ceil(64)] }
+        NodeSet {
+            n,
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// The full set `{0, …, n−1}`: whole `u64` words written at once,
@@ -128,7 +131,10 @@ impl NodeSet {
     /// Whether every element of `self` is in `other`.
     pub fn is_subset(&self, other: &NodeSet) -> bool {
         assert_eq!(self.n, other.n, "universe mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates members in increasing order, one `trailing_zeros` per

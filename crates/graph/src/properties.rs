@@ -26,7 +26,11 @@ pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
         min = min.min(d);
         max = max.max(d);
     }
-    Some(DegreeStats { min, max, mean: 2.0 * g.m() as f64 / g.n() as f64 })
+    Some(DegreeStats {
+        min,
+        max,
+        mean: 2.0 * g.m() as f64 / g.n() as f64,
+    })
 }
 
 /// Edge density `m / (n choose 2)`; 0 for `n < 2`.

@@ -65,7 +65,10 @@ pub fn project_set(sub: &InducedSubgraph, set: &NodeSet) -> NodeSet {
 /// Translates per-original-node values (budgets, energies) into the
 /// subgraph's id space: `out[new_id] = values[to_original[new_id]]`.
 pub fn project_values<T: Copy>(sub: &InducedSubgraph, values: &[T]) -> Vec<T> {
-    sub.to_original.iter().map(|&v| values[v as usize]).collect()
+    sub.to_original
+        .iter()
+        .map(|&v| values[v as usize])
+        .collect()
 }
 
 #[cfg(test)]
@@ -115,7 +118,7 @@ mod tests {
         let projected = project_set(&sub, &s);
         let lifted = lift_set(&sub, &projected, 8);
         assert_eq!(lifted.to_vec(), vec![2, 6]); // 1 was removed
-        // A subgraph-id set survives lift→project unchanged.
+                                                 // A subgraph-id set survives lift→project unchanged.
         let t = NodeSet::from_iter(sub.graph.n(), [0, 4]);
         assert_eq!(project_set(&sub, &lift_set(&sub, &t, 8)), t);
     }
@@ -125,7 +128,10 @@ mod tests {
         let g = cycle(5);
         let keep = NodeSet::from_iter(5, [1, 3, 4]);
         let sub = induced_subgraph(&g, &keep);
-        assert_eq!(project_values(&sub, &[10u64, 11, 12, 13, 14]), vec![11, 13, 14]);
+        assert_eq!(
+            project_values(&sub, &[10u64, 11, 12, 13, 14]),
+            vec![11, 13, 14]
+        );
     }
 
     #[test]

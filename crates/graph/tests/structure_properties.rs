@@ -31,10 +31,7 @@ fn brute_vertex_connectivity(g: &Graph) -> usize {
             if mask.count_ones() as usize != k {
                 continue;
             }
-            let dead = NodeSet::from_iter(
-                n,
-                (0..n as NodeId).filter(|&v| mask >> v & 1 == 1),
-            );
+            let dead = NodeSet::from_iter(n, (0..n as NodeId).filter(|&v| mask >> v & 1 == 1));
             let sub = remove_nodes(g, &dead);
             if sub.graph.n() >= 2 && !is_connected(&sub.graph) {
                 return k;

@@ -47,7 +47,10 @@ impl std::fmt::Display for ExactError {
             ExactError::TooManySets(t) => write!(f, "{t}"),
             ExactError::NoDominatingSet => write!(f, "no dominating set exists"),
             ExactError::BatteryArity { expected, got } => {
-                write!(f, "battery vector has {got} entries, graph has {expected} nodes")
+                write!(
+                    f,
+                    "battery vector has {got} entries, graph has {expected} nodes"
+                )
             }
         }
     }
@@ -71,7 +74,10 @@ pub fn lp_optimal_lifetime(
     cap: usize,
 ) -> Result<FractionalOptimum, ExactError> {
     if batteries.len() != g.n() {
-        return Err(ExactError::BatteryArity { expected: g.n(), got: batteries.len() });
+        return Err(ExactError::BatteryArity {
+            expected: g.n(),
+            got: batteries.len(),
+        });
     }
     let sets = minimal_dominating_sets(g, cap)?;
     if sets.is_empty() {
@@ -79,7 +85,10 @@ pub fn lp_optimal_lifetime(
     }
     if g.n() == 0 {
         // The empty graph is dominated by the empty set forever; define 0.
-        return Ok(FractionalOptimum { lifetime: 0.0, schedule: Vec::new() });
+        return Ok(FractionalOptimum {
+            lifetime: 0.0,
+            schedule: Vec::new(),
+        });
     }
     let k = sets.len();
     let mut lp = LinearProgram::maximize(vec![1.0; k]);
@@ -95,12 +104,11 @@ pub fn lp_optimal_lifetime(
     }
     match solve(&lp) {
         LpSolution::Optimal { objective, x } => {
-            let schedule = sets
-                .into_iter()
-                .zip(x)
-                .filter(|(_, t)| *t > 1e-9)
-                .collect();
-            Ok(FractionalOptimum { lifetime: objective, schedule })
+            let schedule = sets.into_iter().zip(x).filter(|(_, t)| *t > 1e-9).collect();
+            Ok(FractionalOptimum {
+                lifetime: objective,
+                schedule,
+            })
         }
         // The LP is feasible (t = 0) and bounded (each t_D ≤ max b): the
         // simplex cannot report otherwise on well-formed input.
@@ -119,17 +127,16 @@ pub fn exact_integral_lifetime(
     cap: usize,
 ) -> Result<u32, ExactError> {
     if batteries.len() != g.n() {
-        return Err(ExactError::BatteryArity { expected: g.n(), got: batteries.len() });
+        return Err(ExactError::BatteryArity {
+            expected: g.n(),
+            got: batteries.len(),
+        });
     }
     let sets = minimal_dominating_sets(g, cap)?;
     let masks: Vec<Vec<NodeId>> = sets;
     let mut memo: HashMap<Vec<u32>, u32> = HashMap::new();
 
-    fn dfs(
-        state: &mut Vec<u32>,
-        masks: &[Vec<NodeId>],
-        memo: &mut HashMap<Vec<u32>, u32>,
-    ) -> u32 {
+    fn dfs(state: &mut Vec<u32>, masks: &[Vec<NodeId>], memo: &mut HashMap<Vec<u32>, u32>) -> u32 {
         if let Some(&v) = memo.get(state) {
             return v;
         }
@@ -228,8 +235,12 @@ mod tests {
     #[test]
     fn lifetime_scales_linearly_with_batteries() {
         let g = cycle(5);
-        let l1 = lp_optimal_lifetime(&g, &[1.0; 5], 100_000).unwrap().lifetime;
-        let l3 = lp_optimal_lifetime(&g, &[3.0; 5], 100_000).unwrap().lifetime;
+        let l1 = lp_optimal_lifetime(&g, &[1.0; 5], 100_000)
+            .unwrap()
+            .lifetime;
+        let l3 = lp_optimal_lifetime(&g, &[3.0; 5], 100_000)
+            .unwrap()
+            .lifetime;
         assert!(close(l3, 3.0 * l1), "{l1} vs {l3}");
     }
 
@@ -238,7 +249,10 @@ mod tests {
         let g = cycle(4);
         assert!(matches!(
             lp_optimal_lifetime(&g, &[1.0; 3], 100),
-            Err(ExactError::BatteryArity { expected: 4, got: 3 })
+            Err(ExactError::BatteryArity {
+                expected: 4,
+                got: 3
+            })
         ));
         assert!(matches!(
             exact_integral_lifetime(&g, &[1; 3], 100),
@@ -267,7 +281,9 @@ mod tests {
     #[test]
     fn integral_matches_fractional_on_clique_transversals() {
         let g = disjoint_cliques(2, 3);
-        let frac = lp_optimal_lifetime(&g, &[2.0; 6], 100_000).unwrap().lifetime;
+        let frac = lp_optimal_lifetime(&g, &[2.0; 6], 100_000)
+            .unwrap()
+            .lifetime;
         let int = exact_integral_lifetime(&g, &[2; 6], 100_000).unwrap();
         assert!(close(frac, 6.0));
         assert_eq!(int, 6);

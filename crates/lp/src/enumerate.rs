@@ -24,7 +24,11 @@ pub struct TooManySets {
 
 impl std::fmt::Display for TooManySets {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "more than {} candidate dominating sets; instance too large", self.cap)
+        write!(
+            f,
+            "more than {} candidate dominating sets; instance too large",
+            self.cap
+        )
     }
 }
 
@@ -211,7 +215,10 @@ mod tests {
     #[test]
     fn empty_graph_has_empty_dominating_set() {
         let g = Graph::empty(0);
-        assert_eq!(minimal_dominating_sets(&g, 10).unwrap(), vec![Vec::<NodeId>::new()]);
+        assert_eq!(
+            minimal_dominating_sets(&g, 10).unwrap(),
+            vec![Vec::<NodeId>::new()]
+        );
         assert_eq!(exact_domatic_number(&g, 10).unwrap(), 0);
     }
 

@@ -59,9 +59,10 @@ pub fn fractional_mds(g: &Graph) -> Option<FractionalMds> {
         lp.add_ge(row, 1.0);
     }
     match solve(&lp) {
-        LpSolution::Optimal { objective, x } => {
-            Some(FractionalMds { weight: -objective, x })
-        }
+        LpSolution::Optimal { objective, x } => Some(FractionalMds {
+            weight: -objective,
+            x,
+        }),
         other => unreachable!("fractional MDS LP is feasible and bounded, got {other:?}"),
     }
 }
@@ -167,7 +168,10 @@ mod tests {
             let g = gnp_with_avg_degree(50, 6.0, seed);
             let (gamma_f, set) = mds_via_lp(&g, seed).unwrap();
             assert!(is_dominating_set(&g, &set), "seed {seed}");
-            assert!(set.len() as f64 + 1e-6 >= gamma_f, "rounding beat the LP bound");
+            assert!(
+                set.len() as f64 + 1e-6 >= gamma_f,
+                "rounding beat the LP bound"
+            );
             for v in set.to_vec() {
                 let mut s = set.clone();
                 s.remove(v);

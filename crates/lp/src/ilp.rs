@@ -12,8 +12,8 @@
 //! relaxation bound cannot beat the incumbent. All inputs are integers,
 //! so incumbent comparisons use a 1-unit integrality gap.
 
-use crate::enumerate::minimal_dominating_sets;
 use crate::domatic_lp::ExactError;
+use crate::enumerate::minimal_dominating_sets;
 use crate::problem::LinearProgram;
 use crate::simplex::{solve, LpSolution};
 use domatic_graph::{Graph, NodeId};
@@ -49,11 +49,18 @@ pub fn branch_and_bound_lifetime(
     cap: usize,
 ) -> Result<IntegralOptimum, ExactError> {
     if batteries.len() != g.n() {
-        return Err(ExactError::BatteryArity { expected: g.n(), got: batteries.len() });
+        return Err(ExactError::BatteryArity {
+            expected: g.n(),
+            got: batteries.len(),
+        });
     }
     let sets = minimal_dominating_sets(g, cap)?;
     if g.n() == 0 {
-        return Ok(IntegralOptimum { lifetime: 0, schedule: Vec::new(), nodes_explored: 0 });
+        return Ok(IntegralOptimum {
+            lifetime: 0,
+            schedule: Vec::new(),
+            nodes_explored: 0,
+        });
     }
     let k = sets.len();
     // Static membership rows.
@@ -102,7 +109,9 @@ pub fn branch_and_bound_lifetime(
 
         fn run(&mut self, lo: Vec<u64>, hi: Vec<u64>) {
             self.nodes += 1;
-            let Some((bound, x)) = self.relax(&lo, &hi) else { return };
+            let Some((bound, x)) = self.relax(&lo, &hi) else {
+                return;
+            };
             // Integral data ⇒ the integral optimum is ≤ ⌊bound + eps⌋.
             if (bound + EPS).floor() as u64 <= self.best {
                 return;
@@ -162,7 +171,11 @@ pub fn branch_and_bound_lifetime(
         .filter(|(_, &t)| t > 0)
         .map(|(s, &t)| (s, t))
         .collect();
-    Ok(IntegralOptimum { lifetime: bnb.best, schedule, nodes_explored: bnb.nodes })
+    Ok(IntegralOptimum {
+        lifetime: bnb.best,
+        schedule,
+        nodes_explored: bnb.nodes,
+    })
 }
 
 #[cfg(test)]
@@ -193,10 +206,7 @@ mod tests {
     }
 
     /// Helper: solve and sanity-check the witness schedule's feasibility.
-    fn branch_and_bound_lifetimes_checked(
-        g: &domatic_graph::Graph,
-        b: &[u64],
-    ) -> IntegralOptimum {
+    fn branch_and_bound_lifetimes_checked(g: &domatic_graph::Graph, b: &[u64]) -> IntegralOptimum {
         let opt = branch_and_bound_lifetime(g, b, 1_000_000).unwrap();
         let mut used = vec![0u64; g.n()];
         for (set, t) in &opt.schedule {

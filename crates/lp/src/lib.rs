@@ -27,8 +27,7 @@ pub mod problem;
 pub mod simplex;
 
 pub use domatic_lp::{
-    exact_integral_lifetime, figure1_instance, lp_optimal_lifetime, ExactError,
-    FractionalOptimum,
+    exact_integral_lifetime, figure1_instance, lp_optimal_lifetime, ExactError, FractionalOptimum,
 };
 pub use enumerate::{exact_domatic_number, minimal_dominating_sets, TooManySets};
 pub use fractional_mds::{fractional_mds, mds_via_lp, round_fractional, FractionalMds};

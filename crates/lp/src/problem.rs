@@ -33,7 +33,10 @@ pub struct LinearProgram {
 impl LinearProgram {
     /// A program maximizing `objective · x` with no constraints yet.
     pub fn maximize(objective: Vec<f64>) -> Self {
-        LinearProgram { objective, constraints: Vec::new() }
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -60,8 +63,15 @@ impl LinearProgram {
             self.objective.len()
         );
         assert!(rhs.is_finite(), "rhs must be finite");
-        assert!(coeffs.iter().all(|v| v.is_finite()), "coefficients must be finite");
-        self.constraints.push(Constraint { coeffs, relation, rhs });
+        assert!(
+            coeffs.iter().all(|v| v.is_finite()),
+            "coefficients must be finite"
+        );
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
         self
     }
 

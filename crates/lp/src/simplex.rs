@@ -121,7 +121,9 @@ impl Tableau {
                     }
                 }
             }
-            let Some((_, _, row)) = leave else { return false };
+            let Some((_, _, row)) = leave else {
+                return false;
+            };
             self.pivot(row, col);
         }
     }
@@ -140,7 +142,11 @@ pub fn solve(lp: &LinearProgram) -> LpSolution {
     }
     let mut norm: Vec<Row> = Vec::with_capacity(m);
     for c in lp.constraints() {
-        let Constraint { coeffs, relation, rhs } = c;
+        let Constraint {
+            coeffs,
+            relation,
+            rhs,
+        } = c;
         if *rhs < 0.0 {
             let flipped = match relation {
                 Relation::Le => Relation::Ge,
@@ -153,7 +159,11 @@ pub fn solve(lp: &LinearProgram) -> LpSolution {
                 rhs: -rhs,
             });
         } else {
-            norm.push(Row { coeffs: coeffs.clone(), rel: *relation, rhs: *rhs });
+            norm.push(Row {
+                coeffs: coeffs.clone(),
+                rel: *relation,
+                rhs: *rhs,
+            });
         }
     }
 
@@ -198,7 +208,13 @@ pub fn solve(lp: &LinearProgram) -> LpSolution {
         rows.push(row);
     }
 
-    let mut t = Tableau { rows, obj: vec![0.0; cols + 1], basis, n_struct: n, cols };
+    let mut t = Tableau {
+        rows,
+        obj: vec![0.0; cols + 1],
+        basis,
+        n_struct: n,
+        cols,
+    };
 
     // Phase 1: maximize −Σ artificials (i.e. drive them to 0).
     if n_art > 0 {
@@ -266,12 +282,7 @@ pub fn solve(lp: &LinearProgram) -> LpSolution {
             x[t.basis[r]] = t.rows[r][t.cols];
         }
     }
-    let objective: f64 = lp
-        .objective()
-        .iter()
-        .zip(&x)
-        .map(|(c, v)| c * v)
-        .sum();
+    let objective: f64 = lp.objective().iter().zip(&x).map(|(c, v)| c * v).sum();
     LpSolution::Optimal { objective, x }
 }
 

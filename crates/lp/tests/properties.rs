@@ -4,8 +4,8 @@
 use domatic_graph::generators::gnp::gnp;
 use domatic_graph::Graph;
 use domatic_lp::{
-    exact_integral_lifetime, lp_optimal_lifetime, minimal_dominating_sets, solve,
-    LinearProgram, LpSolution,
+    exact_integral_lifetime, lp_optimal_lifetime, minimal_dominating_sets, solve, LinearProgram,
+    LpSolution,
 };
 use proptest::prelude::*;
 

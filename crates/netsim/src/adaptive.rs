@@ -251,7 +251,9 @@ impl Runtime<'_> {
                 // Residual budgets are generally non-uniform; uniform-only
                 // solvers punt to greedy, which takes arbitrary budgets.
                 domatic_telemetry::count!("netsim.adaptive.greedy_fallbacks");
-                GreedySolver.schedule(&sub.graph, &residual, self.scfg).ok()?
+                GreedySolver
+                    .schedule(&sub.graph, &residual, self.scfg)
+                    .ok()?
             }
             Err(_) => return None,
         };
@@ -326,7 +328,11 @@ pub fn run_adaptive_from(
         }
         match curve.last() {
             Some(p) if p.covered == covered && p.alive == alive => {}
-            _ => curve.push(CoveragePoint { slot, covered, alive }),
+            _ => curve.push(CoveragePoint {
+                slot,
+                covered,
+                alive,
+            }),
         }
     };
 
@@ -484,8 +490,7 @@ pub fn run_adaptive_from(
         for v in active.iter() {
             rt.believed_used[v as usize] += 1;
             let cost = 1 + u64::from(plan.double_drain(slot, v));
-            rt.actual_used[v as usize] =
-                (rt.actual_used[v as usize] + cost).min(rt.nominal.get(v));
+            rt.actual_used[v as usize] = (rt.actual_used[v as usize] + cost).min(rt.nominal.get(v));
         }
         out.executed.push_merged(effective, 1);
         out.lifetime += 1;
@@ -595,15 +600,8 @@ mod tests {
         let b = Batteries::uniform(12, 3);
         let plan = FailurePlan::none(12, 1_000);
         let acfg = AdaptiveConfig::default();
-        let cmp = compare_static_adaptive(
-            &g,
-            &b,
-            &UniformSolver,
-            &uniform_cfg(),
-            &acfg,
-            &plan,
-        )
-        .unwrap();
+        let cmp =
+            compare_static_adaptive(&g, &b, &UniformSolver, &uniform_cfg(), &acfg, &plan).unwrap();
         // With no failures both executions run the plan to the end
         // (adaptive may then squeeze more via replans, e.g. greedy on
         // residual budgets).
@@ -622,16 +620,12 @@ mod tests {
         let g = star(6);
         let b = Batteries::uniform(6, 4);
         let plan = FailurePlan::draw(&[FailureModel::Crash { p: 0.05 }], 6, 200, 11);
-        let acfg = AdaptiveConfig { max_slots: 200, ..AdaptiveConfig::default() };
-        let cmp = compare_static_adaptive(
-            &g,
-            &b,
-            &UniformSolver,
-            &uniform_cfg(),
-            &acfg,
-            &plan,
-        )
-        .unwrap();
+        let acfg = AdaptiveConfig {
+            max_slots: 200,
+            ..AdaptiveConfig::default()
+        };
+        let cmp =
+            compare_static_adaptive(&g, &b, &UniformSolver, &uniform_cfg(), &acfg, &plan).unwrap();
         assert!(
             cmp.adaptive.lifetime >= cmp.static_run.lifetime,
             "adaptive {} < static {}",
@@ -650,7 +644,10 @@ mod tests {
             FailureModel::TransientLoss { p: 0.05 },
         ];
         let plan = FailurePlan::draw(&models, 60, 500, 42);
-        let acfg = AdaptiveConfig { max_slots: 500, ..AdaptiveConfig::default() };
+        let acfg = AdaptiveConfig {
+            max_slots: 500,
+            ..AdaptiveConfig::default()
+        };
         let a = run_adaptive(&g, &b, &GeneralSolver, &uniform_cfg(), &acfg, &plan).unwrap();
         let b2 = run_adaptive(&g, &b, &GeneralSolver, &uniform_cfg(), &acfg, &plan).unwrap();
         assert_eq!(a.lifetime, b2.lifetime);
@@ -669,7 +666,10 @@ mod tests {
             FailureModel::BatteryNoise { p: 0.2 },
         ];
         let plan = FailurePlan::draw(&models, 50, 300, 13);
-        let acfg = AdaptiveConfig { max_slots: 300, ..AdaptiveConfig::default() };
+        let acfg = AdaptiveConfig {
+            max_slots: 300,
+            ..AdaptiveConfig::default()
+        };
         let run = run_adaptive(&g, &b, &UniformSolver, &uniform_cfg(), &acfg, &plan).unwrap();
         // The executed log only contains nodes that were actually awake:
         // total awake time can exceed nominal only through battery noise
@@ -700,7 +700,10 @@ mod tests {
         let g = cycle(20);
         let b = Batteries::uniform(20, 3);
         let plan = FailurePlan::draw(&[FailureModel::Crash { p: 0.03 }], 20, 200, 3);
-        let acfg = AdaptiveConfig { max_slots: 200, ..AdaptiveConfig::default() };
+        let acfg = AdaptiveConfig {
+            max_slots: 200,
+            ..AdaptiveConfig::default()
+        };
         let run = run_adaptive(&g, &b, &UniformSolver, &uniform_cfg(), &acfg, &plan).unwrap();
         for w in run.coverage_curve.windows(2) {
             assert!(w[0].slot < w[1].slot);
@@ -713,7 +716,10 @@ mod tests {
         let g = complete(8);
         let b = Batteries::uniform(8, 2);
         let plan = FailurePlan::none(8, 100);
-        let acfg = AdaptiveConfig { record_curve: false, ..AdaptiveConfig::default() };
+        let acfg = AdaptiveConfig {
+            record_curve: false,
+            ..AdaptiveConfig::default()
+        };
         let run = run_adaptive(&g, &b, &UniformSolver, &uniform_cfg(), &acfg, &plan).unwrap();
         assert!(run.coverage_curve.is_empty());
         assert!(run.lifetime > 0);

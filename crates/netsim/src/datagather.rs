@@ -48,7 +48,11 @@ impl AggregationTree {
                 .copied()
                 .find(|&u| depth[u as usize] + 1 == depth[v as usize]);
         }
-        AggregationTree { sink, parent, depth }
+        AggregationTree {
+            sink,
+            parent,
+            depth,
+        }
     }
 
     /// Whether every node can reach the sink.
@@ -92,7 +96,9 @@ pub fn slot_delivery_cost(
         if awake.contains(v) {
             collected += 1;
         } else if v == tree.sink
-            || g.neighbors(v).iter().any(|&u| awake.contains(u) && alive.contains(u))
+            || g.neighbors(v)
+                .iter()
+                .any(|&u| awake.contains(u) && alive.contains(u))
         {
             // The sink always accepts its own reading directly.
             collected += 1;
@@ -111,15 +117,19 @@ pub fn slot_delivery_cost(
             hops += d as u64;
         }
     }
-    DeliveryCost { collected, stranded, hop_transmissions: hops }
+    DeliveryCost {
+        collected,
+        stranded,
+        hop_transmissions: hops,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use domatic_graph::domination::is_dominating_set;
     use domatic_graph::generators::gnp::gnp_with_avg_degree;
     use domatic_graph::generators::regular::{path, star};
-    use domatic_graph::domination::is_dominating_set;
 
     #[test]
     fn tree_on_path() {

@@ -18,13 +18,19 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// The default model: active = 1 unit/slot, sleep = 0.01 unit/slot.
     pub fn standard() -> Self {
-        EnergyModel { active_cost: 1.0, sleep_cost: 0.01 }
+        EnergyModel {
+            active_cost: 1.0,
+            sleep_cost: 0.01,
+        }
     }
 
     /// An idealized model where sleeping is completely free — this matches
     /// the paper's abstraction, where `b_v` counts only active slots.
     pub fn ideal() -> Self {
-        EnergyModel { active_cost: 1.0, sleep_cost: 0.0 }
+        EnergyModel {
+            active_cost: 1.0,
+            sleep_cost: 0.0,
+        }
     }
 
     /// Creates a model from an active:sleep cost ratio.
@@ -33,7 +39,10 @@ impl EnergyModel {
     /// Panics unless `ratio ≥ 1`.
     pub fn with_ratio(ratio: f64) -> Self {
         assert!(ratio >= 1.0, "active/sleep ratio must be ≥ 1, got {ratio}");
-        EnergyModel { active_cost: 1.0, sleep_cost: 1.0 / ratio }
+        EnergyModel {
+            active_cost: 1.0,
+            sleep_cost: 1.0 / ratio,
+        }
     }
 
     /// Slots of active duty a battery of `capacity` supports (ignoring

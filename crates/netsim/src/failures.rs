@@ -31,13 +31,24 @@ pub struct FailureInjector {
 impl FailureInjector {
     /// Random crashes only.
     pub fn random(p_crash: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p_crash), "p_crash must be a probability");
-        FailureInjector { p_crash, rng: StdRng::seed_from_u64(seed), scripted: Vec::new() }
+        assert!(
+            (0.0..=1.0).contains(&p_crash),
+            "p_crash must be a probability"
+        );
+        FailureInjector {
+            p_crash,
+            rng: StdRng::seed_from_u64(seed),
+            scripted: Vec::new(),
+        }
     }
 
     /// Scripted failures only: `(slot, node)` pairs.
     pub fn scripted(kills: Vec<(u64, NodeId)>) -> Self {
-        FailureInjector { p_crash: 0.0, rng: StdRng::seed_from_u64(0), scripted: kills }
+        FailureInjector {
+            p_crash: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            scripted: kills,
+        }
     }
 
     /// Adds scripted kills to a random injector.
@@ -171,8 +182,7 @@ impl FailurePlan {
                         if let Some(g) = geometric(&mut rng, p) {
                             if g < horizon {
                                 let prev = plan.crash_slot[v];
-                                plan.crash_slot[v] =
-                                    Some(prev.map_or(g, |old: u64| old.min(g)));
+                                plan.crash_slot[v] = Some(prev.map_or(g, |old: u64| old.min(g)));
                             }
                         }
                     }
@@ -328,8 +338,16 @@ mod tests {
         assert_eq!(a.extra_drain, b.extra_drain);
         assert_eq!(a.loss_attempts, b.loss_attempts);
         assert_ne!(
-            (a.crash_slot.clone(), a.extra_drain.len(), a.loss_attempts.len()),
-            (c.crash_slot.clone(), c.extra_drain.len(), c.loss_attempts.len())
+            (
+                a.crash_slot.clone(),
+                a.extra_drain.len(),
+                a.loss_attempts.len()
+            ),
+            (
+                c.crash_slot.clone(),
+                c.extra_drain.len(),
+                c.loss_attempts.len()
+            )
         );
     }
 
@@ -359,8 +377,7 @@ mod tests {
 
     #[test]
     fn loss_attempts_are_within_bounds() {
-        let plan =
-            FailurePlan::draw(&[FailureModel::TransientLoss { p: 0.5 }], 20, 100, 11);
+        let plan = FailurePlan::draw(&[FailureModel::TransientLoss { p: 0.5 }], 20, 100, 11);
         let (_, _, losses) = plan.event_counts();
         assert!(losses > 100, "expected many losses, got {losses}");
         for slot in 0..100 {

@@ -47,7 +47,7 @@ pub use adaptive::{
 pub use energy::EnergyModel;
 pub use failures::{FailureInjector, FailureModel, FailurePlan};
 pub use sim::{simulate, simulate_observed, EndReason, SimConfig, SimResult, SlotRecord};
-pub use trace::{simulate_traced, SimTrace};
 pub use strategies::{
     AllActive, DomaticRotation, FollowSchedule, RandomRotation, SingleMds, Strategy,
 };
+pub use trace::{simulate_traced, SimTrace};

@@ -238,7 +238,12 @@ mod tests {
     fn all_active_dies_fast_on_star() {
         let g = star(5);
         let mut strat = AllActive;
-        let cfg = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 1000, switch_cost: 0.0 };
+        let cfg = SimConfig {
+            model: EnergyModel::ideal(),
+            k: 1,
+            max_slots: 1000,
+            switch_cost: 0.0,
+        };
         let res = simulate(&g, &[3.0; 5], &mut strat, &cfg, None);
         // Everyone burns 1/slot: 3 slots, then all serviceable = ∅.
         assert_eq!(res.lifetime, 3);
@@ -250,7 +255,12 @@ mod tests {
     fn single_mds_lives_center_plus_leaves() {
         let g = star(5);
         let mut strat = SingleMds::new();
-        let cfg = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 1000, switch_cost: 0.0 };
+        let cfg = SimConfig {
+            model: EnergyModel::ideal(),
+            k: 1,
+            max_slots: 1000,
+            switch_cost: 0.0,
+        };
         let res = simulate(&g, &[3.0; 5], &mut strat, &cfg, None);
         // Center serves 3 slots, then the 4 leaves serve 3 more.
         assert_eq!(res.lifetime, 6);
@@ -264,12 +274,22 @@ mod tests {
             NodeSet::from_iter(5, [0]),
             NodeSet::from_iter(5, [1, 2, 3, 4]),
         ];
-        let cfg = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 1000, switch_cost: 0.0 };
+        let cfg = SimConfig {
+            model: EnergyModel::ideal(),
+            k: 1,
+            max_slots: 1000,
+            switch_cost: 0.0,
+        };
         let mut domatic = DomaticRotation::new(classes, 3);
         let d = simulate(&g, &[3.0; 5], &mut domatic, &cfg, None);
         let mut all = AllActive;
         let a = simulate(&g, &[3.0; 5], &mut all, &cfg, None);
-        assert!(d.lifetime > a.lifetime, "domatic {} vs all {}", d.lifetime, a.lifetime);
+        assert!(
+            d.lifetime > a.lifetime,
+            "domatic {} vs all {}",
+            d.lifetime,
+            a.lifetime
+        );
         assert_eq!(d.lifetime, 6);
     }
 
@@ -280,9 +300,17 @@ mod tests {
             NodeSet::from_iter(5, [0]),
             NodeSet::from_iter(5, [1, 2, 3, 4]),
         ];
-        let ideal = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 1000, switch_cost: 0.0 };
+        let ideal = SimConfig {
+            model: EnergyModel::ideal(),
+            k: 1,
+            max_slots: 1000,
+            switch_cost: 0.0,
+        };
         let drain = SimConfig {
-            model: EnergyModel { active_cost: 1.0, sleep_cost: 0.5 },
+            model: EnergyModel {
+                active_cost: 1.0,
+                sleep_cost: 0.5,
+            },
             k: 1,
             max_slots: 1000,
             switch_cost: 0.0,
@@ -307,11 +335,22 @@ mod tests {
     #[test]
     fn k2_coverage_requires_two_dominators() {
         let g = star(5);
-        let cfg = SimConfig { model: EnergyModel::ideal(), k: 2, max_slots: 100, switch_cost: 0.0 };
+        let cfg = SimConfig {
+            model: EnergyModel::ideal(),
+            k: 2,
+            max_slots: 100,
+            switch_cost: 0.0,
+        };
         // Only the center awake: leaves have 1 dominator (the center)…
         // and a leaf needs 2 → coverage lost immediately.
         let classes = vec![NodeSet::from_iter(5, [0])];
-        let res = simulate(&g, &[5.0; 5], &mut DomaticRotation::new(classes, 1), &cfg, None);
+        let res = simulate(
+            &g,
+            &[5.0; 5],
+            &mut DomaticRotation::new(classes, 1),
+            &cfg,
+            None,
+        );
         assert_eq!(res.lifetime, 0);
         assert_eq!(res.end, EndReason::CoverageLost);
         // Center + one leaf: that leaf has 2 (self + center), others 1 → still lost.
@@ -327,8 +366,19 @@ mod tests {
         // the two classes alternate forever on a big battery.
         let g = star(3);
         let classes = vec![NodeSet::from_iter(3, [0]), NodeSet::from_iter(3, [1, 2])];
-        let cfg = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 50, switch_cost: 0.0 };
-        let res = simulate(&g, &[1e9; 3], &mut DomaticRotation::new(classes, 1), &cfg, None);
+        let cfg = SimConfig {
+            model: EnergyModel::ideal(),
+            k: 1,
+            max_slots: 50,
+            switch_cost: 0.0,
+        };
+        let res = simulate(
+            &g,
+            &[1e9; 3],
+            &mut DomaticRotation::new(classes, 1),
+            &cfg,
+            None,
+        );
         assert_eq!(res.lifetime, 50);
         assert_eq!(res.end, EndReason::SlotLimit);
     }
@@ -336,7 +386,12 @@ mod tests {
     #[test]
     fn energy_accounting_is_consistent() {
         let g = star(4);
-        let cfg = SimConfig { model: EnergyModel::standard(), k: 1, max_slots: 100, switch_cost: 0.0 };
+        let cfg = SimConfig {
+            model: EnergyModel::standard(),
+            k: 1,
+            max_slots: 100,
+            switch_cost: 0.0,
+        };
         let res = simulate(&g, &[2.0; 4], &mut SingleMds::new(), &cfg, None);
         // Spent = lifetime × (1 active + 3 sleepers × 0.01) while the
         // center serves (2 slots), then leaves take over.
@@ -354,7 +409,12 @@ mod tests {
             NodeSet::from_iter(5, [0]),
             NodeSet::from_iter(5, [1, 2, 3, 4]),
         ];
-        let cfg = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 6, switch_cost: 0.0 };
+        let cfg = SimConfig {
+            model: EnergyModel::ideal(),
+            k: 1,
+            max_slots: 6,
+            switch_cost: 0.0,
+        };
         let res = simulate(
             &g,
             &[100.0; 5],
@@ -382,15 +442,48 @@ mod tests {
             NodeSet::from_iter(5, [0]),
             NodeSet::from_iter(5, [1, 2, 3, 4]),
         ];
-        let free = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 1000, switch_cost: 0.0 };
-        let taxed = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 1000, switch_cost: 0.5 };
+        let free = SimConfig {
+            model: EnergyModel::ideal(),
+            k: 1,
+            max_slots: 1000,
+            switch_cost: 0.0,
+        };
+        let taxed = SimConfig {
+            model: EnergyModel::ideal(),
+            k: 1,
+            max_slots: 1000,
+            switch_cost: 0.5,
+        };
         let energy = [6.0; 5];
-        let l_free = simulate(&g, &energy, &mut DomaticRotation::new(classes.clone(), 1), &free, None);
-        let l_taxed = simulate(&g, &energy, &mut DomaticRotation::new(classes.clone(), 1), &taxed, None);
-        assert!(l_taxed.lifetime < l_free.lifetime, "{} !< {}", l_taxed.lifetime, l_free.lifetime);
+        let l_free = simulate(
+            &g,
+            &energy,
+            &mut DomaticRotation::new(classes.clone(), 1),
+            &free,
+            None,
+        );
+        let l_taxed = simulate(
+            &g,
+            &energy,
+            &mut DomaticRotation::new(classes.clone(), 1),
+            &taxed,
+            None,
+        );
+        assert!(
+            l_taxed.lifetime < l_free.lifetime,
+            "{} !< {}",
+            l_taxed.lifetime,
+            l_free.lifetime
+        );
         // Block dwell (the paper's schedule shape) pays the tax only once
         // per class and loses almost nothing.
-        let l_block = simulate(&g, &energy, &mut DomaticRotation::new(classes, 6), &taxed, None);
+        let l_block = simulate(
+            &g,
+            &energy,
+            &mut DomaticRotation::new(classes, 6),
+            &taxed,
+            None,
+        );
         assert!(l_block.lifetime > l_taxed.lifetime);
     }
 }

@@ -74,7 +74,11 @@ impl SingleMds {
     /// Adaptive variant: recomputes a fresh dominating set among survivors
     /// whenever a member dies (a strong baseline — it implicitly rotates).
     pub fn new() -> Self {
-        SingleMds { current: None, started: false, recompute: true }
+        SingleMds {
+            current: None,
+            started: false,
+            recompute: true,
+        }
     }
 
     /// Static variant: computes one dominating set up front and concedes
@@ -82,7 +86,11 @@ impl SingleMds {
     /// strawman ("what does the best dominating set help if the battery of
     /// the dominators are irrevocably depleted…").
     pub fn static_once() -> Self {
-        SingleMds { current: None, started: false, recompute: false }
+        SingleMds {
+            current: None,
+            started: false,
+            recompute: false,
+        }
     }
 }
 
@@ -134,7 +142,9 @@ pub struct RandomRotation {
 impl RandomRotation {
     /// A rotation strategy with its own RNG stream.
     pub fn new(seed: u64) -> Self {
-        RandomRotation { rng: StdRng::seed_from_u64(seed) }
+        RandomRotation {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -181,7 +191,12 @@ pub struct DomaticRotation {
 impl DomaticRotation {
     /// Rotates through `classes`, dwelling `dwell` slots on each.
     pub fn new(classes: Vec<NodeSet>, dwell: u64) -> Self {
-        DomaticRotation { classes, cursor: 0, dwell: dwell.max(1), in_class: 0 }
+        DomaticRotation {
+            classes,
+            cursor: 0,
+            dwell: dwell.max(1),
+            in_class: 0,
+        }
     }
 }
 
@@ -219,7 +234,8 @@ impl Strategy for DomaticRotation {
     }
 }
 
-/// Plays back a precomputed [`Schedule`] slot by slot — the bridge from
+/// Plays back a precomputed [`Schedule`](domatic_schedule::Schedule) slot
+/// by slot — the bridge from
 /// any [`domatic_core::solver::Solver`] output into the simulator. Members
 /// that can no longer serve are dropped from the slot's set (the simulator
 /// judges whether what's left still dominates); the strategy concedes when
@@ -294,10 +310,7 @@ mod tests {
     #[test]
     fn domatic_rotation_cycles_classes() {
         let g = star(4);
-        let classes = vec![
-            NodeSet::from_iter(4, [0]),
-            NodeSet::from_iter(4, [1, 2, 3]),
-        ];
+        let classes = vec![NodeSet::from_iter(4, [0]), NodeSet::from_iter(4, [1, 2, 3])];
         let m = EnergyModel::ideal();
         let mut strat = DomaticRotation::new(classes, 1);
         let e = [9.0; 4];
@@ -312,10 +325,7 @@ mod tests {
     #[test]
     fn domatic_rotation_skips_dead_classes() {
         let g = star(4);
-        let classes = vec![
-            NodeSet::from_iter(4, [0]),
-            NodeSet::from_iter(4, [1, 2, 3]),
-        ];
+        let classes = vec![NodeSet::from_iter(4, [0]), NodeSet::from_iter(4, [1, 2, 3])];
         let m = EnergyModel::standard();
         let mut strat = DomaticRotation::new(classes, 1);
         // Center dead: class 0 unusable, should serve class 1.

@@ -70,7 +70,12 @@ pub fn simulate_traced(
 
 /// Convenience constructor for trace configs.
 pub fn traced_config(k: usize, max_slots: u64) -> SimConfig {
-    SimConfig { model: EnergyModel::standard(), k, max_slots, switch_cost: 0.0 }
+    SimConfig {
+        model: EnergyModel::standard(),
+        k,
+        max_slots,
+        switch_cost: 0.0,
+    }
 }
 
 #[cfg(test)]

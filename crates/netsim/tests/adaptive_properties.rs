@@ -29,7 +29,10 @@ fn arb_models() -> impl proptest::strategy::Strategy<Value = Vec<FailureModel>> 
 const SLOTS: u64 = 400;
 
 fn acfg() -> AdaptiveConfig {
-    AdaptiveConfig { max_slots: SLOTS, ..AdaptiveConfig::default() }
+    AdaptiveConfig {
+        max_slots: SLOTS,
+        ..AdaptiveConfig::default()
+    }
 }
 
 proptest! {

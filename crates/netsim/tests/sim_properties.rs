@@ -21,7 +21,12 @@ fn run(
     model: EnergyModel,
     k: usize,
 ) -> domatic_netsim::SimResult {
-    let cfg = SimConfig { model, k, max_slots: 10_000, switch_cost: 0.0 };
+    let cfg = SimConfig {
+        model,
+        k,
+        max_slots: 10_000,
+        switch_cost: 0.0,
+    };
     simulate(g, energy, strat, &cfg, None)
 }
 
@@ -98,7 +103,12 @@ fn scripted_failure_of_sole_dominator_ends_coverage() {
     // Star: kill the center while only the center is awake.
     let g = domatic_graph::generators::regular::star(6);
     let classes = vec![NodeSet::from_iter(6, [0u32])];
-    let cfg = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 100, switch_cost: 0.0 };
+    let cfg = SimConfig {
+        model: EnergyModel::ideal(),
+        k: 1,
+        max_slots: 100,
+        switch_cost: 0.0,
+    };
     let mut inj = FailureInjector::scripted(vec![(2, 0)]);
     let res = simulate(
         &g,

@@ -115,11 +115,7 @@ mod tests {
 
     #[test]
     fn switch_count_counts_changes() {
-        let s = Schedule::from_entries([
-            (set(3, &[0]), 1),
-            (set(3, &[0]), 1),
-            (set(3, &[1]), 1),
-        ]);
+        let s = Schedule::from_entries([(set(3, &[0]), 1), (set(3, &[0]), 1), (set(3, &[1]), 1)]);
         assert_eq!(switch_count(&s), 1);
         assert_eq!(switch_count(&compact(&s)), 1);
         assert_eq!(switch_count(&Schedule::new()), 0);

@@ -65,7 +65,9 @@ impl Batteries {
     /// `τ = min_u τ_u`: the minimum energy coverage of the network —
     /// the upper bound on `L_OPT` of Lemma 5.1. `None` on the empty graph.
     pub fn min_energy_coverage(&self, g: &Graph) -> Option<u64> {
-        (0..g.n() as NodeId).map(|u| self.energy_coverage(g, u)).min()
+        (0..g.n() as NodeId)
+            .map(|u| self.energy_coverage(g, u))
+            .min()
     }
 
     /// Converts to `f64` (for the LP solver).
@@ -75,7 +77,10 @@ impl Batteries {
 
     /// Converts to `u32`, saturating (for the exact integral solver).
     pub fn to_u32(&self) -> Vec<u32> {
-        self.values.iter().map(|&b| b.min(u32::MAX as u64) as u32).collect()
+        self.values
+            .iter()
+            .map(|&b| b.min(u32::MAX as u64) as u32)
+            .collect()
     }
 }
 
@@ -91,7 +96,10 @@ impl EnergyLedger {
     /// A fresh ledger with nothing spent.
     pub fn new(batteries: Batteries) -> Self {
         let n = batteries.n();
-        EnergyLedger { batteries, used: vec![0; n] }
+        EnergyLedger {
+            batteries,
+            used: vec![0; n],
+        }
     }
 
     /// The underlying battery budgets.
@@ -144,10 +152,7 @@ impl EnergyLedger {
     /// Nodes with exhausted batteries.
     pub fn depleted(&self) -> NodeSet {
         let n = self.batteries.n();
-        NodeSet::from_iter(
-            n,
-            (0..n as NodeId).filter(|&v| self.remaining(v) == 0),
-        )
+        NodeSet::from_iter(n, (0..n as NodeId).filter(|&v| self.remaining(v) == 0))
     }
 
     /// Charges an entire schedule into the ledger (entry by entry, in
@@ -155,10 +160,7 @@ impl EnergyLedger {
     /// charged earlier entry and returns `Err((entry_index, node))` —
     /// the budget-accounting primitive behind schedule splicing: charge
     /// the executed prefix, then plan the remainder from what's left.
-    pub fn charge_schedule(
-        &mut self,
-        schedule: &crate::Schedule,
-    ) -> Result<(), (usize, NodeId)> {
+    pub fn charge_schedule(&mut self, schedule: &crate::Schedule) -> Result<(), (usize, NodeId)> {
         for (i, e) in schedule.entries().iter().enumerate() {
             self.charge(&e.set, e.duration).map_err(|v| (i, v))?;
         }

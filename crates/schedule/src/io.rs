@@ -26,14 +26,21 @@ pub struct ScheduleParseError {
 
 impl fmt::Display for ScheduleParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "schedule parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "schedule parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for ScheduleParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ScheduleParseError {
-    ScheduleParseError { line, message: message.into() }
+    ScheduleParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Serializes a schedule over a universe of `n` nodes.
@@ -80,7 +87,9 @@ pub fn from_text(text: &str) -> Result<(Schedule, usize), ScheduleParseError> {
             .map_err(|_| err(ln, "invalid duration"))?;
         let mut set = NodeSet::new(n);
         for tok in parts {
-            let v: NodeId = tok.parse().map_err(|_| err(ln, format!("invalid node id '{tok}'")))?;
+            let v: NodeId = tok
+                .parse()
+                .map_err(|_| err(ln, format!("invalid node id '{tok}'")))?;
             if (v as usize) >= n {
                 return Err(err(ln, format!("node {v} out of universe {n}")));
             }

@@ -43,7 +43,9 @@ pub struct Schedule {
 impl Schedule {
     /// The empty schedule (lifetime 0).
     pub fn new() -> Self {
-        Schedule { entries: Vec::new() }
+        Schedule {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a schedule from `(set, duration)` pairs, dropping
@@ -215,11 +217,8 @@ mod tests {
 
     #[test]
     fn active_time_per_node() {
-        let s = Schedule::from_entries([
-            (set(3, &[0, 1]), 2),
-            (set(3, &[1]), 3),
-            (set(3, &[2]), 1),
-        ]);
+        let s =
+            Schedule::from_entries([(set(3, &[0, 1]), 2), (set(3, &[1]), 3), (set(3, &[2]), 1)]);
         assert_eq!(s.active_time(0), 2);
         assert_eq!(s.active_time(1), 5);
         assert_eq!(s.active_time(2), 1);
@@ -257,10 +256,7 @@ mod tests {
 
     #[test]
     fn active_times_accounts_budgets() {
-        let s = Schedule::from_entries([
-            (set(3, &[0, 1]), 2),
-            (set(3, &[1]), 3),
-        ]);
+        let s = Schedule::from_entries([(set(3, &[0, 1]), 2), (set(3, &[1]), 3)]);
         assert_eq!(s.active_times(3), vec![2, 5, 0]);
         // Requesting a smaller universe drops out-of-range nodes.
         assert_eq!(s.active_times(1), vec![2]);

@@ -94,8 +94,8 @@ mod tests {
     #[test]
     fn mean_active_is_time_weighted() {
         let s = Schedule::from_entries([
-            (set(4, &[0]), 3),        // size 1 for 3 units
-            (set(4, &[1, 2, 3]), 1),  // size 3 for 1 unit
+            (set(4, &[0]), 3),       // size 1 for 3 units
+            (set(4, &[1, 2, 3]), 1), // size 3 for 1 unit
         ]);
         let m = schedule_metrics(&s, &Batteries::uniform(4, 3));
         assert!((m.mean_active - 6.0 / 4.0).abs() < 1e-12);
@@ -106,10 +106,7 @@ mod tests {
     #[test]
     fn perfect_fairness() {
         // Each node active exactly once.
-        let s = Schedule::from_entries([
-            (set(2, &[0]), 1),
-            (set(2, &[1]), 1),
-        ]);
+        let s = Schedule::from_entries([(set(2, &[0]), 1), (set(2, &[1]), 1)]);
         let m = schedule_metrics(&s, &Batteries::uniform(2, 1));
         assert!((m.fairness - 1.0).abs() < 1e-12);
         assert!((m.utilization - 1.0).abs() < 1e-12);

@@ -43,15 +43,31 @@ pub enum Violation {
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Violation::NotDominating { step, node, have, need } => write!(
+            Violation::NotDominating {
+                step,
+                node,
+                have,
+                need,
+            } => write!(
                 f,
                 "entry {step}: node {node} has {have} dominators, needs {need}"
             ),
-            Violation::OverBudget { node, active, budget } => {
+            Violation::OverBudget {
+                node,
+                active,
+                budget,
+            } => {
                 write!(f, "node {node} active {active} units, budget {budget}")
             }
-            Violation::UniverseMismatch { step, got, expected } => {
-                write!(f, "entry {step}: set universe {got}, graph has {expected} nodes")
+            Violation::UniverseMismatch {
+                step,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "entry {step}: set universe {got}, graph has {expected} nodes"
+                )
             }
         }
     }
@@ -81,7 +97,12 @@ pub fn validate_schedule(
             for v in 0..g.n() as NodeId {
                 let have = dominator_count(g, &e.set, v);
                 if have < k {
-                    return Err(Violation::NotDominating { step: i, node: v, have, need: k });
+                    return Err(Violation::NotDominating {
+                        step: i,
+                        node: v,
+                        have,
+                        need: k,
+                    });
                 }
             }
             unreachable!("is_k_dominating_set said no but all nodes covered");
@@ -91,7 +112,11 @@ pub fn validate_schedule(
         let active = schedule.active_time(v);
         let budget = batteries.get(v);
         if active > budget {
-            return Err(Violation::OverBudget { node: v, active, budget });
+            return Err(Violation::OverBudget {
+                node: v,
+                active,
+                budget,
+            });
         }
     }
     Ok(())
@@ -146,10 +171,7 @@ mod tests {
     fn valid_schedule_passes() {
         let g = star(4);
         let b = Batteries::uniform(4, 2);
-        let s = Schedule::from_entries([
-            (set(4, &[0]), 2),
-            (set(4, &[1, 2, 3]), 2),
-        ]);
+        let s = Schedule::from_entries([(set(4, &[0]), 2), (set(4, &[1, 2, 3]), 2)]);
         assert_eq!(validate_schedule(&g, &b, &s, 1), Ok(()));
     }
 
@@ -169,7 +191,14 @@ mod tests {
         let b = Batteries::uniform(4, 1);
         let s = Schedule::from_entries([(set(4, &[0]), 2)]);
         let err = validate_schedule(&g, &b, &s, 1).unwrap_err();
-        assert_eq!(err, Violation::OverBudget { node: 0, active: 2, budget: 1 });
+        assert_eq!(
+            err,
+            Violation::OverBudget {
+                node: 0,
+                active: 2,
+                budget: 1
+            }
+        );
     }
 
     #[test]
@@ -188,7 +217,11 @@ mod tests {
         let s = Schedule::from_entries([(set(5, &[0]), 1)]);
         assert!(matches!(
             validate_schedule(&g, &b, &s, 1),
-            Err(Violation::UniverseMismatch { step: 0, got: 5, expected: 4 })
+            Err(Violation::UniverseMismatch {
+                step: 0,
+                got: 5,
+                expected: 4
+            })
         ));
     }
 
@@ -220,10 +253,7 @@ mod tests {
     fn prefix_of_valid_schedule_is_identity() {
         let g = star(4);
         let b = Batteries::uniform(4, 2);
-        let s = Schedule::from_entries([
-            (set(4, &[0]), 2),
-            (set(4, &[1, 2, 3]), 1),
-        ]);
+        let s = Schedule::from_entries([(set(4, &[0]), 2), (set(4, &[1, 2, 3]), 1)]);
         let p = longest_valid_prefix(&g, &b, &s, 1);
         assert_eq!(p, s);
     }

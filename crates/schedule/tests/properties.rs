@@ -4,22 +4,22 @@ use domatic_graph::generators::gnp::gnp;
 use domatic_graph::NodeSet;
 use domatic_schedule::compact::{compact, switch_count};
 use domatic_schedule::metrics::schedule_metrics;
-use domatic_schedule::{longest_valid_prefix, validate_schedule, Batteries, EnergyLedger, Schedule};
+use domatic_schedule::{
+    longest_valid_prefix, validate_schedule, Batteries, EnergyLedger, Schedule,
+};
 use proptest::prelude::*;
 
 /// Arbitrary schedule over a 16-node universe.
 fn arb_schedule() -> impl Strategy<Value = Schedule> {
-    proptest::collection::vec(
-        (proptest::collection::vec(0u32..16, 0..8), 0u64..5),
-        0..10,
+    proptest::collection::vec((proptest::collection::vec(0u32..16, 0..8), 0u64..5), 0..10).prop_map(
+        |entries| {
+            Schedule::from_entries(
+                entries
+                    .into_iter()
+                    .map(|(members, d)| (NodeSet::from_iter(16, members), d)),
+            )
+        },
     )
-    .prop_map(|entries| {
-        Schedule::from_entries(
-            entries
-                .into_iter()
-                .map(|(members, d)| (NodeSet::from_iter(16, members), d)),
-        )
-    })
 }
 
 proptest! {

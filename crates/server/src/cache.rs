@@ -1,0 +1,159 @@
+//! The LRU solve cache: canonical key → rendered result bytes.
+//!
+//! Values are the *exact* response payloads the server would render for
+//! a fresh solve, stored as `Arc<str>` so a hit hands back the same
+//! bytes without copying. Capacity is counted in payload bytes (the
+//! quantity that actually bounds memory), not entries; recency is a
+//! monotone tick per entry and eviction removes the smallest tick. That
+//! makes eviction a linear scan — O(entries) — which is the right trade
+//! for a cache whose entries are whole solve results (hundreds, not
+//! millions) and keeps the structure a single `HashMap`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    payload: Arc<str>,
+    last_used: u64,
+}
+
+/// A byte-bounded LRU map from canonical solve key to rendered payload.
+pub struct SolveCache {
+    entries: HashMap<u64, Entry>,
+    capacity_bytes: usize,
+    bytes: usize,
+    tick: u64,
+}
+
+impl SolveCache {
+    /// An empty cache bounded at `capacity_bytes` of payload.
+    pub fn new(capacity_bytes: usize) -> Self {
+        SolveCache {
+            entries: HashMap::new(),
+            capacity_bytes,
+            bytes: 0,
+            tick: 0,
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<str>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.payload)
+        })
+    }
+
+    /// Inserts `key → payload`, evicting least-recently-used entries
+    /// until the byte budget holds again. Returns how many entries were
+    /// evicted. A payload larger than the whole budget is not cached at
+    /// all (it would only evict everything and then itself).
+    pub fn insert(&mut self, key: u64, payload: Arc<str>) -> u64 {
+        if payload.len() > self.capacity_bytes {
+            return 0;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.insert(
+            key,
+            Entry {
+                payload: Arc::clone(&payload),
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes -= old.payload.len();
+        }
+        self.bytes += payload.len();
+        let mut evicted = 0;
+        while self.bytes > self.capacity_bytes {
+            let oldest = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("over budget implies an evictable entry");
+            let gone = self.entries.remove(&oldest).expect("key from scan");
+            self.bytes -= gone.payload.len();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Total payload bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Arc<str> {
+        Arc::from("x".repeat(n))
+    }
+
+    #[test]
+    fn hit_returns_the_stored_bytes() {
+        let mut c = SolveCache::new(100);
+        c.insert(1, Arc::from("result-one"));
+        assert_eq!(c.get(1).as_deref(), Some("result-one"));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.bytes(), 10);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = SolveCache::new(30);
+        c.insert(1, payload(10));
+        c.insert(2, payload(10));
+        c.insert(3, payload(10));
+        // Touch 1 so 2 becomes the LRU entry.
+        c.get(1);
+        let evicted = c.insert(4, payload(10));
+        assert_eq!(evicted, 1);
+        assert!(c.get(2).is_none(), "LRU entry should be gone");
+        assert!(c.get(1).is_some() && c.get(3).is_some() && c.get(4).is_some());
+        assert_eq!(c.bytes(), 30);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut c = SolveCache::new(50);
+        c.insert(1, payload(20));
+        c.insert(1, payload(30));
+        assert_eq!(c.bytes(), 30);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_payload_is_not_cached() {
+        let mut c = SolveCache::new(10);
+        c.insert(1, payload(5));
+        assert_eq!(c.insert(2, payload(11)), 0);
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some(), "existing entries survive the refusal");
+    }
+
+    #[test]
+    fn eviction_can_cascade() {
+        let mut c = SolveCache::new(20);
+        c.insert(1, payload(10));
+        c.insert(2, payload(10));
+        assert_eq!(c.insert(3, payload(20)), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(3).is_some());
+    }
+}

@@ -1,0 +1,243 @@
+//! The wire protocol: JSON-lines requests in, JSON-lines responses out.
+//!
+//! A request is one JSON object per line:
+//!
+//! ```json
+//! {"id":1,"op":"solve","graph":"ring","alg":"greedy","b":3,"seed":0}
+//! ```
+//!
+//! | field         | ops              | default   | meaning |
+//! |---------------|------------------|-----------|---------|
+//! | `id`          | all              | required  | echoed on the response |
+//! | `op`          | all              | required  | `solve`, `bounds`, `adapt`, `stats`, `ping`, `shutdown` |
+//! | `graph`       | solve/bounds/adapt | required | a graph name preloaded at server start |
+//! | `alg`         | solve/adapt      | `uniform` | a [`solver_registry`] name |
+//! | `b`           | solve/bounds/adapt | 3       | uniform battery level |
+//! | `k`           | solve/bounds/adapt | 1       | domination tolerance |
+//! | `seed`        | solve/adapt      | 0         | base seed |
+//! | `trials`      | solve/adapt      | 8         | best-of-R restarts |
+//! | `c`           | solve/adapt      | 3.0       | the paper's range constant |
+//! | `deadline_ms` | solve/bounds/adapt | none    | per-request deadline |
+//! | `failures`    | adapt            | `crash`   | failure model list |
+//! | `p`           | adapt            | 0.02      | per-slot failure probability |
+//! | `slots`       | adapt            | 10000     | simulated slot budget |
+//!
+//! Responses are `{"id":N,"ok":true,"result":{…}}` or
+//! `{"id":N,"ok":false,"error":{"kind":"…","message":"…"}}`, with
+//! `error.kind` drawn from [`DomaticError::kind`]. Response objects are
+//! hand-rendered with a fixed field order, so equal requests produce
+//! byte-identical lines — the cache stores and replays exactly these
+//! bytes.
+//!
+//! [`solver_registry`]: domatic_core::solver::solver_registry
+
+use domatic_core::error::DomaticError;
+use domatic_core::solver::SolverConfig;
+use domatic_telemetry::json::{self, Json};
+
+/// What a request asks the server to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Run a registered solver and return the validated schedule.
+    Solve,
+    /// Report the analytic lifetime upper bounds for an instance.
+    Bounds,
+    /// Run the adaptive-vs-static comparison under a failure plan.
+    Adapt,
+    /// Report the server's counters (requests, cache, batching).
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain: finish in-flight work, admit nothing new.
+    Shutdown,
+}
+
+impl Op {
+    fn parse(s: &str) -> Option<Op> {
+        Some(match s {
+            "solve" => Op::Solve,
+            "bounds" => Op::Bounds,
+            "adapt" => Op::Adapt,
+            "stats" => Op::Stats,
+            "ping" => Op::Ping,
+            "shutdown" => Op::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed, defaulted request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+    /// Named graph the request runs against (solve/bounds/adapt).
+    pub graph: String,
+    /// Solver registry name.
+    pub alg: String,
+    /// Uniform battery level.
+    pub b: u64,
+    /// Solver configuration (seed/trials/k/c).
+    pub cfg: SolverConfig,
+    /// Optional per-request deadline.
+    pub deadline_ms: Option<u64>,
+    /// Failure model list for `adapt`.
+    pub failures: String,
+    /// Per-slot failure probability for `adapt`.
+    pub p: f64,
+    /// Slot budget for `adapt`.
+    pub slots: u64,
+}
+
+fn bad(message: impl Into<String>) -> DomaticError {
+    DomaticError::BadRequest {
+        message: message.into(),
+    }
+}
+
+fn field_u64(obj: &Json, key: &str, default: u64) -> Result<u64, DomaticError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_int()
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| bad(format!("field '{key}' must be a non-negative integer"))),
+    }
+}
+
+fn field_f64(obj: &Json, key: &str, default: f64) -> Result<f64, DomaticError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| bad(format!("field '{key}' must be a number"))),
+    }
+}
+
+fn field_str(obj: &Json, key: &str, default: &str) -> Result<String, DomaticError> {
+    match obj.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| bad(format!("field '{key}' must be a string"))),
+    }
+}
+
+/// Parses one request line. On failure the error is paired with the best
+/// `id` that could be recovered from the line (0 if none), so the error
+/// response still correlates where possible.
+pub fn parse_request(line: &str) -> Result<Request, (u64, DomaticError)> {
+    let obj = json::parse(line).map_err(|e| (0, bad(format!("invalid JSON: {e}"))))?;
+    if !matches!(obj, Json::Obj(_)) {
+        return Err((0, bad("request must be a JSON object")));
+    }
+    let id = field_u64(&obj, "id", 0).map_err(|e| (0, e))?;
+    let fail = |e: DomaticError| (id, e);
+    let op_name = field_str(&obj, "op", "").map_err(fail)?;
+    let op = Op::parse(&op_name).ok_or_else(|| {
+        fail(bad(format!(
+            "unknown op '{op_name}' (solve|bounds|adapt|stats|ping|shutdown)"
+        )))
+    })?;
+    let graph = field_str(&obj, "graph", "").map_err(fail)?;
+    if graph.is_empty() && matches!(op, Op::Solve | Op::Bounds | Op::Adapt) {
+        return Err(fail(bad("field 'graph' is required for this op")));
+    }
+    let cfg = SolverConfig::new()
+        .seed(field_u64(&obj, "seed", 0).map_err(fail)?)
+        .trials(field_u64(&obj, "trials", 8).map_err(fail)?)
+        .k(field_u64(&obj, "k", 1).map_err(fail)? as usize)
+        .c(field_f64(&obj, "c", 3.0).map_err(fail)?);
+    let deadline_ms = match obj.get("deadline_ms") {
+        None => None,
+        Some(_) => Some(field_u64(&obj, "deadline_ms", 0).map_err(fail)?),
+    };
+    Ok(Request {
+        id,
+        op,
+        graph,
+        alg: field_str(&obj, "alg", "uniform").map_err(fail)?,
+        b: field_u64(&obj, "b", 3).map_err(fail)?,
+        cfg,
+        deadline_ms,
+        failures: field_str(&obj, "failures", "crash").map_err(fail)?,
+        p: field_f64(&obj, "p", 0.02).map_err(fail)?,
+        slots: field_u64(&obj, "slots", 10_000).map_err(fail)?,
+    })
+}
+
+/// Renders a success response line (no trailing newline). `result` must
+/// already be rendered JSON — for cacheable ops it comes verbatim from
+/// the cache, which is what makes cached and uncached responses
+/// byte-identical.
+pub fn ok_line(id: u64, result: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"result\":{result}}}")
+}
+
+/// Renders a typed error response line (no trailing newline).
+pub fn err_line(id: u64, err: &DomaticError) -> String {
+    let message = Json::Str(err.to_string()).render();
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":{{\"kind\":\"{}\",\"message\":{message}}}}}",
+        err.kind()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_solve_request_with_defaults() {
+        let r = parse_request(r#"{"id":7,"op":"solve","graph":"ring"}"#).unwrap();
+        assert_eq!(r.id, 7);
+        assert_eq!(r.op, Op::Solve);
+        assert_eq!(r.graph, "ring");
+        assert_eq!(r.alg, "uniform");
+        assert_eq!(r.b, 3);
+        assert_eq!(r.cfg, SolverConfig::new());
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_every_field() {
+        let r = parse_request(
+            r#"{"id":1,"op":"adapt","graph":"g","alg":"ft","b":5,"k":2,"seed":9,"trials":3,"c":4.5,"deadline_ms":250,"failures":"all","p":0.1,"slots":500}"#,
+        )
+        .unwrap();
+        assert_eq!(r.op, Op::Adapt);
+        assert_eq!(r.alg, "ft");
+        assert_eq!(r.b, 5);
+        assert_eq!(r.cfg, SolverConfig::new().seed(9).trials(3).k(2).c(4.5));
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!((r.failures.as_str(), r.slots), ("all", 500));
+    }
+
+    #[test]
+    fn rejects_garbage_with_recovered_id() {
+        let (id, e) = parse_request(r#"{"id":42,"op":"nope"}"#).unwrap_err();
+        assert_eq!(id, 42);
+        assert_eq!(e.kind(), "bad_request");
+
+        let (id, e) = parse_request("not json").unwrap_err();
+        assert_eq!(id, 0);
+        assert_eq!(e.kind(), "bad_request");
+
+        let (_, e) = parse_request(r#"{"id":1,"op":"solve"}"#).unwrap_err();
+        assert!(e.to_string().contains("graph"), "{e}");
+    }
+
+    #[test]
+    fn response_lines_are_valid_json_with_fixed_shape() {
+        let ok = ok_line(3, "{\"x\":1}");
+        assert_eq!(ok, "{\"id\":3,\"ok\":true,\"result\":{\"x\":1}}");
+        json::parse(&ok).unwrap();
+
+        let err = err_line(4, &DomaticError::ShuttingDown);
+        json::parse(&err).unwrap();
+        assert!(err.contains("\"kind\":\"shutting_down\""), "{err}");
+    }
+}

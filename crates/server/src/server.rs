@@ -1,0 +1,701 @@
+//! The serve runtime: admission control, micro-batching, cache, fan-out.
+//!
+//! ## Life of a request
+//!
+//! 1. A transport thread parses the line and validates it (graph name,
+//!    solver name, failure model) — malformed requests are answered
+//!    immediately with a typed error and never occupy the pool.
+//! 2. The request is canonicalized to a solve key. A cache hit is
+//!    answered on the spot with the stored bytes.
+//! 3. On a miss, the pending-batch table is consulted *under one lock*:
+//!    if a batch for the key is already open, the request joins it as a
+//!    waiter (no new work); otherwise admission control runs — at or
+//!    above `capacity` in-flight jobs the request is rejected with a
+//!    typed `overloaded` error — and a new batch is opened and its job
+//!    `rayon::spawn`ed onto the vendored pool.
+//! 4. The job sleeps out the remainder of the batching window (joiners
+//!    accumulate meanwhile), closes the batch, re-checks the cache, and
+//!    solves once. The rendered payload enters the LRU cache and fans
+//!    out to every waiter; waiters whose deadline passed get a typed
+//!    `deadline` error instead, and if *all* waiters expired the solve
+//!    is skipped entirely.
+//!
+//! Every solver is deterministic at a fixed seed and payloads are
+//! rendered with a fixed field order, so the bytes a waiter receives do
+//! not depend on thread count, batching, or cache state.
+//!
+//! A closed batch and its not-yet-cached solve leave a small window in
+//! which an identical request opens a second batch and re-solves; the
+//! result is byte-identical and the cache insert idempotent, so the only
+//! cost is one redundant solve — accepted to keep the pending table a
+//! plain map under a plain lock.
+
+use crate::cache::SolveCache;
+use crate::protocol::{self, Op, Request};
+use domatic_core::error::DomaticError;
+use domatic_core::hash::{config_hash, graph_hash, CanonicalHasher};
+use domatic_core::solver::make_solver;
+use domatic_graph::Graph;
+use domatic_netsim::{compare_static_adaptive, AdaptiveConfig, FailureModel, FailurePlan};
+use domatic_schedule::Batteries;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Where a response line goes: any shared writer (a TCP stream, stdout,
+/// or a test buffer). Writes are line-atomic under the mutex.
+pub type ResponseSink = Arc<Mutex<dyn Write + Send>>;
+
+/// Locks absorbing poison: the server must keep serving even if some
+/// earlier holder panicked mid-section (sections below never leave
+/// state half-updated across a panic boundary).
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum solve jobs in flight; admission beyond this returns a
+    /// typed `overloaded` error (bounded-queue backpressure).
+    pub capacity: usize,
+    /// How long a freshly opened batch stays open for identical
+    /// requests to coalesce into it. Zero disables batching.
+    pub batch_window: Duration,
+    /// Byte budget of the LRU solve cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            capacity: 64,
+            batch_window: Duration::from_millis(2),
+            cache_bytes: 16 << 20,
+        }
+    }
+}
+
+/// Monotone event counters, mirrored into `domatic-telemetry` so
+/// `--trace` and JSON sinks see them alongside solver spans.
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    solves: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    batch_joined: AtomicU64,
+    overloads: AtomicU64,
+    deadline_expired: AtomicU64,
+    errors: AtomicU64,
+}
+
+fn bump(counter: &AtomicU64, telemetry_name: &str, delta: u64) {
+    counter.fetch_add(delta, Ordering::Relaxed);
+    domatic_telemetry::global().incr(telemetry_name, delta);
+}
+
+/// A point-in-time copy of the server's counters (the `stats` op).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Request lines parsed (including ones answered with errors).
+    pub requests: u64,
+    /// Underlying solves actually executed (batching and caching make
+    /// this less than the solve-shaped request count).
+    pub solves: u64,
+    /// Responses served from the cache.
+    pub cache_hits: u64,
+    /// Cacheable requests that missed.
+    pub cache_misses: u64,
+    /// Entries evicted to hold the byte budget.
+    pub cache_evictions: u64,
+    /// Requests that coalesced into an already-open batch.
+    pub batch_joined: u64,
+    /// Requests rejected by admission control.
+    pub overloads: u64,
+    /// Requests answered with a deadline error.
+    pub deadline_expired: u64,
+    /// Requests answered with any typed error.
+    pub errors: u64,
+    /// Payload bytes currently cached.
+    pub cache_bytes: u64,
+    /// Results currently cached.
+    pub cache_entries: u64,
+    /// Jobs currently in flight.
+    pub inflight: u64,
+}
+
+struct NamedGraph {
+    graph: Arc<Graph>,
+    hash: u64,
+}
+
+struct Waiter {
+    id: u64,
+    deadline: Option<Instant>,
+    deadline_ms: u64,
+    sink: ResponseSink,
+}
+
+impl Waiter {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// One open coalescing batch: the waiters accumulated for a solve key.
+struct Batch {
+    created: Instant,
+    waiters: Mutex<Vec<Waiter>>,
+}
+
+/// Everything a spawned job needs to compute its payload.
+struct JobSpec {
+    key: u64,
+    req: Request,
+    graph: Arc<Graph>,
+    graph_hash: u64,
+}
+
+/// The solve service. Construct with [`Server::new`], register graphs
+/// with [`Server::add_graph`], then run a transport loop
+/// ([`Server::serve_stdio`] / [`Server::serve_tcp`]) or drive
+/// [`Server::handle_line`] directly (tests do).
+pub struct Server {
+    cfg: ServerConfig,
+    graphs: HashMap<String, NamedGraph>,
+    cache: Mutex<SolveCache>,
+    pending: Mutex<HashMap<u64, Arc<Batch>>>,
+    inflight: Mutex<usize>,
+    idle: Condvar,
+    accepting: AtomicBool,
+    shutdown_requested: AtomicBool,
+    counters: Counters,
+}
+
+impl Server {
+    /// A server with no graphs yet.
+    pub fn new(cfg: ServerConfig) -> Self {
+        Server {
+            cache: Mutex::new(SolveCache::new(cfg.cache_bytes)),
+            cfg,
+            graphs: HashMap::new(),
+            pending: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(0),
+            idle: Condvar::new(),
+            accepting: AtomicBool::new(true),
+            shutdown_requested: AtomicBool::new(false),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Registers a graph under `name`, hashing it once.
+    pub fn add_graph(&mut self, name: impl Into<String>, graph: Graph) {
+        let hash = graph_hash(&graph);
+        self.graphs.insert(
+            name.into(),
+            NamedGraph {
+                graph: Arc::new(graph),
+                hash,
+            },
+        );
+    }
+
+    /// The registered graph names, sorted.
+    pub fn graph_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.graphs.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Whether a `shutdown` request has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::Acquire)
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        let c = &self.counters;
+        let (cache_bytes, cache_entries) = {
+            let cache = lock(&self.cache);
+            (cache.bytes() as u64, cache.len() as u64)
+        };
+        ServerStatsSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            solves: c.solves.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: c.cache_evictions.load(Ordering::Relaxed),
+            batch_joined: c.batch_joined.load(Ordering::Relaxed),
+            overloads: c.overloads.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            cache_bytes,
+            cache_entries,
+            inflight: *lock(&self.inflight) as u64,
+        }
+    }
+
+    /// Stops admitting work and blocks until every in-flight job has
+    /// fanned out — the graceful-drain half of shutdown. Idempotent.
+    pub fn drain(&self) {
+        self.accepting.store(false, Ordering::Release);
+        let mut inflight = lock(&self.inflight);
+        while *inflight > 0 {
+            let (guard, _) = self
+                .idle
+                .wait_timeout(inflight, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            inflight = guard;
+        }
+    }
+
+    /// Handles one request line, writing any response(s) to `sink`.
+    /// Returns `true` when the line asked for shutdown (transports stop
+    /// reading and drain).
+    pub fn handle_line(self: &Arc<Self>, line: &str, sink: &ResponseSink) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return false;
+        }
+        bump(&self.counters.requests, "server.requests", 1);
+        let req = match protocol::parse_request(line) {
+            Ok(r) => r,
+            Err((id, e)) => {
+                self.respond_err(sink, id, &e);
+                return false;
+            }
+        };
+        match req.op {
+            Op::Ping => {
+                self.respond(sink, &protocol::ok_line(req.id, "{\"pong\":true}"));
+                false
+            }
+            Op::Stats => {
+                let payload = render_stats(&self.stats());
+                self.respond(sink, &protocol::ok_line(req.id, &payload));
+                false
+            }
+            Op::Shutdown => {
+                self.accepting.store(false, Ordering::Release);
+                self.shutdown_requested.store(true, Ordering::Release);
+                self.respond(sink, &protocol::ok_line(req.id, "{\"draining\":true}"));
+                true
+            }
+            Op::Solve | Op::Bounds | Op::Adapt => {
+                self.submit(req, sink);
+                false
+            }
+        }
+    }
+
+    /// Validates, canonicalizes, and routes one solve-shaped request
+    /// through cache → batch-join → admission.
+    fn submit(self: &Arc<Self>, req: Request, sink: &ResponseSink) {
+        let Some(named) = self.graphs.get(&req.graph) else {
+            self.respond_err(
+                sink,
+                req.id,
+                &DomaticError::UnknownGraph {
+                    name: req.graph.clone(),
+                },
+            );
+            return;
+        };
+        // Validate cheaply on the transport thread so bad requests never
+        // occupy pool capacity.
+        if matches!(req.op, Op::Solve | Op::Adapt) {
+            if let Err(e) = make_solver(&req.alg) {
+                self.respond_err(sink, req.id, &e);
+                return;
+            }
+        }
+        if req.op == Op::Adapt && FailureModel::parse(&req.failures, req.p).is_none() {
+            let e = DomaticError::BadRequest {
+                message: format!(
+                    "unknown failure model '{}' (none|crash|battery-noise|transient-loss|all)",
+                    req.failures
+                ),
+            };
+            self.respond_err(sink, req.id, &e);
+            return;
+        }
+
+        let spec = JobSpec {
+            key: solve_key(&req, named.hash),
+            graph: Arc::clone(&named.graph),
+            graph_hash: named.hash,
+            req,
+        };
+
+        if let Some(payload) = lock(&self.cache).get(spec.key) {
+            bump(&self.counters.cache_hits, "server.cache.hit", 1);
+            self.respond(sink, &protocol::ok_line(spec.req.id, &payload));
+            return;
+        }
+
+        let waiter = Waiter {
+            id: spec.req.id,
+            deadline: spec
+                .req
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            deadline_ms: spec.req.deadline_ms.unwrap_or(0),
+            sink: Arc::clone(sink),
+        };
+
+        // Join-or-open must be atomic per key, so the whole decision sits
+        // under the pending lock (lock order: pending, then inflight).
+        let mut pending = lock(&self.pending);
+        if let Some(batch) = pending.get(&spec.key) {
+            bump(&self.counters.batch_joined, "server.batch.joined", 1);
+            lock(&batch.waiters).push(waiter);
+            return;
+        }
+        if !self.accepting.load(Ordering::Acquire) {
+            drop(pending);
+            self.respond_err(sink, spec.req.id, &DomaticError::ShuttingDown);
+            return;
+        }
+        {
+            let mut inflight = lock(&self.inflight);
+            if *inflight >= self.cfg.capacity {
+                drop(inflight);
+                drop(pending);
+                bump(&self.counters.overloads, "server.overload", 1);
+                self.respond_err(
+                    sink,
+                    spec.req.id,
+                    &DomaticError::Overloaded {
+                        capacity: self.cfg.capacity,
+                    },
+                );
+                return;
+            }
+            *inflight += 1;
+            domatic_telemetry::global().set_gauge("server.inflight", *inflight as u64);
+        }
+        // A miss is a request that had to open a batch; joiners count as
+        // `batch_joined` instead, so hits + misses + joins partitions the
+        // admitted cacheable traffic.
+        bump(&self.counters.cache_misses, "server.cache.miss", 1);
+        let batch = Arc::new(Batch {
+            created: Instant::now(),
+            waiters: Mutex::new(vec![waiter]),
+        });
+        pending.insert(spec.key, Arc::clone(&batch));
+        drop(pending);
+
+        let server = Arc::clone(self);
+        rayon::spawn(move || {
+            server.run_job(spec, batch);
+        });
+    }
+
+    /// The spawned half: wait out the batching window, close the batch,
+    /// solve once, cache, fan out. Runs on a vendored-rayon pool worker;
+    /// the solver's own parallel iterators nest inside it.
+    fn run_job(self: &Arc<Self>, spec: JobSpec, batch: Arc<Batch>) {
+        if let Some(rest) = self.cfg.batch_window.checked_sub(batch.created.elapsed()) {
+            if !rest.is_zero() {
+                std::thread::sleep(rest);
+            }
+        }
+        // Close the batch: joiners either got in before this removal or
+        // will open a fresh batch (and hit the cache once we fill it).
+        let waiters: Vec<Waiter> = {
+            let mut pending = lock(&self.pending);
+            pending.remove(&spec.key);
+            std::mem::take(&mut *lock(&batch.waiters))
+        };
+
+        // A prior batch may have filled the key between this leader's
+        // admission miss and now.
+        let cached = lock(&self.cache).get(spec.key);
+        let outcome: Result<Arc<str>, DomaticError> = match cached {
+            Some(payload) => Ok(payload),
+            None if waiters.iter().all(Waiter::expired) => {
+                // Nobody is left to receive the result: skip the solve and
+                // keep serving. (There is always at least the opener.)
+                self.finish(&waiters, None);
+                return;
+            }
+            None => self.compute(&spec).map(|payload| {
+                let payload: Arc<str> = payload.into();
+                bump(&self.counters.solves, "server.solves", 1);
+                let (evicted, bytes) = {
+                    let mut cache = lock(&self.cache);
+                    let evicted = cache.insert(spec.key, Arc::clone(&payload));
+                    (evicted, cache.bytes() as u64)
+                };
+                if evicted > 0 {
+                    bump(
+                        &self.counters.cache_evictions,
+                        "server.cache.eviction",
+                        evicted,
+                    );
+                }
+                domatic_telemetry::global().set_gauge("runtime.cache_bytes", bytes);
+                payload
+            }),
+        };
+        self.finish(&waiters, Some(outcome));
+    }
+
+    /// Fans a job outcome out to its waiters (deadline-checked per
+    /// waiter) and releases the in-flight slot. `None` means the solve
+    /// was skipped because every waiter had already expired.
+    fn finish(&self, waiters: &[Waiter], outcome: Option<Result<Arc<str>, DomaticError>>) {
+        for w in waiters {
+            if w.expired() {
+                bump(
+                    &self.counters.deadline_expired,
+                    "server.deadline.expired",
+                    1,
+                );
+                self.respond_err(
+                    &w.sink,
+                    w.id,
+                    &DomaticError::DeadlineExceeded {
+                        deadline_ms: w.deadline_ms,
+                    },
+                );
+                continue;
+            }
+            match outcome
+                .as_ref()
+                .expect("unexpired waiter implies an outcome")
+            {
+                Ok(payload) => self.respond(&w.sink, &protocol::ok_line(w.id, payload)),
+                Err(e) => self.respond_err(&w.sink, w.id, e),
+            }
+        }
+        let mut inflight = lock(&self.inflight);
+        *inflight -= 1;
+        domatic_telemetry::global().set_gauge("server.inflight", *inflight as u64);
+        if *inflight == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Computes a request's payload. Panics inside solver code are
+    /// caught and surfaced as a typed error so one poisoned instance
+    /// cannot take the worker (or the server) down.
+    fn compute(&self, spec: &JobSpec) -> Result<String, DomaticError> {
+        catch_unwind(AssertUnwindSafe(|| compute_payload(spec))).unwrap_or_else(|_| {
+            Err(DomaticError::BadRequest {
+                message: "solver panicked on this instance".into(),
+            })
+        })
+    }
+
+    fn respond(&self, sink: &ResponseSink, line: &str) {
+        // A vanished client (broken pipe) must not take the server down;
+        // the write result is deliberately discarded.
+        let mut out = lock(sink);
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+
+    fn respond_err(&self, sink: &ResponseSink, id: u64, err: &DomaticError) {
+        bump(&self.counters.errors, "server.errors", 1);
+        self.respond(sink, &protocol::err_line(id, err));
+    }
+
+    /// Serves JSON-lines over stdin/stdout until EOF or a `shutdown`
+    /// request, then drains.
+    pub fn serve_stdio(self: &Arc<Self>) {
+        let sink: ResponseSink = Arc::new(Mutex::new(std::io::stdout()));
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if self.handle_line(&line, &sink) {
+                break;
+            }
+        }
+        self.drain();
+    }
+
+    /// Serves JSON-lines over TCP: one reader thread per connection,
+    /// responses written (possibly out of request order — correlate by
+    /// `id`) to the same socket. Returns after a `shutdown` request has
+    /// been received and in-flight work has drained.
+    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let server = Arc::clone(self);
+                    std::thread::spawn(move || server.serve_connection(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.drain();
+        Ok(())
+    }
+
+    fn serve_connection(self: Arc<Self>, stream: TcpStream) {
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let sink: ResponseSink = Arc::new(Mutex::new(stream));
+        let reader = BufReader::new(read_half);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if self.handle_line(&line, &sink) {
+                break;
+            }
+        }
+    }
+}
+
+/// The canonical cache/batch key: op-dependent so unrelated fields (a
+/// solve seed, say) cannot split `bounds` requests into spurious misses.
+fn solve_key(req: &Request, graph_hash: u64) -> u64 {
+    let mut h = CanonicalHasher::new();
+    h.write_u64(graph_hash);
+    h.write_u64(req.b);
+    match req.op {
+        Op::Bounds => {
+            h.write_str("bounds");
+            h.write_u64(req.cfg.k as u64);
+        }
+        Op::Solve => {
+            h.write_str("solve");
+            h.write_str(&req.alg);
+            h.write_u64(config_hash(&req.cfg));
+        }
+        Op::Adapt => {
+            h.write_str("adapt");
+            h.write_str(&req.alg);
+            h.write_u64(config_hash(&req.cfg));
+            h.write_str(&req.failures);
+            h.write_u64(req.p.to_bits());
+            h.write_u64(req.slots);
+        }
+        Op::Ping | Op::Stats | Op::Shutdown => unreachable!("not cacheable ops"),
+    }
+    h.finish()
+}
+
+/// Renders a payload for one solve-shaped request. Field order is fixed
+/// (alphabetical) and every formatting choice is deterministic, so equal
+/// requests render byte-identical payloads on any thread count.
+fn compute_payload(spec: &JobSpec) -> Result<String, DomaticError> {
+    let g = &*spec.graph;
+    let req = &spec.req;
+    let batteries = Batteries::uniform(g.n(), req.b);
+    match req.op {
+        Op::Bounds => {
+            let general = domatic_core::bounds::general_upper_bound(g, &batteries);
+            let uniform = domatic_core::bounds::uniform_upper_bound(g, req.b);
+            let ft = domatic_core::bounds::fault_tolerant_upper_bound(g, req.b, req.cfg.k.max(1));
+            Ok(format!(
+                "{{\"b\":{},\"ft\":{ft},\"general\":{general},\"graph\":{},\"graph_hash\":\"{:016x}\",\"k\":{},\"m\":{},\"n\":{},\"uniform\":{uniform}}}",
+                req.b,
+                json_str(&req.graph),
+                spec.graph_hash,
+                req.cfg.k.max(1),
+                g.m(),
+                g.n(),
+            ))
+        }
+        Op::Solve => {
+            let solver = make_solver(&req.alg)?;
+            let schedule = solver.schedule(g, &batteries, &req.cfg)?;
+            let tolerance = solver.tolerance(&req.cfg);
+            let bound = solver.upper_bound(g, &batteries, &req.cfg);
+            let mut sched_json = String::from("[");
+            for (i, entry) in schedule.entries().iter().enumerate() {
+                if i > 0 {
+                    sched_json.push(',');
+                }
+                let _ = write!(sched_json, "[{},[", entry.duration);
+                for (j, v) in entry.set.to_vec().into_iter().enumerate() {
+                    if j > 0 {
+                        sched_json.push(',');
+                    }
+                    let _ = write!(sched_json, "{v}");
+                }
+                sched_json.push_str("]]");
+            }
+            sched_json.push(']');
+            Ok(format!(
+                "{{\"alg\":{},\"b\":{},\"bound\":{bound},\"graph\":{},\"graph_hash\":\"{:016x}\",\"k\":{},\"lifetime\":{},\"n\":{},\"schedule\":{sched_json},\"seed\":{},\"steps\":{},\"tolerance\":{tolerance},\"trials\":{}}}",
+                json_str(&req.alg),
+                req.b,
+                json_str(&req.graph),
+                spec.graph_hash,
+                req.cfg.k,
+                schedule.lifetime(),
+                g.n(),
+                req.cfg.seed,
+                schedule.num_steps(),
+                req.cfg.trials,
+            ))
+        }
+        Op::Adapt => {
+            let solver = make_solver(&req.alg)?;
+            let models = FailureModel::parse(&req.failures, req.p).expect("validated at submit");
+            let plan = FailurePlan::draw(&models, g.n(), req.slots, req.cfg.seed);
+            let acfg = AdaptiveConfig {
+                k: req.cfg.k,
+                drift_tolerance: 2,
+                max_retries: 2,
+                max_slots: req.slots,
+                max_replans: 64,
+                record_curve: false,
+            };
+            let cmp =
+                compare_static_adaptive(g, &batteries, solver.as_ref(), &req.cfg, &acfg, &plan)?;
+            Ok(format!(
+                "{{\"adaptive_lifetime\":{},\"alg\":{},\"b\":{},\"deaths\":{},\"failures\":{},\"graph\":{},\"p\":{:?},\"planned\":{},\"replans\":{},\"seed\":{},\"slots\":{},\"static_lifetime\":{}}}",
+                cmp.adaptive.lifetime,
+                json_str(&req.alg),
+                req.b,
+                cmp.adaptive.deaths,
+                json_str(&req.failures),
+                json_str(&req.graph),
+                req.p,
+                cmp.planned,
+                cmp.adaptive.replans,
+                req.cfg.seed,
+                req.slots,
+                cmp.static_run.lifetime,
+            ))
+        }
+        Op::Ping | Op::Stats | Op::Shutdown => unreachable!("answered inline"),
+    }
+}
+
+fn render_stats(s: &ServerStatsSnapshot) -> String {
+    format!(
+        "{{\"batch_joined\":{},\"cache_bytes\":{},\"cache_entries\":{},\"cache_evictions\":{},\"cache_hits\":{},\"cache_misses\":{},\"deadline_expired\":{},\"errors\":{},\"inflight\":{},\"overloads\":{},\"requests\":{},\"solves\":{}}}",
+        s.batch_joined,
+        s.cache_bytes,
+        s.cache_entries,
+        s.cache_evictions,
+        s.cache_hits,
+        s.cache_misses,
+        s.deadline_expired,
+        s.errors,
+        s.inflight,
+        s.overloads,
+        s.requests,
+        s.solves,
+    )
+}
+
+fn json_str(s: &str) -> String {
+    domatic_telemetry::json::Json::Str(s.to_string()).render()
+}

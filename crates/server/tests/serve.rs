@@ -1,0 +1,394 @@
+//! Integration tests for the serve runtime: batching fan-out, cache
+//! identity, deadlines, backpressure, drain, and the TCP transport.
+//!
+//! Most tests drive `handle_line` directly with an in-memory sink — the
+//! transport loops are thin wrappers around it — and one test runs the
+//! real TCP path end to end.
+
+use domatic_graph::Graph;
+use domatic_server::server::ResponseSink;
+use domatic_server::{Server, ServerConfig};
+use domatic_telemetry::json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The CI smoke topology: a ring with skip-3 chords, solvable at b ≥ 1.
+fn ring_graph(n: u32) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n)
+        .flat_map(|i| [(i, (i + 1) % n), (i, (i + 3) % n)])
+        .collect();
+    Graph::from_edges(n as usize, &edges)
+}
+
+fn make_server(cfg: ServerConfig) -> Arc<Server> {
+    let mut server = Server::new(cfg);
+    server.add_graph("ring", ring_graph(24));
+    server.add_graph("ring2", ring_graph(30));
+    Arc::new(server)
+}
+
+fn sink() -> (Arc<Mutex<Vec<u8>>>, ResponseSink) {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let dyn_sink: ResponseSink = buf.clone();
+    (buf, dyn_sink)
+}
+
+fn lines(buf: &Arc<Mutex<Vec<u8>>>) -> Vec<String> {
+    let bytes = buf.lock().unwrap();
+    String::from_utf8(bytes.clone())
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Polls until `n` response lines have arrived (jobs are asynchronous).
+fn wait_lines(buf: &Arc<Mutex<Vec<u8>>>, n: usize) -> Vec<String> {
+    let start = Instant::now();
+    loop {
+        let have = lines(buf);
+        if have.len() >= n {
+            return have;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "timed out at {} of {n} responses: {have:?}",
+            have.len()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The rendered `result` payload of a response line (panics on errors).
+fn result_of(line: &str) -> String {
+    let prefix = line
+        .find("\"result\":")
+        .unwrap_or_else(|| panic!("not an ok response: {line}"));
+    line[prefix + "\"result\":".len()..line.len() - 1].to_string()
+}
+
+fn id_of(line: &str) -> u64 {
+    let v = json::parse(line).unwrap();
+    u64::try_from(v.get("id").unwrap().as_int().unwrap()).unwrap()
+}
+
+fn error_kind(line: &str) -> String {
+    let v = json::parse(line).unwrap();
+    assert_eq!(v.get("ok"), Some(&json::Json::Bool(false)), "{line}");
+    v.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(|k| k.as_str())
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn batched_duplicates_run_exactly_one_solve_and_fan_out_identically() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::from_millis(300),
+        cache_bytes: 1 << 20,
+    });
+    let (buf, sink) = sink();
+    for id in 1..=4u64 {
+        let line = format!(
+            "{{\"id\":{id},\"op\":\"solve\",\"graph\":\"ring\",\"alg\":\"greedy\",\"b\":3}}"
+        );
+        assert!(!server.handle_line(&line, &sink));
+    }
+    let responses = wait_lines(&buf, 4);
+    let mut ids: Vec<u64> = responses.iter().map(|l| id_of(l)).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![1, 2, 3, 4]);
+    let payloads: Vec<String> = responses.iter().map(|l| result_of(l)).collect();
+    for p in &payloads[1..] {
+        assert_eq!(*p, payloads[0], "fan-out must be byte-identical");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.solves, 1, "4 coalesced requests, 1 underlying solve");
+    assert_eq!(stats.batch_joined, 3);
+    assert_eq!(stats.cache_misses, 1, "joiners never count as misses");
+}
+
+#[test]
+fn cached_response_is_byte_identical_to_the_uncached_one() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+    });
+    let (buf, sink) = sink();
+    let line = r#"{"id":9,"op":"solve","graph":"ring","alg":"uniform","b":2,"seed":5,"trials":4}"#;
+    server.handle_line(line, &sink);
+    let first = wait_lines(&buf, 1)[0].clone();
+    server.handle_line(line, &sink);
+    let both = wait_lines(&buf, 2);
+    assert_eq!(both[1], first, "cache hit must replay the exact bytes");
+    let stats = server.stats();
+    assert_eq!(stats.solves, 1);
+    assert_eq!(stats.cache_hits, 1);
+}
+
+#[test]
+fn batched_and_unbatched_servers_render_the_same_bytes() {
+    // Same request through a batching server and through a cold
+    // zero-window server: the payload must not depend on either.
+    let req = r#"{"id":1,"op":"solve","graph":"ring","alg":"general","b":4,"seed":3}"#;
+    let batching = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::from_millis(100),
+        cache_bytes: 1 << 20,
+    });
+    let (buf_a, sink_a) = sink();
+    batching.handle_line(req, &sink_a);
+    batching.handle_line(req, &sink_a);
+    let batched = wait_lines(&buf_a, 2);
+
+    let cold = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+    });
+    let (buf_b, sink_b) = sink();
+    cold.handle_line(req, &sink_b);
+    let unbatched = wait_lines(&buf_b, 1);
+
+    assert_eq!(batched[0], unbatched[0]);
+    assert_eq!(batched[1], unbatched[0]);
+    assert_eq!(batching.stats().solves, 1);
+    assert_eq!(cold.stats().solves, 1);
+}
+
+#[test]
+fn expired_deadline_gets_a_typed_error_and_the_server_keeps_serving() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+    });
+    let (buf, sink) = sink();
+    // deadline_ms 0 expires the moment the job is dequeued.
+    server.handle_line(
+        r#"{"id":1,"op":"solve","graph":"ring","b":3,"deadline_ms":0}"#,
+        &sink,
+    );
+    let first = wait_lines(&buf, 1);
+    assert_eq!(error_kind(&first[0]), "deadline");
+
+    // The expired request skipped its solve entirely…
+    assert_eq!(server.stats().solves, 0);
+    assert_eq!(server.stats().deadline_expired, 1);
+
+    // …and the server still serves the next request normally.
+    server.handle_line(r#"{"id":2,"op":"solve","graph":"ring","b":3}"#, &sink);
+    let both = wait_lines(&buf, 2);
+    assert!(both[1].contains("\"ok\":true"), "{}", both[1]);
+}
+
+#[test]
+fn admission_beyond_capacity_is_a_typed_overloaded_error() {
+    let server = make_server(ServerConfig {
+        capacity: 1,
+        batch_window: Duration::from_millis(400),
+        cache_bytes: 1 << 20,
+    });
+    let (buf, sink) = sink();
+    // First request occupies the single in-flight slot for the whole
+    // batching window.
+    server.handle_line(r#"{"id":1,"op":"solve","graph":"ring","b":3}"#, &sink);
+    // A different key cannot join the open batch and must be rejected
+    // synchronously at admission.
+    server.handle_line(
+        r#"{"id":2,"op":"solve","graph":"ring","b":3,"seed":77}"#,
+        &sink,
+    );
+    // An identical key coalesces instead of being rejected.
+    server.handle_line(r#"{"id":3,"op":"solve","graph":"ring","b":3}"#, &sink);
+
+    let responses = wait_lines(&buf, 3);
+    let overloaded: Vec<&String> = responses
+        .iter()
+        .filter(|l| l.contains("\"ok\":false"))
+        .collect();
+    assert_eq!(overloaded.len(), 1);
+    assert_eq!(id_of(overloaded[0]), 2);
+    assert_eq!(error_kind(overloaded[0]), "overloaded");
+    assert_eq!(server.stats().overloads, 1);
+    assert_eq!(server.stats().batch_joined, 1);
+}
+
+#[test]
+fn bounds_and_adapt_ops_serve_and_cache() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+    });
+    let (buf, sink) = sink();
+    let bounds = r#"{"id":1,"op":"bounds","graph":"ring","b":3}"#;
+    server.handle_line(bounds, &sink);
+    // Wait for the first result to land in the cache before duplicating,
+    // so the duplicate is a guaranteed hit (not a batch join).
+    wait_lines(&buf, 1);
+    server.handle_line(bounds, &sink);
+    let adapt = r#"{"id":2,"op":"adapt","graph":"ring","alg":"greedy","b":3,"failures":"crash","p":0.05,"slots":200}"#;
+    server.handle_line(adapt, &sink);
+    let responses = wait_lines(&buf, 3);
+    for line in &responses {
+        assert!(line.contains("\"ok\":true"), "{line}");
+    }
+    let bounds_payload = responses
+        .iter()
+        .find(|l| id_of(l) == 1)
+        .map(|l| result_of(l))
+        .unwrap();
+    let v = json::parse(&bounds_payload).unwrap();
+    assert!(v.get("general").unwrap().as_int().unwrap() > 0);
+    let adapt_payload = responses
+        .iter()
+        .find(|l| id_of(l) == 2)
+        .map(|l| result_of(l))
+        .unwrap();
+    let v = json::parse(&adapt_payload).unwrap();
+    assert!(v.get("planned").unwrap().as_int().unwrap() > 0);
+    assert!(server.stats().cache_hits >= 1, "duplicate bounds must hit");
+}
+
+#[test]
+fn bad_requests_get_typed_errors_without_occupying_capacity() {
+    let server = make_server(ServerConfig::default());
+    let (buf, sink) = sink();
+    server.handle_line(r#"{"id":1,"op":"solve","graph":"nope","b":3}"#, &sink);
+    server.handle_line(
+        r#"{"id":2,"op":"solve","graph":"ring","alg":"nope"}"#,
+        &sink,
+    );
+    server.handle_line("garbage", &sink);
+    let responses = wait_lines(&buf, 3);
+    let mut kinds: Vec<String> = responses.iter().map(|l| error_kind(l)).collect();
+    kinds.sort();
+    assert_eq!(
+        kinds,
+        vec!["bad_request", "unknown_graph", "unknown_solver"]
+    );
+    assert_eq!(server.stats().inflight, 0);
+    assert_eq!(server.stats().solves, 0);
+}
+
+#[test]
+fn shutdown_drains_and_rejects_new_work() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::from_millis(50),
+        cache_bytes: 1 << 20,
+    });
+    let (buf, sink) = sink();
+    server.handle_line(r#"{"id":1,"op":"solve","graph":"ring","b":3}"#, &sink);
+    assert!(server.handle_line(r#"{"id":2,"op":"shutdown"}"#, &sink));
+    // Admission is closed from the moment shutdown was seen.
+    server.handle_line(
+        r#"{"id":3,"op":"solve","graph":"ring","b":3,"seed":9}"#,
+        &sink,
+    );
+    server.drain();
+    let responses = wait_lines(&buf, 3);
+    assert_eq!(server.stats().inflight, 0);
+    let in_flight_done = responses
+        .iter()
+        .any(|l| id_of(l) == 1 && l.contains("\"ok\":true"));
+    assert!(
+        in_flight_done,
+        "in-flight work completes during drain: {responses:?}"
+    );
+    let rejected = responses
+        .iter()
+        .find(|l| id_of(l) == 3)
+        .expect("post-shutdown request answered");
+    assert_eq!(error_kind(rejected), "shutting_down");
+}
+
+#[test]
+fn tcp_transport_serves_concurrent_mixed_clients_end_to_end() {
+    let server = make_server(ServerConfig {
+        capacity: 16,
+        batch_window: Duration::from_millis(5),
+        cache_bytes: 1 << 20,
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let srv = Arc::clone(&server);
+    let serve_thread = std::thread::spawn(move || srv.serve_tcp(listener).unwrap());
+
+    let mut clients = Vec::new();
+    for c in 0..4u64 {
+        clients.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut stream = stream;
+            let n = 6u64;
+            for i in 0..n {
+                // A mixed pipelined workload with deliberate duplicates
+                // across clients (seed i % 2).
+                let id = c * 100 + i;
+                let line = if i % 3 == 0 {
+                    format!("{{\"id\":{id},\"op\":\"bounds\",\"graph\":\"ring\",\"b\":3}}")
+                } else {
+                    format!(
+                        "{{\"id\":{id},\"op\":\"solve\",\"graph\":\"ring2\",\"alg\":\"greedy\",\"b\":2,\"seed\":{}}}",
+                        i % 2
+                    )
+                };
+                writeln!(stream, "{line}").unwrap();
+            }
+            stream.flush().unwrap();
+            let mut got = Vec::new();
+            for _ in 0..n {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert!(line.contains("\"ok\":true"), "{line}");
+                got.push(id_of(&line));
+            }
+            got.sort_unstable();
+            let want: Vec<u64> = (0..n).map(|i| c * 100 + i).collect();
+            assert_eq!(got, want, "every pipelined request answered exactly once");
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.errors, 0);
+    assert!(
+        stats.cache_hits + stats.batch_joined > 0,
+        "duplicates must coalesce or hit: {stats:?}"
+    );
+    assert!(
+        stats.solves < 24,
+        "24 requests must not mean 24 solves: {stats:?}"
+    );
+
+    // Shut the server down over the wire and join the serve loop.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    writeln!(stream, "{{\"id\":999,\"op\":\"shutdown\"}}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("draining"), "{line}");
+    serve_thread.join().unwrap();
+}
+
+#[test]
+fn stats_op_reports_counters_inline() {
+    let server = make_server(ServerConfig::default());
+    let (buf, sink) = sink();
+    server.handle_line(r#"{"id":1,"op":"ping"}"#, &sink);
+    server.handle_line(r#"{"id":2,"op":"stats"}"#, &sink);
+    let responses = wait_lines(&buf, 2);
+    assert!(responses[0].contains("\"pong\":true"));
+    let v = json::parse(&result_of(&responses[1])).unwrap();
+    assert_eq!(v.get("requests").unwrap().as_int().unwrap(), 2);
+}

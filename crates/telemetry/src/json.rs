@@ -254,9 +254,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                             16,
@@ -303,9 +301,13 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Err(format!("invalid number at byte {start}"));
     }
     if is_float {
-        text.parse::<f64>().map(Json::Num).map_err(|e| e.to_string())
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| e.to_string())
     } else {
-        text.parse::<i128>().map(Json::Int).map_err(|e| e.to_string())
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -345,7 +347,10 @@ mod tests {
                 "rows".into(),
                 Json::Arr(vec![Json::Int(1), Json::Num(2.5), Json::Null]),
             ),
-            ("nested".into(), Json::obj([("k".into(), Json::Bool(false))])),
+            (
+                "nested".into(),
+                Json::obj([("k".into(), Json::Bool(false))]),
+            ),
         ]);
         assert_eq!(parse(&v.render()).unwrap(), v);
     }

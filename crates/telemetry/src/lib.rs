@@ -42,7 +42,7 @@ pub mod sink;
 pub mod snapshot;
 pub mod span;
 
-pub use hist::{Histogram, HistSummary};
+pub use hist::{HistSummary, Histogram};
 pub use registry::{Counter, Gauge, Registry, SpanStat};
 pub use sink::{JsonLinesSink, Sink, TableSink};
 pub use snapshot::Snapshot;

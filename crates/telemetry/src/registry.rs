@@ -259,7 +259,13 @@ mod tests {
         let r = Registry::new();
         r.record_span("a/b", 100);
         r.record_span("a/b", 50);
-        assert_eq!(r.span_stat("a/b"), Some(SpanStat { count: 2, total_ns: 150 }));
+        assert_eq!(
+            r.span_stat("a/b"),
+            Some(SpanStat {
+                count: 2,
+                total_ns: 150
+            })
+        );
         assert_eq!(r.span_stat("a"), None);
     }
 

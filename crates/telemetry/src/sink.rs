@@ -119,8 +119,13 @@ mod tests {
     fn sample() -> Snapshot {
         let mut s = Snapshot::default();
         s.counters.insert("tx".into(), 12);
-        s.spans
-            .insert("run".into(), SpanStat { count: 1, total_ns: 1_000 });
+        s.spans.insert(
+            "run".into(),
+            SpanStat {
+                count: 1,
+                total_ns: 1_000,
+            },
+        );
         s
     }
 
@@ -147,7 +152,10 @@ mod tests {
             let v = json::parse(line).unwrap();
             assert_eq!(v.get("label").unwrap().as_str(), Some(label));
             let tel = v.get("telemetry").unwrap();
-            assert_eq!(tel.get("counters").unwrap().get("tx").unwrap().as_int(), Some(12));
+            assert_eq!(
+                tel.get("counters").unwrap().get("tx").unwrap().as_int(),
+                Some(12)
+            );
         }
     }
 }

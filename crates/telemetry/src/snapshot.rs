@@ -151,9 +151,20 @@ mod tests {
     #[test]
     fn span_tree_indents_children() {
         let mut snap = Snapshot::default();
-        snap.spans.insert("a".into(), SpanStat { count: 1, total_ns: 10 });
-        snap.spans
-            .insert("a/b".into(), SpanStat { count: 2, total_ns: 5 });
+        snap.spans.insert(
+            "a".into(),
+            SpanStat {
+                count: 1,
+                total_ns: 10,
+            },
+        );
+        snap.spans.insert(
+            "a/b".into(),
+            SpanStat {
+                count: 2,
+                total_ns: 5,
+            },
+        );
         let tree = snap.render_span_tree();
         let lines: Vec<&str> = tree.lines().collect();
         assert!(lines[0].starts_with("a "));
@@ -165,7 +176,10 @@ mod tests {
         let mut snap = Snapshot::default();
         snap.counters.insert("c".into(), 7);
         let j = snap.to_json();
-        assert_eq!(j.get("counters").unwrap().get("c").unwrap().as_int(), Some(7));
+        assert_eq!(
+            j.get("counters").unwrap().get("c").unwrap().as_int(),
+            Some(7)
+        );
         assert!(j.get("spans").is_some());
     }
 }

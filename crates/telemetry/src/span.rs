@@ -63,7 +63,9 @@ impl Span {
             stack.push(name);
             stack.join("/")
         });
-        Span { active: Some((Instant::now(), path)) }
+        Span {
+            active: Some((Instant::now(), path)),
+        }
     }
 
     /// The full `a/b/c` path, when active.

@@ -134,11 +134,21 @@ fn json_sink_round_trips_through_parser() {
     assert_eq!(hist.get("sum").unwrap().as_int(), Some(91_500));
     let spans = tel.get("spans").unwrap();
     assert_eq!(
-        spans.get("rt.run").unwrap().get("total_ns").unwrap().as_int(),
+        spans
+            .get("rt.run")
+            .unwrap()
+            .get("total_ns")
+            .unwrap()
+            .as_int(),
         Some(123_456_789)
     );
     assert_eq!(
-        spans.get("rt.run/rt.phase").unwrap().get("count").unwrap().as_int(),
+        spans
+            .get("rt.run/rt.phase")
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .as_int(),
         Some(1)
     );
 }

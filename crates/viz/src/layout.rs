@@ -102,7 +102,8 @@ mod tests {
     use domatic_graph::generators::regular::cycle;
 
     fn in_unit_square(l: &Layout) -> bool {
-        l.iter().all(|&(x, y)| (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y))
+        l.iter()
+            .all(|&(x, y)| (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y))
     }
 
     #[test]

@@ -22,8 +22,15 @@ pub fn escape(s: &str) -> String {
 impl SvgDoc {
     /// A new document with the given pixel size.
     pub fn new(width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "SVG dimensions must be positive");
-        SvgDoc { width, height, body: String::new() }
+        assert!(
+            width > 0.0 && height > 0.0,
+            "SVG dimensions must be positive"
+        );
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
     }
 
     /// Document width.
@@ -47,7 +54,15 @@ impl SvgDoc {
     }
 
     /// Adds a line segment.
-    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut Self {
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+    ) -> &mut Self {
         writeln!(
             self.body,
             r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#

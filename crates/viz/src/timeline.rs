@@ -17,7 +17,11 @@ pub struct TimelineStyle {
 
 impl Default for TimelineStyle {
     fn default() -> Self {
-        TimelineStyle { slot_width: 8.0, row_height: 10.0, label_width: 60.0 }
+        TimelineStyle {
+            slot_width: 8.0,
+            row_height: 10.0,
+            label_width: 60.0,
+        }
     }
 }
 

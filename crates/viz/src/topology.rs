@@ -17,7 +17,11 @@ pub struct TopologyStyle {
 
 impl Default for TopologyStyle {
     fn default() -> Self {
-        TopologyStyle { size: 640.0, node_radius: 5.0, edge_width: 0.6 }
+        TopologyStyle {
+            size: 640.0,
+            node_radius: 5.0,
+            edge_width: 0.6,
+        }
     }
 }
 
@@ -51,7 +55,12 @@ pub fn render_topology(
     for (i, c) in classes.iter().enumerate().take(8) {
         let y = 14.0 + 14.0 * i as f64;
         doc.circle(12.0, y, 5.0, class_color(i as u32));
-        doc.text(22.0, y + 4.0, 11.0, &format!("class {i} ({} nodes)", c.len()));
+        doc.text(
+            22.0,
+            y + 4.0,
+            11.0,
+            &format!("class {i} ({} nodes)", c.len()),
+        );
     }
     doc.render()
 }

@@ -27,10 +27,13 @@ fn main() {
     // exist, and how much bigger each must be.
     let plain = greedy_domatic_partition(&g);
     let connected = greedy_connected_partition(&g);
-    let mean = |cs: &[NodeSet]| {
-        cs.iter().map(|c| c.len()).sum::<usize>() as f64 / cs.len().max(1) as f64
-    };
-    println!("plain greedy partition     : {} classes, mean size {:.1}", plain.len(), mean(&plain));
+    let mean =
+        |cs: &[NodeSet]| cs.iter().map(|c| c.len()).sum::<usize>() as f64 / cs.len().max(1) as f64;
+    println!(
+        "plain greedy partition     : {} classes, mean size {:.1}",
+        plain.len(),
+        mean(&plain)
+    );
     println!(
         "connected greedy partition : {} classes, mean size {:.1}",
         connected.len(),

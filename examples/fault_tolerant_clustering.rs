@@ -6,9 +6,9 @@
 //! cargo run --release --example fault_tolerant_clustering
 //! ```
 
-#![allow(deprecated)] // demonstrates the legacy entry point until removal
-use domatic::prelude::*;
+use domatic::core::solver::{FaultTolerantSolver, Solver, SolverConfig};
 use domatic::netsim::{simulate, DomaticRotation, EnergyModel, FailureInjector, SimConfig};
+use domatic::prelude::*;
 
 fn main() {
     let n = 400;
@@ -20,11 +20,17 @@ fn main() {
     // Algorithm 3 for k = 1, 2, 3: the schedule's lifetime shrinks like
     // 1/k (Lemma 6.1), buying redundancy with lifetime.
     println!("\nAlgorithm 3 schedules (b = {b}):");
-    println!("{:<4} {:>16} {:>16} {:>12}", "k", "valid lifetime", "bound b(δ+1)/k", "ratio");
+    println!(
+        "{:<4} {:>16} {:>16} {:>12}",
+        "k", "valid lifetime", "bound b(δ+1)/k", "ratio"
+    );
+    let solver = FaultTolerantSolver;
     for k in [1usize, 2, 3] {
-        let (sched, _) = core::stochastic::best_fault_tolerant(&g, b, k, 3.0, 8, 17);
-        schedule::validate_schedule(&g, &batteries, &sched, k).expect("validated prefix");
-        let bound = core::bounds::fault_tolerant_upper_bound(&g, b, k);
+        let cfg = SolverConfig::new().seed(17).trials(8).c(3.0).k(k);
+        let sched = solver.schedule(&g, &batteries, &cfg).expect("schedule");
+        schedule::validate_schedule(&g, &batteries, &sched, solver.tolerance(&cfg))
+            .expect("validated prefix");
+        let bound = solver.upper_bound(&g, &batteries, &cfg);
         println!(
             "{:<4} {:>16} {:>16} {:>12.2}",
             k,
@@ -54,7 +60,12 @@ fn main() {
                 m
             })
             .collect();
-        let cfg = SimConfig { model: EnergyModel::standard(), k, max_slots: 1_000_000, switch_cost: 0.0 };
+        let cfg = SimConfig {
+            model: EnergyModel::standard(),
+            k,
+            max_slots: 1_000_000,
+            switch_cost: 0.0,
+        };
         let mut inj = FailureInjector::random(0.003, 11);
         let res = simulate(
             &g,

@@ -6,7 +6,7 @@
 //! cargo run --release --example nonuniform_batteries
 //! ```
 
-#![allow(deprecated)] // demonstrates the legacy entry point until removal
+use domatic::core::solver::{GeneralSolver, Solver, SolverConfig};
 use domatic::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -18,7 +18,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(5);
     let batteries = Batteries::from_vec(
         (0..n)
-            .map(|_| if rng.random::<f64>() < 0.8 { rng.random_range(1..=2) } else { rng.random_range(8..=12) })
+            .map(|_| {
+                if rng.random::<f64>() < 0.8 {
+                    rng.random_range(1..=2)
+                } else {
+                    rng.random_range(8..=12)
+                }
+            })
             .collect(),
     );
     println!("topology: {}", graph::properties::describe(&g));
@@ -34,11 +40,15 @@ fn main() {
     println!("Lemma 5.1 bound τ = {tau} slots");
 
     // Algorithm 2, with best-of-16 parallel restarts.
-    let (sched, seed) = core::stochastic::best_general(&g, &batteries, 3.0, 16, 100);
-    schedule::validate_schedule(&g, &batteries, &sched, 1).expect("validated prefix");
+    let solver = GeneralSolver;
+    let cfg = SolverConfig::new().seed(100).trials(16).c(3.0);
+    let sched = solver.schedule(&g, &batteries, &cfg).expect("schedule");
+    schedule::validate_schedule(&g, &batteries, &sched, solver.tolerance(&cfg))
+        .expect("validated prefix");
     println!(
-        "Algorithm 2 lifetime: {} slots (winning seed {seed}, ratio {:.2}, Theorem 5.3 allows O(log b_max·n) = O({:.1}))",
+        "Algorithm 2 lifetime: {} slots (best of {} seeded restarts, ratio {:.2}, Theorem 5.3 allows O(log b_max·n) = O({:.1}))",
         sched.lifetime(),
+        cfg.trials,
         tau as f64 / sched.lifetime().max(1) as f64,
         ((batteries.max() * n as u64) as f64).ln()
     );

@@ -6,17 +6,22 @@
 //! cargo run --release --example sensor_lifetime
 //! ```
 
-use domatic::prelude::*;
 use domatic::netsim::{
     simulate, AllActive, DomaticRotation, EnergyModel, SimConfig, SingleMds, Strategy,
 };
+use domatic::prelude::*;
 
 fn main() {
     let n = 400;
     let g = graph::generators::gnp::gnp_with_avg_degree(n, 80.0, 7);
     let capacity = 30.0; // slots of active duty per battery
     let energies = vec![capacity; n];
-    let cfg = SimConfig { model: EnergyModel::standard(), k: 1, max_slots: 1_000_000, switch_cost: 0.0 };
+    let cfg = SimConfig {
+        model: EnergyModel::standard(),
+        k: 1,
+        max_slots: 1_000_000,
+        switch_cost: 0.0,
+    };
     println!("topology: {}", graph::properties::describe(&g));
     println!("battery: {capacity} units, active costs 1/slot, sleep 0.01/slot\n");
 

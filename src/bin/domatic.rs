@@ -13,7 +13,20 @@
 //!               [--p P] [--slots N] [--retries N] [--drift N] [--json]
 //! domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]
 //! domatic optimum <graph.txt> [--b N]      # exact LP, small graphs only
+//! domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] \
+//!               [--batch-window-ms N] [--cache-bytes N]
+//! domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] \
+//!                     [--graphs a,b] [--trace-file req.jsonl] [--json]
 //! ```
+//!
+//! `serve` runs the batching, caching JSON-lines solve service from
+//! `domatic-server` over stdio (default) or TCP (`--port`; port 0 binds
+//! an ephemeral port and prints it). A graph SPEC is either a path to an
+//! edge-list file or a synthetic spec `ring:N` / `gnp:N,DEG,SEED`.
+//! `bench-serve` replays a request trace (or a synthetic mixed workload
+//! with deliberate duplicates) against a running server and reports
+//! p50/p99 latency, throughput, error counts, and an order-independent
+//! digest of the response bytes for determinism comparisons.
 //!
 //! `<solver>` is any name from `domatic_core::solver::solver_registry()`
 //! (`uniform`, `general`, `greedy`, `ft`); an unknown name lists what is
@@ -26,18 +39,18 @@
 //! thread pool; defaults to `RAYON_NUM_THREADS` or the available cores).
 
 use domatic::core::solver::{make_solver, solver_registry, Solver, SolverConfig};
+use domatic::lp::lp_optimal_lifetime;
 use domatic::netsim::{
     compare_static_adaptive, AdaptiveConfig, FailureModel, FailurePlan, FollowSchedule,
 };
 use domatic::prelude::*;
-use domatic::lp::lp_optimal_lifetime;
 use domatic::schedule::compact::render;
 use domatic::schedule::metrics::schedule_metrics;
 use domatic::schedule::validate_schedule;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
+        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] [--batch-window-ms N] [--cache-bytes N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] [--graphs a,b] [--trace-file req.jsonl] [--json]\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
         domatic::core::solver::solver_names().join("|")
     );
     std::process::exit(2)
@@ -142,12 +155,15 @@ fn main() {
                 std::process::exit(2);
             });
         args.drain(i..=i + 1);
-        if rayon::ThreadPoolBuilder::new().num_threads(n).build_global().is_err() {
+        if rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .is_err()
+        {
             eprintln!("--threads: thread pool already initialized; flag ignored");
         }
     }
-    domatic_telemetry::global()
-        .set_gauge("runtime.threads", rayon::current_num_threads() as u64);
+    domatic_telemetry::global().set_gauge("runtime.threads", rayon::current_num_threads() as u64);
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => usage(),
@@ -168,10 +184,7 @@ fn run_command(cmd: &str, rest: &[String]) {
             let path = rest.first().unwrap_or_else(|| usage());
             let g = load_graph(path);
             println!("{}", domatic::graph::properties::describe(&g));
-            println!(
-                "connected: {}",
-                domatic::graph::traversal::is_connected(&g)
-            );
+            println!("connected: {}", domatic::graph::traversal::is_connected(&g));
             if let Some(delta) = g.min_degree() {
                 println!("domatic number upper bound (δ+1): {}", delta + 1);
             }
@@ -221,7 +234,10 @@ fn run_command(cmd: &str, rest: &[String]) {
                 println!("{}", render(&schedule));
             }
             if o.gantt {
-                print!("{}", domatic::schedule::compact::render_gantt(&schedule, g.n()));
+                print!(
+                    "{}",
+                    domatic::schedule::compact::render_gantt(&schedule, g.n())
+                );
             }
             if let Some(path) = &o.out {
                 let text = domatic::schedule::io::to_text(&schedule, g.n());
@@ -273,12 +289,17 @@ fn run_command(cmd: &str, rest: &[String]) {
                 // "uniform" is parse_opts' default; map it to greedy here.
                 "greedy" | "uniform" => greedy_domatic_partition(&g),
                 "feige" => {
-                    feige_partition(&g, &FeigeParams { c: 3.0, max_sweeps: 60, seed: o.seed })
-                        .classes
+                    feige_partition(
+                        &g,
+                        &FeigeParams {
+                            c: 3.0,
+                            max_sweeps: 60,
+                            seed: o.seed,
+                        },
+                    )
+                    .classes
                 }
-                "augmented" => {
-                    augment_partition(&g, greedy_domatic_partition(&g)).classes
-                }
+                "augmented" => augment_partition(&g, greedy_domatic_partition(&g)).classes,
                 _ => usage(),
             };
             println!(
@@ -303,8 +324,7 @@ fn run_command(cmd: &str, rest: &[String]) {
             let g = load_graph(path);
             use domatic::core::greedy::greedy_domatic_partition;
             use domatic::netsim::{
-                simulate, AllActive, DomaticRotation, EnergyModel, SimConfig, SingleMds,
-                Strategy,
+                simulate, AllActive, DomaticRotation, EnergyModel, SimConfig, SingleMds, Strategy,
             };
             let cfg = SimConfig {
                 model: EnergyModel::standard(),
@@ -322,8 +342,7 @@ fn run_command(cmd: &str, rest: &[String]) {
                 Box::new(DomaticRotation::new(classes, 1)),
             ];
             // One schedule-playback row per registered solver.
-            let mut labels: Vec<String> =
-                strategies.iter().map(|s| s.name().to_string()).collect();
+            let mut labels: Vec<String> = strategies.iter().map(|s| s.name().to_string()).collect();
             for solver in solver_registry() {
                 match solver.schedule(&g, &batteries, &scfg) {
                     Ok(s) => {
@@ -454,8 +473,15 @@ fn run_command(cmd: &str, rest: &[String]) {
             let classes = match o.alg.as_str() {
                 "greedy" | "uniform" => greedy_domatic_partition(&g),
                 "feige" => {
-                    feige_partition(&g, &FeigeParams { c: 3.0, max_sweeps: 60, seed: o.seed })
-                        .classes
+                    feige_partition(
+                        &g,
+                        &FeigeParams {
+                            c: 3.0,
+                            max_sweeps: 60,
+                            seed: o.seed,
+                        },
+                    )
+                    .classes
                 }
                 "augmented" => augment_partition(&g, greedy_domatic_partition(&g)).classes,
                 _ => usage(),
@@ -497,6 +523,278 @@ fn run_command(cmd: &str, rest: &[String]) {
                 }
             }
         }
+        "serve" => cmd_serve(&rest),
+        "bench-serve" => cmd_bench_serve(&rest),
         _ => usage(),
+    }
+}
+
+/// Resolves a `serve --graph` SPEC: a path to an edge-list file, or a
+/// synthetic spec `ring:N` (cycle with skip-3 chords, the CI smoke
+/// topology) / `gnp:N,DEG,SEED` (Erdős–Rényi at target average degree).
+fn graph_from_spec(spec: &str) -> Graph {
+    if let Some(n) = spec.strip_prefix("ring:") {
+        let n: u32 = n.parse().unwrap_or_else(|_| {
+            eprintln!("ring:N needs an integer node count, got '{spec}'");
+            std::process::exit(2);
+        });
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| [(i, (i + 1) % n), (i, (i + 3) % n)])
+            .collect();
+        return Graph::from_edges(n as usize, &edges);
+    }
+    if let Some(params) = spec.strip_prefix("gnp:") {
+        let parts: Vec<&str> = params.split(',').collect();
+        let parsed = (|| {
+            let [n, d, seed] = parts.as_slice() else {
+                return None;
+            };
+            Some((
+                n.parse::<usize>().ok()?,
+                d.parse::<f64>().ok()?,
+                seed.parse::<u64>().ok()?,
+            ))
+        })();
+        let Some((n, d, seed)) = parsed else {
+            eprintln!("gnp:N,DEG,SEED is malformed in '{spec}'");
+            std::process::exit(2);
+        };
+        return domatic::graph::generators::gnp::gnp_with_avg_degree(n, d, seed);
+    }
+    load_graph(spec)
+}
+
+fn cmd_serve(rest: &[String]) {
+    use domatic::server::{Server, ServerConfig};
+    let mut cfg = ServerConfig::default();
+    let mut graphs: Vec<(String, String)> = Vec::new();
+    let mut port: Option<u16> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--graph" => {
+                let v = next("--graph");
+                let Some((name, spec)) = v.split_once('=') else {
+                    eprintln!("--graph takes NAME=SPEC, got '{v}'");
+                    std::process::exit(2);
+                };
+                graphs.push((name.to_string(), spec.to_string()));
+            }
+            "--port" => port = Some(next("--port").parse().unwrap_or_else(|_| usage())),
+            "--stdio" => port = None,
+            "--capacity" => cfg.capacity = next("--capacity").parse().unwrap_or_else(|_| usage()),
+            "--batch-window-ms" => {
+                cfg.batch_window = std::time::Duration::from_millis(
+                    next("--batch-window-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--cache-bytes" => {
+                cfg.cache_bytes = next("--cache-bytes").parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+    if graphs.is_empty() {
+        graphs.push(("main".into(), "ring:24".into()));
+    }
+    let mut server = Server::new(cfg);
+    for (name, spec) in &graphs {
+        server.add_graph(name.clone(), graph_from_spec(spec));
+    }
+    let server = std::sync::Arc::new(server);
+    eprintln!("graphs: {}", server.graph_names().join(", "));
+    match port {
+        None => {
+            eprintln!("serving JSON-lines on stdio (EOF or op=shutdown drains)");
+            server.serve_stdio();
+        }
+        Some(port) => {
+            let listener = std::net::TcpListener::bind(("127.0.0.1", port)).unwrap_or_else(|e| {
+                eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+                std::process::exit(1);
+            });
+            let addr = listener.local_addr().expect("bound socket has an address");
+            // The smoke harness greps for this exact line to learn the port.
+            println!("listening on {addr}");
+            if let Err(e) = server.serve_tcp(listener) {
+                eprintln!("serve: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let s = server.stats();
+    eprintln!(
+        "drained: {} requests, {} solves, {} cache hits, {} batch joins, {} errors",
+        s.requests, s.solves, s.cache_hits, s.batch_joined, s.errors
+    );
+}
+
+/// The synthetic bench-serve workload: a mixed solve/bounds trace with
+/// deliberate key duplicates (seeds cycle mod 3) so batching and caching
+/// have something to coalesce. Deterministic in (`n`, `graphs`, `seed`).
+fn synthetic_trace(n: usize, graphs: &[String], seed: u64) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let graph = &graphs[i % graphs.len()];
+            let id = i + 1;
+            if i % 4 == 0 {
+                format!("{{\"id\":{id},\"op\":\"bounds\",\"graph\":\"{graph}\",\"b\":3}}")
+            } else {
+                let alg = if i % 2 == 0 { "greedy" } else { "uniform" };
+                format!(
+                    "{{\"id\":{id},\"op\":\"solve\",\"graph\":\"{graph}\",\"alg\":\"{alg}\",\"b\":3,\"seed\":{}}}",
+                    seed + (i % 3) as u64
+                )
+            }
+        })
+        .collect()
+}
+
+fn cmd_bench_serve(rest: &[String]) {
+    use std::io::{BufRead, BufReader, Write};
+    let mut addr = String::new();
+    let mut requests = 50usize;
+    let mut concurrency = 8usize;
+    let mut graphs = vec!["main".to_string()];
+    let mut trace_file: Option<String> = None;
+    let mut seed = 0u64;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--addr" => addr = next("--addr"),
+            "--requests" => requests = next("--requests").parse().unwrap_or_else(|_| usage()),
+            "--concurrency" => {
+                concurrency = next("--concurrency").parse().unwrap_or_else(|_| usage())
+            }
+            "--graphs" => graphs = next("--graphs").split(',').map(str::to_string).collect(),
+            "--trace-file" => trace_file = Some(next("--trace-file")),
+            "--seed" => seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--json" => json = true,
+            _ => usage(),
+        }
+    }
+    if addr.is_empty() {
+        eprintln!("bench-serve needs --addr HOST:PORT");
+        std::process::exit(2);
+    }
+    let trace: Vec<String> = match &trace_file {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            })
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(str::to_string)
+            .collect(),
+        None => synthetic_trace(requests, &graphs, seed),
+    };
+    let concurrency = concurrency.max(1).min(trace.len().max(1));
+
+    // Round-robin the trace across closed-loop client threads: each
+    // sends a request, waits for its response, then sends the next.
+    // Duplicated keys land concurrently across threads, which is what
+    // exercises the server's batching and caching paths.
+    let started = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..concurrency {
+        let lines: Vec<String> = trace.iter().skip(c).step_by(concurrency).cloned().collect();
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(
+            move || -> (Vec<u64>, Vec<String>, u64) {
+                let stream = std::net::TcpStream::connect(&addr).unwrap_or_else(|e| {
+                    eprintln!("cannot connect to {addr}: {e}");
+                    std::process::exit(1);
+                });
+                let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let mut stream = stream;
+                let mut latencies_us = Vec::with_capacity(lines.len());
+                let mut responses = Vec::with_capacity(lines.len());
+                let mut errors = 0u64;
+                for line in &lines {
+                    let t0 = std::time::Instant::now();
+                    writeln!(stream, "{line}").expect("write request");
+                    let mut resp = String::new();
+                    if reader.read_line(&mut resp).expect("read response") == 0 {
+                        eprintln!("server closed the connection mid-trace");
+                        std::process::exit(1);
+                    }
+                    latencies_us.push(t0.elapsed().as_micros() as u64);
+                    if resp.contains("\"ok\":false") {
+                        errors += 1;
+                    }
+                    responses.push(resp.trim_end().to_string());
+                }
+                (latencies_us, responses, errors)
+            },
+        ));
+    }
+    let mut latencies_us = Vec::with_capacity(trace.len());
+    let mut responses = Vec::with_capacity(trace.len());
+    let mut errors = 0u64;
+    for h in handles {
+        let (lat, resp, err) = h.join().expect("bench client thread");
+        latencies_us.extend(lat);
+        responses.extend(resp);
+        errors += err;
+    }
+    let wall = started.elapsed();
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let throughput = responses.len() as f64 / wall.as_secs_f64().max(1e-9);
+
+    // Order-independent digest of the response bytes: sort the lines,
+    // then canonical-hash them. Equal digests across thread counts or
+    // cache states prove byte-identical serving.
+    responses.sort_unstable();
+    let mut hasher = domatic::core::hash::CanonicalHasher::new();
+    for r in &responses {
+        hasher.write_str(r);
+    }
+    let digest = hasher.finish();
+
+    if json {
+        println!(
+            "{{\"digest\":\"{digest:016x}\",\"errors\":{errors},\"p50_us\":{p50},\"p99_us\":{p99},\"requests\":{},\"throughput_rps\":{throughput:.1},\"wall_ms\":{}}}",
+            responses.len(),
+            wall.as_millis()
+        );
+    } else {
+        println!(
+            "{} requests over {} connections in {:.1} ms",
+            responses.len(),
+            concurrency,
+            wall.as_secs_f64() * 1e3
+        );
+        println!(
+            "latency p50 {p50} us, p99 {p99} us | throughput {throughput:.1} req/s | {errors} errors"
+        );
+        println!("response digest {digest:016x}");
+    }
+    if errors > 0 {
+        std::process::exit(1);
     }
 }

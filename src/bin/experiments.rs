@@ -49,7 +49,11 @@ fn main() {
                 eprintln!("--threads requires a positive integer");
                 std::process::exit(2);
             });
-            if rayon::ThreadPoolBuilder::new().num_threads(n).build_global().is_err() {
+            if rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .is_err()
+            {
                 eprintln!("--threads: thread pool already initialized; flag ignored");
             }
         } else {
@@ -61,7 +65,9 @@ fn main() {
     // produced it.
     telemetry::global().set_gauge("runtime.threads", rayon::current_num_threads() as u64);
     if ids.is_empty() {
-        println!("domatic experiment harness — reproduction of Moscibroda & Wattenhofer, IPDPS 2005\n");
+        println!(
+            "domatic experiment harness — reproduction of Moscibroda & Wattenhofer, IPDPS 2005\n"
+        );
         println!("usage: experiments <id>... | all [--json <path>] [--threads N]\n");
         for e in registry() {
             println!("  {:4}  {}", e.id, e.summary);
@@ -73,8 +79,7 @@ fn main() {
     }
 
     let mut json_out = json_path.map(|p| {
-        let f = std::fs::File::create(&p)
-            .unwrap_or_else(|e| panic!("cannot create {p}: {e}"));
+        let f = std::fs::File::create(&p).unwrap_or_else(|e| panic!("cannot create {p}: {e}"));
         // Span timing is only worth paying for when someone records it.
         telemetry::set_enabled(true);
         std::io::BufWriter::new(f)

@@ -8,17 +8,17 @@
 //! schedule in the figure's format.
 
 use crate::experiments::table::Table;
+use domatic_graph::NodeSet;
 use domatic_lp::{exact_integral_lifetime, figure1_instance, lp_optimal_lifetime};
 use domatic_schedule::{compact::render, validate_schedule, Batteries, Schedule};
-use domatic_graph::NodeSet;
 
 /// Runs E1 and returns its tables.
 pub fn run() -> Vec<Table> {
     let (g, b) = figure1_instance();
     let batteries = Batteries::from_vec(b.iter().map(|&x| x as u64).collect());
 
-    let frac = lp_optimal_lifetime(&g, &batteries.to_f64(), 1_000_000)
-        .expect("figure-1 instance is tiny");
+    let frac =
+        lp_optimal_lifetime(&g, &batteries.to_f64(), 1_000_000).expect("figure-1 instance is tiny");
     let integral = exact_integral_lifetime(&g, &b, 1_000_000).expect("tiny instance");
 
     // An explicit optimal integral schedule in the figure's three-phase
@@ -33,7 +33,11 @@ pub fn run() -> Vec<Table> {
         "E1 / Figure 1 — exact optimum of the worked example (n=7, b=2)",
         &["quantity", "value", "paper"],
     );
-    t.row(vec!["nodes / edges".into(), format!("{} / {}", g.n(), g.m()), "7 / —".into()]);
+    t.row(vec![
+        "nodes / edges".into(),
+        format!("{} / {}", g.n(), g.m()),
+        "7 / —".into(),
+    ]);
     t.row(vec![
         "Lemma 4.1 bound b(δ+1)".into(),
         format!("{}", 2 * (g.min_degree().unwrap() as u64 + 1)),
@@ -44,7 +48,11 @@ pub fn run() -> Vec<Table> {
         format!("{:.3}", frac.lifetime),
         "6".into(),
     ]);
-    t.row(vec!["exact integral optimum".into(), integral.to_string(), "6".into()]);
+    t.row(vec![
+        "exact integral optimum".into(),
+        integral.to_string(),
+        "6".into(),
+    ]);
     t.row(vec![
         "witness schedule".into(),
         render(&witness),

@@ -24,7 +24,13 @@ pub fn run() -> Vec<Table> {
 
     let mut ablate_c = Table::new(
         "E10a / ablation of the color-range constant c (gnp(500, d̄=70), b=3, 30 seeds)",
-        &["c", "classes", "class-fail rate", "mean valid lifetime", "mean raw lifetime"],
+        &[
+            "c",
+            "classes",
+            "class-fail rate",
+            "mean valid lifetime",
+            "mean raw lifetime",
+        ],
     );
     for c in [1.0f64, 2.0, 3.0, 4.0, 6.0] {
         let mut classes = 0u32;
@@ -80,7 +86,9 @@ pub fn run() -> Vec<Table> {
             lifetimes.iter().max().unwrap().to_string(),
         ]);
     }
-    ablate_r.note("restarts are cheap (parallel) and recover most of the loss from an unlucky coloring");
+    ablate_r.note(
+        "restarts are cheap (parallel) and recover most of the loss from an unlucky coloring",
+    );
     vec![ablate_c, ablate_r]
 }
 

@@ -49,7 +49,11 @@ pub fn run() -> Vec<Table> {
                 sets.iter().map(|s| s.len()).sum::<usize>() as f64 / sets.len() as f64
             }
         };
-        let size_ratio = if mean(&plain) > 0.0 { mean(&connected) / mean(&plain) } else { 0.0 };
+        let size_ratio = if mean(&plain) > 0.0 {
+            mean(&connected) / mean(&plain)
+        } else {
+            0.0
+        };
         t.row(vec![
             family.label(),
             n.to_string(),
@@ -59,7 +63,9 @@ pub fn run() -> Vec<Table> {
             f2(size_ratio),
         ]);
     }
-    t.note("connected classes ≤ plain classes: backbones consume extra nodes (the ≤ 3× size factor)");
+    t.note(
+        "connected classes ≤ plain classes: backbones consume extra nodes (the ≤ 3× size factor)",
+    );
     t.note("no approximation guarantee exists for this problem — the paper leaves it open; these are heuristics");
     vec![t]
 }

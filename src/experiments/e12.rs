@@ -52,7 +52,9 @@ pub fn run() -> Vec<Table> {
         }
     }
     t.note("no approximation proof exists for this case (open problem); the bound/L_ALG column staying");
-    t.note("roughly flat across k is the empirical analogue of Theorem 6.2 for non-uniform batteries");
+    t.note(
+        "roughly flat across k is the empirical analogue of Theorem 6.2 for non-uniform batteries",
+    );
     vec![t]
 }
 
@@ -65,7 +67,8 @@ mod tests {
         let g = Family::Gnp { avg_degree: 80.0 }.build(300, 29 + 300);
         let b = random_batteries(300, 5, 61 + 300);
         for k in [1usize, 2, 3] {
-            let run = general_fault_tolerant_schedule(&g, &b, k, &GeneralParams { c: 3.0, seed: 1 });
+            let run =
+                general_fault_tolerant_schedule(&g, &b, k, &GeneralParams { c: 3.0, seed: 1 });
             let p = longest_valid_prefix(&g, &b, &run.schedule, k);
             assert!(p.lifetime() <= general_fault_tolerant_upper_bound(&g, &b, k));
         }

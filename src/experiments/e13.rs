@@ -10,8 +10,8 @@
 
 use crate::experiments::table::{f2, f3, Table};
 use crate::experiments::workloads::Family;
-use domatic_core::uniform::{uniform_coloring_with_estimate, UniformParams};
 use domatic_core::partition::schedule_fixed_duration;
+use domatic_core::uniform::{uniform_coloring_with_estimate, UniformParams};
 use domatic_graph::domination::is_dominating_set;
 use domatic_schedule::{longest_valid_prefix, Batteries};
 

@@ -24,11 +24,22 @@ pub fn run() -> Vec<Table> {
     let tree = AggregationTree::build(&g, sink);
     let capacity = 20.0;
     let energies = vec![capacity; g.n()];
-    let cfg = SimConfig { model: EnergyModel::standard(), k: 1, max_slots: 100_000, switch_cost: 0.0 };
+    let cfg = SimConfig {
+        model: EnergyModel::standard(),
+        k: 1,
+        max_slots: 100_000,
+        switch_cost: 0.0,
+    };
 
     let mut t = Table::new(
         "E14 / data-gathering delivery cost — rgg(300, d̄=40), BFS aggregation tree to node 0",
-        &["strategy", "lifetime", "awake/slot", "hops/slot", "hops per reading"],
+        &[
+            "strategy",
+            "lifetime",
+            "awake/slot",
+            "hops/slot",
+            "hops per reading",
+        ],
     );
     let classes = greedy_domatic_partition(&g);
     let mut strategies: Vec<(String, Box<dyn Strategy>)> = vec![

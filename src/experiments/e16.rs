@@ -18,7 +18,16 @@ use domatic_schedule::longest_valid_prefix;
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E16 / multi-epoch rescheduling — Algorithm 2 rerun on residual batteries",
-        &["family", "n", "τ", "single-shot", "epochs (≤20)", "#epochs", "rounds", "greedy (centralized)"],
+        &[
+            "family",
+            "n",
+            "τ",
+            "single-shot",
+            "epochs (≤20)",
+            "#epochs",
+            "rounds",
+            "greedy (centralized)",
+        ],
     );
     for (family, n) in [
         (Family::Gnp { avg_degree: 80.0 }, 300usize),

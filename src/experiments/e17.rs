@@ -30,7 +30,14 @@ pub fn run() -> Vec<Table> {
             // The mistuned runs never finish; cap their budget so the
             // suite stays fast — the ">cap" marker tells the story.
             let max_slots = if p.is_some() { 20_000 } else { 200_000 };
-            let run = disseminate_degrees(&g, &RadioParams { p, max_slots, seed: 5 });
+            let run = disseminate_degrees(
+                &g,
+                &RadioParams {
+                    p,
+                    max_slots,
+                    seed: 5,
+                },
+            );
             let status = if run.complete {
                 run.slots_used.to_string()
             } else {
@@ -48,7 +55,9 @@ pub fn run() -> Vec<Table> {
         }
     }
     t.note("tuned p ≈ 1/(d+1): completion in O(Δ·log n)-ish slots; mistuned p = 0.5 collapses under collisions at density");
-    t.note("this is the per-round MAC cost hidden inside every 'communication round' the paper counts");
+    t.note(
+        "this is the per-round MAC cost hidden inside every 'communication round' the paper counts",
+    );
     vec![t]
 }
 
@@ -59,7 +68,14 @@ mod tests {
     #[test]
     fn tuned_dissemination_completes_within_budget() {
         let g = Family::Rgg { avg_degree: 25.0 }.build(300, 61 + 300);
-        let run = disseminate_degrees(&g, &RadioParams { p: None, max_slots: 200_000, seed: 5 });
+        let run = disseminate_degrees(
+            &g,
+            &RadioParams {
+                p: None,
+                max_slots: 200_000,
+                seed: 5,
+            },
+        );
         assert!(run.complete);
         // And in a sane number of slots for Δ ≈ 40.
         assert!(run.slots_used < 20_000, "{}", run.slots_used);

@@ -27,7 +27,9 @@ fn randomized_valid_classes(g: &Graph, seed: u64) -> Vec<NodeSet> {
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E18 / partition augmentation — extra disjoint dominating sets from local search",
-        &["family", "n", "δ+1", "input", "before", "after", "added", "stolen"],
+        &[
+            "family", "n", "δ+1", "input", "before", "after", "added", "stolen",
+        ],
     );
     for (family, n) in [
         (Family::Gnp { avg_degree: 80.0 }, 300usize),
@@ -40,7 +42,15 @@ pub fn run() -> Vec<Table> {
             ("randomized (Alg 1)", randomized_valid_classes(&g, 1)),
             (
                 "feige-repair",
-                feige_partition(&g, &FeigeParams { c: 3.0, max_sweeps: 40, seed: 1 }).classes,
+                feige_partition(
+                    &g,
+                    &FeigeParams {
+                        c: 3.0,
+                        max_sweeps: 40,
+                        seed: 1,
+                    },
+                )
+                .classes,
             ),
             ("greedy", greedy_domatic_partition(&g)),
         ];

@@ -21,8 +21,14 @@ use domatic_schedule::Batteries;
 fn regimes() -> Vec<(&'static str, Vec<FailureModel>)> {
     vec![
         ("crash", vec![FailureModel::Crash { p: 0.004 }]),
-        ("battery-noise", vec![FailureModel::BatteryNoise { p: 0.15 }]),
-        ("transient-loss", vec![FailureModel::TransientLoss { p: 0.05 }]),
+        (
+            "battery-noise",
+            vec![FailureModel::BatteryNoise { p: 0.15 }],
+        ),
+        (
+            "transient-loss",
+            vec![FailureModel::TransientLoss { p: 0.05 }],
+        ),
         (
             "all",
             vec![
@@ -39,8 +45,8 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E19 / failure survival — static (open-loop) vs adaptive (replanning) execution",
         &[
-            "family", "n", "failures", "planned", "static", "adaptive", "delta",
-            "replans", "retries", "deaths", "end",
+            "family", "n", "failures", "planned", "static", "adaptive", "delta", "replans",
+            "retries", "deaths", "end",
         ],
     );
     let solver = GeneralSolver;
@@ -52,7 +58,10 @@ pub fn run() -> Vec<Table> {
         let g = family.build(n, 23 + n as u64);
         let batteries = Batteries::uniform(g.n(), b);
         for (label, models) in regimes() {
-            let acfg = AdaptiveConfig { max_slots: 5_000, ..AdaptiveConfig::default() };
+            let acfg = AdaptiveConfig {
+                max_slots: 5_000,
+                ..AdaptiveConfig::default()
+            };
             let plan = FailurePlan::draw(&models, g.n(), acfg.max_slots, 90 + n as u64);
             let cmp = compare_static_adaptive(&g, &batteries, &solver, &scfg, &acfg, &plan)
                 .expect("uniform batteries are always schedulable");
@@ -90,10 +99,13 @@ mod tests {
         let g = Family::Gnp { avg_degree: 25.0 }.build(120, 23 + 120);
         let batteries = Batteries::uniform(g.n(), 5);
         for (label, models) in regimes() {
-            let acfg = AdaptiveConfig { max_slots: 2_000, ..AdaptiveConfig::default() };
+            let acfg = AdaptiveConfig {
+                max_slots: 2_000,
+                ..AdaptiveConfig::default()
+            };
             let plan = FailurePlan::draw(&models, g.n(), acfg.max_slots, 90 + 120);
-            let cmp = compare_static_adaptive(&g, &batteries, &solver, &scfg, &acfg, &plan)
-                .unwrap();
+            let cmp =
+                compare_static_adaptive(&g, &batteries, &solver, &scfg, &acfg, &plan).unwrap();
             assert!(
                 cmp.adaptive.lifetime >= cmp.static_run.lifetime,
                 "{label}: adaptive {} < static {}",

@@ -26,7 +26,17 @@ pub fn run() -> Vec<Table> {
 
     let mut sweep = Table::new(
         format!("E2a / Theorem 4.3 — uniform algorithm vs Lemma 4.1 bound (b={b}, {trials} seeds)"),
-        &["family", "n", "δ", "Δ", "L_ALG (mean ± std)", "best", "b(δ+1)", "bound/best", "ln n"],
+        &[
+            "family",
+            "n",
+            "δ",
+            "Δ",
+            "L_ALG (mean ± std)",
+            "best",
+            "b(δ+1)",
+            "bound/best",
+            "ln n",
+        ],
     );
     // Sparse regime (δ < 3 ln n: one color class, the degenerate case the
     // proof of Theorem 4.3 handles via Lemma 4.1 directly) and the dense
@@ -43,8 +53,14 @@ pub fn run() -> Vec<Table> {
             let g = family.build(n, 7 + n as u64);
             let batteries = Batteries::uniform(g.n(), b);
             let stats = summarize_seeds(trials, |seed| {
-                let (raw, _) =
-                    uniform_schedule(&g, b, &UniformParams { c: 3.0, seed: 1000 + n as u64 + seed });
+                let (raw, _) = uniform_schedule(
+                    &g,
+                    b,
+                    &UniformParams {
+                        c: 3.0,
+                        seed: 1000 + n as u64 + seed,
+                    },
+                );
                 longest_valid_prefix(&g, &batteries, &raw, 1).lifetime() as f64
             });
             let bound = uniform_upper_bound(&g, b);
@@ -73,8 +89,14 @@ pub fn run() -> Vec<Table> {
         ("cycle(9)".into(), cycle(9)),
         ("cycle(12)".into(), cycle(12)),
         ("star(8)".into(), star(8)),
-        ("rgg(16)".into(), Family::Rgg { avg_degree: 6.0 }.build(16, 3)),
-        ("gnp(14)".into(), Family::Gnp { avg_degree: 5.0 }.build(14, 5)),
+        (
+            "rgg(16)".into(),
+            Family::Rgg { avg_degree: 6.0 }.build(16, 3),
+        ),
+        (
+            "gnp(14)".into(),
+            Family::Gnp { avg_degree: 5.0 }.build(14, 5),
+        ),
     ];
     for (name, g) in smalls {
         let cfg = SolverConfig::new().seed(99).trials(20);
@@ -93,7 +115,9 @@ pub fn run() -> Vec<Table> {
             f2(opt / l_alg.max(1) as f64),
         ]);
     }
-    exact.note("sparse instances collapse to one color class (δ < 3 ln n): L_ALG = b, optimum ≤ b·(δ+1)");
+    exact.note(
+        "sparse instances collapse to one color class (δ < 3 ln n): L_ALG = b, optimum ≤ b·(δ+1)",
+    );
 
     vec![sweep, exact]
 }

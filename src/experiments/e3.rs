@@ -15,8 +15,16 @@ use domatic_graph::domination::is_dominating_set;
 pub fn run() -> Vec<Table> {
     let trials = 40u64;
     let mut t = Table::new(
-        format!("E3 / Lemma 4.2 — probability color classes dominate ({trials} colorings per row, c=3)"),
-        &["family", "n", "guaranteed", "class-fail rate", "run-fail rate"],
+        format!(
+            "E3 / Lemma 4.2 — probability color classes dominate ({trials} colorings per row, c=3)"
+        ),
+        &[
+            "family",
+            "n",
+            "guaranteed",
+            "class-fail rate",
+            "run-fail rate",
+        ],
     );
     for family in [
         Family::Gnp { avg_degree: 50.0 },

@@ -20,7 +20,15 @@ pub fn run() -> Vec<Table> {
         format!(
             "E4a / Theorem 5.3 — general algorithm, b_v ~ U{{1..{bmax}}} (best of {trials} seeds)"
         ),
-        &["family", "n", "τ (Lem 5.1)", "L_ALG", "L_greedy", "τ/L_ALG", "ln(b_max·n)"],
+        &[
+            "family",
+            "n",
+            "τ (Lem 5.1)",
+            "L_ALG",
+            "L_greedy",
+            "τ/L_ALG",
+            "ln(b_max·n)",
+        ],
     );
     for family in [
         Family::Rgg { avg_degree: 40.0 },
@@ -46,14 +54,27 @@ pub fn run() -> Vec<Table> {
             ]);
         }
     }
-    sweep.note("Theorem 5.3: τ/L_ALG = O(log(b_max·n)); greedy is the centralized baseline (no guarantee)");
+    sweep.note(
+        "Theorem 5.3: τ/L_ALG = O(log(b_max·n)); greedy is the centralized baseline (no guarantee)",
+    );
 
     let mut exact = Table::new(
         "E4b / exact ratios — general algorithm vs LP optimum (small instances)",
-        &["instance", "n", "L_ALG", "L_greedy", "L_OPT (LP)", "LP/L_ALG"],
+        &[
+            "instance",
+            "n",
+            "L_ALG",
+            "L_greedy",
+            "L_OPT (LP)",
+            "LP/L_ALG",
+        ],
     );
     for (name, g, bseed) in [
-        ("rgg(14)", Family::Rgg { avg_degree: 6.0 }.build(14, 9), 1u64),
+        (
+            "rgg(14)",
+            Family::Rgg { avg_degree: 6.0 }.build(14, 9),
+            1u64,
+        ),
         ("gnp(12)", Family::Gnp { avg_degree: 5.0 }.build(12, 4), 2),
         ("torus(16)", Family::Torus8.build(16, 0), 3),
     ] {

@@ -16,8 +16,19 @@ pub fn run() -> Vec<Table> {
     let b = 6u64;
     let trials = 5u64;
     let mut t = Table::new(
-        format!("E5 / Theorem 6.2 — k-tolerant lifetime vs Lemma 6.1 bound (b={b}, best of {trials})"),
-        &["family", "n", "δ", "k", "regime", "L_ALG", "b(δ+1)/k", "bound/L_ALG"],
+        format!(
+            "E5 / Theorem 6.2 — k-tolerant lifetime vs Lemma 6.1 bound (b={b}, best of {trials})"
+        ),
+        &[
+            "family",
+            "n",
+            "δ",
+            "k",
+            "regime",
+            "L_ALG",
+            "b(δ+1)/k",
+            "bound/L_ALG",
+        ],
     );
     // Dense family (merging regime for small k) and the torus (low degree:
     // everyone-on regime for k ≥ 1 already, since 8/ln n < 3k).
@@ -76,7 +87,10 @@ mod tests {
                 .schedule(&g, &Batteries::uniform(g.n(), b), &cfg)
                 .unwrap();
             assert!(s.lifetime() >= b / 2, "k={k}");
-            assert!(s.lifetime() <= fault_tolerant_upper_bound(&g, b, k), "k={k}");
+            assert!(
+                s.lifetime() <= fault_tolerant_upper_bound(&g, b, k),
+                "k={k}"
+            );
         }
     }
 }

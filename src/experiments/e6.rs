@@ -35,7 +35,13 @@ fn randomized_partition_size(g: &Graph, trials: u64) -> usize {
 pub fn run() -> Vec<Table> {
     let mut benign = Table::new(
         "E6a / greedy vs randomized domatic partition on benign families",
-        &["family", "n", "δ+1 (UB)", "greedy", "randomized (best of 10)"],
+        &[
+            "family",
+            "n",
+            "δ+1 (UB)",
+            "greedy",
+            "randomized (best of 10)",
+        ],
     );
     for family in [
         Family::Gnp { avg_degree: 50.0 },
@@ -57,7 +63,14 @@ pub fn run() -> Vec<Table> {
 
     let mut adversarial = Table::new(
         "E6b / the Fujita-style family B(m): greedy collapses to O(1)",
-        &["m", "n = 1+m+m²", "optimal (m+1)", "greedy", "opt/greedy", "√n"],
+        &[
+            "m",
+            "n = 1+m+m²",
+            "optimal (m+1)",
+            "greedy",
+            "opt/greedy",
+            "√n",
+        ],
     );
     for m in [4usize, 6, 8, 12, 16] {
         let g = fujita_bad_instance(m);
@@ -72,7 +85,8 @@ pub fn run() -> Vec<Table> {
             f2((g.n() as f64).sqrt()),
         ]);
     }
-    adversarial.note("opt/greedy grows like √n — the Ω(√n) separation of Fujita [6] / Feige et al. [5]");
+    adversarial
+        .note("opt/greedy grows like √n — the Ω(√n) separation of Fujita [6] / Feige et al. [5]");
     vec![benign, adversarial]
 }
 

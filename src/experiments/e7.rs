@@ -14,21 +14,48 @@ use domatic_graph::generators::regular::{complete, hypercube};
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E7 / Feige et al. — constructive partition size vs (δ+1)/(3 ln Δ) target",
-        &["instance", "n", "δ+1", "target", "achieved", "achieved/target", "sweeps"],
+        &[
+            "instance",
+            "n",
+            "δ+1",
+            "target",
+            "achieved",
+            "achieved/target",
+            "sweeps",
+        ],
     );
     let instances = vec![
-        ("gnp(400, d̄=50)".to_string(), Family::Gnp { avg_degree: 50.0 }.build(400, 1)),
-        ("gnp(800, d̄=80)".to_string(), Family::Gnp { avg_degree: 80.0 }.build(800, 2)),
-        ("rgg(400, d̄=50)".to_string(), Family::Rgg { avg_degree: 50.0 }.build(400, 3)),
+        (
+            "gnp(400, d̄=50)".to_string(),
+            Family::Gnp { avg_degree: 50.0 }.build(400, 1),
+        ),
+        (
+            "gnp(800, d̄=80)".to_string(),
+            Family::Gnp { avg_degree: 80.0 }.build(800, 2),
+        ),
+        (
+            "rgg(400, d̄=50)".to_string(),
+            Family::Rgg { avg_degree: 50.0 }.build(400, 3),
+        ),
         ("torus8(400)".to_string(), Family::Torus8.build(400, 0)),
-        ("gnp(600, d̄=200)".to_string(), Family::Gnp { avg_degree: 200.0 }.build(600, 4)),
+        (
+            "gnp(600, d̄=200)".to_string(),
+            Family::Gnp { avg_degree: 200.0 }.build(600, 4),
+        ),
         ("K_100".to_string(), complete(100)),
         ("K_400".to_string(), complete(400)),
         ("Q_10".to_string(), hypercube(10)),
     ];
     for (name, g) in instances {
         let target = feige_target(&g, 3.0);
-        let res = feige_partition(&g, &FeigeParams { c: 3.0, max_sweeps: 60, seed: 5 });
+        let res = feige_partition(
+            &g,
+            &FeigeParams {
+                c: 3.0,
+                max_sweeps: 60,
+                seed: 5,
+            },
+        );
         t.row(vec![
             name,
             g.n().to_string(),
@@ -51,7 +78,14 @@ mod tests {
     fn achieves_target_on_a_dense_instance() {
         let g = Family::Gnp { avg_degree: 50.0 }.build(400, 1);
         let target = feige_target(&g, 3.0);
-        let res = feige_partition(&g, &FeigeParams { c: 3.0, max_sweeps: 60, seed: 5 });
+        let res = feige_partition(
+            &g,
+            &FeigeParams {
+                c: 3.0,
+                max_sweeps: 60,
+                seed: 5,
+            },
+        );
         assert!(
             res.classes.len() as u32 + 1 >= target,
             "achieved {} target {}",

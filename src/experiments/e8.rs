@@ -17,7 +17,14 @@ use domatic_distsim::protocols::uniform::distributed_uniform_schedule;
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E8 / distributed cost — rounds and messages per node vs network size",
-        &["protocol", "n", "rounds", "tx/node", "rx/node", "bytes/node"],
+        &[
+            "protocol",
+            "n",
+            "rounds",
+            "tx/node",
+            "rx/node",
+            "bytes/node",
+        ],
     );
     let family = Family::Rgg { avg_degree: 20.0 };
     for n in [250usize, 1000, 4000] {

@@ -43,7 +43,14 @@ fn randomized_classes(g: &Graph, trials: u64) -> Vec<NodeSet> {
         if valid.len() > best.len() {
             best = valid;
         }
-        let repaired = feige_partition(g, &FeigeParams { c: 3.0, max_sweeps: 40, seed });
+        let repaired = feige_partition(
+            g,
+            &FeigeParams {
+                c: 3.0,
+                max_sweeps: 40,
+                seed,
+            },
+        );
         if repaired.classes.len() > best.len() {
             best = repaired.classes;
         }
@@ -98,7 +105,12 @@ pub fn run() -> Vec<Table> {
     let g = Family::Gnp { avg_degree: 80.0 }.build(400, 5);
     let capacity = 25.0f64;
     let energies = vec![capacity; g.n()];
-    let cfg = SimConfig { model: EnergyModel::standard(), k: 1, max_slots: 100_000, switch_cost: 0.0 };
+    let cfg = SimConfig {
+        model: EnergyModel::standard(),
+        k: 1,
+        max_slots: 100_000,
+        switch_cost: 0.0,
+    };
 
     let mut t = Table::new(
         format!(
@@ -112,7 +124,10 @@ pub fn run() -> Vec<Table> {
     let n_greedy = greedy_classes.len();
     let mut strategies: Vec<(String, Box<dyn Strategy>)> = vec![
         ("all-active".into(), Box::new(AllActive)),
-        ("single-mds(static)".into(), Box::new(SingleMds::static_once())),
+        (
+            "single-mds(static)".into(),
+            Box::new(SingleMds::static_once()),
+        ),
         ("single-mds(adaptive)".into(), Box::new(SingleMds::new())),
         ("random-rotation".into(), Box::new(RandomRotation::new(9))),
         (
@@ -141,7 +156,12 @@ pub fn run() -> Vec<Table> {
     // E9b: single-crash vulnerability, 1-dominating vs 2-merged classes.
     let mut ft = Table::new(
         "E9b / fault tolerance — probability a single crash in the active set breaks coverage",
-        &["schedule", "classes", "mean class size", "crash-vulnerability"],
+        &[
+            "schedule",
+            "classes",
+            "mean class size",
+            "crash-vulnerability",
+        ],
     );
     let mean_size = |cs: &[NodeSet]| {
         if cs.is_empty() {
@@ -177,9 +197,18 @@ mod tests {
     fn rotations_beat_static_clusterings() {
         let g = Family::Gnp { avg_degree: 80.0 }.build(400, 5);
         let energies = vec![25.0; g.n()];
-        let cfg = SimConfig { model: EnergyModel::standard(), k: 1, max_slots: 100_000, switch_cost: 0.0 };
+        let cfg = SimConfig {
+            model: EnergyModel::standard(),
+            k: 1,
+            max_slots: 100_000,
+            switch_cost: 0.0,
+        };
         let classes = randomized_classes(&g, 5);
-        assert!(classes.len() >= 2, "need a real partition, got {}", classes.len());
+        assert!(
+            classes.len() >= 2,
+            "need a real partition, got {}",
+            classes.len()
+        );
         let all = simulate(&g, &energies, &mut AllActive, &cfg, None);
         let mds = simulate(&g, &energies, &mut SingleMds::static_once(), &cfg, None);
         let dom = simulate(
@@ -191,7 +220,12 @@ mod tests {
         );
         // The strawman insight: static MDS does NOT outlive all-active.
         assert_eq!(mds.lifetime, all.lifetime);
-        assert!(dom.lifetime > all.lifetime, "domatic {} vs all {}", dom.lifetime, all.lifetime);
+        assert!(
+            dom.lifetime > all.lifetime,
+            "domatic {} vs all {}",
+            dom.lifetime,
+            all.lifetime
+        );
         assert!(dom.mean_active < all.mean_active);
     }
 

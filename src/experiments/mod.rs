@@ -48,31 +48,110 @@ pub struct Experiment {
 /// The registry, in presentation order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { id: "e1", summary: "Figure 1: the worked example, exact optimum 6", run: e1::run },
-        Experiment { id: "e2", summary: "Theorem 4.3: uniform algorithm is O(log n)-approx", run: e2::run },
-        Experiment { id: "e3", summary: "Lemma 4.2: color classes dominate w.h.p.", run: e3::run },
-        Experiment { id: "e4", summary: "Theorem 5.3: general (non-uniform) batteries", run: e4::run },
-        Experiment { id: "e5", summary: "Theorem 6.2: k-tolerant, both regimes", run: e5::run },
-        Experiment { id: "e6", summary: "Greedy baseline and its Ω(√n) collapse", run: e6::run },
-        Experiment { id: "e7", summary: "Feige et al. Ω(δ/ln Δ) partition, constructively", run: e7::run },
-        Experiment { id: "e8", summary: "Distributed cost: constant rounds, O(1) msgs/node", run: e8::run },
-        Experiment { id: "e9", summary: "End-to-end network-lifetime simulation", run: e9::run },
-        Experiment { id: "e10", summary: "Ablations: range constant c, best-of-R restarts", run: e10::run },
-        Experiment { id: "e11", summary: "Extension (§7): connected-clustering lifetime", run: e11::run },
-        Experiment { id: "e12", summary: "Extension (§7): general k-tolerant heuristic", run: e12::run },
-        Experiment { id: "e13", summary: "Extension (§7): sensitivity to the n estimate", run: e13::run },
-        Experiment { id: "e14", summary: "Extension: data-gathering delivery cost", run: e14::run },
-        Experiment { id: "e15", summary: "Ablation: dwell time vs switching cost", run: e15::run },
-        Experiment { id: "e16", summary: "Extension: multi-epoch rescheduling", run: e16::run },
-        Experiment { id: "e17", summary: "Extension: MAC cost of one round over slotted ALOHA", run: e17::run },
-        Experiment { id: "e18", summary: "Extension: partition augmentation (local search)", run: e18::run },
-        Experiment { id: "e19", summary: "Extension: failure survival — static vs adaptive execution", run: e19::run },
+        Experiment {
+            id: "e1",
+            summary: "Figure 1: the worked example, exact optimum 6",
+            run: e1::run,
+        },
+        Experiment {
+            id: "e2",
+            summary: "Theorem 4.3: uniform algorithm is O(log n)-approx",
+            run: e2::run,
+        },
+        Experiment {
+            id: "e3",
+            summary: "Lemma 4.2: color classes dominate w.h.p.",
+            run: e3::run,
+        },
+        Experiment {
+            id: "e4",
+            summary: "Theorem 5.3: general (non-uniform) batteries",
+            run: e4::run,
+        },
+        Experiment {
+            id: "e5",
+            summary: "Theorem 6.2: k-tolerant, both regimes",
+            run: e5::run,
+        },
+        Experiment {
+            id: "e6",
+            summary: "Greedy baseline and its Ω(√n) collapse",
+            run: e6::run,
+        },
+        Experiment {
+            id: "e7",
+            summary: "Feige et al. Ω(δ/ln Δ) partition, constructively",
+            run: e7::run,
+        },
+        Experiment {
+            id: "e8",
+            summary: "Distributed cost: constant rounds, O(1) msgs/node",
+            run: e8::run,
+        },
+        Experiment {
+            id: "e9",
+            summary: "End-to-end network-lifetime simulation",
+            run: e9::run,
+        },
+        Experiment {
+            id: "e10",
+            summary: "Ablations: range constant c, best-of-R restarts",
+            run: e10::run,
+        },
+        Experiment {
+            id: "e11",
+            summary: "Extension (§7): connected-clustering lifetime",
+            run: e11::run,
+        },
+        Experiment {
+            id: "e12",
+            summary: "Extension (§7): general k-tolerant heuristic",
+            run: e12::run,
+        },
+        Experiment {
+            id: "e13",
+            summary: "Extension (§7): sensitivity to the n estimate",
+            run: e13::run,
+        },
+        Experiment {
+            id: "e14",
+            summary: "Extension: data-gathering delivery cost",
+            run: e14::run,
+        },
+        Experiment {
+            id: "e15",
+            summary: "Ablation: dwell time vs switching cost",
+            run: e15::run,
+        },
+        Experiment {
+            id: "e16",
+            summary: "Extension: multi-epoch rescheduling",
+            run: e16::run,
+        },
+        Experiment {
+            id: "e17",
+            summary: "Extension: MAC cost of one round over slotted ALOHA",
+            run: e17::run,
+        },
+        Experiment {
+            id: "e18",
+            summary: "Extension: partition augmentation (local search)",
+            run: e18::run,
+        },
+        Experiment {
+            id: "e19",
+            summary: "Extension: failure survival — static vs adaptive execution",
+            run: e19::run,
+        },
     ]
 }
 
 /// Runs one experiment by id; `None` if the id is unknown.
 pub fn run_by_id(id: &str) -> Option<Vec<Table>> {
-    registry().into_iter().find(|e| e.id == id).map(|e| (e.run)())
+    registry()
+        .into_iter()
+        .find(|e| e.id == id)
+        .map(|e| (e.run)())
 }
 
 #[cfg(test)]

@@ -29,7 +29,13 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
     };
     let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
     let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Some(Summary { n, mean, std: var.sqrt(), min, max })
+    Some(Summary {
+        n,
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+    })
 }
 
 impl Summary {

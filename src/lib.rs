@@ -18,7 +18,9 @@
 //! - [`distsim`] *(domatic-distsim)* — the algorithms as genuinely local
 //!   protocols on a synchronous round engine;
 //! - [`netsim`] *(domatic-netsim)* — end-to-end sensor-network lifetime
-//!   simulation.
+//!   simulation;
+//! - [`server`] *(domatic-server)* — the batching, caching JSON-lines
+//!   solve service behind `domatic serve`.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub use domatic_graph as graph;
 pub use domatic_lp as lp;
 pub use domatic_netsim as netsim;
 pub use domatic_schedule as schedule;
+pub use domatic_server as server;
 pub use domatic_viz as viz;
 
 /// One-line import for examples and downstream code.

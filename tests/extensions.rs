@@ -70,7 +70,11 @@ fn radio_path_feeds_the_standard_validation_machinery() {
         &g,
         b,
         3.0,
-        &RadioParams { p: None, max_slots: 100_000, seed: 3 },
+        &RadioParams {
+            p: None,
+            max_slots: 100_000,
+            seed: 3,
+        },
     );
     assert!(run.dissemination.complete);
     let batteries = Batteries::uniform(g.n(), b);

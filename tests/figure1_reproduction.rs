@@ -24,11 +24,7 @@ fn figure1_full_story() {
     let d_a = NodeSet::from_iter(7, [0u32, 3]);
     let d_b = NodeSet::from_iter(7, [1u32, 4]);
     let d_c = NodeSet::from_iter(7, [2u32, 5, 6]);
-    let schedule = Schedule::from_entries([
-        (d_a.clone(), 2),
-        (d_b.clone(), 2),
-        (d_c.clone(), 2),
-    ]);
+    let schedule = Schedule::from_entries([(d_a.clone(), 2), (d_b.clone(), 2), (d_c.clone(), 2)]);
     validate_schedule(&g, &batteries, &schedule, 1).unwrap();
     assert_eq!(schedule.lifetime(), 6);
 
@@ -38,7 +34,11 @@ fn figure1_full_story() {
     let poor = 6u32;
     let used: Vec<u64> = (0..7).map(|v| schedule.active_time(v)).collect();
     for &u in g.neighbors(poor) {
-        assert_eq!(used[u as usize], batteries.get(u), "neighbor {u} must be spent");
+        assert_eq!(
+            used[u as usize],
+            batteries.get(u),
+            "neighbor {u} must be spent"
+        );
     }
     assert_eq!(used[poor as usize], batteries.get(poor));
 

@@ -21,7 +21,10 @@ fn k_sweep_respects_lemma_6_1_and_halving_floor() {
         let run = fault_tolerant_schedule(&g, b, k, &UniformParams { c: 3.0, seed: 3 });
         let valid = longest_valid_prefix(&g, &batteries, &run.schedule, k);
         validate_schedule(&g, &batteries, &valid, k).unwrap();
-        assert!(valid.lifetime() >= b / 2, "k={k}: everyone-on floor violated");
+        assert!(
+            valid.lifetime() >= b / 2,
+            "k={k}: everyone-on floor violated"
+        );
         assert!(
             valid.lifetime() <= fault_tolerant_upper_bound(&g, b, k),
             "k={k}: Lemma 6.1 violated"
@@ -68,7 +71,12 @@ fn merged_schedule_survives_scripted_crash_in_simulation() {
     assert!(!classes.is_empty());
     // Crash one member of the first class at slot 1.
     let victim = classes[0].iter().next().unwrap();
-    let cfg = SimConfig { model: EnergyModel::ideal(), k: 1, max_slots: 50, switch_cost: 0.0 };
+    let cfg = SimConfig {
+        model: EnergyModel::ideal(),
+        k: 1,
+        max_slots: 50,
+        switch_cost: 0.0,
+    };
     let mut inj = FailureInjector::scripted(vec![(1, victim)]);
     let res = simulate(
         &g,
@@ -79,5 +87,9 @@ fn merged_schedule_survives_scripted_crash_in_simulation() {
     );
     // The 2-dominating class still 1-dominates without the victim, so the
     // crash slot survives.
-    assert!(res.lifetime > 1, "crash at slot 1 ended the run: {:?}", res.end);
+    assert!(
+        res.lifetime > 1,
+        "crash at slot 1 ended the run: {:?}",
+        res.end
+    );
 }

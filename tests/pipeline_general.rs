@@ -41,14 +41,19 @@ fn greedy_and_algorithm2_both_below_lp_optimum() {
     for seed in 0..3 {
         let g = graph::generators::gnp::gnp_with_avg_degree(12, 5.0, seed);
         let b = batteries(12, 3, seed + 100);
-        let opt = lp_optimal_lifetime(&g, &b.to_f64(), 5_000_000).unwrap().lifetime;
+        let opt = lp_optimal_lifetime(&g, &b.to_f64(), 5_000_000)
+            .unwrap()
+            .lifetime;
         let (alg, _) = best_general(&g, &b, 3.0, 10, 0);
         let greedy = greedy_general_schedule(&g, &b);
         validate_schedule(&g, &b, &greedy, 1).unwrap();
         assert!(alg.lifetime() as f64 <= opt + 1e-6, "seed {seed}");
         assert!(greedy.lifetime() as f64 <= opt + 1e-6, "seed {seed}");
         // The energy-coverage bound caps the LP too (Lemma 5.1 proof).
-        assert!(opt <= general_upper_bound(&g, &b) as f64 + 1e-6, "seed {seed}");
+        assert!(
+            opt <= general_upper_bound(&g, &b) as f64 + 1e-6,
+            "seed {seed}"
+        );
     }
 }
 
@@ -75,7 +80,9 @@ fn zero_and_skewed_batteries_are_handled() {
     let g = graph::generators::regular::star(10);
     // Center rich, leaves dead: only {center} dominates; lifetime = b_center.
     let b = Batteries::from_vec(
-        std::iter::once(7u64).chain(std::iter::repeat_n(0, 9)).collect(),
+        std::iter::once(7u64)
+            .chain(std::iter::repeat_n(0, 9))
+            .collect(),
     );
     let greedy = greedy_general_schedule(&g, &b);
     validate_schedule(&g, &b, &greedy, 1).unwrap();

@@ -3,18 +3,21 @@
 
 // Pipeline coverage of the deprecated wrapper stays until its removal.
 #![allow(deprecated)]
-use domatic::prelude::*;
 use domatic::core::bounds::uniform_upper_bound;
 use domatic::core::stochastic::best_uniform;
 use domatic::core::uniform::{uniform_schedule, UniformParams};
 use domatic::lp::lp_optimal_lifetime;
+use domatic::prelude::*;
 use domatic::schedule::{longest_valid_prefix, validate_schedule};
 
 #[test]
 fn algorithm1_respects_bound_and_validates_across_families() {
     let b = 3u64;
     let instances: Vec<(&str, Graph)> = vec![
-        ("gnp", graph::generators::gnp::gnp_with_avg_degree(300, 60.0, 1)),
+        (
+            "gnp",
+            graph::generators::gnp::gnp_with_avg_degree(300, 60.0, 1),
+        ),
         (
             "rgg",
             graph::generators::geometric::random_geometric(
@@ -24,7 +27,15 @@ fn algorithm1_respects_bound_and_validates_across_families() {
             )
             .graph,
         ),
-        ("torus", graph::generators::grid::grid(17, 17, graph::generators::grid::GridKind::EightConnected, true)),
+        (
+            "torus",
+            graph::generators::grid::grid(
+                17,
+                17,
+                graph::generators::grid::GridKind::EightConnected,
+                true,
+            ),
+        ),
         ("complete", graph::generators::regular::complete(120)),
     ];
     for (name, g) in instances {

@@ -29,7 +29,11 @@ impl Default for Criterion {
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), samples: self.samples, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _parent: self,
+        }
     }
 
     /// Benchmarks a single function outside any group.
@@ -73,7 +77,9 @@ impl BenchmarkGroup<'_> {
         input: &T,
         mut f: F,
     ) -> &mut Self {
-        run_bench(&format!("{}/{}", self.name, id), self.samples, |b| f(b, input));
+        run_bench(&format!("{}/{}", self.name, id), self.samples, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -89,12 +95,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter` form.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { text: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { text: parameter.to_string() }
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
     }
 }
 
@@ -128,9 +138,15 @@ impl Bencher {
 }
 
 fn run_bench(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
-    let mut b = Bencher { samples, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
-    println!("bench: {id:<50} {:>12.3?}/iter (median of {samples})", b.elapsed);
+    println!(
+        "bench: {id:<50} {:>12.3?}/iter (median of {samples})",
+        b.elapsed
+    );
 }
 
 /// Declares a benchmark group runner, mirroring upstream's macro.

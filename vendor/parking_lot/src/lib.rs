@@ -15,7 +15,9 @@ pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
 impl<T> Mutex<T> {
     /// Creates a new unlocked mutex.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -59,7 +61,9 @@ pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
 impl<T> RwLock<T> {
     /// Creates a new unlocked lock.
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.

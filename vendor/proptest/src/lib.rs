@@ -47,7 +47,11 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Filter { base: self, whence, f }
+            Filter {
+                base: self,
+                whence,
+                f,
+            }
         }
     }
 
@@ -155,7 +159,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng;
 
-    /// Acceptable length specifications for [`vec`].
+    /// Acceptable length specifications for [`vec()`].
     pub trait IntoSizeRange {
         /// Draws a length.
         fn pick_len(&self, rng: &mut TestRng) -> usize;
@@ -184,7 +188,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,

@@ -3,8 +3,8 @@
 //!
 //! The build environment has no registry access, so this shim provides
 //! the `into_par_iter()` / `par_iter()` surface the workspace uses,
-//! executed on a real work-stealing pool of `std::thread` workers (see
-//! [`pool`]): lazily spawned, sized by `ThreadPoolBuilder` /
+//! executed on a real work-stealing pool of `std::thread` workers (the
+//! private `pool` module): lazily spawned, sized by `ThreadPoolBuilder` /
 //! `RAYON_NUM_THREADS` / available cores, with chunked input splitting,
 //! per-worker queues, stealing, and early-exit cancellation for the
 //! short-circuiting `all`/`any` reductions.
@@ -57,7 +57,9 @@ impl<I: IntoIterator> IntoParallelIterator for I {
     type Item = I::Item;
     type Iter = I::IntoIter;
     fn into_par_iter(self) -> ParIter<I::IntoIter> {
-        ParIter { inner: self.into_iter() }
+        ParIter {
+            inner: self.into_iter(),
+        }
     }
 }
 
@@ -78,7 +80,9 @@ where
     type Item = <&'a C as IntoIterator>::Item;
     type Iter = <&'a C as IntoIterator>::IntoIter;
     fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.into_iter() }
+        ParIter {
+            inner: self.into_iter(),
+        }
     }
 }
 
@@ -318,8 +322,9 @@ where
         return chunks.into_iter().map(fold).collect();
     }
 
-    let slots: Vec<std::sync::Mutex<Option<R>>> =
-        (0..num_chunks).map(|_| std::sync::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<R>>> = (0..num_chunks)
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
         .into_iter()
         .zip(&slots)
@@ -397,11 +402,30 @@ pub fn current_num_threads() -> usize {
     pool::num_threads()
 }
 
+/// Spawns a fire-and-forget task onto the global pool, mirroring
+/// upstream `rayon::spawn`: the closure runs asynchronously on a pool
+/// worker and this call returns immediately. There is no join handle —
+/// callers that need completion signalling must carry their own (the
+/// domatic serve layer counts in-flight jobs with an atomic).
+///
+/// A panicking task would otherwise take its worker thread down with it
+/// and silently shrink the pool, so the panic is caught here and
+/// reported on stderr instead (upstream aborts the process; a serving
+/// pool that must outlive bad requests prefers to keep its workers).
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    pool::spawn_task(Box::new(move || {
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err() {
+            eprintln!("rayon::spawn: task panicked (worker kept alive)");
+        }
+    }));
+}
+
 /// The import surface rayon users expect.
 pub mod prelude {
-    pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelIterator,
-    };
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelIterator};
 }
 
 #[cfg(test)]
@@ -453,27 +477,23 @@ mod tests {
     #[test]
     fn for_each_visits_every_element_exactly_once() {
         let hits = AtomicU64::new(0);
-        (0..50_000u64)
-            .into_par_iter()
-            .for_each(|_| {
-                hits.fetch_add(1, Ordering::Relaxed);
-            });
+        (0..50_000u64).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
         assert_eq!(hits.load(Ordering::Relaxed), 50_000);
     }
 
     #[test]
     fn reduce_is_deterministic_for_associative_ops() {
         // Max-by-key with index tiebreak: the workspace's best-of pattern.
-        let pick = |a: (u64, u64), b: (u64, u64)| {
-            match (a.0 % 97).cmp(&(b.0 % 97)) {
-                std::cmp::Ordering::Greater => a,
-                std::cmp::Ordering::Less => b,
-                std::cmp::Ordering::Equal => {
-                    if a.1 <= b.1 {
-                        a
-                    } else {
-                        b
-                    }
+        let pick = |a: (u64, u64), b: (u64, u64)| match (a.0 % 97).cmp(&(b.0 % 97)) {
+            std::cmp::Ordering::Greater => a,
+            std::cmp::Ordering::Less => b,
+            std::cmp::Ordering::Equal => {
+                if a.1 <= b.1 {
+                    a
+                } else {
+                    b
                 }
             }
         };
@@ -489,7 +509,10 @@ mod tests {
 
     #[test]
     fn count_and_sum() {
-        assert_eq!((0..1_000).into_par_iter().filter(|x| x % 3 == 0).count(), 334);
+        assert_eq!(
+            (0..1_000).into_par_iter().filter(|x| x % 3 == 0).count(),
+            334
+        );
         let s: u64 = (0..1_000u64).into_par_iter().sum();
         assert_eq!(s, 499_500);
     }

@@ -83,6 +83,14 @@ pub(crate) fn configure_threads(n: usize) -> bool {
     POOL.get_or_init(|| new_pool(n)).threads == n
 }
 
+/// Queues one detached `'static` task on the global pool (the engine
+/// behind the crate-level `spawn`). Unlike [`run_batch`] this never
+/// blocks and never runs inline: the task executes on a pool worker,
+/// even at pool size 1 (the single lazily-spawned worker drains it).
+pub(crate) fn spawn_task(task: Task) {
+    ensure_workers().submit(vec![task]);
+}
+
 /// The size the global pool has (or would have once spawned).
 pub(crate) fn num_threads() -> usize {
     POOL.get().map_or_else(resolve_threads, |p| p.threads)
@@ -303,8 +311,7 @@ mod tests {
                         .map(|_| {
                             Box::new(move || {
                                 total.fetch_add(1, Ordering::Relaxed);
-                            })
-                                as Box<dyn FnOnce() + Send + '_>
+                            }) as Box<dyn FnOnce() + Send + '_>
                         })
                         .collect();
                     run_batch(inner);
