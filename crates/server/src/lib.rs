@@ -37,7 +37,9 @@
 pub mod cache;
 pub mod protocol;
 pub mod server;
+pub mod trace;
 
 pub use cache::SolveCache;
 pub use protocol::{parse_request, Op, Request};
 pub use server::{Server, ServerConfig, ServerStatsSnapshot};
+pub use trace::{ReqTrace, TraceRecord, Tracer};

@@ -9,7 +9,7 @@
 //! | field         | ops              | default   | meaning |
 //! |---------------|------------------|-----------|---------|
 //! | `id`          | all              | required  | echoed on the response |
-//! | `op`          | all              | required  | `solve`, `bounds`, `adapt`, `stats`, `ping`, `shutdown` |
+//! | `op`          | all              | required  | `solve`, `bounds`, `adapt`, `stats`, `metrics`, `profile`, `ping`, `shutdown` |
 //! | `graph`       | solve/bounds/adapt | required | a graph name preloaded at server start |
 //! | `alg`         | solve/adapt      | `uniform` | a [`solver_registry`] name |
 //! | `b`           | solve/bounds/adapt | 3       | uniform battery level |
@@ -46,6 +46,11 @@ pub enum Op {
     Adapt,
     /// Report the server's counters (requests, cache, batching).
     Stats,
+    /// Render the telemetry registry in Prometheus text exposition
+    /// format (returned as one JSON string field).
+    Metrics,
+    /// Return the completed-request trace ring and span aggregates.
+    Profile,
     /// Liveness probe.
     Ping,
     /// Begin graceful drain: finish in-flight work, admit nothing new.
@@ -59,6 +64,8 @@ impl Op {
             "bounds" => Op::Bounds,
             "adapt" => Op::Adapt,
             "stats" => Op::Stats,
+            "metrics" => Op::Metrics,
+            "profile" => Op::Profile,
             "ping" => Op::Ping,
             "shutdown" => Op::Shutdown,
             _ => return None,
@@ -139,7 +146,7 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, DomaticError)> {
     let op_name = field_str(&obj, "op", "").map_err(fail)?;
     let op = Op::parse(&op_name).ok_or_else(|| {
         fail(bad(format!(
-            "unknown op '{op_name}' (solve|bounds|adapt|stats|ping|shutdown)"
+            "unknown op '{op_name}' (solve|bounds|adapt|stats|metrics|profile|ping|shutdown)"
         )))
     })?;
     let graph = field_str(&obj, "graph", "").map_err(fail)?;
@@ -151,9 +158,16 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, DomaticError)> {
         .trials(field_u64(&obj, "trials", 8).map_err(fail)?)
         .k(field_u64(&obj, "k", 1).map_err(fail)? as usize)
         .c(field_f64(&obj, "c", 3.0).map_err(fail)?);
+    // Parsed once: an absent field means "no deadline", while a present
+    // field must be a non-negative integer — a null/float/string never
+    // silently defaults.
     let deadline_ms = match obj.get("deadline_ms") {
         None => None,
-        Some(_) => Some(field_u64(&obj, "deadline_ms", 0).map_err(fail)?),
+        Some(v) => Some(
+            v.as_int()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| fail(bad("field 'deadline_ms' must be a non-negative integer")))?,
+        ),
     };
     Ok(Request {
         id,
@@ -228,6 +242,89 @@ mod tests {
 
         let (_, e) = parse_request(r#"{"id":1,"op":"solve"}"#).unwrap_err();
         assert!(e.to_string().contains("graph"), "{e}");
+    }
+
+    #[test]
+    fn deadline_ms_must_be_a_nonnegative_integer_when_present() {
+        // Absent → no deadline.
+        let r = parse_request(r#"{"id":1,"op":"solve","graph":"g"}"#).unwrap();
+        assert_eq!(r.deadline_ms, None);
+        // Present and integral → parsed (including explicit 0).
+        let r = parse_request(r#"{"id":1,"op":"solve","graph":"g","deadline_ms":0}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(0));
+        // null / float / string / negative are rejected, never defaulted.
+        for bad_value in ["null", "1.5", "\"100\"", "-3", "true"] {
+            let line = format!(
+                "{{\"id\":2,\"op\":\"solve\",\"graph\":\"g\",\"deadline_ms\":{bad_value}}}"
+            );
+            let (id, e) = parse_request(&line).unwrap_err();
+            assert_eq!(id, 2, "id still recovered for {bad_value}");
+            assert!(
+                e.to_string().contains("deadline_ms"),
+                "error names the field for {bad_value}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_and_profile_ops_parse_without_a_graph() {
+        let r = parse_request(r#"{"id":5,"op":"metrics"}"#).unwrap();
+        assert_eq!(r.op, Op::Metrics);
+        let r = parse_request(r#"{"id":6,"op":"profile"}"#).unwrap();
+        assert_eq!(r.op, Op::Profile);
+    }
+
+    #[test]
+    fn err_line_escapes_hostile_messages_byte_exactly() {
+        // Control chars, quotes, backslashes, and non-ASCII in error
+        // messages must stay valid JSON — these exact bytes can be
+        // cached and replayed.
+        let cases = [
+            ("quote\"inside", "quote\\\"inside"),
+            ("back\\slash", "back\\\\slash"),
+            ("tab\there", "tab\\there"),
+            ("new\nline", "new\\nline"),
+            ("bell\u{7}char", "bell\\u0007char"),
+            ("snow\u{2603}man", "snow\u{2603}man"),
+        ];
+        for (raw, escaped) in cases {
+            let err = DomaticError::BadRequest {
+                message: raw.to_string(),
+            };
+            let line = err_line(9, &err);
+            let expected = format!(
+                "{{\"id\":9,\"ok\":false,\"error\":{{\"kind\":\"bad_request\",\"message\":\"bad request: {escaped}\"}}}}"
+            );
+            assert_eq!(line, expected, "byte-exact rendering for {raw:?}");
+            let parsed = json::parse(&line).expect("line parses back");
+            let msg = parsed
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(|m| m.as_str())
+                .unwrap();
+            assert_eq!(
+                msg,
+                format!("bad request: {raw}"),
+                "round-trips for {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_str_render_escapes_every_class_of_hostile_input() {
+        let hostile = "a\"b\\c\nd\re\tf\u{1}g\u{1F}h\u{80}i\u{2028}j";
+        let rendered = Json::Str(hostile.to_string()).render();
+        // Valid JSON that round-trips to the original.
+        assert_eq!(
+            json::parse(&rendered).unwrap().as_str(),
+            Some(hostile),
+            "{rendered}"
+        );
+        // No raw control bytes survive in the rendered form.
+        assert!(
+            rendered.bytes().all(|b| b >= 0x20),
+            "control bytes leaked: {rendered:?}"
+        );
     }
 
     #[test]

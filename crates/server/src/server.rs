@@ -32,6 +32,7 @@
 
 use crate::cache::SolveCache;
 use crate::protocol::{self, Op, Request};
+use crate::trace::{ReqTrace, Tracer};
 use domatic_core::error::DomaticError;
 use domatic_core::hash::{config_hash, graph_hash, CanonicalHasher};
 use domatic_core::solver::make_solver;
@@ -69,6 +70,13 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Byte budget of the LRU solve cache.
     pub cache_bytes: usize,
+    /// Requests whose total latency reaches this many milliseconds get
+    /// their full event lifecycle dumped to the access log (stderr when
+    /// no log is attached). `None` disables the slow-request log.
+    pub slow_ms: Option<u64>,
+    /// How many completed-request trace records the in-memory ring
+    /// keeps for the `profile` op.
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +85,8 @@ impl Default for ServerConfig {
             capacity: 64,
             batch_window: Duration::from_millis(2),
             cache_bytes: 16 << 20,
+            slow_ms: None,
+            trace_ring: 256,
         }
     }
 }
@@ -141,6 +151,7 @@ struct Waiter {
     deadline: Option<Instant>,
     deadline_ms: u64,
     sink: ResponseSink,
+    trace: Arc<ReqTrace>,
 }
 
 impl Waiter {
@@ -177,6 +188,7 @@ pub struct Server {
     accepting: AtomicBool,
     shutdown_requested: AtomicBool,
     counters: Counters,
+    tracer: Tracer,
 }
 
 impl Server {
@@ -184,6 +196,10 @@ impl Server {
     pub fn new(cfg: ServerConfig) -> Self {
         Server {
             cache: Mutex::new(SolveCache::new(cfg.cache_bytes)),
+            tracer: Tracer::new(
+                cfg.trace_ring,
+                cfg.slow_ms.map(|ms| ms.saturating_mul(1000)),
+            ),
             cfg,
             graphs: HashMap::new(),
             pending: Mutex::new(HashMap::new()),
@@ -193,6 +209,14 @@ impl Server {
             shutdown_requested: AtomicBool::new(false),
             counters: Counters::default(),
         }
+    }
+
+    /// Attaches a JSON-lines access-log sink: every traced request
+    /// writes its lifecycle events there. Trace output never touches
+    /// response bytes, so responses stay byte-identical with or without
+    /// a log attached.
+    pub fn set_access_log(&self, w: Box<dyn Write + Send>) {
+        self.tracer.set_log(w);
     }
 
     /// Registers a graph under `name`, hashing it once.
@@ -282,6 +306,16 @@ impl Server {
                 self.respond(sink, &protocol::ok_line(req.id, &payload));
                 false
             }
+            Op::Metrics => {
+                let payload = format!("{{\"exposition\":{}}}", json_str(&self.metrics_text()));
+                self.respond(sink, &protocol::ok_line(req.id, &payload));
+                false
+            }
+            Op::Profile => {
+                let payload = self.render_profile();
+                self.respond(sink, &protocol::ok_line(req.id, &payload));
+                false
+            }
             Op::Shutdown => {
                 self.accepting.store(false, Ordering::Release);
                 self.shutdown_requested.store(true, Ordering::Release);
@@ -296,9 +330,19 @@ impl Server {
     }
 
     /// Validates, canonicalizes, and routes one solve-shaped request
-    /// through cache → batch-join → admission.
+    /// through cache → batch-join → admission. Every request entering
+    /// here gets a trace id; events flow to the access log and the
+    /// profile ring, never into responses.
     fn submit(self: &Arc<Self>, req: Request, sink: &ResponseSink) {
+        let op_name = match req.op {
+            Op::Solve => "solve",
+            Op::Bounds => "bounds",
+            Op::Adapt => "adapt",
+            _ => unreachable!("only solve-shaped ops are submitted"),
+        };
+        let rt = self.tracer.begin(req.id, op_name, &req.graph, &req.alg);
         let Some(named) = self.graphs.get(&req.graph) else {
+            self.tracer.shed(&rt, "unknown_graph");
             self.respond_err(
                 sink,
                 req.id,
@@ -312,6 +356,7 @@ impl Server {
         // occupy pool capacity.
         if matches!(req.op, Op::Solve | Op::Adapt) {
             if let Err(e) = make_solver(&req.alg) {
+                self.tracer.shed(&rt, "unknown_solver");
                 self.respond_err(sink, req.id, &e);
                 return;
             }
@@ -323,6 +368,7 @@ impl Server {
                     req.failures
                 ),
             };
+            self.tracer.shed(&rt, "unknown_failure_model");
             self.respond_err(sink, req.id, &e);
             return;
         }
@@ -333,10 +379,13 @@ impl Server {
             graph_hash: named.hash,
             req,
         };
+        self.tracer.event(&rt, "admitted");
 
         if let Some(payload) = lock(&self.cache).get(spec.key) {
             bump(&self.counters.cache_hits, "server.cache.hit", 1);
+            self.tracer.event(&rt, "cache_hit");
             self.respond(sink, &protocol::ok_line(spec.req.id, &payload));
+            self.tracer.finish(&rt, "ok", 0, 0);
             return;
         }
 
@@ -348,6 +397,7 @@ impl Server {
                 .map(|ms| Instant::now() + Duration::from_millis(ms)),
             deadline_ms: spec.req.deadline_ms.unwrap_or(0),
             sink: Arc::clone(sink),
+            trace: Arc::clone(&rt),
         };
 
         // Join-or-open must be atomic per key, so the whole decision sits
@@ -355,11 +405,13 @@ impl Server {
         let mut pending = lock(&self.pending);
         if let Some(batch) = pending.get(&spec.key) {
             bump(&self.counters.batch_joined, "server.batch.joined", 1);
+            self.tracer.event(&rt, "batch_joined");
             lock(&batch.waiters).push(waiter);
             return;
         }
         if !self.accepting.load(Ordering::Acquire) {
             drop(pending);
+            self.tracer.shed(&rt, "shutting_down");
             self.respond_err(sink, spec.req.id, &DomaticError::ShuttingDown);
             return;
         }
@@ -369,6 +421,7 @@ impl Server {
                 drop(inflight);
                 drop(pending);
                 bump(&self.counters.overloads, "server.overload", 1);
+                self.tracer.shed(&rt, "overloaded");
                 self.respond_err(
                     sink,
                     spec.req.id,
@@ -385,6 +438,7 @@ impl Server {
         // `batch_joined` instead, so hits + misses + joins partitions the
         // admitted cacheable traffic.
         bump(&self.counters.cache_misses, "server.cache.miss", 1);
+        self.tracer.event(&rt, "cache_miss");
         let batch = Arc::new(Batch {
             created: Instant::now(),
             waiters: Mutex::new(vec![waiter]),
@@ -416,42 +470,79 @@ impl Server {
         };
 
         // A prior batch may have filled the key between this leader's
-        // admission miss and now.
+        // admission miss and now. The solve/render phase timing belongs
+        // to the batch: it is recorded against the leader's trace events
+        // and stamped into every waiter's completion record.
+        let leader = waiters.first().map(|w| Arc::clone(&w.trace));
         let cached = lock(&self.cache).get(spec.key);
+        let mut solve_us = 0u64;
+        let mut render_us = 0u64;
         let outcome: Result<Arc<str>, DomaticError> = match cached {
-            Some(payload) => Ok(payload),
+            Some(payload) => {
+                if let Some(rt) = &leader {
+                    self.tracer.event(rt, "cache_hit");
+                }
+                Ok(payload)
+            }
             None if waiters.iter().all(Waiter::expired) => {
                 // Nobody is left to receive the result: skip the solve and
                 // keep serving. (There is always at least the opener.)
-                self.finish(&waiters, None);
+                self.finish(&waiters, None, 0, 0);
                 return;
             }
-            None => self.compute(&spec).map(|payload| {
-                let payload: Arc<str> = payload.into();
-                bump(&self.counters.solves, "server.solves", 1);
-                let (evicted, bytes) = {
-                    let mut cache = lock(&self.cache);
-                    let evicted = cache.insert(spec.key, Arc::clone(&payload));
-                    (evicted, cache.bytes() as u64)
-                };
-                if evicted > 0 {
-                    bump(
-                        &self.counters.cache_evictions,
-                        "server.cache.eviction",
-                        evicted,
-                    );
+            None => {
+                if let Some(rt) = &leader {
+                    self.tracer.event(rt, "solve_start");
                 }
-                domatic_telemetry::global().set_gauge("runtime.cache_bytes", bytes);
-                payload
-            }),
+                let computed = self.compute(&spec);
+                if let Some(rt) = &leader {
+                    self.tracer.event(rt, "solve_end");
+                }
+                computed.map(|(payload, s_us, r_us)| {
+                    solve_us = s_us;
+                    render_us = r_us;
+                    domatic_telemetry::global().observe_labeled(
+                        "server.solve_latency_us",
+                        &[("alg", &spec.req.alg), ("graph", &spec.req.graph)],
+                        s_us,
+                    );
+                    if let Some(rt) = &leader {
+                        self.tracer.event(rt, "rendered");
+                    }
+                    let payload: Arc<str> = payload.into();
+                    bump(&self.counters.solves, "server.solves", 1);
+                    let (evicted, bytes) = {
+                        let mut cache = lock(&self.cache);
+                        let evicted = cache.insert(spec.key, Arc::clone(&payload));
+                        (evicted, cache.bytes() as u64)
+                    };
+                    if evicted > 0 {
+                        bump(
+                            &self.counters.cache_evictions,
+                            "server.cache.eviction",
+                            evicted,
+                        );
+                    }
+                    domatic_telemetry::global().set_gauge("runtime.cache_bytes", bytes);
+                    payload
+                })
+            }
         };
-        self.finish(&waiters, Some(outcome));
+        self.finish(&waiters, Some(outcome), solve_us, render_us);
     }
 
     /// Fans a job outcome out to its waiters (deadline-checked per
     /// waiter) and releases the in-flight slot. `None` means the solve
     /// was skipped because every waiter had already expired.
-    fn finish(&self, waiters: &[Waiter], outcome: Option<Result<Arc<str>, DomaticError>>) {
+    /// `solve_us`/`render_us` are the batch's phase durations, stamped
+    /// into each waiter's trace completion.
+    fn finish(
+        &self,
+        waiters: &[Waiter],
+        outcome: Option<Result<Arc<str>, DomaticError>>,
+        solve_us: u64,
+        render_us: u64,
+    ) {
         for w in waiters {
             if w.expired() {
                 bump(
@@ -459,6 +550,7 @@ impl Server {
                     "server.deadline.expired",
                     1,
                 );
+                self.tracer.event(&w.trace, "deadline_expired");
                 self.respond_err(
                     &w.sink,
                     w.id,
@@ -466,14 +558,22 @@ impl Server {
                         deadline_ms: w.deadline_ms,
                     },
                 );
+                self.tracer
+                    .finish(&w.trace, "deadline", solve_us, render_us);
                 continue;
             }
             match outcome
                 .as_ref()
                 .expect("unexpired waiter implies an outcome")
             {
-                Ok(payload) => self.respond(&w.sink, &protocol::ok_line(w.id, payload)),
-                Err(e) => self.respond_err(&w.sink, w.id, e),
+                Ok(payload) => {
+                    self.respond(&w.sink, &protocol::ok_line(w.id, payload));
+                    self.tracer.finish(&w.trace, "ok", solve_us, render_us);
+                }
+                Err(e) => {
+                    self.respond_err(&w.sink, w.id, e);
+                    self.tracer.finish(&w.trace, "error", solve_us, render_us);
+                }
             }
         }
         let mut inflight = lock(&self.inflight);
@@ -484,15 +584,59 @@ impl Server {
         }
     }
 
-    /// Computes a request's payload. Panics inside solver code are
-    /// caught and surfaced as a typed error so one poisoned instance
-    /// cannot take the worker (or the server) down.
-    fn compute(&self, spec: &JobSpec) -> Result<String, DomaticError> {
+    /// Computes a request's payload (with solve/render split timing, in
+    /// µs). Panics inside solver code are caught and surfaced as a typed
+    /// error so one poisoned instance cannot take the worker (or the
+    /// server) down.
+    fn compute(&self, spec: &JobSpec) -> Result<(String, u64, u64), DomaticError> {
         catch_unwind(AssertUnwindSafe(|| compute_payload(spec))).unwrap_or_else(|_| {
             Err(DomaticError::BadRequest {
                 message: "solver panicked on this instance".into(),
             })
         })
+    }
+
+    /// Renders the telemetry registry as Prometheus text exposition,
+    /// refreshing point-in-time gauges (cache bytes/entries, in-flight)
+    /// first so every scrape is current.
+    pub fn metrics_text(&self) -> String {
+        let t = domatic_telemetry::global();
+        let (bytes, entries) = {
+            let cache = lock(&self.cache);
+            (cache.bytes() as u64, cache.len() as u64)
+        };
+        t.set_gauge("runtime.cache_bytes", bytes);
+        t.set_gauge("server.cache_entries", entries);
+        t.set_gauge("server.inflight", *lock(&self.inflight) as u64);
+        domatic_telemetry::prometheus::render(&t.snapshot())
+    }
+
+    /// Renders the `profile` payload: the completed-request ring (oldest
+    /// first) plus span aggregates, with fixed field order.
+    fn render_profile(&self) -> String {
+        let mut out = String::from("{\"ring\":[");
+        for (i, rec) in self.tracer.ring_snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&rec.render_json());
+        }
+        out.push_str("],\"spans\":{");
+        let snap = domatic_telemetry::global().snapshot();
+        for (i, (path, stat)) in snap.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"total_ns\":{}}}",
+                json_str(path),
+                stat.count,
+                stat.total_ns
+            );
+        }
+        out.push_str("}}");
+        out
     }
 
     fn respond(&self, sink: &ResponseSink, line: &str) {
@@ -583,24 +727,35 @@ fn solve_key(req: &Request, graph_hash: u64) -> u64 {
             h.write_u64(req.p.to_bits());
             h.write_u64(req.slots);
         }
-        Op::Ping | Op::Stats | Op::Shutdown => unreachable!("not cacheable ops"),
+        Op::Ping | Op::Stats | Op::Metrics | Op::Profile | Op::Shutdown => {
+            unreachable!("not cacheable ops")
+        }
     }
     h.finish()
 }
 
-/// Renders a payload for one solve-shaped request. Field order is fixed
+/// Renders a payload for one solve-shaped request, returning the payload
+/// plus solve and render phase durations in µs. Field order is fixed
 /// (alphabetical) and every formatting choice is deterministic, so equal
-/// requests render byte-identical payloads on any thread count.
-fn compute_payload(spec: &JobSpec) -> Result<String, DomaticError> {
+/// requests render byte-identical payloads on any thread count —
+/// the timing is observational only and never feeds the payload.
+fn compute_payload(spec: &JobSpec) -> Result<(String, u64, u64), DomaticError> {
     let g = &*spec.graph;
     let req = &spec.req;
     let batteries = Batteries::uniform(g.n(), req.b);
+    let t_start = Instant::now();
+    let timed = |t_solve: Instant, payload: String| {
+        let render_us = t_solve.elapsed().as_micros() as u64;
+        let solve_us = (t_start.elapsed().as_micros() as u64).saturating_sub(render_us);
+        (payload, solve_us, render_us)
+    };
     match req.op {
         Op::Bounds => {
             let general = domatic_core::bounds::general_upper_bound(g, &batteries);
             let uniform = domatic_core::bounds::uniform_upper_bound(g, req.b);
             let ft = domatic_core::bounds::fault_tolerant_upper_bound(g, req.b, req.cfg.k.max(1));
-            Ok(format!(
+            let t_solve = Instant::now();
+            Ok(timed(t_solve, format!(
                 "{{\"b\":{},\"ft\":{ft},\"general\":{general},\"graph\":{},\"graph_hash\":\"{:016x}\",\"k\":{},\"m\":{},\"n\":{},\"uniform\":{uniform}}}",
                 req.b,
                 json_str(&req.graph),
@@ -608,13 +763,14 @@ fn compute_payload(spec: &JobSpec) -> Result<String, DomaticError> {
                 req.cfg.k.max(1),
                 g.m(),
                 g.n(),
-            ))
+            )))
         }
         Op::Solve => {
             let solver = make_solver(&req.alg)?;
             let schedule = solver.schedule(g, &batteries, &req.cfg)?;
             let tolerance = solver.tolerance(&req.cfg);
             let bound = solver.upper_bound(g, &batteries, &req.cfg);
+            let t_solve = Instant::now();
             let mut sched_json = String::from("[");
             for (i, entry) in schedule.entries().iter().enumerate() {
                 if i > 0 {
@@ -630,7 +786,7 @@ fn compute_payload(spec: &JobSpec) -> Result<String, DomaticError> {
                 sched_json.push_str("]]");
             }
             sched_json.push(']');
-            Ok(format!(
+            Ok(timed(t_solve, format!(
                 "{{\"alg\":{},\"b\":{},\"bound\":{bound},\"graph\":{},\"graph_hash\":\"{:016x}\",\"k\":{},\"lifetime\":{},\"n\":{},\"schedule\":{sched_json},\"seed\":{},\"steps\":{},\"tolerance\":{tolerance},\"trials\":{}}}",
                 json_str(&req.alg),
                 req.b,
@@ -642,7 +798,7 @@ fn compute_payload(spec: &JobSpec) -> Result<String, DomaticError> {
                 req.cfg.seed,
                 schedule.num_steps(),
                 req.cfg.trials,
-            ))
+            )))
         }
         Op::Adapt => {
             let solver = make_solver(&req.alg)?;
@@ -658,7 +814,8 @@ fn compute_payload(spec: &JobSpec) -> Result<String, DomaticError> {
             };
             let cmp =
                 compare_static_adaptive(g, &batteries, solver.as_ref(), &req.cfg, &acfg, &plan)?;
-            Ok(format!(
+            let t_solve = Instant::now();
+            Ok(timed(t_solve, format!(
                 "{{\"adaptive_lifetime\":{},\"alg\":{},\"b\":{},\"deaths\":{},\"failures\":{},\"graph\":{},\"p\":{:?},\"planned\":{},\"replans\":{},\"seed\":{},\"slots\":{},\"static_lifetime\":{}}}",
                 cmp.adaptive.lifetime,
                 json_str(&req.alg),
@@ -672,9 +829,11 @@ fn compute_payload(spec: &JobSpec) -> Result<String, DomaticError> {
                 req.cfg.seed,
                 req.slots,
                 cmp.static_run.lifetime,
-            ))
+            )))
         }
-        Op::Ping | Op::Stats | Op::Shutdown => unreachable!("answered inline"),
+        Op::Ping | Op::Stats | Op::Metrics | Op::Profile | Op::Shutdown => {
+            unreachable!("answered inline")
+        }
     }
 }
 

@@ -90,6 +90,7 @@ fn batched_duplicates_run_exactly_one_solve_and_fan_out_identically() {
         capacity: 8,
         batch_window: Duration::from_millis(300),
         cache_bytes: 1 << 20,
+        ..ServerConfig::default()
     });
     let (buf, sink) = sink();
     for id in 1..=4u64 {
@@ -118,6 +119,7 @@ fn cached_response_is_byte_identical_to_the_uncached_one() {
         capacity: 8,
         batch_window: Duration::ZERO,
         cache_bytes: 1 << 20,
+        ..ServerConfig::default()
     });
     let (buf, sink) = sink();
     let line = r#"{"id":9,"op":"solve","graph":"ring","alg":"uniform","b":2,"seed":5,"trials":4}"#;
@@ -140,6 +142,7 @@ fn batched_and_unbatched_servers_render_the_same_bytes() {
         capacity: 8,
         batch_window: Duration::from_millis(100),
         cache_bytes: 1 << 20,
+        ..ServerConfig::default()
     });
     let (buf_a, sink_a) = sink();
     batching.handle_line(req, &sink_a);
@@ -150,6 +153,7 @@ fn batched_and_unbatched_servers_render_the_same_bytes() {
         capacity: 8,
         batch_window: Duration::ZERO,
         cache_bytes: 1 << 20,
+        ..ServerConfig::default()
     });
     let (buf_b, sink_b) = sink();
     cold.handle_line(req, &sink_b);
@@ -167,6 +171,7 @@ fn expired_deadline_gets_a_typed_error_and_the_server_keeps_serving() {
         capacity: 8,
         batch_window: Duration::ZERO,
         cache_bytes: 1 << 20,
+        ..ServerConfig::default()
     });
     let (buf, sink) = sink();
     // deadline_ms 0 expires the moment the job is dequeued.
@@ -193,6 +198,7 @@ fn admission_beyond_capacity_is_a_typed_overloaded_error() {
         capacity: 1,
         batch_window: Duration::from_millis(400),
         cache_bytes: 1 << 20,
+        ..ServerConfig::default()
     });
     let (buf, sink) = sink();
     // First request occupies the single in-flight slot for the whole
@@ -225,6 +231,7 @@ fn bounds_and_adapt_ops_serve_and_cache() {
         capacity: 8,
         batch_window: Duration::ZERO,
         cache_bytes: 1 << 20,
+        ..ServerConfig::default()
     });
     let (buf, sink) = sink();
     let bounds = r#"{"id":1,"op":"bounds","graph":"ring","b":3}"#;
@@ -283,6 +290,7 @@ fn shutdown_drains_and_rejects_new_work() {
         capacity: 8,
         batch_window: Duration::from_millis(50),
         cache_bytes: 1 << 20,
+        ..ServerConfig::default()
     });
     let (buf, sink) = sink();
     server.handle_line(r#"{"id":1,"op":"solve","graph":"ring","b":3}"#, &sink);
@@ -315,6 +323,7 @@ fn tcp_transport_serves_concurrent_mixed_clients_end_to_end() {
         capacity: 16,
         batch_window: Duration::from_millis(5),
         cache_bytes: 1 << 20,
+        ..ServerConfig::default()
     });
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
@@ -391,4 +400,227 @@ fn stats_op_reports_counters_inline() {
     assert!(responses[0].contains("\"pong\":true"));
     let v = json::parse(&result_of(&responses[1])).unwrap();
     assert_eq!(v.get("requests").unwrap().as_int().unwrap(), 2);
+}
+
+/// A `Write` adapter over a shared byte buffer, used as an access-log
+/// sink in tests.
+struct SharedLog(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedLog {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn access_log_traces_the_lifecycle_without_changing_response_bytes() {
+    let requests = [
+        r#"{"id":1,"op":"solve","graph":"ring","alg":"greedy","b":3,"seed":41}"#,
+        r#"{"id":2,"op":"bounds","graph":"ring","b":3,"k":2}"#,
+        r#"{"id":1,"op":"solve","graph":"ring","alg":"greedy","b":3,"seed":41}"#, // cache hit
+        r#"{"id":3,"op":"solve","graph":"nope","b":3}"#,                          // shed
+    ];
+    let run = |with_log: bool| -> (Vec<String>, Vec<String>) {
+        let server = make_server(ServerConfig {
+            capacity: 8,
+            batch_window: Duration::ZERO,
+            cache_bytes: 1 << 20,
+            ..ServerConfig::default()
+        });
+        let log_buf = Arc::new(Mutex::new(Vec::new()));
+        if with_log {
+            server.set_access_log(Box::new(SharedLog(Arc::clone(&log_buf))));
+        }
+        let (buf, sink) = sink();
+        for (i, line) in requests.iter().enumerate() {
+            server.handle_line(line, &sink);
+            if i < 2 {
+                // Let the first two land (the third must be a cache hit).
+                wait_lines(&buf, i + 1);
+            }
+        }
+        let mut responses = wait_lines(&buf, requests.len());
+        responses.sort();
+        let log_lines: Vec<String> = String::from_utf8(log_buf.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        (responses, log_lines)
+    };
+
+    let (traced, log) = run(true);
+    let (untraced, no_log) = run(false);
+    // The tracing-never-changes-response-bytes invariant.
+    assert_eq!(
+        traced, untraced,
+        "responses must be byte-identical with tracing on vs off"
+    );
+    assert!(no_log.is_empty());
+    assert!(!log.is_empty(), "access log captured events");
+
+    // Every log line is valid JSON; timestamps are monotone per trace.
+    let mut last_t: std::collections::HashMap<i128, i128> = std::collections::HashMap::new();
+    let mut events_seen = std::collections::HashSet::new();
+    for line in &log {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("invalid log line {line}: {e}"));
+        let trace = v.get("trace").and_then(|t| t.as_int()).unwrap();
+        let t_us = v.get("t_us").and_then(|t| t.as_int()).unwrap();
+        let prev = last_t.insert(trace, t_us).unwrap_or(0);
+        assert!(
+            t_us >= prev,
+            "timestamps regress within trace {trace}: {line}"
+        );
+        events_seen.insert(v.get("event").and_then(|e| e.as_str()).unwrap().to_string());
+    }
+    for required in [
+        "received",
+        "admitted",
+        "cache_miss",
+        "cache_hit",
+        "solve_start",
+        "solve_end",
+        "rendered",
+        "written",
+        "shed",
+    ] {
+        assert!(
+            events_seen.contains(required),
+            "missing event {required}: {log:?}"
+        );
+    }
+    // No trace id ever appears in a response line.
+    for line in &traced {
+        assert!(
+            !line.contains("\"trace\""),
+            "trace leaked into response: {line}"
+        );
+    }
+}
+
+#[test]
+fn metrics_op_returns_valid_prometheus_exposition() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+        ..ServerConfig::default()
+    });
+    let (buf, sink) = sink();
+    server.handle_line(
+        r#"{"id":1,"op":"solve","graph":"ring","alg":"greedy","b":3,"seed":7}"#,
+        &sink,
+    );
+    wait_lines(&buf, 1);
+    server.handle_line(r#"{"id":2,"op":"metrics"}"#, &sink);
+    let responses = wait_lines(&buf, 2);
+    let metrics_line = responses.iter().find(|l| id_of(l) == 2).unwrap();
+    let v = json::parse(&result_of(metrics_line)).unwrap();
+    let text = v.get("exposition").and_then(|e| e.as_str()).unwrap();
+
+    // The exposition parses and contains the required series. The
+    // telemetry registry is process-global (shared across tests in this
+    // binary), so assertions are existence/at-least, never equality.
+    let samples = domatic_telemetry::prometheus::parse(text).expect("valid exposition");
+    let value_of = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    };
+    assert!(value_of("server_requests_total").is_some_and(|v| v >= 2.0));
+    assert!(value_of("runtime_cache_bytes").is_some_and(|v| v > 0.0));
+    assert!(value_of("server_cache_entries").is_some_and(|v| v >= 1.0));
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "server_request_latency_us_bucket"
+                && s.label("op") == Some("solve")
+                && s.label("le").is_some()),
+        "per-op latency histogram buckets present"
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "server_solve_latency_us_count"
+                && s.label("alg") == Some("greedy")
+                && s.label("graph") == Some("ring")),
+        "per-solver/per-graph latency histogram present"
+    );
+    // And the full text round-trips through the snapshot parser.
+    let snap = domatic_telemetry::prometheus::parse_snapshot(text).unwrap();
+    assert!(snap.counters.contains_key("server_requests"));
+}
+
+#[test]
+fn profile_op_reports_the_trace_ring() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+        trace_ring: 4,
+        ..ServerConfig::default()
+    });
+    let (buf, sink) = sink();
+    for seed in 0..3 {
+        let line = format!(
+            "{{\"id\":{seed},\"op\":\"solve\",\"graph\":\"ring\",\"alg\":\"greedy\",\"b\":3,\"seed\":{seed}}}"
+        );
+        server.handle_line(&line, &sink);
+    }
+    wait_lines(&buf, 3);
+    server.handle_line(r#"{"id":99,"op":"profile"}"#, &sink);
+    let responses = wait_lines(&buf, 4);
+    let profile_line = responses.iter().find(|l| id_of(l) == 99).unwrap();
+    let v = json::parse(&result_of(profile_line)).unwrap();
+    let ring = match v.get("ring") {
+        Some(json::Json::Arr(items)) => items,
+        other => panic!("ring must be an array: {other:?}"),
+    };
+    assert_eq!(ring.len(), 3, "one completed record per request");
+    for rec in ring {
+        assert_eq!(rec.get("op").and_then(|o| o.as_str()), Some("solve"));
+        assert_eq!(rec.get("outcome").and_then(|o| o.as_str()), Some("ok"));
+        let total = rec.get("total_us").and_then(|t| t.as_int()).unwrap();
+        let queue = rec.get("queue_us").and_then(|t| t.as_int()).unwrap();
+        let solve = rec.get("solve_us").and_then(|t| t.as_int()).unwrap();
+        let render = rec.get("render_us").and_then(|t| t.as_int()).unwrap();
+        assert!(
+            queue + solve + render <= total + 1,
+            "phases partition total: {rec:?}"
+        );
+    }
+    assert!(v.get("spans").is_some());
+}
+
+#[test]
+fn slow_request_threshold_dumps_lifecycles_to_the_access_log() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+        slow_ms: Some(0), // everything is an outlier
+        ..ServerConfig::default()
+    });
+    let log_buf = Arc::new(Mutex::new(Vec::new()));
+    server.set_access_log(Box::new(SharedLog(Arc::clone(&log_buf))));
+    let (buf, sink) = sink();
+    server.handle_line(r#"{"id":1,"op":"bounds","graph":"ring","b":3}"#, &sink);
+    wait_lines(&buf, 1);
+    let text = String::from_utf8(log_buf.lock().unwrap().clone()).unwrap();
+    let slow: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"event\":\"slow_request\""))
+        .collect();
+    assert_eq!(slow.len(), 1, "{text}");
+    let v = json::parse(slow[0]).unwrap();
+    let events = match v.get("events") {
+        Some(json::Json::Arr(e)) => e.len(),
+        other => panic!("events must be an array: {other:?}"),
+    };
+    assert!(events >= 3, "lifecycle dump carries the event list");
 }

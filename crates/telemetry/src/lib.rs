@@ -37,15 +37,18 @@
 
 pub mod hist;
 pub mod json;
+pub mod prometheus;
 pub mod registry;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
 
-pub use hist::{HistSummary, Histogram};
-pub use registry::{Counter, Gauge, Registry, SpanStat};
+pub use hist::{
+    default_latency_buckets_us, BucketHistogram, BucketSummary, HistSummary, Histogram,
+};
+pub use registry::{label_string, Counter, Gauge, Registry, SpanStat};
 pub use sink::{JsonLinesSink, Sink, TableSink};
-pub use snapshot::Snapshot;
+pub use snapshot::{FamilySummary, Snapshot};
 pub use span::{enabled, set_enabled, spans_elided, Span};
 
 use std::sync::OnceLock;

@@ -1,0 +1,520 @@
+//! Prometheus text exposition (format 0.0.4): render a [`Snapshot`] as
+//! scrapeable plain text, and parse that text back.
+//!
+//! Mapping rules (deterministic, so two renders of equal snapshots are
+//! byte-identical):
+//!
+//! - metric names are sanitized to `[a-zA-Z0-9_:]` (dots become
+//!   underscores: `server.requests` → `server_requests`);
+//! - counters gain the conventional `_total` suffix;
+//! - gauges render as-is;
+//! - unlabeled log-bucket histograms render as Prometheus *summaries*
+//!   (`{quantile="0.5"}` … plus `{quantile="1"}` carrying the exact
+//!   max, `_sum`, `_count`) — their log-2 summaries carry quantile
+//!   estimates, not raw buckets;
+//! - labeled explicit-bucket families render as Prometheus *histograms*
+//!   (cumulative `_bucket{…,le="…"}` series ending in `le="+Inf"`, plus
+//!   `_sum`/`_count` per label set);
+//! - span aggregates render as two labeled counters,
+//!   `span_count_total{path="a/b"}` and `span_time_ns_total{path="a/b"}`.
+//!
+//! The parser accepts any well-formed 0.0.4 text (the tests feed it the
+//! renderer's output; `domatic top` feeds it live `metrics` scrapes) and
+//! [`parse_snapshot`] inverts the mapping above so scraped state comes
+//! back as a [`Snapshot`] ready for [`Snapshot::delta`] rate windows.
+
+use crate::hist::BucketSummary;
+use crate::registry::SpanStat;
+use crate::snapshot::{FamilySummary, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Sanitizes a metric name to Prometheus' `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Sanitized metric name.
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf`-capable, hence f64).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn push_labeled(out: &mut String, name: &str, labels: &str, value: impl std::fmt::Display) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+/// Renders `snap` in Prometheus text exposition format. Deterministic:
+/// the snapshot's BTreeMaps fix series order, so equal snapshots render
+/// byte-identically.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, &value) in &snap.counters {
+        let name = format!("{}_total", sanitize_name(name));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        push_labeled(&mut out, &name, "", value);
+    }
+    for (name, &value) in &snap.gauges {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        push_labeled(&mut out, &name, "", value);
+    }
+    for (name, h) in &snap.histograms {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        push_labeled(&mut out, &name, "quantile=\"0.5\"", h.p50);
+        push_labeled(&mut out, &name, "quantile=\"0.9\"", h.p90);
+        push_labeled(&mut out, &name, "quantile=\"0.99\"", h.p99);
+        push_labeled(&mut out, &name, "quantile=\"1\"", h.max);
+        push_labeled(&mut out, &format!("{name}_sum"), "", h.sum);
+        push_labeled(&mut out, &format!("{name}_count"), "", h.count);
+    }
+    for (family, cells) in &snap.labeled {
+        let name = sanitize_name(family);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (labels, s) in cells {
+            let sep = if labels.is_empty() { "" } else { "," };
+            let mut cumulative = 0u64;
+            for (i, &c) in s.counts.iter().enumerate() {
+                cumulative += c;
+                let le = match s.bounds.get(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                push_labeled(
+                    &mut out,
+                    &format!("{name}_bucket"),
+                    &format!("{labels}{sep}le=\"{le}\""),
+                    cumulative,
+                );
+            }
+            push_labeled(&mut out, &format!("{name}_sum"), labels, s.sum);
+            push_labeled(&mut out, &format!("{name}_count"), labels, s.count);
+        }
+    }
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "# TYPE span_count_total counter");
+        let _ = writeln!(out, "# TYPE span_time_ns_total counter");
+        for (path, stat) in &snap.spans {
+            let labels = crate::registry::label_string(&[("path", path)]);
+            push_labeled(&mut out, "span_count_total", &labels, stat.count);
+            push_labeled(&mut out, "span_time_ns_total", &labels, stat.total_ns);
+        }
+    }
+    out
+}
+
+fn parse_labels(text: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let start = pos;
+        while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+            pos += 1;
+        }
+        if pos == start {
+            return Err(format!("line {line_no}: empty label name"));
+        }
+        let key = text[start..pos].to_string();
+        if !text[pos..].starts_with("=\"") {
+            return Err(format!("line {line_no}: label '{key}' lacks =\"…\""));
+        }
+        pos += 2;
+        let mut value = String::new();
+        loop {
+            match bytes.get(pos) {
+                None => return Err(format!("line {line_no}: unterminated label value")),
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(pos + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("line {line_no}: bad escape in label value")),
+                    }
+                    pos += 2;
+                }
+                Some(_) => {
+                    let rest = &text[pos..];
+                    let c = rest.chars().next().expect("non-empty rest");
+                    value.push(c);
+                    pos += c.len_utf8();
+                }
+            }
+        }
+        labels.push((key, value));
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            None => break,
+            Some(_) => return Err(format!("line {line_no}: expected ',' between labels")),
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses Prometheus 0.0.4 text into samples. `# HELP`/`# TYPE` comment
+/// lines are validated and skipped; every other non-blank line must be a
+/// well-formed `name{labels} value` sample. Errors carry 1-based line
+/// numbers.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {line_no}: TYPE without a metric name"))?;
+                    let kind = parts.next().unwrap_or("");
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {line_no}: unknown TYPE '{kind}' for {name}"));
+                    }
+                }
+                Some("HELP") | Some("EOF") => {}
+                _ => {} // free-form comments are legal
+            }
+            continue;
+        }
+        let name_end = line
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+            .unwrap_or(line.len());
+        if name_end == 0 {
+            return Err(format!("line {line_no}: missing metric name"));
+        }
+        let name = line[..name_end].to_string();
+        let rest = &line[name_end..];
+        let (labels, rest) = if let Some(stripped) = rest.strip_prefix('{') {
+            let close = stripped
+                .find('}')
+                .ok_or_else(|| format!("line {line_no}: unterminated label block"))?;
+            // A '}' inside an escaped label value would break this naive
+            // split; our encoder never emits one unescaped, and label
+            // values here are metric/solver/graph names.
+            (
+                parse_labels(&stripped[..close], line_no)?,
+                &stripped[close + 1..],
+            )
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_text = rest.trim();
+        if value_text.is_empty() {
+            return Err(format!("line {line_no}: sample without a value"));
+        }
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            t => t
+                .parse::<f64>()
+                .map_err(|e| format!("line {line_no}: bad value '{t}': {e}"))?,
+        };
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Parses exposition text and inverts [`render`]'s mapping back into a
+/// [`Snapshot`]: `*_total` (unlabeled) → counters, bare unlabeled
+/// samples → gauges, `quantile` summaries → histogram summaries,
+/// `_bucket`/`le` families → labeled bucket summaries (de-cumulated),
+/// and the `span_*_total{path=…}` pair → span aggregates. Quantile keys
+/// other than the renderer's four are ignored.
+pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
+    let samples = parse(text)?;
+    let mut snap = Snapshot::default();
+    // Pass 1: identify histogram families and summary names so their
+    // _sum/_count companions are not misread as gauges or counters.
+    // Per cell: (cumulative (le, count) buckets as parsed, sum, count).
+    type CellAcc = (Vec<(f64, u64)>, u64, u64);
+    let mut hist_families: BTreeMap<String, BTreeMap<String, CellAcc>> = BTreeMap::new();
+    let mut summary_names: Vec<String> = Vec::new();
+    for s in &samples {
+        if s.name.ends_with("_bucket") && s.label("le").is_some() {
+            hist_families
+                .entry(s.name.trim_end_matches("_bucket").to_string())
+                .or_default();
+        }
+        if s.label("quantile").is_some() && !summary_names.contains(&s.name) {
+            summary_names.push(s.name.clone());
+        }
+    }
+    let family_names: Vec<String> = hist_families.keys().cloned().collect();
+    let companion_of = move |name: &str| -> Option<String> {
+        for suffix in ["_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if family_names.iter().any(|n| n == base) || summary_names.iter().any(|n| n == base)
+                {
+                    return Some(base.to_string());
+                }
+            }
+        }
+        None
+    };
+    let as_u64 = |v: f64| -> u64 {
+        if v.is_finite() && v >= 0.0 {
+            v.round() as u64
+        } else {
+            0
+        }
+    };
+    for s in &samples {
+        // Span counters.
+        if s.name == "span_count_total" || s.name == "span_time_ns_total" {
+            if let Some(path) = s.label("path") {
+                let stat = snap.spans.entry(path.to_string()).or_insert(SpanStat {
+                    count: 0,
+                    total_ns: 0,
+                });
+                if s.name == "span_count_total" {
+                    stat.count = as_u64(s.value);
+                } else {
+                    stat.total_ns = as_u64(s.value);
+                }
+                continue;
+            }
+        }
+        // Labeled histogram series.
+        if s.name.ends_with("_bucket") && s.label("le").is_some() {
+            let family = s.name.trim_end_matches("_bucket").to_string();
+            let le = s.label("le").expect("checked above");
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|e| format!("bad le '{le}': {e}"))?
+            };
+            let cell_labels: Vec<(&str, &str)> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let key = crate::registry::label_string(&cell_labels);
+            let cell = hist_families
+                .get_mut(&family)
+                .expect("family from pass 1")
+                .entry(key)
+                .or_default();
+            cell.0.push((bound, as_u64(s.value)));
+            continue;
+        }
+        if let Some(base) = companion_of(&s.name) {
+            if let Some(cells) = hist_families.get_mut(&base) {
+                let cell_labels: Vec<(&str, &str)> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let key = crate::registry::label_string(&cell_labels);
+                let cell = cells.entry(key).or_default();
+                if s.name.ends_with("_sum") {
+                    cell.1 = as_u64(s.value);
+                } else {
+                    cell.2 = as_u64(s.value);
+                }
+            } else {
+                let h = snap.histograms.entry(base).or_default();
+                if s.name.ends_with("_sum") {
+                    h.sum = as_u64(s.value);
+                } else {
+                    h.count = as_u64(s.value);
+                }
+            }
+            continue;
+        }
+        // Summary quantiles.
+        if let Some(q) = s.label("quantile") {
+            let h = snap.histograms.entry(s.name.clone()).or_default();
+            match q {
+                "0.5" => h.p50 = as_u64(s.value),
+                "0.9" => h.p90 = as_u64(s.value),
+                "0.99" => h.p99 = as_u64(s.value),
+                "1" => h.max = as_u64(s.value),
+                _ => {}
+            }
+            continue;
+        }
+        // Plain counters and gauges.
+        if s.labels.is_empty() {
+            if let Some(base) = s.name.strip_suffix("_total") {
+                snap.counters.insert(base.to_string(), as_u64(s.value));
+            } else {
+                snap.gauges.insert(s.name.clone(), as_u64(s.value));
+            }
+        }
+    }
+    for h in snap.histograms.values_mut() {
+        h.mean = if h.count == 0 {
+            0.0
+        } else {
+            h.sum as f64 / h.count as f64
+        };
+    }
+    for (family, cells) in hist_families {
+        let mut fam = FamilySummary::new();
+        for (key, (mut buckets, sum, count)) in cells {
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le bounds are not NaN"));
+            let bounds: Vec<u64> = buckets
+                .iter()
+                .filter(|(b, _)| b.is_finite())
+                .map(|(b, _)| *b as u64)
+                .collect();
+            // De-cumulate into per-bucket counts (+Inf bucket last).
+            let mut counts = Vec::with_capacity(buckets.len());
+            let mut prev = 0u64;
+            for (_, c) in &buckets {
+                counts.push(c.saturating_sub(prev));
+                prev = *c;
+            }
+            if counts.len() == bounds.len() {
+                counts.push(count.saturating_sub(prev)); // no explicit +Inf series
+            }
+            fam.insert(
+                key,
+                BucketSummary {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                },
+            );
+        }
+        snap.labeled.insert(family, fam);
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.incr("server.requests", 12);
+        r.set_gauge("runtime.cache_bytes", 4096);
+        r.observe("rounds", 7);
+        r.observe("rounds", 9);
+        r.observe_labeled("server.request_latency_us", &[("op", "solve")], 300);
+        r.observe_labeled("server.request_latency_us", &[("op", "bounds")], 5);
+        r.record_span("serve/solve", 1_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn renders_expected_series() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("# TYPE server_requests_total counter"));
+        assert!(text.contains("server_requests_total 12"));
+        assert!(text.contains("runtime_cache_bytes 4096"));
+        assert!(text.contains("rounds{quantile=\"0.5\"}"));
+        assert!(text.contains("rounds_count 2"));
+        assert!(text.contains("# TYPE server_request_latency_us histogram"));
+        assert!(text.contains("server_request_latency_us_bucket{op=\"solve\",le=\"256\"} 0"));
+        assert!(text.contains("server_request_latency_us_bucket{op=\"solve\",le=\"512\"} 1"));
+        assert!(text.contains("server_request_latency_us_bucket{op=\"solve\",le=\"+Inf\"} 1"));
+        assert!(text.contains("server_request_latency_us_sum{op=\"solve\"} 300"));
+        assert!(text.contains("span_count_total{path=\"serve/solve\"} 1"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let snap = sample_snapshot();
+        assert_eq!(render(&snap), render(&snap));
+    }
+
+    #[test]
+    fn parse_round_trips_the_renderer() {
+        let snap = sample_snapshot();
+        let back = parse_snapshot(&render(&snap)).unwrap();
+        // Counters come back with sanitized names.
+        assert_eq!(back.counters["server_requests"], 12);
+        assert_eq!(back.gauges["runtime_cache_bytes"], 4096);
+        assert_eq!(back.spans["serve/solve"].total_ns, 1_000);
+        let h = &back.histograms["rounds"];
+        assert_eq!((h.count, h.sum), (2, 16));
+        let fam = &back.labeled["server_request_latency_us"];
+        let cell = &fam["op=\"solve\""];
+        assert_eq!((cell.count, cell.sum), (1, 300));
+        assert_eq!(
+            cell.counts.iter().sum::<u64>(),
+            1,
+            "de-cumulated buckets hold exactly the observations"
+        );
+        assert_eq!(cell.bounds, crate::hist::default_latency_buckets_us());
+        // And the reconstruction subtracts cleanly from itself.
+        let zero = back.delta(&back);
+        assert_eq!(zero.counters["server_requests"], 0);
+        assert_eq!(
+            zero.labeled["server_request_latency_us"]["op=\"solve\""].count,
+            0
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("name{unclosed 1").is_err());
+        assert!(parse("name 1 2 3").is_err());
+        assert!(parse("{} 1").is_err());
+        assert!(parse("# TYPE x flumph").is_err());
+        assert!(parse("x{l=\"v\"} not_a_number").is_err());
+        // +Inf and escapes parse.
+        let ok = parse("x_bucket{le=\"+Inf\",g=\"a\\\"b\"} 3").unwrap();
+        assert_eq!(ok[0].value, 3.0);
+        assert_eq!(ok[0].label("g"), Some("a\"b"));
+        assert!(ok[0].value.is_finite());
+        assert_eq!(parse("y +Inf").unwrap()[0].value, f64::INFINITY);
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize_name("server.cache.hit"), "server_cache_hit");
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        assert_eq!(sanitize_name("ok_name:sub"), "ok_name:sub");
+    }
+}

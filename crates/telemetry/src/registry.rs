@@ -8,12 +8,49 @@
 //! macro caches the handle per call-site, making steady-state cost
 //! exactly one atomic add.
 
-use crate::hist::Histogram;
+use crate::hist::{BucketHistogram, Histogram};
 use crate::snapshot::Snapshot;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One labeled histogram family: a shared explicit-bucket layout and one
+/// [`BucketHistogram`] cell per distinct label set. The first caller's
+/// bounds win; later callers share them (Prometheus requires one layout
+/// per family).
+struct LabeledFamily {
+    bounds: Arc<[u64]>,
+    cells: HashMap<String, Arc<BucketHistogram>>,
+}
+
+/// Canonical rendering of a label set: pairs sorted by label name,
+/// values escaped Prometheus-style (`\\`, `\"`, `\n`), joined as
+/// `k="v",k2="v2"`. This string is both the registry's cell key and the
+/// exact text between `{}` in the exposition, so the two can never
+/// disagree.
+pub fn label_string(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_unstable();
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
 
 /// A shareable counter handle (monotone u64).
 #[derive(Clone, Debug, Default)]
@@ -80,6 +117,7 @@ pub struct Registry {
     counters: RwLock<HashMap<String, Counter>>,
     gauges: RwLock<HashMap<String, Gauge>>,
     hists: RwLock<HashMap<String, Arc<Histogram>>>,
+    labeled: RwLock<HashMap<String, LabeledFamily>>,
     spans: Mutex<HashMap<String, SpanStat>>,
 }
 
@@ -158,6 +196,46 @@ impl Registry {
         self.observe(name, (value.max(0.0) * 1000.0).round() as u64);
     }
 
+    /// The labeled-histogram cell for (`family`, `labels`), created on
+    /// first use. The family's bucket layout is fixed by the first call;
+    /// `bounds` from later calls are ignored (one layout per family, as
+    /// Prometheus requires). Cache the handle in hot loops.
+    pub fn labeled_histogram(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<BucketHistogram> {
+        let key = label_string(labels);
+        if let Some(fam) = self.labeled.read().get(family) {
+            if let Some(cell) = fam.cells.get(&key) {
+                return Arc::clone(cell);
+            }
+        }
+        let mut families = self.labeled.write();
+        let fam = families
+            .entry(family.to_string())
+            .or_insert_with(|| LabeledFamily {
+                bounds: bounds.into(),
+                cells: HashMap::new(),
+            });
+        let fam_bounds = Arc::clone(&fam.bounds);
+        Arc::clone(
+            fam.cells
+                .entry(key)
+                .or_insert_with(|| Arc::new(BucketHistogram::new(&fam_bounds))),
+        )
+    }
+
+    /// Records one observation into a labeled cell using the canonical
+    /// latency layout ([`crate::hist::default_latency_buckets_us`]) —
+    /// the one-liner the server's per-op/per-solver latency tracking
+    /// uses.
+    pub fn observe_labeled(&self, family: &str, labels: &[(&str, &str)], value: u64) {
+        self.labeled_histogram(family, labels, &crate::hist::default_latency_buckets_us())
+            .record(value);
+    }
+
     /// Folds one completed span occurrence into the aggregate for `path`.
     pub fn record_span(&self, path: &str, elapsed_ns: u64) {
         let mut spans = self.spans.lock();
@@ -192,6 +270,20 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.summarize()))
                 .collect(),
+            labeled: self
+                .labeled
+                .read()
+                .iter()
+                .map(|(family, fam)| {
+                    (
+                        family.clone(),
+                        fam.cells
+                            .iter()
+                            .map(|(k, h)| (k.clone(), h.summarize()))
+                            .collect(),
+                    )
+                })
+                .collect(),
             spans: self
                 .spans
                 .lock()
@@ -211,6 +303,11 @@ impl Registry {
         }
         for h in self.hists.read().values() {
             h.reset();
+        }
+        for fam in self.labeled.read().values() {
+            for cell in fam.cells.values() {
+                cell.reset();
+            }
         }
         self.spans.lock().clear();
     }
@@ -267,6 +364,43 @@ mod tests {
             })
         );
         assert_eq!(r.span_stat("a"), None);
+    }
+
+    #[test]
+    fn labeled_cells_are_keyed_by_sorted_escaped_labels() {
+        let r = Registry::new();
+        r.observe_labeled("lat", &[("op", "solve"), ("alg", "greedy")], 7);
+        // Order of the label slice must not matter.
+        r.observe_labeled("lat", &[("alg", "greedy"), ("op", "solve")], 9);
+        r.observe_labeled("lat", &[("op", "bounds"), ("alg", "greedy")], 1);
+        let snap = r.snapshot();
+        let fam = &snap.labeled["lat"];
+        assert_eq!(fam.len(), 2);
+        let cell = &fam["alg=\"greedy\",op=\"solve\""];
+        assert_eq!((cell.count, cell.sum), (2, 16));
+        assert_eq!(fam["alg=\"greedy\",op=\"bounds\""].count, 1);
+        r.reset();
+        assert_eq!(
+            r.snapshot().labeled["lat"]["alg=\"greedy\",op=\"solve\""].count,
+            0
+        );
+    }
+
+    #[test]
+    fn label_values_escape_quotes_and_backslashes() {
+        assert_eq!(
+            label_string(&[("g", "a\"b\\c\nd")]),
+            "g=\"a\\\"b\\\\c\\nd\""
+        );
+        assert_eq!(label_string(&[]), "");
+    }
+
+    #[test]
+    fn family_bounds_are_fixed_by_first_use() {
+        let r = Registry::new();
+        let a = r.labeled_histogram("f", &[("x", "1")], &[10, 20]);
+        let b = r.labeled_histogram("f", &[("x", "2")], &[99]);
+        assert_eq!(a.bounds(), b.bounds(), "later bounds are ignored");
     }
 
     #[test]

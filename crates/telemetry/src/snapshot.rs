@@ -1,13 +1,17 @@
 //! Point-in-time registry state: the unit sinks consume.
 
-use crate::hist::HistSummary;
+use crate::hist::{BucketSummary, HistSummary};
 use crate::json::Json;
 use crate::registry::SpanStat;
 use std::collections::BTreeMap;
 
+/// One labeled-histogram family at snapshot time: canonical label string
+/// (see [`crate::registry::label_string`]) → per-cell bucket summary.
+pub type FamilySummary = BTreeMap<String, BucketSummary>;
+
 /// Everything a [`crate::registry::Registry`] held at snapshot time.
 /// BTreeMaps keep rendering deterministic.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
@@ -15,6 +19,8 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistSummary>,
+    /// Labeled explicit-bucket histogram families by family name.
+    pub labeled: BTreeMap<String, FamilySummary>,
     /// Span aggregates by `a/b/c` path.
     pub spans: BTreeMap<String, SpanStat>,
 }
@@ -25,7 +31,81 @@ impl Snapshot {
         self.counters.is_empty()
             && self.gauges.is_empty()
             && self.histograms.is_empty()
+            && self.labeled.is_empty()
             && self.spans.is_empty()
+    }
+
+    /// Everything recorded since `prev` — the rate-computation primitive
+    /// `domatic top` refreshes on. Counters, histogram tallies, labeled
+    /// bucket counts, and span aggregates subtract (saturating, so a
+    /// registry reset between snapshots yields zeros, not wraparound);
+    /// gauges and quantile estimates are point-in-time facts and keep
+    /// `self`'s values.
+    pub fn delta(&self, prev: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| {
+                    (
+                        k.clone(),
+                        v.saturating_sub(prev.counters.get(k).copied().unwrap_or(0)),
+                    )
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let mut d = *h;
+                    if let Some(p) = prev.histograms.get(k) {
+                        d.count = h.count.saturating_sub(p.count);
+                        d.sum = h.sum.saturating_sub(p.sum);
+                        d.mean = if d.count == 0 {
+                            0.0
+                        } else {
+                            d.sum as f64 / d.count as f64
+                        };
+                    }
+                    (k.clone(), d)
+                })
+                .collect(),
+            labeled: self
+                .labeled
+                .iter()
+                .map(|(family, cells)| {
+                    let prev_cells = prev.labeled.get(family);
+                    (
+                        family.clone(),
+                        cells
+                            .iter()
+                            .map(|(k, s)| {
+                                let d = match prev_cells.and_then(|p| p.get(k)) {
+                                    Some(p) => s.delta(p),
+                                    None => s.clone(),
+                                };
+                                (k.clone(), d)
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(k, s)| {
+                    let p = prev.spans.get(k).copied().unwrap_or_default();
+                    (
+                        k.clone(),
+                        SpanStat {
+                            count: s.count.saturating_sub(p.count),
+                            total_ns: s.total_ns.saturating_sub(p.total_ns),
+                        },
+                    )
+                })
+                .collect(),
+        }
     }
 
     /// The snapshot as a JSON object:
@@ -34,8 +114,11 @@ impl Snapshot {
     /// {"counters": {"name": 1},
     ///  "gauges": {"name": 4},
     ///  "histograms": {"name": {"count":..,"sum":..,"mean":..,"p50":..,"p90":..,"p99":..,"max":..}},
+    ///  "labeled": {"family": {"op=\"solve\"": {"bounds":[..],"counts":[..],"count":..,"sum":..}}},
     ///  "spans": {"a/b": {"count":..,"total_ns":..}}}
     /// ```
+    ///
+    /// [`Snapshot::from_json`] inverts this exactly.
     pub fn to_json(&self) -> Json {
         let counters = self
             .counters
@@ -65,6 +148,47 @@ impl Snapshot {
                 )
             })
             .collect();
+        let labeled = self
+            .labeled
+            .iter()
+            .map(|(family, cells)| {
+                (
+                    family.clone(),
+                    Json::Obj(
+                        cells
+                            .iter()
+                            .map(|(k, s)| {
+                                (
+                                    k.clone(),
+                                    Json::obj([
+                                        (
+                                            "bounds".into(),
+                                            Json::Arr(
+                                                s.bounds
+                                                    .iter()
+                                                    .map(|&b| Json::Int(b as i128))
+                                                    .collect(),
+                                            ),
+                                        ),
+                                        (
+                                            "counts".into(),
+                                            Json::Arr(
+                                                s.counts
+                                                    .iter()
+                                                    .map(|&c| Json::Int(c as i128))
+                                                    .collect(),
+                                            ),
+                                        ),
+                                        ("count".into(), Json::Int(s.count as i128)),
+                                        ("sum".into(), Json::Int(s.sum as i128)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
         let spans = self
             .spans
             .iter()
@@ -83,10 +207,105 @@ impl Snapshot {
                 ("counters".to_string(), Json::Obj(counters)),
                 ("gauges".to_string(), Json::Obj(gauges)),
                 ("histograms".to_string(), Json::Obj(histograms)),
+                ("labeled".to_string(), Json::Obj(labeled)),
                 ("spans".to_string(), Json::Obj(spans)),
             ]
             .into(),
         )
+    }
+
+    /// Reconstructs a snapshot from [`Snapshot::to_json`] output — the
+    /// round-trip that lets downstream tooling (and the tests pinning
+    /// the exposition renderer's input shape) consume `BENCH_*.json`
+    /// telemetry without a schema drift going unnoticed. Sections may be
+    /// absent (treated as empty); malformed values are an error.
+    pub fn from_json(v: &Json) -> Result<Snapshot, String> {
+        fn obj<'a>(v: &'a Json, key: &str) -> Result<Vec<(&'a String, &'a Json)>, String> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(Json::Obj(m)) => Ok(m.iter().collect()),
+                Some(_) => Err(format!("'{key}' must be an object")),
+            }
+        }
+        fn uint(v: &Json, key: &str) -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_int)
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("'{key}' must be a non-negative integer"))
+        }
+        fn uint_arr(v: &Json, key: &str) -> Result<Vec<u64>, String> {
+            match v.get(key) {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|x| {
+                        x.as_int()
+                            .and_then(|i| u64::try_from(i).ok())
+                            .ok_or_else(|| format!("'{key}' holds a non-integer"))
+                    })
+                    .collect(),
+                _ => Err(format!("'{key}' must be an array")),
+            }
+        }
+        let mut snap = Snapshot::default();
+        for (k, v) in obj(v, "counters")? {
+            let n = v
+                .as_int()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("counter '{k}' must be a non-negative integer"))?;
+            snap.counters.insert(k.clone(), n);
+        }
+        for (k, v) in obj(v, "gauges")? {
+            let n = v
+                .as_int()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("gauge '{k}' must be a non-negative integer"))?;
+            snap.gauges.insert(k.clone(), n);
+        }
+        for (k, h) in obj(v, "histograms")? {
+            snap.histograms.insert(
+                k.clone(),
+                HistSummary {
+                    count: uint(h, "count")?,
+                    sum: uint(h, "sum")?,
+                    mean: h
+                        .get("mean")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("histogram '{k}' lacks a numeric mean"))?,
+                    p50: uint(h, "p50")?,
+                    p90: uint(h, "p90")?,
+                    p99: uint(h, "p99")?,
+                    max: uint(h, "max")?,
+                },
+            );
+        }
+        for (family, cells) in obj(v, "labeled")? {
+            let mut fam = FamilySummary::new();
+            for (label, s) in match cells {
+                Json::Obj(m) => m.iter(),
+                _ => return Err(format!("labeled family '{family}' must be an object")),
+            } {
+                fam.insert(
+                    label.clone(),
+                    BucketSummary {
+                        bounds: uint_arr(s, "bounds")?,
+                        counts: uint_arr(s, "counts")?,
+                        count: uint(s, "count")?,
+                        sum: uint(s, "sum")?,
+                    },
+                );
+            }
+            snap.labeled.insert(family.clone(), fam);
+        }
+        for (path, s) in obj(v, "spans")? {
+            snap.spans.insert(
+                path.clone(),
+                SpanStat {
+                    count: uint(s, "count")?,
+                    total_ns: uint(s, "total_ns")?,
+                },
+            );
+        }
+        Ok(snap)
     }
 
     /// Renders the span aggregates as an indented tree, children under

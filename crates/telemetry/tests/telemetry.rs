@@ -168,3 +168,119 @@ fn table_sink_renders_nested_tree() {
     assert!(child_line.starts_with("    tbl.color") || child_line.contains("  tbl.color"));
     assert!(!child_line.contains("tbl.sched/"));
 }
+
+#[test]
+fn snapshot_json_round_trips_every_section() {
+    let reg = Registry::new();
+    reg.incr("rtx.requests", 11);
+    reg.set_gauge("rtx.inflight", 4);
+    reg.observe("rtx.rounds", 3);
+    reg.observe("rtx.rounds", 90);
+    reg.observe_labeled("rtx.latency_us", &[("op", "solve")], 300);
+    reg.observe_labeled("rtx.latency_us", &[("op", "bounds")], 2);
+    reg.record_span("rtx.serve", 9_000);
+    reg.record_span("rtx.serve/rtx.solve", 7_000);
+
+    let snap = reg.snapshot();
+    let back = telemetry::Snapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back, snap, "to_json/from_json must be a lossless inverse");
+
+    // The empty snapshot round-trips too.
+    let empty = Registry::new().snapshot();
+    assert!(empty.is_empty());
+    let back = telemetry::Snapshot::from_json(&empty.to_json()).unwrap();
+    assert_eq!(back, empty);
+
+    // Malformed sections error rather than default.
+    let bad = json::parse(r#"{"counters":{"x":"not a number"}}"#).unwrap();
+    assert!(telemetry::Snapshot::from_json(&bad).is_err());
+}
+
+#[test]
+fn span_tree_rendering_is_deterministic_with_shared_prefixes() {
+    let reg = Registry::new();
+    // Shared prefixes and sibling order deliberately inserted unsorted.
+    reg.record_span("det.b/det.z", 10);
+    reg.record_span("det.b", 100);
+    reg.record_span("det.a/det.mid/det.leaf", 7);
+    reg.record_span("det.a", 50);
+    reg.record_span("det.a/det.mid", 30);
+    reg.incr("det.counter", 1);
+
+    let snap = reg.snapshot();
+    let first = snap.render_span_tree();
+    let second = snap.render_span_tree();
+    assert_eq!(first, second, "same snapshot renders byte-identically");
+
+    // A re-recorded identical registry renders the same tree.
+    let reg2 = Registry::new();
+    reg2.record_span("det.a", 50);
+    reg2.record_span("det.a/det.mid", 30);
+    reg2.record_span("det.a/det.mid/det.leaf", 7);
+    reg2.record_span("det.b", 100);
+    reg2.record_span("det.b/det.z", 10);
+    reg2.incr("det.counter", 1);
+    assert_eq!(
+        reg2.snapshot().render_span_tree(),
+        first,
+        "insertion order must not leak into the rendering"
+    );
+
+    // Children indent under parents exactly once per path.
+    assert_eq!(first.matches("det.leaf").count(), 1);
+    let empty = Registry::new().snapshot();
+    assert_eq!(
+        empty.render_span_tree(),
+        "",
+        "empty registry renders nothing"
+    );
+}
+
+#[test]
+fn snapshot_delta_subtracts_counters_histograms_and_labels() {
+    let reg = Registry::new();
+    reg.incr("d.reqs", 5);
+    reg.observe_labeled("d.lat", &[("op", "a")], 10);
+    let before = reg.snapshot();
+
+    reg.incr("d.reqs", 3);
+    reg.set_gauge("d.gauge", 17);
+    reg.observe_labeled("d.lat", &[("op", "a")], 10);
+    reg.observe_labeled("d.lat", &[("op", "a")], 1_000_000);
+    reg.observe_labeled("d.lat", &[("op", "b")], 1);
+    let after = reg.snapshot();
+
+    let d = after.delta(&before);
+    assert_eq!(d.counters["d.reqs"], 3, "counters subtract");
+    assert_eq!(d.gauges["d.gauge"], 17, "gauges report current value");
+    let a = &d.labeled["d.lat"]["op=\"a\""];
+    assert_eq!(a.count, 2, "only the window's observations remain");
+    assert_eq!(a.sum, 1_000_010);
+    let b = &d.labeled["d.lat"]["op=\"b\""];
+    assert_eq!(b.count, 1, "cells born inside the window survive");
+    // Self-delta is empty counts everywhere.
+    let zero = after.delta(&after);
+    assert_eq!(zero.counters["d.reqs"], 0);
+    assert_eq!(zero.labeled["d.lat"]["op=\"a\""].count, 0);
+}
+
+#[test]
+fn prometheus_exposition_round_trips_through_parse_snapshot() {
+    let reg = Registry::new();
+    reg.incr("px.requests", 9);
+    reg.set_gauge("px.bytes", 512);
+    reg.observe_labeled("px.lat_us", &[("op", "solve")], 100);
+    reg.record_span("px.run/px.step", 4_000);
+
+    let text = telemetry::prometheus::render(&reg.snapshot());
+    let snap = telemetry::prometheus::parse_snapshot(&text).unwrap();
+    assert_eq!(snap.counters["px_requests"], 9);
+    assert_eq!(snap.gauges["px_bytes"], 512);
+    assert_eq!(snap.labeled["px_lat_us"]["op=\"solve\""].count, 1);
+    assert_eq!(snap.spans["px.run/px.step"].total_ns, 4_000);
+    // Render(parse(render(x))) is a fixed point for the labeled family.
+    let text2 = telemetry::prometheus::render(&snap);
+    let snap2 = telemetry::prometheus::parse_snapshot(&text2).unwrap();
+    assert_eq!(snap2.labeled, snap.labeled);
+    assert_eq!(snap2.counters, snap.counters);
+}

@@ -14,9 +14,13 @@
 //! domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]
 //! domatic optimum <graph.txt> [--b N]      # exact LP, small graphs only
 //! domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] \
-//!               [--batch-window-ms N] [--cache-bytes N]
+//!               [--batch-window-ms N] [--cache-bytes N] \
+//!               [--access-log PATH] [--metrics-port P] [--slow-ms N] \
+//!               [--trace-ring N]
 //! domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] \
 //!                     [--graphs a,b] [--trace-file req.jsonl] [--json]
+//! domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]
+//! domatic profile --addr HOST:PORT
 //! ```
 //!
 //! `serve` runs the batching, caching JSON-lines solve service from
@@ -25,8 +29,20 @@
 //! edge-list file or a synthetic spec `ring:N` / `gnp:N,DEG,SEED`.
 //! `bench-serve` replays a request trace (or a synthetic mixed workload
 //! with deliberate duplicates) against a running server and reports
-//! p50/p99 latency, throughput, error counts, and an order-independent
-//! digest of the response bytes for determinism comparisons.
+//! p50/p99 latency, a full latency histogram (`--json`, same bucket
+//! layout as the metrics exposition), throughput, error counts, and an
+//! order-independent digest of the response bytes for determinism
+//! comparisons.
+//!
+//! Observability (see `docs/OBSERVABILITY.md`): `--access-log` writes
+//! per-request lifecycle events as JSON lines, `--metrics-port` starts a
+//! plain-text Prometheus scrape listener, `--slow-ms` dumps outlier
+//! lifecycles, and the `metrics`/`profile` protocol ops expose the same
+//! data in-band. `domatic top` polls a running server and renders a
+//! refreshing req/s / in-flight / shed / hit-rate / per-op-latency
+//! table; `domatic profile` converts the server's trace ring and span
+//! aggregates into collapsed-stack (flamegraph) lines. Tracing never
+//! changes response bytes.
 //!
 //! `<solver>` is any name from `domatic_core::solver::solver_registry()`
 //! (`uniform`, `general`, `greedy`, `ft`); an unknown name lists what is
@@ -50,7 +66,7 @@ use domatic::schedule::validate_schedule;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] [--batch-window-ms N] [--cache-bytes N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] [--graphs a,b] [--trace-file req.jsonl] [--json]\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
+        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] [--batch-window-ms N] [--cache-bytes N] [--access-log PATH] [--metrics-port P] [--slow-ms N] [--trace-ring N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] [--graphs a,b] [--trace-file req.jsonl] [--json]\n  domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]\n  domatic profile --addr HOST:PORT\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
         domatic::core::solver::solver_names().join("|")
     );
     std::process::exit(2)
@@ -525,6 +541,8 @@ fn run_command(cmd: &str, rest: &[String]) {
         }
         "serve" => cmd_serve(&rest),
         "bench-serve" => cmd_bench_serve(&rest),
+        "top" => cmd_top(&rest),
+        "profile" => cmd_profile(&rest),
         _ => usage(),
     }
 }
@@ -569,6 +587,8 @@ fn cmd_serve(rest: &[String]) {
     let mut cfg = ServerConfig::default();
     let mut graphs: Vec<(String, String)> = Vec::new();
     let mut port: Option<u16> = None;
+    let mut access_log: Option<String> = None;
+    let mut metrics_port: Option<u16> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut next = |flag: &str| -> String {
@@ -599,6 +619,16 @@ fn cmd_serve(rest: &[String]) {
             "--cache-bytes" => {
                 cfg.cache_bytes = next("--cache-bytes").parse().unwrap_or_else(|_| usage())
             }
+            "--access-log" => access_log = Some(next("--access-log")),
+            "--metrics-port" => {
+                metrics_port = Some(next("--metrics-port").parse().unwrap_or_else(|_| usage()))
+            }
+            "--slow-ms" => {
+                cfg.slow_ms = Some(next("--slow-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--trace-ring" => {
+                cfg.trace_ring = next("--trace-ring").parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
@@ -610,6 +640,26 @@ fn cmd_serve(rest: &[String]) {
         server.add_graph(name.clone(), graph_from_spec(spec));
     }
     let server = std::sync::Arc::new(server);
+    if let Some(path) = &access_log {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot open access log {path}: {e}");
+            std::process::exit(1);
+        });
+        server.set_access_log(Box::new(std::io::BufWriter::new(file)));
+        eprintln!("access log: {path}");
+    }
+    if let Some(mp) = metrics_port {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", mp)).unwrap_or_else(|e| {
+            eprintln!("cannot bind metrics port 127.0.0.1:{mp}: {e}");
+            std::process::exit(1);
+        });
+        let addr = listener.local_addr().expect("bound socket has an address");
+        // The obs-smoke harness greps for this exact line to learn the
+        // scrape address.
+        println!("metrics on {addr}");
+        let srv = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || serve_metrics(&srv, listener));
+    }
     eprintln!("graphs: {}", server.graph_names().join(", "));
     match port {
         None => {
@@ -634,6 +684,270 @@ fn cmd_serve(rest: &[String]) {
     eprintln!(
         "drained: {} requests, {} solves, {} cache hits, {} batch joins, {} errors",
         s.requests, s.solves, s.cache_hits, s.batch_joined, s.errors
+    );
+}
+
+/// The `--metrics-port` scrape loop: a minimal plain-text HTTP/1.0
+/// responder. Every connection gets one fresh registry snapshot in
+/// Prometheus text exposition format and is closed — exactly what a
+/// scraper (or `curl`) expects, with no HTTP machinery beyond it.
+fn serve_metrics(server: &domatic::server::Server, listener: std::net::TcpListener) {
+    use std::io::{BufRead, BufReader, Write};
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        });
+        // Drain the request head (request line + headers) up to the
+        // blank line; the path is irrelevant — every scrape gets the
+        // full exposition.
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) if line == "\r\n" || line == "\n" => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+        let body = server.metrics_text();
+        let mut stream = stream;
+        let _ = write!(
+            stream,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.flush();
+    }
+}
+
+/// One `metrics`-op round trip over an established JSON-lines
+/// connection: sends the request, reads one response line, and returns
+/// the parsed exposition as a [`Snapshot`].
+fn scrape_snapshot(
+    stream: &mut std::net::TcpStream,
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+    id: u64,
+) -> Result<domatic_telemetry::Snapshot, String> {
+    use std::io::{BufRead, Write};
+    writeln!(stream, "{{\"id\":{id},\"op\":\"metrics\"}}").map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+        return Err("server closed the connection".into());
+    }
+    let v =
+        domatic_telemetry::json::parse(line.trim()).map_err(|e| format!("bad response: {e}"))?;
+    let text = v
+        .get("result")
+        .and_then(|r| r.get("exposition"))
+        .and_then(|t| t.as_str())
+        .ok_or_else(|| format!("response has no exposition: {}", line.trim()))?;
+    domatic_telemetry::prometheus::parse_snapshot(text)
+}
+
+/// `domatic top`: polls a running server's `metrics` op and renders a
+/// refreshing live table — request rate, in-flight, shed, cache
+/// hit-rate, and per-op latency quantiles, all computed from
+/// [`Snapshot::delta`] windows so they are rates, not lifetime totals.
+fn cmd_top(rest: &[String]) {
+    let mut addr = String::new();
+    let mut interval_ms = 1000u64;
+    let mut iterations = 0u64; // 0 = run until interrupted
+    let mut clear = true;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--addr" => addr = next("--addr"),
+            "--interval-ms" => {
+                interval_ms = next("--interval-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--iterations" => iterations = next("--iterations").parse().unwrap_or_else(|_| usage()),
+            "--no-clear" => clear = false,
+            _ => usage(),
+        }
+    }
+    if addr.is_empty() {
+        eprintln!("top needs --addr HOST:PORT");
+        std::process::exit(2);
+    }
+    let stream = std::net::TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+    let mut prev: Option<domatic_telemetry::Snapshot> = None;
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let snap = match scrape_snapshot(&mut stream, &mut reader, tick) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("top: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(prev_snap) = &prev {
+            let d = snap.delta(prev_snap);
+            let secs = interval_ms as f64 / 1e3;
+            let counter = |name: &str| *d.counters.get(name).unwrap_or(&0);
+            let hits = counter("server_cache_hit") as f64;
+            let misses = counter("server_cache_miss") as f64;
+            let hit_rate = if hits + misses > 0.0 {
+                100.0 * hits / (hits + misses)
+            } else {
+                0.0
+            };
+            if clear {
+                // ANSI clear-screen + home, the classic `top` refresh.
+                print!("\x1b[2J\x1b[H");
+            }
+            println!(
+                "domatic top — {addr} — window {interval_ms} ms (tick {})",
+                tick - 1
+            );
+            println!(
+                "req/s {:>8.1} | in-flight {:>4} | shed/s {:>6.1} | errors/s {:>6.1} | cache hit {hit_rate:>5.1}%",
+                counter("server_requests") as f64 / secs,
+                snap.gauges.get("server_inflight").unwrap_or(&0),
+                counter("server_overload") as f64 / secs,
+                counter("server_errors") as f64 / secs,
+            );
+            println!(
+                "{:<10} {:>8} {:>10} {:>10} {:>10}",
+                "op", "count", "p50_us", "p99_us", "max<=us"
+            );
+            if let Some(fam) = d.labeled.get("server_request_latency_us") {
+                for (cell, summary) in fam {
+                    if summary.count == 0 {
+                        continue;
+                    }
+                    // Cell keys look like `op="solve"`.
+                    let op = cell
+                        .strip_prefix("op=\"")
+                        .and_then(|s| s.strip_suffix('"'))
+                        .unwrap_or(cell);
+                    let top_bucket = summary
+                        .bounds
+                        .iter()
+                        .zip(&summary.counts)
+                        .filter(|(_, c)| **c > 0)
+                        .map(|(b, _)| *b)
+                        .next_back()
+                        .unwrap_or(0);
+                    println!(
+                        "{op:<10} {:>8} {:>10} {:>10} {:>10}",
+                        summary.count,
+                        summary.quantile(0.50),
+                        summary.quantile(0.99),
+                        top_bucket,
+                    );
+                }
+            }
+        } else {
+            println!("domatic top — {addr} — collecting first window…");
+        }
+        prev = Some(snap);
+        if iterations > 0 && tick > iterations {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// `domatic profile`: fetches a running server's `profile` op and
+/// prints collapsed-stack (flamegraph) lines — span aggregates as
+/// `path;segments value_ns`, and the trace ring aggregated per
+/// (op, graph, alg) into queue/solve/render phase frames.
+fn cmd_profile(rest: &[String]) {
+    use std::io::{BufRead, Write};
+    let mut addr = String::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--addr needs a value");
+                    std::process::exit(2);
+                })
+            }
+            _ => usage(),
+        }
+    }
+    if addr.is_empty() {
+        eprintln!("profile needs --addr HOST:PORT");
+        std::process::exit(2);
+    }
+    let stream = std::net::TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+    writeln!(stream, "{{\"id\":1,\"op\":\"profile\"}}").expect("write request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    let v = domatic_telemetry::json::parse(line.trim()).unwrap_or_else(|e| {
+        eprintln!("profile: bad response: {e}");
+        std::process::exit(1);
+    });
+    let result = v.get("result").cloned().unwrap_or_else(|| {
+        eprintln!("profile: error response: {}", line.trim());
+        std::process::exit(1);
+    });
+
+    // Span aggregates: `a/b/c` paths become `a;b;c total_ns` frames.
+    let mut span_lines = 0usize;
+    if let Some(domatic_telemetry::json::Json::Obj(spans)) = result.get("spans") {
+        for (path, stat) in spans {
+            let Some(total_ns) = stat.get("total_ns").and_then(|t| t.as_int()) else {
+                continue;
+            };
+            println!("{} {total_ns}", path.replace('/', ";"));
+            span_lines += 1;
+        }
+    }
+
+    // Trace ring: aggregate phase time per (op, graph, alg) identity so
+    // repeated requests collapse into hot frames. Values are ns to
+    // match the span lines (records carry µs).
+    let mut phases: std::collections::BTreeMap<String, i128> = std::collections::BTreeMap::new();
+    let mut ring_records = 0usize;
+    if let Some(domatic_telemetry::json::Json::Arr(ring)) = result.get("ring") {
+        ring_records = ring.len();
+        for rec in ring {
+            let field = |k: &str| {
+                rec.get(k)
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string()
+            };
+            let us = |k: &str| rec.get(k).and_then(|v| v.as_int()).unwrap_or(0);
+            let stack = format!("serve;{};{};{}", field("op"), field("graph"), field("alg"));
+            for (phase, dur_us) in [
+                ("queue_wait", us("queue_us")),
+                ("solve", us("solve_us")),
+                ("render", us("render_us")),
+            ] {
+                *phases.entry(format!("{stack};{phase}")).or_default() += dur_us * 1000;
+            }
+        }
+    }
+    for (stack, ns) in &phases {
+        if *ns > 0 {
+            println!("{stack} {ns}");
+        }
+    }
+    eprintln!(
+        "profile: {ring_records} ring records, {span_lines} span paths (collapsed-stack on stdout; pipe to flamegraph.pl)"
     );
 }
 
@@ -777,8 +1091,28 @@ fn cmd_bench_serve(rest: &[String]) {
     let digest = hasher.finish();
 
     if json {
+        // Full latency histogram in the same bucket layout as the
+        // metrics exposition, so bench artifacts and live scrapes are
+        // directly comparable.
+        let hist = domatic_telemetry::BucketHistogram::new(
+            &domatic_telemetry::default_latency_buckets_us(),
+        );
+        for &us in &latencies_us {
+            hist.record(us);
+        }
+        let s = hist.summarize();
+        let join = |v: &[u64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         println!(
-            "{{\"digest\":\"{digest:016x}\",\"errors\":{errors},\"p50_us\":{p50},\"p99_us\":{p99},\"requests\":{},\"throughput_rps\":{throughput:.1},\"wall_ms\":{}}}",
+            "{{\"digest\":\"{digest:016x}\",\"errors\":{errors},\"latency\":{{\"bounds_us\":[{}],\"counts\":[{}],\"count\":{},\"sum_us\":{}}},\"p50_us\":{p50},\"p99_us\":{p99},\"requests\":{},\"throughput_rps\":{throughput:.1},\"wall_ms\":{}}}",
+            join(&s.bounds),
+            join(&s.counts),
+            s.count,
+            s.sum,
             responses.len(),
             wall.as_millis()
         );
