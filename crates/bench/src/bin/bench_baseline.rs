@@ -6,7 +6,9 @@
 //! bench-baseline                        # compare 1 vs available-cores
 //! bench-baseline --threads 4            # compare 1 vs 4
 //! bench-baseline --out BENCH_parallel.json
-//! bench-baseline --quick                # smaller fixtures (CI smoke)
+//! bench-baseline --quick                # fewer reps (CI smoke)
+//! bench-baseline --kernels              # kernel matrix -> BENCH_kernels.json
+//! bench-baseline --kernels --reorder    # degree-order fixtures first
 //! ```
 //!
 //! The pool size is fixed per process, so the binary re-executes itself
@@ -16,6 +18,17 @@
 //! write output if any checksum differs between the one-thread and
 //! N-thread legs — the speedup table is only meaningful for bit-identical
 //! results.
+//!
+//! `--kernels` switches to the kernel-level matrix (the file committed as
+//! `BENCH_kernels.json`): per-kernel ns/op for the scalar (CSR-walk) and
+//! bitset (word-parallel) domination kernels at 1/2/4/8 threads, with the
+//! same refuse-on-checksum-drift gate applied across every
+//! (variant, thread-count) cell. Fixtures and sets are fixed regardless
+//! of `--quick` (which only lowers repetitions), so checksums are
+//! comparable between quick CI runs and the committed artifact.
+//! `--reorder` first relabels both fixtures by descending degree
+//! (`Graph::degree_ordered`) to measure locality effects; it changes node
+//! ids and therefore checksums, so the committed artifact keeps it off.
 
 // Benchmarks pin the deprecated free functions so the baseline series
 // stays comparable across the Solver-API migration.
@@ -92,6 +105,388 @@ fn targets(quick: bool) -> Vec<Target> {
     ]
 }
 
+/// Thread counts of the kernel matrix columns.
+const KERNEL_THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Static `(name, fixture, kind)` rows of the kernel matrix, usable
+/// without constructing fixtures (the merge step labels JSON rows from
+/// here; `kernel_targets()` draws its names from the same table).
+const KERNEL_KINDS: &[(&str, &str, &str)] = &[
+    (
+        "dominator_count.sweep",
+        "gnp_n10k_d600",
+        "full |N+(v) ∩ S| count over every node, no early exit",
+    ),
+    (
+        "is_k_dominating_set.k1",
+        "gnp_n10k_d600",
+        "early-exit k-domination check, k=1, 4% set",
+    ),
+    (
+        "is_k_dominating_set.k2",
+        "gnp_n10k_d600",
+        "early-exit k-domination check, k=2, 4% set",
+    ),
+    (
+        "is_k_dominating_set.k4",
+        "gnp_n10k_d600",
+        "early-exit k-domination check, k=4, 4% set",
+    ),
+    (
+        "is_k_dominating_set.k1.sparse",
+        "gnp_n10k_d60",
+        "below the density crossover: 157-word rows vs ~61-probe walks — scalar wins, which is why the auto dispatch gates on density",
+    ),
+    (
+        "uncovered_nodes.k4",
+        "gnp_n10k_d600",
+        "filter collecting every under-dominated node (full scan)",
+    ),
+    (
+        "greedy_dominating_set",
+        "gnp_n10k_d60",
+        "lazy-decrement heap greedy; coverage updates are the kernel, heap traffic dominates either way",
+    ),
+    (
+        "d_hop.k1.d2",
+        "gnp_n10k_d60",
+        "2-hop domination: per-node bounded BFS (scalar) vs two whole-set dilations (bitset) — the win is algorithmic",
+    ),
+    (
+        "d_hop.k2.d2",
+        "gnp_n10k_d60",
+        "2-hop 2-domination: bounded BFS counts both sides; the non-scalar column only adds rayon dispatch",
+    ),
+];
+
+/// One kernel matrix row: a scalar and a bitset closure that must return
+/// identical checksums.
+struct Kernel {
+    name: &'static str,
+    scalar: Box<dyn Fn() -> u64>,
+    bitset: Box<dyn Fn() -> u64>,
+    reps: u32,
+}
+
+/// FNV-1a fold of a u64 stream — strong checksums for set-valued results.
+fn fnv_fold(items: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in items {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn kernel_targets(quick: bool, reorder: bool) -> Vec<Kernel> {
+    use domatic_graph::domination::{
+        dominator_count_scalar, greedy_dominating_set_bitset, greedy_dominating_set_scalar,
+        is_d_hop_k_dominating_set, is_d_hop_k_dominating_set_scalar, is_k_dominating_set_bitset,
+        is_k_dominating_set_scalar, uncovered_nodes, uncovered_nodes_scalar,
+    };
+    use std::rc::Rc;
+
+    let n = 10_000usize;
+    let mut sparse_g = domatic_bench::gnp_fixture(n); // avg degree ~60
+    let mut dense_g = domatic_bench::gnp_dense_fixture(n); // avg degree ~600
+    if reorder {
+        sparse_g = sparse_g.degree_ordered().0;
+        dense_g = dense_g.degree_ordered().0;
+    }
+    // Pre-warm the cached rows so the timed closures measure scans, not
+    // the one-time build (a real cache in production use too).
+    sparse_g.neighborhood_bits().expect("10k fits the budget");
+    dense_g.neighborhood_bits().expect("10k fits the budget");
+    let sparse_g = Rc::new(sparse_g);
+    let dense_g = Rc::new(dense_g);
+
+    // Formula sets (independent of node relabeling semantics — they are
+    // simply re-interpreted on the reordered ids, identically for every
+    // variant and thread count).
+    let pct4 = Rc::new(NodeSet::from_iter(n, (0..n as u32).filter(|v| v % 25 == 0)));
+    let third = Rc::new(NodeSet::from_iter(n, (0..n as u32).filter(|v| v % 3 == 0)));
+    let seeds = Rc::new(NodeSet::from_iter(n, (0..n as u32).filter(|v| v % 97 == 0)));
+
+    let heavy_reps = if quick { 1 } else { 3 };
+    let light_reps = if quick { 3 } else { 8 };
+    let mut kernels = Vec::new();
+
+    {
+        let (g, s) = (dense_g.clone(), pct4.clone());
+        let (g2, s2) = (g.clone(), s.clone());
+        kernels.push(Kernel {
+            name: KERNEL_KINDS[0].0,
+            scalar: Box::new(move || {
+                fnv_fold((0..g.n() as u32).map(|v| dominator_count_scalar(&g, &s, v) as u64))
+            }),
+            bitset: Box::new(move || {
+                let b = g2.neighborhood_bits().expect("pre-warmed");
+                fnv_fold((0..g2.n() as u32).map(|v| b.dominator_count(&s2, v) as u64))
+            }),
+            reps: light_reps,
+        });
+    }
+    for (i, k) in [(1usize, 1usize), (2, 2), (3, 4)] {
+        let (g, s) = (dense_g.clone(), pct4.clone());
+        let (g2, s2) = (g.clone(), s.clone());
+        kernels.push(Kernel {
+            name: KERNEL_KINDS[i].0,
+            scalar: Box::new(move || u64::from(is_k_dominating_set_scalar(&g, &s, k))),
+            bitset: Box::new(move || u64::from(is_k_dominating_set_bitset(&g2, &s2, k))),
+            reps: light_reps,
+        });
+    }
+    {
+        let (g, s) = (sparse_g.clone(), third.clone());
+        let (g2, s2) = (g.clone(), s.clone());
+        kernels.push(Kernel {
+            name: KERNEL_KINDS[4].0,
+            scalar: Box::new(move || u64::from(is_k_dominating_set_scalar(&g, &s, 1))),
+            bitset: Box::new(move || u64::from(is_k_dominating_set_bitset(&g2, &s2, 1))),
+            reps: light_reps,
+        });
+    }
+    {
+        let (g, s) = (dense_g.clone(), seeds.clone());
+        let (g2, s2) = (g.clone(), s.clone());
+        kernels.push(Kernel {
+            name: KERNEL_KINDS[5].0,
+            scalar: Box::new(move || {
+                let u = uncovered_nodes_scalar(&g, &s, 4);
+                fnv_fold(std::iter::once(u.len() as u64).chain(u.iter().map(|&v| u64::from(v))))
+            }),
+            bitset: Box::new(move || {
+                let u = uncovered_nodes(&g2, &s2, 4);
+                fnv_fold(std::iter::once(u.len() as u64).chain(u.iter().map(|&v| u64::from(v))))
+            }),
+            reps: light_reps,
+        });
+    }
+    {
+        let g = sparse_g.clone();
+        let g2 = g.clone();
+        kernels.push(Kernel {
+            name: KERNEL_KINDS[6].0,
+            scalar: Box::new(move || {
+                let alive = NodeSet::full(g.n());
+                let ds = greedy_dominating_set_scalar(&g, &alive).expect("full set dominates");
+                fnv_fold(ds.iter().map(u64::from))
+            }),
+            bitset: Box::new(move || {
+                let alive = NodeSet::full(g2.n());
+                let ds = greedy_dominating_set_bitset(&g2, &alive).expect("full set dominates");
+                fnv_fold(ds.iter().map(u64::from))
+            }),
+            reps: heavy_reps,
+        });
+    }
+    {
+        let (g, s) = (sparse_g.clone(), seeds.clone());
+        let (g2, s2) = (g.clone(), s.clone());
+        kernels.push(Kernel {
+            name: KERNEL_KINDS[7].0,
+            scalar: Box::new(move || u64::from(is_d_hop_k_dominating_set_scalar(&g, &s, 1, 2))),
+            bitset: Box::new(move || {
+                let b = g2.neighborhood_bits().expect("pre-warmed");
+                let mut cover = (*s2).clone();
+                for _ in 0..2 {
+                    cover = b.dilate(&cover);
+                }
+                u64::from(cover.len() == g2.n())
+            }),
+            reps: heavy_reps,
+        });
+    }
+    {
+        let (g, s) = (sparse_g.clone(), seeds.clone());
+        let (g2, s2) = (g.clone(), s.clone());
+        kernels.push(Kernel {
+            name: KERNEL_KINDS[8].0,
+            scalar: Box::new(move || u64::from(is_d_hop_k_dominating_set_scalar(&g, &s, 2, 2))),
+            bitset: Box::new(move || u64::from(is_d_hop_k_dominating_set(&g2, &s2, 2, 2))),
+            reps: heavy_reps,
+        });
+    }
+    kernels
+}
+
+/// Child mode for `--kernels`: run both variants of every kernel under
+/// the inherited pool, print `kernel<TAB>name<TAB>variant<TAB>ns<TAB>checksum`.
+fn measure_kernels(quick: bool, reorder: bool) {
+    for k in kernel_targets(quick, reorder) {
+        for (variant, run) in [("scalar", &k.scalar), ("bitset", &k.bitset)] {
+            let mut best_ns = u64::MAX;
+            let mut checksum = 0u64;
+            for _ in 0..k.reps {
+                let start = Instant::now();
+                checksum = run();
+                best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
+            }
+            println!("kernel\t{}\t{variant}\t{best_ns}\t{checksum}", k.name);
+        }
+    }
+}
+
+/// `(name, variant) -> (best ns, checksum)` for one measurement leg.
+type LegResults = BTreeMap<(String, String), (u64, u64)>;
+
+/// One kernel-matrix leg: re-exec with the pool pinned to `threads`,
+/// collect `(name, variant) -> (ns, checksum)`.
+fn run_kernel_leg(threads: usize, quick: bool, reorder: bool) -> LegResults {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--measure")
+        .arg("--kernels")
+        .env("RAYON_NUM_THREADS", threads.to_string());
+    if quick {
+        cmd.arg("--quick");
+    }
+    if reorder {
+        cmd.arg("--reorder");
+    }
+    let out = cmd.output().expect("spawn measurement child");
+    if !out.status.success() {
+        eprintln!(
+            "kernel measurement child ({threads} threads) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::process::exit(1);
+    }
+    let mut results = BTreeMap::new();
+    for line in String::from_utf8_lossy(&out.stdout).lines() {
+        let mut parts = line.split('\t');
+        if parts.next() != Some("kernel") {
+            continue;
+        }
+        let (Some(name), Some(variant), Some(ns), Some(sum)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let ns: u64 = ns.parse().expect("ns field");
+        let sum: u64 = sum.parse().expect("checksum field");
+        results.insert((name.to_string(), variant.to_string()), (ns, sum));
+    }
+    results
+}
+
+/// Parent mode for `--kernels`: one leg per thread count, checksum gate
+/// across every (variant, thread) cell, JSON matrix out.
+fn run_kernel_matrix(out_path: &str, quick: bool, reorder: bool) {
+    let mut legs: BTreeMap<usize, LegResults> = BTreeMap::new();
+    for &t in KERNEL_THREADS {
+        eprintln!("kernel leg at {t} thread(s)…");
+        legs.insert(t, run_kernel_leg(t, quick, reorder));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    for &(name, fixture, kind) in KERNEL_KINDS {
+        let mut checksum: Option<u64> = None;
+        let mut cols: BTreeMap<&str, Vec<(String, Json)>> = BTreeMap::new();
+        for variant in ["scalar", "bitset"] {
+            for (&t, leg) in &legs {
+                let &(ns, sum) = leg
+                    .get(&(name.to_string(), variant.to_string()))
+                    .unwrap_or_else(|| {
+                        panic!("kernel {name}/{variant} missing from {t}-thread leg")
+                    });
+                match checksum {
+                    None => checksum = Some(sum),
+                    Some(expect) if expect != sum => {
+                        eprintln!(
+                            "DETERMINISM VIOLATION: {name} checksum {expect} vs {sum} \
+                             ({variant} @ {t} threads) — refusing to write output"
+                        );
+                        std::process::exit(1);
+                    }
+                    Some(_) => {}
+                }
+                cols.entry(variant)
+                    .or_default()
+                    .push((format!("t{t}"), Json::Int(ns as i128)));
+            }
+        }
+        let ns_at = |variant: &str, t: usize| legs[&t][&(name.to_string(), variant.to_string())].0;
+        let speedup = ns_at("scalar", 1) as f64 / ns_at("bitset", 1) as f64;
+        eprintln!(
+            "  {name} [{fixture}]: scalar {} ns, bitset {} ns @1t ({speedup:.2}x)",
+            ns_at("scalar", 1),
+            ns_at("bitset", 1)
+        );
+        rows.push(Json::obj([
+            (
+                "bitset_ns".into(),
+                Json::obj(cols.remove("bitset").expect("bitset column")),
+            ),
+            (
+                "checksum".into(),
+                Json::Int(checksum.expect("at least one cell") as i128),
+            ),
+            ("fixture".into(), Json::Str(fixture.into())),
+            ("kind".into(), Json::Str(kind.into())),
+            ("name".into(), Json::Str(name.into())),
+            (
+                "scalar_ns".into(),
+                Json::obj(cols.remove("scalar").expect("scalar column")),
+            ),
+            (
+                "speedup_bitset_1t".into(),
+                Json::Num((speedup * 100.0).round() / 100.0),
+            ),
+        ]));
+    }
+    let record = Json::obj([
+        ("bench".into(), Json::Str("kernel-matrix".into())),
+        (
+            "fixtures".into(),
+            Json::obj([
+                (
+                    "gnp_n10k_d60".into(),
+                    Json::obj([
+                        ("avg_degree".into(), Json::Int(60)),
+                        ("kind".into(), Json::Str("gnp".into())),
+                        ("n".into(), Json::Int(10_000)),
+                    ]),
+                ),
+                (
+                    "gnp_n10k_d600".into(),
+                    Json::obj([
+                        ("avg_degree".into(), Json::Int(600)),
+                        ("kind".into(), Json::Str("gnp".into())),
+                        ("n".into(), Json::Int(10_000)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("kernels".into(), Json::Arr(rows)),
+        (
+            "machine".into(),
+            Json::obj([
+                ("cores".into(), Json::Int(cores as i128)),
+                ("os".into(), Json::Str(std::env::consts::OS.into())),
+                ("arch".into(), Json::Str(std::env::consts::ARCH.into())),
+            ]),
+        ),
+        ("quick".into(), Json::Bool(quick)),
+        ("reorder".into(), Json::Bool(reorder)),
+        (
+            "threads".into(),
+            Json::Arr(
+                KERNEL_THREADS
+                    .iter()
+                    .map(|&t| Json::Int(t as i128))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut f =
+        std::fs::File::create(out_path).unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    writeln!(f, "{}", record.render()).expect("write kernel matrix");
+    eprintln!("wrote {out_path}");
+}
+
 /// Child mode: run every target under the pool this process was born
 /// with, print `target<TAB>name<TAB>ns<TAB>checksum` lines, exit.
 fn measure(quick: bool) {
@@ -144,16 +539,22 @@ fn run_leg(threads: usize, quick: bool) -> BTreeMap<String, (u64, u64)> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let kernels = args.iter().any(|a| a == "--kernels");
+    let reorder = args.iter().any(|a| a == "--reorder");
     if args.iter().any(|a| a == "--measure") {
-        measure(quick);
+        if kernels {
+            measure_kernels(quick, reorder);
+        } else {
+            measure(quick);
+        }
         return;
     }
-    let mut out_path = "BENCH_parallel.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--out" => out_path = it.next().expect("--out requires a path").clone(),
+            "--out" => out_path = Some(it.next().expect("--out requires a path").clone()),
             "--threads" => {
                 threads = it
                     .next()
@@ -161,14 +562,22 @@ fn main() {
                     .filter(|&n| n > 0)
                     .expect("--threads requires a positive integer")
             }
-            "--quick" => {}
+            "--quick" | "--kernels" | "--reorder" => {}
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: bench-baseline [--threads N] [--out PATH] [--quick]");
+                eprintln!(
+                    "usage: bench-baseline [--threads N] [--out PATH] [--quick] [--kernels] [--reorder]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    if kernels {
+        let out = out_path.unwrap_or_else(|| "BENCH_kernels.json".to_string());
+        run_kernel_matrix(&out, quick, reorder);
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_parallel.json".to_string());
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!("measuring at 1 thread…");

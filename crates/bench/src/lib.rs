@@ -23,6 +23,14 @@ pub fn gnp_fixture(n: usize) -> Graph {
     gnp_with_avg_degree(n, 60.0, n as u64)
 }
 
+/// Dense G(n,p) fixture at average degree ~600 — above the bitset
+/// kernels' density crossover (`avg degree ≥ ⌈n/64⌉` at n = 10 000), so
+/// the word-parallel rows beat the CSR walk here. The kernel bench
+/// matrix measures both this and [`gnp_fixture`] to pin the crossover.
+pub fn gnp_dense_fixture(n: usize) -> Graph {
+    gnp_with_avg_degree(n, 600.0, n as u64)
+}
+
 /// Deterministic non-uniform batteries in `1..=5`.
 pub fn battery_fixture(n: usize) -> Batteries {
     Batteries::from_vec((0..n).map(|v| 1 + (v as u64 * 7 + 3) % 5).collect())

@@ -104,6 +104,7 @@ pub fn config_hash(cfg: &SolverConfig) -> u64 {
     h.write_u64(cfg.trials);
     h.write_u64(cfg.k as u64);
     h.write_u64(cfg.c.to_bits());
+    h.write_u64(cfg.hops as u64);
     h.finish()
 }
 
@@ -157,6 +158,7 @@ mod tests {
             SolverConfig::new().trials(3),
             SolverConfig::new().k(2),
             SolverConfig::new().c(4.0),
+            SolverConfig::new().hops(2),
         ];
         for v in &variants {
             assert_ne!(config_hash(&base), config_hash(v), "{v:?}");

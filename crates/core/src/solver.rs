@@ -31,11 +31,12 @@ use crate::error::DomaticError;
 use crate::greedy::greedy_general_schedule;
 use domatic_graph::Graph;
 use domatic_schedule::{Batteries, Schedule};
+use std::borrow::Cow;
 
 /// Shared solver parameters, built fluently.
 ///
 /// Defaults match the CLI's historical defaults: `seed 0`, `trials 8`,
-/// `k 1`, `c 3.0` (the paper's range constant).
+/// `k 1`, `c 3.0` (the paper's range constant), `hops 1`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolverConfig {
     /// Base seed; trial `i` runs with `seed + i`.
@@ -46,6 +47,11 @@ pub struct SolverConfig {
     pub k: usize,
     /// The color-range constant `c` (paper §4: `c ≥ 3`).
     pub c: f64,
+    /// Coverage radius: every node must have its dominators within `hops`
+    /// hops (d-hop domination; `1` is classic closed-neighborhood
+    /// coverage). Solvers lift any `hops > 1` instance to the graph power
+    /// `G^hops` via [`effective_graph`], so every algorithm supports it.
+    pub hops: usize,
 }
 
 impl SolverConfig {
@@ -56,6 +62,7 @@ impl SolverConfig {
             trials: 8,
             k: 1,
             c: 3.0,
+            hops: 1,
         }
     }
 
@@ -82,6 +89,26 @@ impl SolverConfig {
         self.c = c;
         self
     }
+
+    /// Sets the coverage radius (d-hop domination; clamped to ≥ 1 at use).
+    pub fn hops(mut self, hops: usize) -> Self {
+        self.hops = hops;
+        self
+    }
+}
+
+/// The graph a solver actually schedules on: `g` itself when `hops <= 1`
+/// (borrowed — zero cost, bit-identical to the pre-hops behavior), the
+/// graph power `G^hops` otherwise. d-hop k-domination of `G` is exactly
+/// k-domination of `G^hops`, so lifting the instance makes every 1-hop
+/// algorithm — and its internal validation — correct for `--hops d`
+/// without modification.
+pub fn effective_graph(g: &Graph, hops: usize) -> Cow<'_, Graph> {
+    if hops <= 1 {
+        Cow::Borrowed(g)
+    } else {
+        Cow::Owned(g.power(hops))
+    }
 }
 
 impl Default for SolverConfig {
@@ -106,10 +133,11 @@ pub trait Solver: Sync {
         1
     }
 
-    /// The matching `L_OPT` upper bound for reporting.
+    /// The matching `L_OPT` upper bound for reporting. Computed on the
+    /// [`effective_graph`], so `hops > 1` bounds reflect the denser d-hop
+    /// coverage (minimum degree of `G^hops`).
     fn upper_bound(&self, g: &Graph, b: &Batteries, cfg: &SolverConfig) -> u64 {
-        let _ = cfg;
-        general_upper_bound(g, b)
+        general_upper_bound(&effective_graph(g, cfg.hops), b)
     }
 
     /// Computes a schedule that is valid for `(g, b)` at
@@ -159,8 +187,9 @@ impl Solver for UniformSolver {
     ) -> Result<Schedule, DomaticError> {
         check_sizes(g, b)?;
         let level = uniform_level(b, self.name())?;
+        let g = effective_graph(g, cfg.hops);
         #[allow(deprecated)]
-        let (s, _seed) = crate::stochastic::best_uniform(g, level, cfg.c, cfg.trials, cfg.seed);
+        let (s, _seed) = crate::stochastic::best_uniform(&g, level, cfg.c, cfg.trials, cfg.seed);
         Ok(s)
     }
 }
@@ -183,8 +212,9 @@ impl Solver for GeneralSolver {
         cfg: &SolverConfig,
     ) -> Result<Schedule, DomaticError> {
         check_sizes(g, b)?;
+        let g = effective_graph(g, cfg.hops);
         #[allow(deprecated)]
-        let (s, _seed) = crate::stochastic::best_general(g, b, cfg.c, cfg.trials, cfg.seed);
+        let (s, _seed) = crate::stochastic::best_general(&g, b, cfg.c, cfg.trials, cfg.seed);
         Ok(s)
     }
 }
@@ -208,9 +238,8 @@ impl Solver for GreedySolver {
         b: &Batteries,
         cfg: &SolverConfig,
     ) -> Result<Schedule, DomaticError> {
-        let _ = cfg;
         check_sizes(g, b)?;
-        Ok(greedy_general_schedule(g, b))
+        Ok(greedy_general_schedule(&effective_graph(g, cfg.hops), b))
     }
 }
 
@@ -229,7 +258,7 @@ impl Solver for FaultTolerantSolver {
         cfg.k.max(1)
     }
     fn upper_bound(&self, g: &Graph, b: &Batteries, cfg: &SolverConfig) -> u64 {
-        fault_tolerant_upper_bound(g, b.max(), cfg.k.max(1))
+        fault_tolerant_upper_bound(&effective_graph(g, cfg.hops), b.max(), cfg.k.max(1))
     }
     fn schedule(
         &self,
@@ -239,9 +268,10 @@ impl Solver for FaultTolerantSolver {
     ) -> Result<Schedule, DomaticError> {
         check_sizes(g, b)?;
         let level = uniform_level(b, self.name())?;
+        let g = effective_graph(g, cfg.hops);
         #[allow(deprecated)]
         let (s, _seed) = crate::stochastic::best_fault_tolerant(
-            g,
+            &g,
             level,
             cfg.k.max(1),
             cfg.c,
@@ -350,15 +380,56 @@ mod tests {
 
     #[test]
     fn config_builder_sets_every_field() {
-        let cfg = SolverConfig::new().seed(9).trials(3).k(2).c(4.5);
+        let cfg = SolverConfig::new().seed(9).trials(3).k(2).c(4.5).hops(2);
         assert_eq!(
             cfg,
             SolverConfig {
                 seed: 9,
                 trials: 3,
                 k: 2,
-                c: 4.5
+                c: 4.5,
+                hops: 2
             }
         );
+    }
+
+    #[test]
+    fn hops_one_is_byte_identical_to_the_classic_path() {
+        let g = gnp_with_avg_degree(60, 8.0, 4);
+        let b = Batteries::uniform(60, 2);
+        let base = SolverConfig::new().trials(3).seed(17);
+        let hop1 = base.clone().hops(1);
+        for solver in solver_registry() {
+            assert_eq!(
+                solver.schedule(&g, &b, &base).unwrap(),
+                solver.schedule(&g, &b, &hop1).unwrap(),
+                "{}",
+                solver.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_solver_emits_valid_d_hop_schedules() {
+        use domatic_graph::domination::is_d_hop_k_dominating_set;
+        let g = gnp_with_avg_degree(70, 4.0, 8);
+        let b = Batteries::uniform(70, 2);
+        let cfg = SolverConfig::new().trials(3).seed(2).k(2).hops(2);
+        for solver in solver_registry() {
+            let s = solver.schedule(&g, &b, &cfg).unwrap();
+            let k = solver.tolerance(&cfg);
+            // Valid on the power graph ⇔ every slot's active set is a
+            // 2-hop k-dominating set of the original graph.
+            validate_schedule(&g.power(2), &b, &s, k)
+                .unwrap_or_else(|v| panic!("{}: {v}", solver.name()));
+            for entry in s.entries() {
+                assert!(
+                    is_d_hop_k_dominating_set(&g, &entry.set, k, 2),
+                    "{}: slot not 2-hop {k}-dominating",
+                    solver.name()
+                );
+            }
+            assert!(s.lifetime() <= solver.upper_bound(&g, &b, &cfg));
+        }
     }
 }

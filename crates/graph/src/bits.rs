@@ -1,0 +1,200 @@
+//! Word-parallel closed-neighborhood bitmasks.
+//!
+//! Every hot domination kernel reduces to the same primitive: intersect a
+//! node's closed neighborhood `N⁺(v)` with a candidate set and count (or
+//! detect) the survivors. On CSR that is a scalar walk over the adjacency
+//! slice with one bitset probe per neighbor; here we precompute each `N⁺(v)`
+//! as a row of `u64` words so the same query becomes a branch-free
+//! AND+popcount scan that the compiler auto-vectorizes.
+//!
+//! Rows cost `n · ⌈n/64⌉` words, so the structure is only built when it fits
+//! a fixed memory budget ([`MAX_NEIGHBORHOOD_BITS_BYTES`]); past that,
+//! [`NeighborhoodBits::build`] returns `None` and callers stay on the CSR
+//! scalar path. [`crate::Graph::neighborhood_bits`] builds lazily and caches
+//! the result behind a `OnceLock`, so the cost is paid at most once per
+//! graph and only on workloads that actually check domination.
+
+use crate::csr::{Graph, NodeId};
+use crate::nodeset::NodeSet;
+
+/// Memory budget for a graph's neighborhood rows (256 MiB).
+///
+/// `n = 10_000` needs ~12.5 MiB and `n = 30_000` ~112 MiB — comfortably in
+/// budget; at `n ≈ 46_000` the quadratic row storage crosses the line and
+/// kernels fall back to CSR walks, which are the better trade there anyway.
+pub const MAX_NEIGHBORHOOD_BITS_BYTES: usize = 256 * 1024 * 1024;
+
+/// Per-node closed-neighborhood bitmask rows over a fixed graph.
+///
+/// Row `v` is a `⌈n/64⌉`-word bitset of `N⁺(v) = {v} ∪ N(v)`. The rows are
+/// immutable once built, like the [`Graph`] they derive from, so sharing
+/// them across the rayon pool is data-race free.
+pub struct NeighborhoodBits {
+    n: usize,
+    words_per_row: usize,
+    rows: Vec<u64>,
+}
+
+impl NeighborhoodBits {
+    /// Builds the rows from a CSR graph, or `None` when `n · ⌈n/64⌉` words
+    /// would exceed [`MAX_NEIGHBORHOOD_BITS_BYTES`] (the dense fallback:
+    /// callers keep using the scalar CSR kernels).
+    pub fn build(g: &Graph) -> Option<Self> {
+        let n = g.n();
+        let words_per_row = n.div_ceil(64);
+        let bytes = n
+            .checked_mul(words_per_row)?
+            .checked_mul(std::mem::size_of::<u64>())?;
+        if bytes > MAX_NEIGHBORHOOD_BITS_BYTES {
+            return None;
+        }
+        let mut rows = vec![0u64; n * words_per_row];
+        for v in 0..n {
+            let base = v * words_per_row;
+            rows[base + v / 64] |= 1u64 << (v % 64);
+            for &u in g.neighbors(v as NodeId) {
+                let u = u as usize;
+                rows[base + u / 64] |= 1u64 << (u % 64);
+            }
+        }
+        Some(NeighborhoodBits {
+            n,
+            words_per_row,
+            rows,
+        })
+    }
+
+    /// Number of nodes (row count).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Words per row: `⌈n/64⌉`.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Total size of the row storage in bytes (diagnostics).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<u64>()
+    }
+
+    /// The closed neighborhood of `v` as a word slice.
+    #[inline]
+    pub fn row(&self, v: NodeId) -> &[u64] {
+        let v = v as usize;
+        &self.rows[v * self.words_per_row..(v + 1) * self.words_per_row]
+    }
+
+    /// `|N⁺(v) ∩ set|` as a full AND+popcount scan of row `v`.
+    ///
+    /// Bit-identical to the scalar
+    /// [`crate::domination::dominator_count_scalar`].
+    #[inline]
+    pub fn dominator_count(&self, set: &NodeSet, v: NodeId) -> usize {
+        debug_assert_eq!(set.universe(), self.n, "universe mismatch");
+        self.row(v)
+            .iter()
+            .zip(set.words())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `|N⁺(v) ∩ set| ≥ k`, early-exiting as soon as the running
+    /// popcount reaches `k` (the common case touches one or two words).
+    #[inline]
+    pub fn has_k_dominators(&self, set: &NodeSet, v: NodeId, k: usize) -> bool {
+        debug_assert_eq!(set.universe(), self.n, "universe mismatch");
+        let mut c = 0usize;
+        for (a, b) in self.row(v).iter().zip(set.words()) {
+            c += (a & b).count_ones() as usize;
+            if c >= k {
+                return true;
+            }
+        }
+        c >= k
+    }
+
+    /// One closed-neighborhood dilation: `{v : N⁺(v) ∩ set ≠ ∅}`, i.e. all
+    /// nodes within distance 1 of `set` (including `set` itself). Iterating
+    /// this `d` times yields the distance-`d` ball of `set`, which is how
+    /// the d-hop domination kernels are built.
+    pub fn dilate(&self, set: &NodeSet) -> NodeSet {
+        debug_assert_eq!(set.universe(), self.n, "universe mismatch");
+        let mut out = NodeSet::new(self.n);
+        let words = out.words_mut();
+        for v in 0..self.n {
+            let row = &self.rows[v * self.words_per_row..(v + 1) * self.words_per_row];
+            if row.iter().zip(set.words()).any(|(a, b)| a & b != 0) {
+                words[v / 64] |= 1u64 << (v % 64);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::{cycle, star};
+
+    #[test]
+    fn rows_match_closed_neighborhoods() {
+        let g = cycle(10);
+        let bits = NeighborhoodBits::build(&g).unwrap();
+        assert_eq!(bits.n(), 10);
+        for v in g.nodes() {
+            let row_members: Vec<NodeId> = (0..10)
+                .filter(|&u| bits.row(v)[0] & (1 << u) != 0)
+                .collect();
+            let mut expect: Vec<NodeId> = g.neighbors(v).to_vec();
+            expect.push(v);
+            expect.sort_unstable();
+            assert_eq!(row_members, expect, "row of {v}");
+        }
+    }
+
+    #[test]
+    fn counts_match_scalar_walk() {
+        let g = star(9);
+        let bits = NeighborhoodBits::build(&g).unwrap();
+        let set = NodeSet::from_iter(9, [0, 3, 4]);
+        for v in g.nodes() {
+            let scalar = crate::domination::dominator_count_scalar(&g, &set, v);
+            assert_eq!(bits.dominator_count(&set, v), scalar, "count at {v}");
+            for k in 0..5 {
+                assert_eq!(
+                    bits.has_k_dominators(&set, v, k),
+                    scalar >= k,
+                    "k = {k} at {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dilate_is_closed_one_hop_ball() {
+        let g = cycle(8);
+        let set = NodeSet::from_iter(8, [0]);
+        let ball = NeighborhoodBits::build(&g).unwrap().dilate(&set);
+        assert_eq!(ball.to_vec(), vec![0, 1, 7]);
+    }
+
+    #[test]
+    fn build_respects_memory_budget() {
+        // A graph big enough that n · ⌈n/64⌉ · 8 bytes exceeds the budget
+        // must refuse to build. 50_000² / 64 · 8 B ≈ 312 MiB > 256 MiB.
+        let g = Graph::empty(50_000);
+        assert!(NeighborhoodBits::build(&g).is_none());
+        assert!(g.neighborhood_bits().is_none());
+    }
+
+    #[test]
+    fn empty_graph_builds_trivially() {
+        let g = Graph::empty(0);
+        let bits = NeighborhoodBits::build(&g).unwrap();
+        assert_eq!(bits.memory_bytes(), 0);
+    }
+}

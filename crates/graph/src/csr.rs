@@ -9,8 +9,10 @@
 //! every algorithm in the workspace treats `Graph` as shared read-only data,
 //! which makes parallel traversal trivially data-race free.
 
+use crate::bits::NeighborhoodBits;
 use rayon::prelude::*;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a node: a dense index in `0..n`.
 ///
@@ -27,13 +29,37 @@ pub type NodeId = u32;
 /// - every adjacency list `targets[offsets[v]..offsets[v+1]]` is strictly
 ///   sorted (thus no duplicate edges) and contains no self-loop.
 /// - adjacency is symmetric: `u ∈ N(v) ⇔ v ∈ N(u)`.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Graph {
     offsets: Vec<usize>,
     targets: Vec<NodeId>,
+    /// Lazily built closed-neighborhood bitmask rows (see [`crate::bits`]).
+    /// `None` inside the `OnceLock` records that the build was attempted and
+    /// rejected by the memory budget, so it is not retried. Derived data:
+    /// cloning shares the rows via `Arc`, and equality ignores this field.
+    bits: OnceLock<Option<Arc<NeighborhoodBits>>>,
 }
 
+/// Equality is structural over the CSR arrays; the lazily cached
+/// neighborhood rows are derived data and never participate.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets && self.targets == other.targets
+    }
+}
+
+impl Eq for Graph {}
+
 impl Graph {
+    /// Internal constructor: wraps validated CSR arrays with an empty
+    /// kernel cache. All public constructors funnel through here.
+    fn raw(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        Graph {
+            offsets,
+            targets,
+            bits: OnceLock::new(),
+        }
+    }
     /// Builds a graph directly from CSR arrays.
     ///
     /// This is the low-level constructor used by [`crate::builder`]; most
@@ -64,7 +90,7 @@ impl Graph {
                 assert_ne!(u as usize, v, "self-loop at {v}");
             }
         }
-        let g = Graph { offsets, targets };
+        let g = Graph::raw(offsets, targets);
         debug_assert!(g.is_symmetric(), "CSR adjacency must be symmetric");
         g
     }
@@ -117,15 +143,12 @@ impl Graph {
         for v in 0..n {
             targets[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        Graph { offsets, targets }
+        Graph::raw(offsets, targets)
     }
 
     /// The empty graph on `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
-        Graph {
-            offsets: vec![0; n + 1],
-            targets: Vec::new(),
-        }
+        Graph::raw(vec![0; n + 1], Vec::new())
     }
 
     /// Number of nodes.
@@ -236,6 +259,107 @@ impl Graph {
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<usize>()
             + self.targets.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// The closed-neighborhood bitmask rows, built lazily on first use and
+    /// cached for the lifetime of the graph.
+    ///
+    /// Returns `None` when the rows would exceed the memory budget
+    /// ([`crate::bits::MAX_NEIGHBORHOOD_BITS_BYTES`]) — the dense fallback:
+    /// kernels then stay on the scalar CSR walks. The rejection itself is
+    /// cached, so repeated calls on an over-budget graph stay cheap.
+    pub fn neighborhood_bits(&self) -> Option<&NeighborhoodBits> {
+        self.bits
+            .get_or_init(|| NeighborhoodBits::build(self).map(Arc::new))
+            .as_deref()
+    }
+
+    /// The cached neighborhood rows if some earlier call already built
+    /// them; never triggers a build. Per-node queries use this so a single
+    /// lookup on a fresh graph does not pay the whole-matrix build cost.
+    pub fn cached_neighborhood_bits(&self) -> Option<&NeighborhoodBits> {
+        self.bits.get().and_then(|o| o.as_deref())
+    }
+
+    /// The `d`-th graph power `G^d`: same nodes, with an edge `{u, v}`
+    /// whenever `0 < dist(u, v) ≤ d`. Domination on `G^d` is exactly
+    /// d-hop domination on `G`, which is how the solvers lift every 1-hop
+    /// algorithm to `--hops d` without modification.
+    ///
+    /// `power(1)` returns a plain clone. Built by a bounded BFS from every
+    /// node; the result can be much denser than `G` (up to `n²` entries),
+    /// which is inherent to the power graph, not a representation choice.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` (the edgeless power is never what a caller wants).
+    pub fn power(&self, d: usize) -> Graph {
+        assert!(d >= 1, "graph power requires d >= 1");
+        if d == 1 {
+            return self.clone();
+        }
+        let n = self.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets: Vec<NodeId> = Vec::new();
+        // `seen[w] == v` marks w as visited in the BFS rooted at v, so the
+        // scratch array never needs clearing between roots.
+        let mut seen: Vec<NodeId> = vec![NodeId::MAX; n];
+        let mut frontier: Vec<NodeId> = Vec::new();
+        let mut next: Vec<NodeId> = Vec::new();
+        for v in 0..n as NodeId {
+            seen[v as usize] = v;
+            frontier.clear();
+            frontier.push(v);
+            let start = targets.len();
+            for _ in 0..d {
+                next.clear();
+                for &u in &frontier {
+                    for &w in self.neighbors(u) {
+                        if seen[w as usize] != v {
+                            seen[w as usize] = v;
+                            targets.push(w);
+                            next.push(w);
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            targets[start..].sort_unstable();
+            offsets.push(targets.len());
+        }
+        // Distance is symmetric, so the constructed adjacency is too.
+        Graph::raw(offsets, targets)
+    }
+
+    /// Relabels nodes in order of non-increasing degree (ties toward the
+    /// lower original id) and returns the relabeled graph together with the
+    /// permutation `perm`, where `perm[new_id] = old_id`.
+    ///
+    /// High-degree rows land first in the CSR arrays, which tightens the
+    /// working set of the greedy argmax loop and the bitmask kernels; the
+    /// `--reorder` flag of `bench-baseline` measures that effect rather
+    /// than assuming it.
+    pub fn degree_ordered(&self) -> (Graph, Vec<NodeId>) {
+        let n = self.n();
+        let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+        perm.sort_by_key(|&v| (std::cmp::Reverse(self.degree(v)), v));
+        let mut inv: Vec<NodeId> = vec![0; n];
+        for (new_id, &old) in perm.iter().enumerate() {
+            inv[old as usize] = new_id as NodeId;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(self.targets.len());
+        for &old in &perm {
+            let start = targets.len();
+            targets.extend(self.neighbors(old).iter().map(|&u| inv[u as usize]));
+            targets[start..].sort_unstable();
+            offsets.push(targets.len());
+        }
+        (Graph::raw(offsets, targets), perm)
     }
 }
 
@@ -357,5 +481,68 @@ mod tests {
     #[test]
     fn memory_bytes_positive() {
         assert!(triangle().memory_bytes() > 0);
+    }
+
+    #[test]
+    fn equality_ignores_kernel_cache() {
+        let a = triangle();
+        let b = triangle();
+        a.neighborhood_bits().unwrap();
+        assert_eq!(a, b);
+        let c = a.clone(); // clone shares the built rows
+        assert!(c.cached_neighborhood_bits().is_some());
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn power_of_cycle() {
+        // cycle(6)²: each node gains its distance-2 neighbors.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let g2 = g.power(2);
+        assert_eq!(g2.n(), 6);
+        assert_eq!(g2.neighbors(0), &[1, 2, 4, 5]);
+        assert!(g2.is_symmetric());
+        // Power 1 is the identity; a power at least the diameter is complete.
+        assert_eq!(g.power(1), g);
+        let g3 = g.power(3);
+        assert_eq!(g3.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn power_matches_bfs_distances() {
+        let g = Graph::from_edges(9, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 6), (7, 8)]);
+        for d in 1..4 {
+            let gp = g.power(d);
+            for u in g.nodes() {
+                let dist = crate::traversal::bfs_distances(&g, u);
+                for v in g.nodes() {
+                    let within = v != u && dist[v as usize] as usize <= d;
+                    assert_eq!(gp.has_edge(u, v), within, "d = {d}, pair ({u}, {v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_ordered_roundtrip() {
+        // star + pendant chain: distinct degrees force a real permutation.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5)]);
+        let (h, perm) = g.degree_ordered();
+        assert_eq!(h.n(), g.n());
+        assert_eq!(h.m(), g.m());
+        // Degrees are non-increasing in the new labeling.
+        for v in 1..h.n() {
+            assert!(h.degree(v as NodeId) <= h.degree(v as NodeId - 1));
+        }
+        // perm is a permutation of 0..n.
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.n() as NodeId).collect::<Vec<_>>());
+        // Mapping the relabeled edges back through perm reconstructs g.
+        let back: Vec<(NodeId, NodeId)> = h
+            .edges()
+            .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+            .collect();
+        assert_eq!(Graph::from_edges(g.n(), &back), g);
     }
 }

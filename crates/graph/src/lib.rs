@@ -21,6 +21,7 @@
 //! assert!(domination::is_dominating_set(&g, &mis));
 //! ```
 
+pub mod bits;
 pub mod builder;
 pub mod connected_domination;
 pub mod csr;
@@ -60,6 +61,7 @@ pub mod prelude {
     pub use crate::csr::{Graph, NodeId};
     pub use crate::nodeset::NodeSet;
     pub use crate::{
-        connected_domination, domination, generators, independent, properties, subgraph, traversal,
+        bits, connected_domination, domination, generators, independent, properties, subgraph,
+        traversal,
     };
 }

@@ -106,6 +106,17 @@ impl NodeSet {
         }
     }
 
+    /// `|self ∩ other|` as a word-level AND+popcount scan, without
+    /// materializing the intersection (same universe).
+    pub fn intersection_count(&self, other: &NodeSet) -> usize {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// In-place intersection with `other` (same universe).
     pub fn intersect_with(&mut self, other: &NodeSet) {
         assert_eq!(self.n, other.n, "universe mismatch");
@@ -135,6 +146,22 @@ impl NodeSet {
             .iter()
             .zip(&other.words)
             .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The backing words, exposed to the word-parallel kernels in
+    /// [`crate::bits`]. Bits at positions `>= n` are always zero (the
+    /// invariant every mutator preserves), so kernels may AND these words
+    /// against neighborhood rows without re-masking the tail.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable backing words for kernels that fill a set wholesale.
+    /// Callers must keep bits at positions `>= n` zero.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// Iterates members in increasing order, one `trailing_zeros` per
@@ -242,6 +269,48 @@ mod tests {
         assert!(!a.is_disjoint(&c));
         assert!(a.is_subset(&c));
         assert!(!c.is_subset(&a));
+    }
+
+    #[test]
+    fn intersection_count_matches_materialized_intersection() {
+        let a = NodeSet::from_iter(200, [0, 5, 63, 64, 65, 130, 199]);
+        let b = NodeSet::from_iter(200, [5, 64, 66, 130, 198, 199]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(a.intersection_count(&b), i.len());
+        assert_eq!(a.intersection_count(&b), 4);
+        assert_eq!(b.intersection_count(&a), 4);
+    }
+
+    #[test]
+    fn intersection_count_partial_tail_word() {
+        // Universe sizes that end mid-word: the tail word carries masked
+        // high bits, and the popcount must only see in-universe members.
+        for n in [1usize, 63, 65, 70, 127, 129] {
+            let full = NodeSet::full(n);
+            assert_eq!(full.intersection_count(&full), n, "full ∩ full at n = {n}");
+            let empty = NodeSet::new(n);
+            assert_eq!(full.intersection_count(&empty), 0, "full ∩ ∅ at n = {n}");
+            if n > 1 {
+                let last = NodeSet::from_iter(n, [n as NodeId - 1]);
+                assert_eq!(full.intersection_count(&last), 1, "tail member at n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_with_partial_tail_word() {
+        // union_with on masked operands must never set bits past the
+        // universe boundary: the result of full ∪ full stays exactly full.
+        for n in [1usize, 63, 64, 65, 70, 129] {
+            let mut u = NodeSet::full(n);
+            u.union_with(&NodeSet::full(n));
+            assert_eq!(u.len(), n, "full ∪ full at n = {n}");
+            assert_eq!(u, NodeSet::full(n));
+            let mut v = NodeSet::new(n);
+            v.union_with(&NodeSet::full(n));
+            assert_eq!(v.to_vec(), (0..n as NodeId).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Kernel equivalence proptests: the bitset (word-parallel) domination
+//! kernels must be bit-identical to the scalar CSR walk on every
+//! randomized input — counts, predicates, uncovered lists, greedy
+//! choices, and the d-hop generalization.
+//!
+//! Thread coverage comes from the CI test matrix, which runs this suite
+//! under `RAYON_NUM_THREADS=1` and `=4`; the forced `_bitset` variants
+//! build rows on graphs of any size, so the word path is exercised even
+//! below `BITS_BUILD_THRESHOLD` and on either side of the density gate.
+
+use domatic_graph::domination::{
+    dilate, dominator_count, dominator_count_scalar, greedy_dominating_set,
+    greedy_dominating_set_bitset, greedy_dominating_set_scalar, is_d_hop_k_dominating_set,
+    is_d_hop_k_dominating_set_scalar, is_k_dominating_set, is_k_dominating_set_bitset,
+    is_k_dominating_set_scalar, uncovered_nodes, uncovered_nodes_scalar,
+};
+use domatic_graph::generators::gnp::gnp;
+use domatic_graph::nodeset::NodeSet;
+use domatic_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..80, 0.02f64..0.7, 0u64..1000).prop_map(|(n, p, seed)| gnp(n, p, seed))
+}
+
+/// A random subset of the vertex set, from a membership bitmask seed.
+fn arb_set(n: usize, seed: u64) -> NodeSet {
+    NodeSet::from_iter(
+        n,
+        (0..n as NodeId).filter(|v| (seed >> (v % 64)) & 1 == 1 || u64::from(*v) == seed % 97),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dominator_counts_are_identical(g in arb_graph(), mask in 0u64..u64::MAX) {
+        let set = arb_set(g.n(), mask);
+        // Force-build the rows, then compare every per-node count on the
+        // auto path (now seeing cached rows) against the scalar walk.
+        let bits = g.neighborhood_bits().expect("small graphs fit the budget");
+        for v in g.nodes() {
+            let scalar = dominator_count_scalar(&g, &set, v);
+            prop_assert_eq!(bits.dominator_count(&set, v), scalar);
+            prop_assert_eq!(dominator_count(&g, &set, v), scalar);
+        }
+    }
+
+    #[test]
+    fn k_domination_checks_are_identical(
+        g in arb_graph(), mask in 0u64..u64::MAX, k in 1usize..4
+    ) {
+        let set = arb_set(g.n(), mask);
+        let scalar = is_k_dominating_set_scalar(&g, &set, k);
+        prop_assert_eq!(is_k_dominating_set_bitset(&g, &set, k), scalar);
+        prop_assert_eq!(is_k_dominating_set(&g, &set, k), scalar);
+    }
+
+    #[test]
+    fn uncovered_node_lists_are_identical(
+        g in arb_graph(), mask in 0u64..u64::MAX, k in 1usize..4
+    ) {
+        let set = arb_set(g.n(), mask);
+        let scalar = uncovered_nodes_scalar(&g, &set, k);
+        // Empty-iff-k-dominating, with and without cached rows.
+        prop_assert_eq!(scalar.is_empty(), is_k_dominating_set_scalar(&g, &set, k));
+        prop_assert_eq!(&uncovered_nodes(&g, &set, k), &scalar);
+        g.neighborhood_bits().expect("small graphs fit the budget");
+        prop_assert_eq!(&uncovered_nodes(&g, &set, k), &scalar);
+    }
+
+    #[test]
+    fn greedy_chooses_identical_sets(g in arb_graph(), mask in 0u64..u64::MAX) {
+        let alive = arb_set(g.n(), mask);
+        let scalar = greedy_dominating_set_scalar(&g, &alive);
+        prop_assert_eq!(greedy_dominating_set_bitset(&g, &alive), scalar.clone());
+        prop_assert_eq!(greedy_dominating_set(&g, &alive), scalar);
+    }
+
+    #[test]
+    fn d_hop_checks_are_identical(
+        g in arb_graph(), mask in 0u64..u64::MAX, k in 1usize..4, d in 1usize..4
+    ) {
+        let set = arb_set(g.n(), mask);
+        let scalar = is_d_hop_k_dominating_set_scalar(&g, &set, k, d);
+        prop_assert_eq!(is_d_hop_k_dominating_set(&g, &set, k, d), scalar);
+        // d-hop k-domination of g ≡ k-domination of the d-th graph power.
+        let gd = g.power(d);
+        prop_assert_eq!(is_k_dominating_set_scalar(&gd, &set, k), scalar);
+    }
+
+    #[test]
+    fn dilation_matches_power_graph_neighborhoods(g in arb_graph(), mask in 0u64..u64::MAX) {
+        let set = arb_set(g.n(), mask);
+        // dilate under cached rows equals dilate without them...
+        let plain = dilate(&g, &set);
+        g.neighborhood_bits().expect("small graphs fit the budget");
+        prop_assert_eq!(&dilate(&g, &set), &plain);
+        // ...and both equal the 1-hop ball: v ∈ dilate(S) ⟺ N⁺(v) ∩ S ≠ ∅.
+        for v in g.nodes() {
+            prop_assert_eq!(plain.contains(v), dominator_count_scalar(&g, &set, v) > 0);
+        }
+    }
+}

@@ -21,7 +21,7 @@ pub mod metrics;
 pub mod validate;
 
 pub use energy::{Batteries, EnergyLedger};
-pub use validate::{longest_valid_prefix, validate_schedule, Violation};
+pub use validate::{longest_valid_prefix, validate_schedule, validate_schedule_hops, Violation};
 
 use domatic_graph::{NodeId, NodeSet};
 

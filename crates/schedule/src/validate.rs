@@ -3,7 +3,9 @@
 
 use crate::energy::{Batteries, EnergyLedger};
 use crate::Schedule;
-use domatic_graph::domination::{dominator_count, is_k_dominating_set};
+use domatic_graph::domination::{
+    d_hop_dominator_count, dominator_count, is_d_hop_k_dominating_set, is_k_dominating_set,
+};
 use domatic_graph::{Graph, NodeId};
 
 /// Why a schedule is invalid.
@@ -122,6 +124,61 @@ pub fn validate_schedule(
     Ok(())
 }
 
+/// d-hop variant of [`validate_schedule`]: every entry must be a
+/// `hops`-hop `k`-dominating set of `g` (each node needs `k` active nodes
+/// within `hops` hops) and no node may exceed its battery.
+///
+/// `hops <= 1` delegates to the classic validator, so the two agree
+/// exactly on 1-hop instances. Witness nodes in [`Violation::NotDominating`]
+/// report their d-hop dominator counts.
+pub fn validate_schedule_hops(
+    g: &Graph,
+    batteries: &Batteries,
+    schedule: &Schedule,
+    k: usize,
+    hops: usize,
+) -> Result<(), Violation> {
+    if hops <= 1 {
+        return validate_schedule(g, batteries, schedule, k);
+    }
+    assert_eq!(g.n(), batteries.n(), "graph/battery size mismatch");
+    for (i, e) in schedule.entries().iter().enumerate() {
+        if e.set.universe() != g.n() {
+            return Err(Violation::UniverseMismatch {
+                step: i,
+                got: e.set.universe(),
+                expected: g.n(),
+            });
+        }
+        if !is_d_hop_k_dominating_set(g, &e.set, k, hops) {
+            for v in 0..g.n() as NodeId {
+                let have = d_hop_dominator_count(g, &e.set, v, hops);
+                if have < k {
+                    return Err(Violation::NotDominating {
+                        step: i,
+                        node: v,
+                        have,
+                        need: k,
+                    });
+                }
+            }
+            unreachable!("is_d_hop_k_dominating_set said no but all nodes covered");
+        }
+    }
+    for v in 0..g.n() as NodeId {
+        let active = schedule.active_time(v);
+        let budget = batteries.get(v);
+        if active > budget {
+            return Err(Violation::OverBudget {
+                node: v,
+                active,
+                budget,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// The longest valid prefix of a candidate schedule.
 ///
 /// The paper's randomized algorithms are correct w.h.p.; when a color class
@@ -223,6 +280,34 @@ mod tests {
                 expected: 4
             })
         ));
+    }
+
+    #[test]
+    fn hops_validator_accepts_wider_coverage() {
+        // A 6-path: {2} covers everything within 3 hops but not within 1.
+        let g = domatic_graph::generators::regular::path(6);
+        let b = Batteries::uniform(6, 2);
+        let s = Schedule::from_entries([(set(6, &[2]), 1)]);
+        assert!(validate_schedule(&g, &b, &s, 1).is_err());
+        assert!(validate_schedule_hops(&g, &b, &s, 1, 2).is_err());
+        assert_eq!(validate_schedule_hops(&g, &b, &s, 1, 3), Ok(()));
+        // The witness reports d-hop counts: node 5 is 3 hops from node 2.
+        let err = validate_schedule_hops(&g, &b, &s, 1, 2).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::NotDominating {
+                step: 0,
+                node: 5,
+                have: 0,
+                need: 1
+            }
+        );
+        // hops = 1 delegates to the classic validator.
+        let ok = Schedule::from_entries([(set(6, &[1, 4]), 1)]);
+        assert_eq!(
+            validate_schedule_hops(&g, &b, &ok, 1, 1),
+            validate_schedule(&g, &b, &ok, 1)
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `seed`        | solve/adapt      | 0         | base seed |
 //! | `trials`      | solve/adapt      | 8         | best-of-R restarts |
 //! | `c`           | solve/adapt      | 3.0       | the paper's range constant |
+//! | `hops`        | solve/bounds     | 1         | coverage radius (d-hop domination) |
 //! | `deadline_ms` | solve/bounds/adapt | none    | per-request deadline |
 //! | `failures`    | adapt            | `crash`   | failure model list |
 //! | `p`           | adapt            | 0.02      | per-slot failure probability |
@@ -86,7 +87,7 @@ pub struct Request {
     pub alg: String,
     /// Uniform battery level.
     pub b: u64,
-    /// Solver configuration (seed/trials/k/c).
+    /// Solver configuration (seed/trials/k/c/hops).
     pub cfg: SolverConfig,
     /// Optional per-request deadline.
     pub deadline_ms: Option<u64>,
@@ -157,7 +158,8 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, DomaticError)> {
         .seed(field_u64(&obj, "seed", 0).map_err(fail)?)
         .trials(field_u64(&obj, "trials", 8).map_err(fail)?)
         .k(field_u64(&obj, "k", 1).map_err(fail)? as usize)
-        .c(field_f64(&obj, "c", 3.0).map_err(fail)?);
+        .c(field_f64(&obj, "c", 3.0).map_err(fail)?)
+        .hops(field_u64(&obj, "hops", 1).map_err(fail)? as usize);
     // Parsed once: an absent field means "no deadline", while a present
     // field must be a non-negative integer — a null/float/string never
     // silently defaults.
@@ -219,15 +221,30 @@ mod tests {
     #[test]
     fn parses_every_field() {
         let r = parse_request(
-            r#"{"id":1,"op":"adapt","graph":"g","alg":"ft","b":5,"k":2,"seed":9,"trials":3,"c":4.5,"deadline_ms":250,"failures":"all","p":0.1,"slots":500}"#,
+            r#"{"id":1,"op":"adapt","graph":"g","alg":"ft","b":5,"k":2,"seed":9,"trials":3,"c":4.5,"hops":2,"deadline_ms":250,"failures":"all","p":0.1,"slots":500}"#,
         )
         .unwrap();
         assert_eq!(r.op, Op::Adapt);
         assert_eq!(r.alg, "ft");
         assert_eq!(r.b, 5);
-        assert_eq!(r.cfg, SolverConfig::new().seed(9).trials(3).k(2).c(4.5));
+        assert_eq!(
+            r.cfg,
+            SolverConfig::new().seed(9).trials(3).k(2).c(4.5).hops(2)
+        );
         assert_eq!(r.deadline_ms, Some(250));
         assert_eq!((r.failures.as_str(), r.slots), ("all", 500));
+    }
+
+    #[test]
+    fn hops_defaults_to_one_and_feeds_the_cache_key() {
+        let plain = parse_request(r#"{"id":1,"op":"solve","graph":"g"}"#).unwrap();
+        assert_eq!(plain.cfg.hops, 1);
+        let wide = parse_request(r#"{"id":1,"op":"solve","graph":"g","hops":2}"#).unwrap();
+        assert_eq!(wide.cfg.hops, 2);
+        // config_hash covers hops, so cached 1-hop solves can never be
+        // replayed for a d-hop request.
+        use domatic_core::hash::config_hash;
+        assert_ne!(config_hash(&plain.cfg), config_hash(&wide.cfg));
     }
 
     #[test]

@@ -361,6 +361,17 @@ impl Server {
                 return;
             }
         }
+        if req.op == Op::Adapt && req.cfg.hops > 1 {
+            // The adaptive runtime's coverage census is 1-hop; accepting a
+            // wider radius would plan d-hop schedules and then misjudge
+            // them, so the combination is rejected rather than mis-served.
+            let e = DomaticError::BadRequest {
+                message: "adapt does not support hops > 1".to_string(),
+            };
+            self.tracer.shed(&rt, "hops_unsupported");
+            self.respond_err(sink, req.id, &e);
+            return;
+        }
         if req.op == Op::Adapt && FailureModel::parse(&req.failures, req.p).is_none() {
             let e = DomaticError::BadRequest {
                 message: format!(

@@ -285,6 +285,69 @@ fn bad_requests_get_typed_errors_without_occupying_capacity() {
 }
 
 #[test]
+fn hops_request_serves_valid_d_hop_schedules_and_adapt_rejects_it() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+        ..ServerConfig::default()
+    });
+    let (buf, sink) = sink();
+    server.handle_line(
+        r#"{"id":1,"op":"solve","graph":"ring","alg":"greedy","b":3,"hops":2}"#,
+        &sink,
+    );
+    server.handle_line(
+        r#"{"id":2,"op":"solve","graph":"ring","alg":"greedy","b":3}"#,
+        &sink,
+    );
+    server.handle_line(
+        r#"{"id":3,"op":"adapt","graph":"ring","alg":"greedy","b":3,"failures":"iid","p":0.1,"slots":4,"hops":2}"#,
+        &sink,
+    );
+    let responses = wait_lines(&buf, 3);
+
+    let adapt_line = responses.iter().find(|l| id_of(l) == 3).unwrap();
+    assert_eq!(error_kind(adapt_line), "bad_request");
+
+    let payload_2hop = result_of(responses.iter().find(|l| id_of(l) == 1).unwrap());
+    let payload_1hop = result_of(responses.iter().find(|l| id_of(l) == 2).unwrap());
+    assert_ne!(
+        payload_2hop, payload_1hop,
+        "hops must participate in the solve, not just the cache key"
+    );
+
+    // Every slot of the 2-hop response must be a 2-hop dominating set of
+    // the *original* ring — the server solves on the power graph but the
+    // schedule is stated in terms of base-graph nodes.
+    let g = ring_graph(24);
+    let v = json::parse(&payload_2hop).unwrap();
+    assert!(v.get("lifetime").unwrap().as_int().unwrap() > 0);
+    let Some(json::Json::Arr(entries)) = v.get("schedule") else {
+        panic!("missing schedule array: {payload_2hop}");
+    };
+    assert!(!entries.is_empty());
+    for entry in entries {
+        let json::Json::Arr(pair) = entry else {
+            panic!("entry is not [duration, nodes]: {entry:?}");
+        };
+        let json::Json::Arr(nodes) = &pair[1] else {
+            panic!("nodes is not an array: {entry:?}");
+        };
+        let set = domatic_graph::NodeSet::from_iter(
+            g.n(),
+            nodes
+                .iter()
+                .map(|x| u32::try_from(x.as_int().unwrap()).unwrap()),
+        );
+        assert!(
+            domatic_graph::domination::is_d_hop_dominating_set(&g, &set, 2),
+            "slot is not 2-hop dominating: {nodes:?}"
+        );
+    }
+}
+
+#[test]
 fn shutdown_drains_and_rejects_new_work() {
     let server = make_server(ServerConfig {
         capacity: 8,

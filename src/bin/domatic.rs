@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! domatic info <graph.txt>
-//! domatic schedule <graph.txt> [--b N] [--k K] [--alg <solver>] \
-//!                  [--seed S] [--trials R] [--verbose] [--out schedule.txt]
-//! domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]
+//! domatic solve <graph.txt> [--b N] [--k K] [--hops D] [--alg <solver>] \
+//!               [--seed S] [--trials R] [--verbose] [--out schedule.txt]
+//!               # `schedule` is an alias
+//! domatic validate <graph.txt> <schedule.txt> [--b N] [--k K] [--hops D]
 //! domatic partition <graph.txt> [--alg greedy|feige|augmented]
 //! domatic simulate <graph.txt> [--b N] [--k K]
 //! domatic adapt <graph.txt> [--b N] [--k K] [--alg <solver>] [--seed S] \
@@ -49,6 +50,11 @@
 //! available. The graph format is `domatic_graph::io`'s: a `n <count>`
 //! header then one `u v` edge per line (`#` comments allowed).
 //!
+//! `--hops D` relaxes coverage to d-hop domination: every node must have
+//! `k` active nodes within `D` hops (solvers plan on the D-th graph
+//! power; see `SolverConfig::hops`). `adapt` rejects `--hops > 1` — the
+//! adaptive runtime's coverage census is strictly 1-hop.
+//!
 //! Every subcommand additionally accepts `--trace` (enables span timing
 //! and prints the telemetry snapshot — counters plus the nested span tree
 //! — after the subcommand finishes) and `--threads N` (sizes the global
@@ -62,11 +68,11 @@ use domatic::netsim::{
 use domatic::prelude::*;
 use domatic::schedule::compact::render;
 use domatic::schedule::metrics::schedule_metrics;
-use domatic::schedule::validate_schedule;
+use domatic::schedule::validate_schedule_hops;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  domatic info <graph.txt>\n  domatic schedule <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] [--batch-window-ms N] [--cache-bytes N] [--access-log PATH] [--metrics-port P] [--slow-ms N] [--trace-ring N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] [--graphs a,b] [--trace-file req.jsonl] [--json]\n  domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]\n  domatic profile --addr HOST:PORT\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
+        "usage:\n  domatic info <graph.txt>\n  domatic solve <graph.txt> [--b N] [--k K] [--hops D] [--alg SOLVER] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]   (alias: schedule)\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K] [--hops D]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] [--batch-window-ms N] [--cache-bytes N] [--access-log PATH] [--metrics-port P] [--slow-ms N] [--trace-ring N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] [--graphs a,b] [--trace-file req.jsonl] [--json]\n  domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]\n  domatic profile --addr HOST:PORT\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
         domatic::core::solver::solver_names().join("|")
     );
     std::process::exit(2)
@@ -91,6 +97,7 @@ fn resolve_solver(name: &str) -> Box<dyn Solver> {
 struct Opts {
     b: u64,
     k: usize,
+    hops: usize,
     alg: String,
     seed: u64,
     trials: u64,
@@ -109,6 +116,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut o = Opts {
         b: 3,
         k: 1,
+        hops: 1,
         alg: "uniform".into(),
         seed: 0,
         trials: 8,
@@ -133,6 +141,13 @@ fn parse_opts(args: &[String]) -> Opts {
         match a.as_str() {
             "--b" => o.b = next("--b").parse().unwrap_or_else(|_| usage()),
             "--k" => o.k = next("--k").parse().unwrap_or_else(|_| usage()),
+            "--hops" => {
+                o.hops = next("--hops").parse().unwrap_or_else(|_| usage());
+                if o.hops == 0 {
+                    eprintln!("--hops must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--alg" => o.alg = next("--alg"),
             "--seed" => o.seed = next("--seed").parse().unwrap_or_else(|_| usage()),
             "--trials" => o.trials = next("--trials").parse().unwrap_or_else(|_| usage()),
@@ -152,7 +167,11 @@ fn parse_opts(args: &[String]) -> Opts {
 }
 
 fn solver_config(o: &Opts) -> SolverConfig {
-    SolverConfig::new().seed(o.seed).trials(o.trials).k(o.k)
+    SolverConfig::new()
+        .seed(o.seed)
+        .trials(o.trials)
+        .k(o.k)
+        .hops(o.hops)
 }
 
 fn main() {
@@ -216,7 +235,7 @@ fn run_command(cmd: &str, rest: &[String]) {
                 );
             }
         }
-        "schedule" => {
+        "schedule" | "solve" => {
             let path = rest.first().unwrap_or_else(|| usage());
             let o = parse_opts(&rest[1..]);
             let g = load_graph(path);
@@ -229,10 +248,12 @@ fn run_command(cmd: &str, rest: &[String]) {
             });
             let tolerance = solver.tolerance(&cfg);
             let bound = solver.upper_bound(&g, &batteries, &cfg);
-            validate_schedule(&g, &batteries, &schedule, tolerance).unwrap_or_else(|v| {
-                eprintln!("internal error: emitted schedule invalid: {v}");
-                std::process::exit(1);
-            });
+            validate_schedule_hops(&g, &batteries, &schedule, tolerance, o.hops).unwrap_or_else(
+                |v| {
+                    eprintln!("internal error: emitted schedule invalid: {v}");
+                    std::process::exit(1);
+                },
+            );
             println!(
                 "{}: lifetime {} (upper bound {bound})",
                 solver.describe(),
@@ -281,12 +302,13 @@ fn run_command(cmd: &str, rest: &[String]) {
                 std::process::exit(1);
             }
             let batteries = Batteries::uniform(g.n(), o.b);
-            match validate_schedule(&g, &batteries, &schedule, o.k) {
+            match validate_schedule_hops(&g, &batteries, &schedule, o.k, o.hops) {
                 Ok(()) => println!(
-                    "VALID: lifetime {} at tolerance k = {} within b = {}",
+                    "VALID: lifetime {} at tolerance k = {} within b = {} (hops = {})",
                     schedule.lifetime(),
                     o.k,
-                    o.b
+                    o.b,
+                    o.hops
                 ),
                 Err(v) => {
                     println!("INVALID: {v}");
@@ -383,6 +405,13 @@ fn run_command(cmd: &str, rest: &[String]) {
         "adapt" => {
             let path = rest.first().unwrap_or_else(|| usage());
             let o = parse_opts(&rest[1..]);
+            if o.hops > 1 {
+                // Same policy as the serve layer: the adaptive runtime's
+                // coverage census is strictly 1-hop, so planning d-hop
+                // schedules under it would misjudge coverage.
+                eprintln!("adapt does not support --hops > 1");
+                std::process::exit(2);
+            }
             let g = load_graph(path);
             let batteries = Batteries::uniform(g.n(), o.b);
             let solver = resolve_solver(&o.alg);
