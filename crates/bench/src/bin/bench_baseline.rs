@@ -9,6 +9,7 @@
 //! bench-baseline --quick                # fewer reps (CI smoke)
 //! bench-baseline --kernels              # kernel matrix -> BENCH_kernels.json
 //! bench-baseline --kernels --reorder    # degree-order fixtures first
+//! bench-baseline --solvers              # quality/time matrix -> BENCH_solvers.json
 //! ```
 //!
 //! The pool size is fixed per process, so the binary re-executes itself
@@ -29,14 +30,25 @@
 //! `--reorder` first relabels both fixtures by descending degree
 //! (`Graph::degree_ordered`) to measure locality effects; it changes node
 //! ids and therefore checksums, so the committed artifact keeps it off.
+//!
+//! `--solvers` switches to the solver quality-vs-time matrix (the file
+//! committed as `BENCH_solvers.json`): per-solver lifetime, ns/solve,
+//! and a schedule checksum for every registry solver on two fixed
+//! instances, measured at 1 and 4 rayon threads with the same
+//! refuse-on-drift gate — a pass proves every solver (including the
+//! racing `portfolio`) returns bit-identical schedules at both pool
+//! sizes. The harness additionally refuses to write output if any
+//! anytime solver's lifetime falls below the greedy baseline on any
+//! instance (their structural floor). Instances are fixed regardless of
+//! `--quick`, so checksums are comparable between CI runs and the
+//! committed artifact.
 
-// Benchmarks pin the deprecated free functions so the baseline series
-// stays comparable across the Solver-API migration.
-#![allow(deprecated)]
 use domatic_bench::{gnp_fixture, rgg_fixture};
-use domatic_core::stochastic::best_uniform;
+use domatic_core::stochastic::best_of;
+use domatic_core::uniform::{uniform_schedule, UniformParams};
 use domatic_graph::domination::{greedy_dominating_set, is_k_dominating_set_par};
 use domatic_graph::NodeSet;
+use domatic_schedule::{longest_valid_prefix, Batteries};
 use domatic_telemetry::json::Json;
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -89,7 +101,15 @@ fn targets(quick: bool) -> Vec<Target> {
         Target {
             name: TARGET_KINDS[1].0,
             run: Box::new(move || {
-                let (s, seed) = best_uniform(&sched_graph, 2, 3.0, trials, 0);
+                // The exact composition the removed `best_uniform` wrapper
+                // performed, so the committed checksum series stays
+                // comparable across the Solver-API migration.
+                let batteries = Batteries::uniform(sched_graph.n(), 2);
+                let (s, seed) = best_of(trials, 0, |seed| {
+                    let (raw, _) =
+                        uniform_schedule(&sched_graph, 2, &UniformParams { c: 3.0, seed });
+                    longest_valid_prefix(&sched_graph, &batteries, &raw, 1)
+                });
                 s.lifetime().wrapping_mul(1_000_003).wrapping_add(seed)
             }),
             reps: if quick { 3 } else { 5 },
@@ -310,6 +330,219 @@ fn kernel_targets(quick: bool, reorder: bool) -> Vec<Kernel> {
         });
     }
     kernels
+}
+
+/// Thread counts of the solver matrix legs: the racing portfolio and
+/// the best-of-R restarts must be bit-identical at both.
+const SOLVER_THREADS: &[usize] = &[1, 4];
+
+/// Registry solvers in the matrix, in presentation order.
+const SOLVER_NAMES: &[&str] = &["greedy", "uniform", "general", "tabu", "sa", "portfolio"];
+
+/// Anytime solvers whose lifetime may never fall below `greedy` (they
+/// seed from, or race against, the greedy schedule).
+const ANYTIME_SOLVERS: &[&str] = &["tabu", "sa", "portfolio"];
+
+/// The solver matrix instances: `(label, graph, batteries)`. Fixed
+/// regardless of `--quick` so checksums stay comparable.
+fn solver_instances() -> Vec<(&'static str, domatic_graph::Graph, Batteries)> {
+    let gnp = domatic_bench::gnp_fixture(240);
+    let rgg = rgg_fixture(200);
+    let uniform = Batteries::uniform(gnp.n(), 3);
+    let mixed = domatic_bench::battery_fixture(rgg.n());
+    vec![
+        ("gnp_n240_b3", gnp, uniform),
+        ("rgg_n200_mixed", rgg, mixed),
+    ]
+}
+
+/// Order- and content-sensitive checksum of a schedule: folds every
+/// slot's duration and member list, so two schedules collide only if
+/// they are slot-for-slot identical.
+fn schedule_checksum(s: &domatic_schedule::Schedule) -> u64 {
+    fnv_fold(s.entries().iter().flat_map(|e| {
+        std::iter::once(e.duration)
+            .chain(std::iter::once(e.set.len() as u64))
+            .chain(e.set.iter().map(u64::from))
+    }))
+}
+
+/// Child mode for `--solvers`: run every registry solver on every
+/// instance under the inherited pool, print
+/// `solver<TAB>instance<TAB>name<TAB>ns<TAB>lifetime<TAB>checksum`.
+fn measure_solvers(quick: bool) {
+    use domatic_core::solver::{make_solver, SolverConfig};
+    let reps = if quick { 1 } else { 3 };
+    let cfg = SolverConfig::new().seed(3).trials(4);
+    for (instance, g, b) in solver_instances() {
+        for &name in SOLVER_NAMES {
+            let solver = make_solver(name).expect("registry name");
+            let mut best_ns = u64::MAX;
+            let mut result = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                // The uniform solver rejects non-uniform batteries by
+                // contract; the cell is reported with lifetime 0 /
+                // checksum 0 so the legs still compare it.
+                let r = solver.schedule(&g, &b, &cfg).ok();
+                best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
+                result = Some(r);
+            }
+            let (lifetime, checksum) = match result.flatten() {
+                Some(s) => (s.lifetime(), schedule_checksum(&s)),
+                None => (0, 0),
+            };
+            println!("solver\t{instance}\t{name}\t{best_ns}\t{lifetime}\t{checksum}");
+        }
+    }
+}
+
+/// `(instance, solver) -> (ns, lifetime, checksum)` for one leg.
+type SolverCells = BTreeMap<(String, String), (u64, u64, u64)>;
+
+/// One solver-matrix leg: re-exec with the pool pinned to `threads`,
+/// collect `(instance, solver) -> (ns, lifetime, checksum)`.
+fn run_solver_leg(threads: usize, quick: bool) -> SolverCells {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--measure")
+        .arg("--solvers")
+        .env("RAYON_NUM_THREADS", threads.to_string());
+    if quick {
+        cmd.arg("--quick");
+    }
+    let out = cmd.output().expect("spawn measurement child");
+    if !out.status.success() {
+        eprintln!(
+            "solver measurement child ({threads} threads) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::process::exit(1);
+    }
+    let mut results = BTreeMap::new();
+    for line in String::from_utf8_lossy(&out.stdout).lines() {
+        let mut parts = line.split('\t');
+        if parts.next() != Some("solver") {
+            continue;
+        }
+        let (Some(instance), Some(name), Some(ns), Some(lifetime), Some(sum)) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            continue;
+        };
+        results.insert(
+            (instance.to_string(), name.to_string()),
+            (
+                ns.parse().expect("ns field"),
+                lifetime.parse().expect("lifetime field"),
+                sum.parse().expect("checksum field"),
+            ),
+        );
+    }
+    results
+}
+
+/// Parent mode for `--solvers`: one leg per thread count, checksum gate
+/// across every (instance, solver, thread) cell, greedy-floor gate on
+/// the anytime solvers, JSON matrix out.
+fn run_solver_matrix(out_path: &str, quick: bool) {
+    let mut legs: BTreeMap<usize, SolverCells> = BTreeMap::new();
+    for &t in SOLVER_THREADS {
+        eprintln!("solver leg at {t} thread(s)…");
+        legs.insert(t, run_solver_leg(t, quick));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let instances: Vec<&str> = solver_instances().iter().map(|(l, _, _)| *l).collect();
+    let mut rows = Vec::new();
+    for instance in &instances {
+        let cell = |name: &str, t: usize| -> (u64, u64, u64) {
+            legs[&t]
+                .get(&(instance.to_string(), name.to_string()))
+                .copied()
+                .unwrap_or_else(|| panic!("solver {name} missing from {t}-thread leg"))
+        };
+        // Cross-thread determinism gate: lifetime AND checksum must
+        // agree at every pool size.
+        for &name in SOLVER_NAMES {
+            let (_, l1, s1) = cell(name, SOLVER_THREADS[0]);
+            for &t in &SOLVER_THREADS[1..] {
+                let (_, lt, st) = cell(name, t);
+                if (l1, s1) != (lt, st) {
+                    eprintln!(
+                        "DETERMINISM VIOLATION: {instance}/{name} returned \
+                         (lifetime {l1}, checksum {s1}) at {} threads but \
+                         (lifetime {lt}, checksum {st}) at {t} — refusing to write output",
+                        SOLVER_THREADS[0]
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        // Quality-floor gate: anytime solvers never lose to greedy.
+        let greedy_lifetime = cell("greedy", SOLVER_THREADS[0]).1;
+        for &name in ANYTIME_SOLVERS {
+            let lifetime = cell(name, SOLVER_THREADS[0]).1;
+            if lifetime < greedy_lifetime {
+                eprintln!(
+                    "QUALITY REGRESSION: {instance}/{name} lifetime {lifetime} \
+                     below the greedy floor {greedy_lifetime} — refusing to write output"
+                );
+                std::process::exit(1);
+            }
+        }
+        let mut solver_rows = Vec::new();
+        for &name in SOLVER_NAMES {
+            let (_, lifetime, checksum) = cell(name, SOLVER_THREADS[0]);
+            let ns_cols: Vec<(String, Json)> = SOLVER_THREADS
+                .iter()
+                .map(|&t| (format!("t{t}"), Json::Int(cell(name, t).0 as i128)))
+                .collect();
+            eprintln!(
+                "  {instance}/{name}: lifetime {lifetime}, {} ns @1t",
+                cell(name, 1).0
+            );
+            solver_rows.push(Json::obj([
+                ("checksum".into(), Json::Int(checksum as i128)),
+                ("lifetime".into(), Json::Int(lifetime as i128)),
+                ("name".into(), Json::Str(name.into())),
+                ("ns".into(), Json::obj(ns_cols)),
+            ]));
+        }
+        rows.push(Json::obj([
+            ("instance".into(), Json::Str((*instance).into())),
+            ("solvers".into(), Json::Arr(solver_rows)),
+        ]));
+    }
+    let record = Json::obj([
+        ("bench".into(), Json::Str("solver-matrix".into())),
+        ("instances".into(), Json::Arr(rows)),
+        (
+            "machine".into(),
+            Json::obj([
+                ("cores".into(), Json::Int(cores as i128)),
+                ("os".into(), Json::Str(std::env::consts::OS.into())),
+                ("arch".into(), Json::Str(std::env::consts::ARCH.into())),
+            ]),
+        ),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "threads".into(),
+            Json::Arr(
+                SOLVER_THREADS
+                    .iter()
+                    .map(|&t| Json::Int(t as i128))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut f =
+        std::fs::File::create(out_path).unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    writeln!(f, "{}", record.render()).expect("write solver matrix");
+    eprintln!("wrote {out_path}");
 }
 
 /// Child mode for `--kernels`: run both variants of every kernel under
@@ -540,10 +773,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let kernels = args.iter().any(|a| a == "--kernels");
+    let solvers = args.iter().any(|a| a == "--solvers");
     let reorder = args.iter().any(|a| a == "--reorder");
     if args.iter().any(|a| a == "--measure") {
         if kernels {
             measure_kernels(quick, reorder);
+        } else if solvers {
+            measure_solvers(quick);
         } else {
             measure(quick);
         }
@@ -562,11 +798,11 @@ fn main() {
                     .filter(|&n| n > 0)
                     .expect("--threads requires a positive integer")
             }
-            "--quick" | "--kernels" | "--reorder" => {}
+            "--quick" | "--kernels" | "--solvers" | "--reorder" => {}
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: bench-baseline [--threads N] [--out PATH] [--quick] [--kernels] [--reorder]"
+                    "usage: bench-baseline [--threads N] [--out PATH] [--quick] [--kernels] [--solvers] [--reorder]"
                 );
                 std::process::exit(2);
             }
@@ -575,6 +811,11 @@ fn main() {
     if kernels {
         let out = out_path.unwrap_or_else(|| "BENCH_kernels.json".to_string());
         run_kernel_matrix(&out, quick, reorder);
+        return;
+    }
+    if solvers {
+        let out = out_path.unwrap_or_else(|| "BENCH_solvers.json".to_string());
+        run_solver_matrix(&out, quick);
         return;
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_parallel.json".to_string());

@@ -72,6 +72,13 @@ pub enum DomaticError {
         /// What was wrong with it.
         message: String,
     },
+    /// A [`crate::solver::SolverConfig`] failed validation (zero trials,
+    /// non-positive `c`, zero hops, …) — rejected up front instead of
+    /// silently solving garbage.
+    Config {
+        /// What was wrong with the configuration.
+        message: String,
+    },
 }
 
 impl DomaticError {
@@ -92,6 +99,7 @@ impl DomaticError {
             DomaticError::ShuttingDown => "shutting_down",
             DomaticError::UnknownGraph { .. } => "unknown_graph",
             DomaticError::BadRequest { .. } => "bad_request",
+            DomaticError::Config { .. } => "config",
         }
     }
 }
@@ -134,6 +142,7 @@ impl fmt::Display for DomaticError {
                 write!(f, "unknown graph '{name}' (preload it at server start)")
             }
             DomaticError::BadRequest { message } => write!(f, "bad request: {message}"),
+            DomaticError::Config { message } => write!(f, "invalid solver config: {message}"),
         }
     }
 }
@@ -190,7 +199,7 @@ mod tests {
     fn kinds_are_stable_wire_tags() {
         // These strings are the serve protocol's `error.kind` values;
         // this test pins them so a refactor can't silently rename one.
-        let cases: [(DomaticError, &str); 6] = [
+        let cases: [(DomaticError, &str); 7] = [
             (DomaticError::Overloaded { capacity: 8 }, "overloaded"),
             (
                 DomaticError::DeadlineExceeded { deadline_ms: 5 },
@@ -210,6 +219,12 @@ mod tests {
             (
                 DomaticError::UnknownSolver { name: "x".into() },
                 "unknown_solver",
+            ),
+            (
+                DomaticError::Config {
+                    message: "trials must be >= 1".into(),
+                },
+                "config",
             ),
         ];
         for (err, kind) in cases {

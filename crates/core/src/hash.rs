@@ -97,7 +97,13 @@ pub fn graph_hash(g: &Graph) -> u64 {
 
 /// Canonical hash of a solver configuration. `c` is hashed by bit
 /// pattern: configs are equal keys iff they produce identical solves,
-/// and the solvers consume `c` exactly as an `f64`.
+/// and the solvers consume `c` exactly as an `f64`. The [`Budget`] is
+/// part of the key — the anytime solvers produce different schedules at
+/// different budgets, so the serve cache must not conflate them
+/// (`deadline_ms` hashes a presence flag first, so `None` and `Some(0)`
+/// stay distinct keys).
+///
+/// [`Budget`]: crate::budget::Budget
 pub fn config_hash(cfg: &SolverConfig) -> u64 {
     let mut h = CanonicalHasher::new();
     h.write_u64(cfg.seed);
@@ -105,6 +111,10 @@ pub fn config_hash(cfg: &SolverConfig) -> u64 {
     h.write_u64(cfg.k as u64);
     h.write_u64(cfg.c.to_bits());
     h.write_u64(cfg.hops as u64);
+    h.write_u64(cfg.budget.max_iterations);
+    h.write_u64(u64::from(cfg.budget.deadline_ms.is_some()));
+    h.write_u64(cfg.budget.deadline_ms.unwrap_or(0));
+    h.write_u64(cfg.budget.stall_iterations);
     h.finish()
 }
 
@@ -121,6 +131,7 @@ pub fn batteries_hash(b: &Batteries) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::Budget;
     use domatic_graph::generators::gnp::gnp;
 
     #[test]
@@ -159,6 +170,10 @@ mod tests {
             SolverConfig::new().k(2),
             SolverConfig::new().c(4.0),
             SolverConfig::new().hops(2),
+            SolverConfig::new().budget(Budget::new().max_iterations(5)),
+            SolverConfig::new().budget(Budget::new().deadline_ms(0)),
+            SolverConfig::new().budget(Budget::new().deadline_ms(250)),
+            SolverConfig::new().budget(Budget::new().stall_iterations(9)),
         ];
         for v in &variants {
             assert_ne!(config_hash(&base), config_hash(v), "{v:?}");

@@ -35,6 +35,7 @@
 
 pub mod augment;
 pub mod bounds;
+pub mod budget;
 pub mod cds;
 pub mod epochs;
 pub mod error;
@@ -45,13 +46,18 @@ pub mod general_fault_tolerant;
 pub mod greedy;
 pub mod hash;
 pub mod io;
+mod local_search;
 pub mod model;
 pub mod partition;
+pub mod portfolio;
+pub mod sa;
 pub mod solver;
 pub mod stochastic;
+pub mod tabu;
 pub mod uniform;
 
 pub use bounds::{fault_tolerant_upper_bound, general_upper_bound, uniform_upper_bound};
+pub use budget::{Budget, BudgetMeter, Clock, ManualClock, SystemClock};
 pub use error::DomaticError;
 pub use fault_tolerant::{fault_tolerant_schedule, FaultTolerantRun};
 pub use general::{general_schedule, GeneralParams, MultiColorAssignment};
@@ -59,8 +65,39 @@ pub use greedy::{greedy_domatic_partition, greedy_general_schedule, greedy_unifo
 pub use hash::{batteries_hash, config_hash, graph_hash, CanonicalHasher};
 pub use model::Instance;
 pub use partition::ColorAssignment;
+pub use portfolio::PortfolioSolver;
+pub use sa::SaSolver;
 pub use solver::{
     make_solver, solver_names, solver_registry, FaultTolerantSolver, GeneralSolver, GreedySolver,
-    Solver, SolverConfig, UniformSolver,
+    Incumbent, Solver, SolverConfig, SolverConfigBuilder, UniformSolver,
 };
+pub use tabu::TabuSolver;
 pub use uniform::{uniform_schedule, UniformParams};
+
+/// One-stop imports for driving solvers: the trait, the registry, the
+/// config/budget types, and the anytime callback surface.
+///
+/// ```
+/// use domatic_core::prelude::*;
+/// use domatic_graph::generators::regular::complete;
+/// use domatic_schedule::Batteries;
+///
+/// let solver = make_solver("portfolio").unwrap();
+/// let cfg = SolverConfig::builder().trials(2).build().unwrap();
+/// let s = solver
+///     .schedule(&complete(20), &Batteries::uniform(20, 2), &cfg)
+///     .unwrap();
+/// assert!(s.lifetime() >= 2);
+/// ```
+pub mod prelude {
+    pub use crate::budget::{Budget, Clock, ManualClock, SystemClock};
+    pub use crate::error::DomaticError;
+    pub use crate::portfolio::PortfolioSolver;
+    pub use crate::sa::SaSolver;
+    pub use crate::solver::{
+        effective_graph, make_solver, solver_names, solver_registry, DiscardIncumbent,
+        FaultTolerantSolver, GeneralSolver, GreedySolver, Incumbent, Solver, SolverConfig,
+        SolverConfigBuilder, TraceIncumbent, UniformSolver,
+    };
+    pub use crate::tabu::TabuSolver;
+}

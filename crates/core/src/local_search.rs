@@ -1,0 +1,247 @@
+//! Shared machinery for the anytime local-search solvers (tabu / sa).
+//!
+//! Both solvers have the same outer shape — *improve a greedy-seeded
+//! schedule under a budget* — and differ only in how they refine each
+//! peeled dominating set before charging it. This module owns the shared
+//! pieces:
+//!
+//! - [`CoverState`]: a dominating set plus incrementally-maintained
+//!   per-node dominator counts, the data structure every move inspects;
+//! - [`peeling_build`]: the greedy peel → refine → charge loop that turns
+//!   a set refiner into a full schedule builder;
+//! - [`run_restarts`]: the budgeted restart loop around it, seeded by the
+//!   deterministic greedy baseline so the result is never worse than
+//!   [`crate::greedy::greedy_general_schedule`].
+//!
+//! Refiners must preserve the domination invariant (every node of the
+//! *whole* graph keeps ≥ 1 dominator) and only ever use alive members, so
+//! every intermediate schedule is valid by construction — which is what
+//! lets the solvers report each improvement through [`Incumbent`]
+//! immediately.
+
+use crate::budget::{BudgetMeter, Clock};
+use crate::greedy::greedy_general_schedule;
+use crate::solver::{Incumbent, SolverConfig};
+use domatic_graph::domination::{dominator_count, greedy_dominating_set};
+use domatic_graph::{Graph, NodeId, NodeSet};
+use domatic_schedule::{Batteries, EnergyLedger, Schedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A candidate dominating set with per-node dominator counts maintained
+/// incrementally across insert/remove, so redundancy ("can I drop `v`?")
+/// and hole ("who loses coverage if I drop `v`?") queries are O(deg).
+pub(crate) struct CoverState<'g> {
+    g: &'g Graph,
+    /// Current members.
+    pub set: NodeSet,
+    /// `cover[u]` = number of members of `set` in `N⁺(u)`.
+    cover: Vec<u32>,
+}
+
+impl<'g> CoverState<'g> {
+    /// Builds the state for an existing dominating set.
+    pub fn new(g: &'g Graph, set: NodeSet) -> Self {
+        let cover = (0..g.n() as NodeId)
+            .map(|u| dominator_count(g, &set, u) as u32)
+            .collect();
+        CoverState { g, set, cover }
+    }
+
+    /// Current member count.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Adds `v`, updating coverage counts. No-op if already a member.
+    pub fn insert(&mut self, v: NodeId) {
+        if self.set.insert(v) {
+            self.cover[v as usize] += 1;
+            for &u in self.g.neighbors(v) {
+                self.cover[u as usize] += 1;
+            }
+        }
+    }
+
+    /// Drops `v`, updating coverage counts. The caller is responsible for
+    /// keeping the set dominating. No-op if not a member.
+    pub fn remove(&mut self, v: NodeId) {
+        if self.set.remove(v) {
+            self.cover[v as usize] -= 1;
+            for &u in self.g.neighbors(v) {
+                self.cover[u as usize] -= 1;
+            }
+        }
+    }
+
+    /// Whether member `v` can be dropped with every node still covered.
+    pub fn is_redundant(&self, v: NodeId) -> bool {
+        self.cover[v as usize] >= 2
+            && self
+                .g
+                .neighbors(v)
+                .iter()
+                .all(|&u| self.cover[u as usize] >= 2)
+    }
+
+    /// The nodes that would lose their only dominator if member `v` were
+    /// dropped (all lie in `N⁺(v)`). Empty ⇔ [`CoverState::is_redundant`].
+    pub fn holes_after_remove(&self, v: NodeId) -> Vec<NodeId> {
+        let mut holes = Vec::new();
+        if self.cover[v as usize] == 1 {
+            holes.push(v);
+        }
+        for &u in self.g.neighbors(v) {
+            if self.cover[u as usize] == 1 {
+                holes.push(u);
+            }
+        }
+        holes
+    }
+
+    /// Whether `w` covers every hole in `holes` (each hole is `w` itself
+    /// or adjacent to it).
+    pub fn covers_all(&self, w: NodeId, holes: &[NodeId]) -> bool {
+        holes
+            .iter()
+            .all(|&u| u == w || self.g.neighbors(u).contains(&w))
+    }
+
+    /// Replacement candidates for member `v`: alive non-members that cover
+    /// every hole `v` leaves behind. Every candidate must cover the first
+    /// hole, so the scan is over `N⁺(holes[0])` only.
+    pub fn swap_candidates(&self, v: NodeId, holes: &[NodeId], alive: &NodeSet) -> Vec<NodeId> {
+        let Some(&h0) = holes.first() else {
+            return Vec::new();
+        };
+        std::iter::once(h0)
+            .chain(self.g.neighbors(h0).iter().copied())
+            .filter(|&w| {
+                w != v && alive.contains(w) && !self.set.contains(w) && self.covers_all(w, holes)
+            })
+            .collect()
+    }
+}
+
+/// The nodes with battery remaining.
+pub(crate) fn alive_set(n: usize, ledger: &EnergyLedger) -> NodeSet {
+    NodeSet::from_iter(n, (0..n as NodeId).filter(|&v| ledger.remaining(v) > 0))
+}
+
+/// One refinement pass: given the effective graph, the alive nodes, a
+/// greedy-seeded dominating set, the trial RNG, and the shared meter,
+/// return an (ideally smaller) dominating set over the same alive pool.
+/// A refiner whose meter is already exhausted must return the seed set
+/// unchanged, which degrades the build below to plain greedy peeling.
+pub(crate) type Refiner<'a> =
+    dyn FnMut(&Graph, &NodeSet, NodeSet, &mut StdRng, &mut BudgetMeter) -> NodeSet + 'a;
+
+/// Builds one complete schedule by greedy peeling with per-set
+/// refinement: extract a greedy dominating set over the alive nodes,
+/// refine it, activate it for its bottleneck duration, charge, repeat
+/// until the alive nodes no longer dominate. Mirrors
+/// [`greedy_general_schedule`] exactly when the refiner is the identity.
+pub(crate) fn peeling_build(
+    g: &Graph,
+    batteries: &Batteries,
+    rng: &mut StdRng,
+    meter: &mut BudgetMeter<'_>,
+    refine: &mut Refiner<'_>,
+) -> Schedule {
+    let mut ledger = EnergyLedger::new(batteries.clone());
+    let mut schedule = Schedule::new();
+    if g.n() == 0 {
+        return schedule;
+    }
+    loop {
+        let alive = alive_set(g.n(), &ledger);
+        let Some(seed_ds) = greedy_dominating_set(g, &alive) else {
+            break;
+        };
+        let ds = refine(g, &alive, seed_ds, rng, meter);
+        let d = ledger.max_duration(&ds);
+        if d == 0 {
+            break;
+        }
+        ledger.charge(&ds, d).expect("duration within budget");
+        schedule.push(ds, d);
+    }
+    schedule
+}
+
+/// The budgeted restart loop shared by the tabu and SA solvers: start
+/// from the deterministic greedy baseline (reported as the first
+/// incumbent, so the result is never worse than greedy), then run up to
+/// `cfg.trials` refined builds with consecutive RNG states, keeping and
+/// reporting every strict lifetime improvement. Stops early when the
+/// budget is exhausted or the incumbent asks to.
+pub(crate) fn run_restarts(
+    g: &Graph,
+    b: &Batteries,
+    cfg: &SolverConfig,
+    clock: &dyn Clock,
+    incumbent: &mut dyn Incumbent,
+    refine: &mut Refiner<'_>,
+) -> Schedule {
+    let mut best = greedy_general_schedule(g, b);
+    let mut meter = BudgetMeter::new(&cfg.budget, clock);
+    let mut keep_going = incumbent.report(&best, 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _trial in 0..cfg.trials {
+        if !keep_going || meter.exhausted() {
+            break;
+        }
+        let cand = peeling_build(g, b, &mut rng, &mut meter, refine);
+        if cand.lifetime() > best.lifetime() {
+            best = cand;
+            meter.note_improvement();
+            keep_going = incumbent.report(&best, meter.iterations());
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{Budget, ManualClock};
+    use domatic_graph::domination::is_dominating_set;
+    use domatic_graph::generators::gnp::gnp_with_avg_degree;
+
+    #[test]
+    fn cover_state_tracks_inserts_and_removes() {
+        let g = gnp_with_avg_degree(40, 8.0, 1);
+        let full = NodeSet::full(40);
+        let mut st = CoverState::new(&g, full);
+        // In the full set every node covers itself, so any node with a
+        // covered neighborhood is redundant; drop redundant nodes until
+        // none remain and the set must still dominate.
+        loop {
+            let Some(v) = st.set.iter().find(|&v| st.is_redundant(v)) else {
+                break;
+            };
+            st.remove(v);
+        }
+        assert!(is_dominating_set(&g, &st.set));
+        // Counts stayed consistent with a from-scratch rebuild.
+        let rebuilt = CoverState::new(&g, st.set.clone());
+        assert_eq!(st.cover, rebuilt.cover);
+        // Holes of a non-redundant member are exactly its sole charges.
+        let v = st.set.iter().next().unwrap();
+        let holes = st.holes_after_remove(v);
+        assert!(!holes.is_empty());
+        assert!(st.covers_all(v, &holes));
+    }
+
+    #[test]
+    fn identity_refiner_reproduces_greedy() {
+        let g = gnp_with_avg_degree(60, 10.0, 7);
+        let b = Batteries::uniform(60, 3);
+        let budget = Budget::new();
+        let clock = ManualClock::new();
+        let mut meter = BudgetMeter::new(&budget, &clock);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = peeling_build(&g, &b, &mut rng, &mut meter, &mut |_, _, ds, _, _| ds);
+        assert_eq!(s, greedy_general_schedule(&g, &b));
+    }
+}

@@ -1,21 +1,32 @@
-//! The unified `Solver` API.
+//! The unified, budget-aware `Solver` API.
 //!
 //! Four incompatible entry points grew out of the paper's three
-//! algorithms plus the greedy baseline (`best_uniform`, `best_general`,
-//! `greedy_general_schedule`, `best_fault_tolerant`) — each with its own
-//! argument order and return shape. Everything downstream (the CLI, the
+//! algorithms plus the greedy baseline — each with its own argument order
+//! and return shape. Everything downstream (the CLI, the serve layer, the
 //! experiment harness, and above all the adaptive rescheduling runtime,
 //! which must re-plan over an arbitrary surviving subgraph) wants one
 //! shape: *graph + batteries + config in, validated schedule out*.
 //!
-//! [`Solver`] is that shape. Each implementation wraps the corresponding
-//! best-of-R entry point, so at a fixed [`SolverConfig`] a solver's output
-//! is bit-identical to the historical free function (regression-tested in
-//! `tests/solver_api.rs`). The free functions remain as deprecated
-//! wrappers so existing code compiles unchanged.
+//! [`Solver`] is that shape, and since the anytime redesign it has two
+//! entry points:
+//!
+//! - [`Solver::schedule`] — one shot: config in, best schedule out.
+//! - [`Solver::solve_with`] — anytime: the solver reports every incumbent
+//!   improvement through a caller-supplied [`Incumbent`], which may stop
+//!   the solve early. The default implementation runs `schedule` once and
+//!   reports the result, so one-shot solvers keep their exact historical
+//!   behavior.
+//!
+//! How much work an anytime solver spends is governed by the
+//! [`Budget`] inside [`SolverConfig`] (iteration cap, stall cutoff,
+//! optional wall-clock deadline via an injectable [`Clock`]); the budget
+//! is part of the config hash, so the serve cache keys per-budget.
+//! Configs are validated — [`SolverConfig::builder`] returns typed
+//! [`DomaticError::Config`] errors for nonsense like `trials == 0`
+//! instead of silently solving garbage.
 //!
 //! ```
-//! use domatic_core::solver::{Solver, SolverConfig, UniformSolver};
+//! use domatic_core::solver::{Budget, Solver, SolverConfig, UniformSolver};
 //! use domatic_graph::generators::regular::complete;
 //! use domatic_schedule::Batteries;
 //!
@@ -24,34 +35,50 @@
 //! let cfg = SolverConfig::new().seed(7).trials(4);
 //! let s = UniformSolver.schedule(&g, &b, &cfg).unwrap();
 //! assert!(s.lifetime() >= 2);
+//!
+//! // Validation is explicit and typed:
+//! assert!(SolverConfig::builder().trials(0).build().is_err());
 //! ```
 
 use crate::bounds::{fault_tolerant_upper_bound, general_upper_bound};
 use crate::error::DomaticError;
+use crate::fault_tolerant::fault_tolerant_schedule;
+use crate::general::{general_schedule, GeneralParams};
 use crate::greedy::greedy_general_schedule;
+use crate::stochastic::best_of;
+use crate::uniform::{uniform_schedule, UniformParams};
 use domatic_graph::Graph;
-use domatic_schedule::{Batteries, Schedule};
+use domatic_schedule::{longest_valid_prefix, Batteries, Schedule};
 use std::borrow::Cow;
+
+pub use crate::budget::{Budget, BudgetMeter, Clock, ManualClock, SystemClock};
 
 /// Shared solver parameters, built fluently.
 ///
 /// Defaults match the CLI's historical defaults: `seed 0`, `trials 8`,
-/// `k 1`, `c 3.0` (the paper's range constant), `hops 1`.
+/// `k 1`, `c 3.0` (the paper's range constant), `hops 1`, default
+/// [`Budget`]. Prefer [`SolverConfig::builder`] when the values come from
+/// untrusted input — it rejects invalid combinations with typed errors;
+/// the registry solvers also re-validate at solve time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolverConfig {
     /// Base seed; trial `i` runs with `seed + i`.
     pub seed: u64,
-    /// Best-of-R restarts (clamped to at least 1).
+    /// Best-of-R restarts (must be ≥ 1).
     pub trials: u64,
     /// Domination tolerance for the fault-tolerant solver (`k`-domination).
     pub k: usize,
-    /// The color-range constant `c` (paper §4: `c ≥ 3`).
+    /// The color-range constant `c` (paper §4: `c ≥ 3`; must be > 0).
     pub c: f64,
     /// Coverage radius: every node must have its dominators within `hops`
     /// hops (d-hop domination; `1` is classic closed-neighborhood
-    /// coverage). Solvers lift any `hops > 1` instance to the graph power
-    /// `G^hops` via [`effective_graph`], so every algorithm supports it.
+    /// coverage; must be ≥ 1). Solvers lift any `hops > 1` instance to the
+    /// graph power `G^hops` via [`effective_graph`], so every algorithm
+    /// supports it.
     pub hops: usize,
+    /// Work budget for the anytime solvers (tabu / sa / portfolio); the
+    /// one-shot paper solvers ignore it.
+    pub budget: Budget,
 }
 
 impl SolverConfig {
@@ -63,6 +90,15 @@ impl SolverConfig {
             k: 1,
             c: 3.0,
             hops: 1,
+            budget: Budget::new(),
+        }
+    }
+
+    /// A validating builder over the same fluent surface; see
+    /// [`SolverConfigBuilder::build`].
+    pub fn builder() -> SolverConfigBuilder {
+        SolverConfigBuilder {
+            cfg: SolverConfig::new(),
         }
     }
 
@@ -90,10 +126,96 @@ impl SolverConfig {
         self
     }
 
-    /// Sets the coverage radius (d-hop domination; clamped to ≥ 1 at use).
+    /// Sets the coverage radius (d-hop domination).
     pub fn hops(mut self, hops: usize) -> Self {
         self.hops = hops;
         self
+    }
+
+    /// Sets the anytime work budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Checks the configuration, returning the first problem as a typed
+    /// [`DomaticError::Config`]. Every registry solver calls this before
+    /// touching the instance.
+    pub fn validate(&self) -> Result<(), DomaticError> {
+        if self.trials == 0 {
+            return Err(DomaticError::Config {
+                message: "trials must be >= 1 (0 restarts would solve nothing)".into(),
+            });
+        }
+        if self.c <= 0.0 || self.c.is_nan() {
+            return Err(DomaticError::Config {
+                message: format!("c must be > 0 (got {})", self.c),
+            });
+        }
+        if self.hops == 0 {
+            return Err(DomaticError::Config {
+                message: "hops must be >= 1 (0-hop coverage is undefined)".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builder returned by [`SolverConfig::builder`]: the same fluent setters,
+/// but terminated by a validating [`SolverConfigBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct SolverConfigBuilder {
+    cfg: SolverConfig,
+}
+
+impl SolverConfigBuilder {
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the number of best-of-R restarts.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.cfg.trials = trials;
+        self
+    }
+
+    /// Sets the fault-tolerance level `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.k = k;
+        self
+    }
+
+    /// Sets the color-range constant `c`.
+    pub fn c(mut self, c: f64) -> Self {
+        self.cfg.c = c;
+        self
+    }
+
+    /// Sets the coverage radius (d-hop domination).
+    pub fn hops(mut self, hops: usize) -> Self {
+        self.cfg.hops = hops;
+        self
+    }
+
+    /// Sets the anytime work budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Validates and returns the configuration, or the first problem as a
+    /// typed [`DomaticError::Config`].
+    pub fn build(self) -> Result<SolverConfig, DomaticError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -111,19 +233,63 @@ pub fn effective_graph(g: &Graph, hops: usize) -> Cow<'_, Graph> {
     }
 }
 
-impl Default for SolverConfig {
-    fn default() -> Self {
-        Self::new()
+/// Receives incumbent schedules from an anytime solve.
+///
+/// Every schedule reported is fully valid for the instance at the
+/// solver's tolerance — solvers report *validated* improvements, never
+/// raw search states — and each report's lifetime is ≥ every earlier
+/// report's. Return `false` to ask the solver to stop early; it will
+/// still return the best schedule found so far.
+pub trait Incumbent {
+    /// Called with each new best schedule and the iteration count at
+    /// which it was found (0 for the initial seed solution).
+    fn report(&mut self, schedule: &Schedule, iteration: u64) -> bool;
+}
+
+/// An [`Incumbent`] that ignores every report and never stops the solver
+/// — turns `solve_with` back into one-shot `schedule`.
+pub struct DiscardIncumbent;
+
+impl Incumbent for DiscardIncumbent {
+    fn report(&mut self, _schedule: &Schedule, _iteration: u64) -> bool {
+        true
+    }
+}
+
+/// An [`Incumbent`] that records every report — the improvement trace a
+/// caller inspects after the solve.
+#[derive(Default)]
+pub struct TraceIncumbent {
+    /// Each reported `(schedule, iteration)` in report order.
+    pub reports: Vec<(Schedule, u64)>,
+}
+
+impl TraceIncumbent {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The last (best) schedule reported, if any.
+    pub fn best(&self) -> Option<&Schedule> {
+        self.reports.last().map(|(s, _)| s)
+    }
+}
+
+impl Incumbent for TraceIncumbent {
+    fn report(&mut self, schedule: &Schedule, iteration: u64) -> bool {
+        self.reports.push((schedule.clone(), iteration));
+        true
     }
 }
 
 /// A cluster-lifetime scheduler: graph + batteries in, validated schedule
 /// out. Object-safe so runtimes can hold `&dyn Solver` / `Box<dyn Solver>`.
 pub trait Solver: Sync {
-    /// Registry name (what `--alg` accepts).
+    /// Registry name (what `--solver` / `--alg` accepts).
     fn name(&self) -> &'static str;
 
-    /// One-line description for `--alg` listings.
+    /// One-line description for `--solver` listings.
     fn describe(&self) -> &'static str;
 
     /// The tolerance level the emitted schedule is valid at (1 for plain
@@ -149,9 +315,27 @@ pub trait Solver: Sync {
         b: &Batteries,
         cfg: &SolverConfig,
     ) -> Result<Schedule, DomaticError>;
+
+    /// Anytime entry point: reports each incumbent improvement through
+    /// `incumbent` and returns the final best schedule. The default
+    /// implementation runs [`Solver::schedule`] once and reports the
+    /// result, so one-shot solvers behave bit-identically through either
+    /// entry point; the anytime solvers (tabu / sa / portfolio) override
+    /// it to stream improvements as they are found.
+    fn solve_with(
+        &self,
+        g: &Graph,
+        b: &Batteries,
+        cfg: &SolverConfig,
+        incumbent: &mut dyn Incumbent,
+    ) -> Result<Schedule, DomaticError> {
+        let s = self.schedule(g, b, cfg)?;
+        incumbent.report(&s, 0);
+        Ok(s)
+    }
 }
 
-fn check_sizes(g: &Graph, b: &Batteries) -> Result<(), DomaticError> {
+pub(crate) fn check_sizes(g: &Graph, b: &Batteries) -> Result<(), DomaticError> {
     if g.n() != b.n() {
         return Err(DomaticError::SizeMismatch {
             graph: g.n(),
@@ -185,11 +369,15 @@ impl Solver for UniformSolver {
         b: &Batteries,
         cfg: &SolverConfig,
     ) -> Result<Schedule, DomaticError> {
+        cfg.validate()?;
         check_sizes(g, b)?;
         let level = uniform_level(b, self.name())?;
         let g = effective_graph(g, cfg.hops);
-        #[allow(deprecated)]
-        let (s, _seed) = crate::stochastic::best_uniform(&g, level, cfg.c, cfg.trials, cfg.seed);
+        let batteries = Batteries::uniform(g.n(), level);
+        let (s, _seed) = best_of(cfg.trials, cfg.seed, |seed| {
+            let (s, _) = uniform_schedule(&g, level, &UniformParams { c: cfg.c, seed });
+            longest_valid_prefix(&g, &batteries, &s, 1)
+        });
         Ok(s)
     }
 }
@@ -211,10 +399,13 @@ impl Solver for GeneralSolver {
         b: &Batteries,
         cfg: &SolverConfig,
     ) -> Result<Schedule, DomaticError> {
+        cfg.validate()?;
         check_sizes(g, b)?;
         let g = effective_graph(g, cfg.hops);
-        #[allow(deprecated)]
-        let (s, _seed) = crate::stochastic::best_general(&g, b, cfg.c, cfg.trials, cfg.seed);
+        let (s, _seed) = best_of(cfg.trials, cfg.seed, |seed| {
+            let (s, _) = general_schedule(&g, b, &GeneralParams { c: cfg.c, seed });
+            longest_valid_prefix(&g, b, &s, 1)
+        });
         Ok(s)
     }
 }
@@ -238,6 +429,7 @@ impl Solver for GreedySolver {
         b: &Batteries,
         cfg: &SolverConfig,
     ) -> Result<Schedule, DomaticError> {
+        cfg.validate()?;
         check_sizes(g, b)?;
         Ok(greedy_general_schedule(&effective_graph(g, cfg.hops), b))
     }
@@ -266,30 +458,34 @@ impl Solver for FaultTolerantSolver {
         b: &Batteries,
         cfg: &SolverConfig,
     ) -> Result<Schedule, DomaticError> {
+        cfg.validate()?;
         check_sizes(g, b)?;
         let level = uniform_level(b, self.name())?;
         let g = effective_graph(g, cfg.hops);
-        #[allow(deprecated)]
-        let (s, _seed) = crate::stochastic::best_fault_tolerant(
-            &g,
-            level,
-            cfg.k.max(1),
-            cfg.c,
-            cfg.trials,
-            cfg.seed,
-        );
+        let k = cfg.k.max(1);
+        let batteries = Batteries::uniform(g.n(), level);
+        let (s, _seed) = best_of(cfg.trials, cfg.seed, |seed| {
+            let run = fault_tolerant_schedule(&g, level, k, &UniformParams { c: cfg.c, seed });
+            longest_valid_prefix(&g, &batteries, &run.schedule, k)
+        });
         Ok(s)
     }
 }
 
 /// Every registered solver, in presentation order. The single source of
-/// truth behind `--alg` for `schedule`, `simulate`, and `adapt`.
+/// truth behind `--solver` for `schedule`, `simulate`, `adapt`, and the
+/// serve protocol. The anytime solvers are constructed on the real
+/// [`SystemClock`]; build them directly (`TabuSolver::with_clock` etc.)
+/// to inject a test clock.
 pub fn solver_registry() -> Vec<Box<dyn Solver>> {
     vec![
         Box::new(UniformSolver),
         Box::new(GeneralSolver),
         Box::new(GreedySolver),
         Box::new(FaultTolerantSolver),
+        Box::new(crate::tabu::TabuSolver::new()),
+        Box::new(crate::sa::SaSolver::new()),
+        Box::new(crate::portfolio::PortfolioSolver::new()),
     ]
 }
 
@@ -343,8 +539,8 @@ mod tests {
                 "{name}"
             );
         }
-        // The general and greedy solvers accept the same instance.
-        for name in ["general", "greedy"] {
+        // The general-battery solvers accept the same instance.
+        for name in ["general", "greedy", "tabu", "sa", "portfolio"] {
             assert!(
                 make_solver(name).unwrap().schedule(&g, &b, &cfg).is_ok(),
                 "{name}"
@@ -370,8 +566,20 @@ mod tests {
 
     #[test]
     fn registry_lookup() {
-        assert_eq!(solver_names(), vec!["uniform", "general", "greedy", "ft"]);
+        assert_eq!(
+            solver_names(),
+            vec![
+                "uniform",
+                "general",
+                "greedy",
+                "ft",
+                "tabu",
+                "sa",
+                "portfolio"
+            ]
+        );
         assert!(make_solver("greedy").is_ok());
+        assert!(make_solver("portfolio").is_ok());
         assert!(matches!(
             make_solver("nope"),
             Err(DomaticError::UnknownSolver { .. })
@@ -380,7 +588,14 @@ mod tests {
 
     #[test]
     fn config_builder_sets_every_field() {
-        let cfg = SolverConfig::new().seed(9).trials(3).k(2).c(4.5).hops(2);
+        let budget = Budget::new().max_iterations(9).deadline_ms(100);
+        let cfg = SolverConfig::new()
+            .seed(9)
+            .trials(3)
+            .k(2)
+            .c(4.5)
+            .hops(2)
+            .budget(budget.clone());
         assert_eq!(
             cfg,
             SolverConfig {
@@ -388,9 +603,60 @@ mod tests {
                 trials: 3,
                 k: 2,
                 c: 4.5,
-                hops: 2
+                hops: 2,
+                budget,
             }
         );
+    }
+
+    #[test]
+    fn validating_builder_accepts_good_configs() {
+        let cfg = SolverConfig::builder()
+            .seed(5)
+            .trials(2)
+            .k(1)
+            .c(3.5)
+            .hops(2)
+            .budget(Budget::new().max_iterations(100))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.seed, 5);
+        assert_eq!(cfg.budget.max_iterations, 100);
+    }
+
+    #[test]
+    fn builder_rejects_zero_trials() {
+        let err = SolverConfig::builder().trials(0).build().unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("trials"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive_c() {
+        for c in [0.0, -1.5, f64::NAN] {
+            let err = SolverConfig::builder().c(c).build().unwrap_err();
+            assert_eq!(err.kind(), "config", "c = {c}");
+            assert!(err.to_string().contains('c'), "{err}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_hops() {
+        let err = SolverConfig::builder().hops(0).build().unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("hops"), "{err}");
+    }
+
+    #[test]
+    fn solvers_reject_invalid_configs_at_solve_time() {
+        let g = complete(6);
+        let b = Batteries::uniform(6, 2);
+        for solver in solver_registry() {
+            let err = solver
+                .schedule(&g, &b, &SolverConfig::new().trials(0))
+                .unwrap_err();
+            assert_eq!(err.kind(), "config", "{}", solver.name());
+        }
     }
 
     #[test]
@@ -430,6 +696,21 @@ mod tests {
                 );
             }
             assert!(s.lifetime() <= solver.upper_bound(&g, &b, &cfg));
+        }
+    }
+
+    #[test]
+    fn default_solve_with_matches_schedule_and_reports_once() {
+        let g = gnp_with_avg_degree(50, 10.0, 3);
+        let b = Batteries::uniform(50, 2);
+        let cfg = SolverConfig::new().trials(3).seed(5);
+        for solver in [&UniformSolver as &dyn Solver, &GreedySolver] {
+            let one_shot = solver.schedule(&g, &b, &cfg).unwrap();
+            let mut trace = TraceIncumbent::new();
+            let anytime = solver.solve_with(&g, &b, &cfg, &mut trace).unwrap();
+            assert_eq!(one_shot, anytime, "{}", solver.name());
+            assert_eq!(trace.reports.len(), 1, "{}", solver.name());
+            assert_eq!(trace.best().unwrap(), &one_shot, "{}", solver.name());
         }
     }
 }

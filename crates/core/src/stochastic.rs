@@ -6,80 +6,35 @@
 //! graph — so we fan them out across the rayon pool (this is the pattern
 //! the session's HPC guide prescribes: immutable shared input, independent
 //! map, associative reduce).
+//!
+//! [`best_of`] is the only entry point: the `Solver` implementations in
+//! [`crate::solver`] wrap it around the raw schedule functions (the old
+//! `best_uniform` / `best_general` / `best_fault_tolerant` free functions
+//! were exactly those wrappers and have been removed — go through the
+//! registry instead).
 
-use crate::fault_tolerant::fault_tolerant_schedule;
-use crate::general::{general_schedule, GeneralParams};
-use crate::uniform::{uniform_schedule, UniformParams};
-use domatic_graph::Graph;
-use domatic_schedule::{longest_valid_prefix, Batteries, Schedule};
+use domatic_schedule::Schedule;
 use rayon::prelude::*;
-
-/// The best validated schedule among `trials` runs of Algorithm 1
-/// (uniform), together with the seed that produced it.
-///
-/// ```
-/// #![allow(deprecated)]
-/// use domatic_core::stochastic::best_uniform;
-/// use domatic_graph::generators::regular::complete;
-///
-/// let g = complete(80);
-/// let (schedule, seed) = best_uniform(&g, 2, 3.0, 8, 0);
-/// assert!(schedule.lifetime() >= 2);
-/// assert!(seed < 8);
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use `solver::UniformSolver` through the `Solver` trait (bit-identical output)"
-)]
-pub fn best_uniform(g: &Graph, b: u64, c: f64, trials: u64, base_seed: u64) -> (Schedule, u64) {
-    let batteries = Batteries::uniform(g.n(), b);
-    best_of(trials, base_seed, |seed| {
-        let (s, _) = uniform_schedule(g, b, &UniformParams { c, seed });
-        longest_valid_prefix(g, &batteries, &s, 1)
-    })
-}
-
-/// Best-of-R for Algorithm 2 (general batteries).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `solver::GeneralSolver` through the `Solver` trait (bit-identical output)"
-)]
-pub fn best_general(
-    g: &Graph,
-    batteries: &Batteries,
-    c: f64,
-    trials: u64,
-    base_seed: u64,
-) -> (Schedule, u64) {
-    best_of(trials, base_seed, |seed| {
-        let (s, _) = general_schedule(g, batteries, &GeneralParams { c, seed });
-        longest_valid_prefix(g, batteries, &s, 1)
-    })
-}
-
-/// Best-of-R for Algorithm 3 (k-tolerant uniform).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `solver::FaultTolerantSolver` through the `Solver` trait (bit-identical output)"
-)]
-pub fn best_fault_tolerant(
-    g: &Graph,
-    b: u64,
-    k: usize,
-    c: f64,
-    trials: u64,
-    base_seed: u64,
-) -> (Schedule, u64) {
-    let batteries = Batteries::uniform(g.n(), b);
-    best_of(trials, base_seed, |seed| {
-        let run = fault_tolerant_schedule(g, b, k, &UniformParams { c, seed });
-        longest_valid_prefix(g, &batteries, &run.schedule, k)
-    })
-}
 
 /// Runs `f(seed)` for `trials` consecutive seeds in parallel and keeps the
 /// longest-lifetime schedule; ties break toward the smallest seed so the
 /// result is deterministic regardless of thread scheduling.
+///
+/// ```
+/// use domatic_core::stochastic::best_of;
+/// use domatic_core::uniform::{uniform_schedule, UniformParams};
+/// use domatic_graph::generators::regular::complete;
+/// use domatic_schedule::{longest_valid_prefix, Batteries};
+///
+/// let g = complete(80);
+/// let b = Batteries::uniform(80, 2);
+/// let (schedule, seed) = best_of(8, 0, |seed| {
+///     let (s, _) = uniform_schedule(&g, 2, &UniformParams { c: 3.0, seed });
+///     longest_valid_prefix(&g, &b, &s, 1)
+/// });
+/// assert!(schedule.lifetime() >= 2);
+/// assert!(seed < 8);
+/// ```
 pub fn best_of<F>(trials: u64, base_seed: u64, f: F) -> (Schedule, u64)
 where
     F: Fn(u64) -> Schedule + Sync,
@@ -112,20 +67,27 @@ where
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers' behavior stays covered until removal
 mod tests {
     use super::*;
+    use crate::uniform::{uniform_schedule, UniformParams};
     use domatic_graph::generators::gnp::gnp_with_avg_degree;
     use domatic_graph::generators::regular::complete;
-    use domatic_schedule::validate_schedule;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use domatic_graph::Graph;
+    use domatic_schedule::{longest_valid_prefix, validate_schedule, Batteries};
+
+    fn best_uniform_of(g: &Graph, b: u64, c: f64, trials: u64, base_seed: u64) -> (Schedule, u64) {
+        let batteries = Batteries::uniform(g.n(), b);
+        best_of(trials, base_seed, |seed| {
+            let (s, _) = uniform_schedule(g, b, &UniformParams { c, seed });
+            longest_valid_prefix(g, &batteries, &s, 1)
+        })
+    }
 
     #[test]
     fn best_of_is_deterministic() {
         let g = gnp_with_avg_degree(120, 30.0, 3);
-        let a = best_uniform(&g, 2, 3.0, 8, 100);
-        let b = best_uniform(&g, 2, 3.0, 8, 100);
+        let a = best_uniform_of(&g, 2, 3.0, 8, 100);
+        let b = best_uniform_of(&g, 2, 3.0, 8, 100);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
     }
@@ -133,8 +95,8 @@ mod tests {
     #[test]
     fn more_trials_never_hurt() {
         let g = gnp_with_avg_degree(100, 25.0, 1);
-        let one = best_uniform(&g, 2, 2.0, 1, 7).0.lifetime();
-        let many = best_uniform(&g, 2, 2.0, 16, 7).0.lifetime();
+        let one = best_uniform_of(&g, 2, 2.0, 1, 7).0.lifetime();
+        let many = best_uniform_of(&g, 2, 2.0, 16, 7).0.lifetime();
         assert!(many >= one, "{many} < {one}");
     }
 
@@ -142,24 +104,14 @@ mod tests {
     fn winners_are_valid() {
         let g = complete(60);
         let batteries = Batteries::uniform(60, 2);
-        let (s, _) = best_uniform(&g, 2, 3.0, 4, 0);
+        let (s, _) = best_uniform_of(&g, 2, 3.0, 4, 0);
         assert!(validate_schedule(&g, &batteries, &s, 1).is_ok());
-
-        let mut rng = StdRng::seed_from_u64(1);
-        let nb = Batteries::from_vec((0..60).map(|_| rng.random_range(1..5)).collect());
-        let (s2, _) = best_general(&g, &nb, 3.0, 4, 0);
-        assert!(validate_schedule(&g, &nb, &s2, 1).is_ok());
-
-        let (s3, _) = best_fault_tolerant(&g, 4, 2, 3.0, 4, 0);
-        let batteries4 = Batteries::uniform(60, 4);
-        assert!(validate_schedule(&g, &batteries4, &s3, 2).is_ok());
-        assert!(s3.lifetime() >= 2); // at least the everyone-on phase
     }
 
     #[test]
     fn zero_trials_clamps_to_one() {
         let g = complete(10);
-        let (s, seed) = best_uniform(&g, 1, 3.0, 0, 42);
+        let (s, seed) = best_uniform_of(&g, 1, 3.0, 0, 42);
         assert_eq!(seed, 42);
         assert!(s.lifetime() >= 1);
     }

@@ -1,29 +1,33 @@
 //! Exactness of the `core.best_of.trials` counter under real concurrency.
 //!
 //! This test owns its integration-test binary: the counter lives in the
-//! process-global telemetry registry, and a sibling test calling any
-//! `best_*` function concurrently would inflate the delta. Keeping the
+//! process-global telemetry registry, and a sibling test driving any
+//! best-of-R solver concurrently would inflate the delta. Keeping the
 //! file to one test makes the before/after difference exact by
 //! construction.
 
-// Still exercises the deprecated best_* entry points on purpose: the
-// counter contract must hold for them until removal.
-#![allow(deprecated)]
-use domatic_core::stochastic::{best_of, best_uniform};
+use domatic_core::solver::{Solver, SolverConfig};
+use domatic_core::stochastic::best_of;
+use domatic_core::UniformSolver;
 use domatic_graph::generators::gnp::gnp_with_avg_degree;
 use domatic_graph::NodeSet;
-use domatic_schedule::Schedule;
+use domatic_schedule::{Batteries, Schedule};
 
 #[test]
 fn best_of_counts_every_trial_exactly_once() {
     let reg = domatic_telemetry::global();
 
     // A real workload first: every trial runs on some pool worker, and
-    // each must land exactly one increment.
+    // each must land exactly one increment. The uniform solver's
+    // best-of-R restarts go through `best_of`, so the counter contract
+    // holds through the Solver trait too.
     let g = gnp_with_avg_degree(150, 25.0, 2);
     let trials = 64u64;
     let before = reg.counter_value("core.best_of.trials");
-    let _ = best_uniform(&g, 2, 3.0, trials, 0);
+    let cfg = SolverConfig::new().trials(trials);
+    let _ = UniformSolver
+        .schedule(&g, &Batteries::uniform(g.n(), 2), &cfg)
+        .unwrap();
     assert_eq!(
         reg.counter_value("core.best_of.trials") - before,
         trials,

@@ -1,21 +1,20 @@
 //! Determinism of the parallel best-of-R restarts across pool sizes.
 //!
-//! The contract: `best_of` (and its `best_uniform` / `best_general` /
-//! `best_fault_tolerant` wrappers) return a bit-identical `(Schedule,
-//! seed)` no matter how many threads the rayon pool runs. The pool size
-//! is fixed per process, so each test compares the parallel result
-//! against a *sequential fold* of the same trials with the same
-//! tie-break — a reference that cannot depend on thread count. CI runs
-//! this binary under both `RAYON_NUM_THREADS=1` and `=4`; equality with
-//! the reference at both pool sizes is equality across pool sizes.
+//! The contract: `best_of` — and every `Solver` built on it — returns a
+//! bit-identical `(Schedule, seed)` no matter how many threads the rayon
+//! pool runs. The pool size is fixed per process, so each test compares
+//! the parallel result against a *sequential fold* of the same trials
+//! with the same tie-break — a reference that cannot depend on thread
+//! count. CI runs this binary under both `RAYON_NUM_THREADS=1` and `=4`;
+//! equality with the reference at both pool sizes is equality across
+//! pool sizes.
 
-// The deprecated best_* wrappers stay covered until removal: their
-// determinism IS the contract this file pins down.
-#![allow(deprecated)]
 use domatic_core::fault_tolerant::fault_tolerant_schedule;
 use domatic_core::general::{general_schedule, GeneralParams};
-use domatic_core::stochastic::{best_fault_tolerant, best_general, best_of, best_uniform};
+use domatic_core::solver::{FaultTolerantSolver, GeneralSolver, Solver, SolverConfig};
+use domatic_core::stochastic::best_of;
 use domatic_core::uniform::{uniform_schedule, UniformParams};
+use domatic_core::UniformSolver;
 use domatic_graph::generators::gnp::gnp_with_avg_degree;
 use domatic_graph::NodeSet;
 use domatic_schedule::{longest_valid_prefix, Batteries, Schedule};
@@ -37,55 +36,46 @@ fn sequential_best<F: Fn(u64) -> Schedule>(trials: u64, base_seed: u64, f: F) ->
 }
 
 #[test]
-fn best_uniform_matches_sequential_fold() {
+fn uniform_solver_matches_sequential_fold() {
     let g = gnp_with_avg_degree(150, 30.0, 11);
     let (b, c, trials, base) = (2u64, 3.0, 16u64, 100u64);
     let batteries = Batteries::uniform(g.n(), b);
-    let par = best_uniform(&g, b, c, trials, base);
+    let cfg = SolverConfig::new().seed(base).trials(trials).c(c);
+    let par = UniformSolver.schedule(&g, &batteries, &cfg).unwrap();
     let seq = sequential_best(trials, base, |seed| {
         let (s, _) = uniform_schedule(&g, b, &UniformParams { c, seed });
         longest_valid_prefix(&g, &batteries, &s, 1)
     });
-    assert_eq!(par.1, seq.1, "winning seed differs from sequential fold");
-    assert_eq!(
-        par.0, seq.0,
-        "winning schedule differs from sequential fold"
-    );
+    assert_eq!(par, seq.0, "winning schedule differs from sequential fold");
 }
 
 #[test]
-fn best_general_matches_sequential_fold() {
+fn general_solver_matches_sequential_fold() {
     let g = gnp_with_avg_degree(120, 25.0, 5);
     // Deterministic non-uniform batteries, no RNG needed.
     let batteries = Batteries::from_vec((0..g.n() as u64).map(|v| 1 + v % 4).collect());
     let (c, trials, base) = (3.0, 12u64, 7u64);
-    let par = best_general(&g, &batteries, c, trials, base);
+    let cfg = SolverConfig::new().seed(base).trials(trials).c(c);
+    let par = GeneralSolver.schedule(&g, &batteries, &cfg).unwrap();
     let seq = sequential_best(trials, base, |seed| {
         let (s, _) = general_schedule(&g, &batteries, &GeneralParams { c, seed });
         longest_valid_prefix(&g, &batteries, &s, 1)
     });
-    assert_eq!(par.1, seq.1, "winning seed differs from sequential fold");
-    assert_eq!(
-        par.0, seq.0,
-        "winning schedule differs from sequential fold"
-    );
+    assert_eq!(par, seq.0, "winning schedule differs from sequential fold");
 }
 
 #[test]
-fn best_fault_tolerant_matches_sequential_fold() {
+fn fault_tolerant_solver_matches_sequential_fold() {
     let g = gnp_with_avg_degree(120, 35.0, 9);
     let (b, k, c, trials, base) = (4u64, 2usize, 3.0, 12u64, 0u64);
     let batteries = Batteries::uniform(g.n(), b);
-    let par = best_fault_tolerant(&g, b, k, c, trials, base);
+    let cfg = SolverConfig::new().seed(base).trials(trials).c(c).k(k);
+    let par = FaultTolerantSolver.schedule(&g, &batteries, &cfg).unwrap();
     let seq = sequential_best(trials, base, |seed| {
         let run = fault_tolerant_schedule(&g, b, k, &UniformParams { c, seed });
         longest_valid_prefix(&g, &batteries, &run.schedule, k)
     });
-    assert_eq!(par.1, seq.1, "winning seed differs from sequential fold");
-    assert_eq!(
-        par.0, seq.0,
-        "winning schedule differs from sequential fold"
-    );
+    assert_eq!(par, seq.0, "winning schedule differs from sequential fold");
 }
 
 #[test]
@@ -117,7 +107,9 @@ fn repeated_runs_are_bit_identical() {
     // Same inputs, same pool, run twice back to back: nothing about
     // worker scheduling may leak into the result.
     let g = gnp_with_avg_degree(100, 20.0, 3);
-    let a = best_uniform(&g, 2, 3.0, 16, 50);
-    let b = best_uniform(&g, 2, 3.0, 16, 50);
+    let batteries = Batteries::uniform(100, 2);
+    let cfg = SolverConfig::new().seed(50).trials(16);
+    let a = UniformSolver.schedule(&g, &batteries, &cfg).unwrap();
+    let b = UniformSolver.schedule(&g, &batteries, &cfg).unwrap();
     assert_eq!(a, b);
 }

@@ -189,11 +189,13 @@ fn hash_values_are_pinned() {
     );
     // FNV-1a over the length-prefixed canonical encoding of P3.
     assert_eq!(h, 0xd9f7_4c43_6484_18e6, "graph_hash encoding changed");
-    // Re-pinned when the `hops` field joined the encoding (appended as a
-    // trailing u64, so every pre-hops key rotates exactly once).
+    // Re-pinned when the `hops` field joined the encoding, and again when
+    // the `Budget` fields did (max_iterations, stall, deadline presence +
+    // value) — every pre-budget key rotates exactly once, which is the
+    // point: a budgeted request must not hit a pre-budget cache entry.
     assert_eq!(
         config_hash(&SolverConfig::new()),
-        0xc430_f38e_14ef_2905,
+        0x1ce2_4d03_7e59_332b,
         "config_hash encoding changed"
     );
 }

@@ -1,54 +1,79 @@
-//! Regression: the `Solver` trait wrappers are *bit-identical* to the
-//! free functions they replace, at every seed/trial setting probed. The
-//! deprecated `best_*` entry points stay callable until removal; this
-//! test is the migration contract that lets callers switch without
-//! re-validating results.
+//! Regression: each `Solver` implementation is *bit-identical* to the
+//! raw algorithm it wraps — best-of-R over the paper's schedule function,
+//! validated with `longest_valid_prefix`, longest lifetime wins, ties to
+//! the smallest seed. The deprecated `best_*` free functions used to be
+//! that wrapper; they are gone, so this file pins the trait directly
+//! against from-scratch references built on the raw entry points.
 
-#![allow(deprecated)]
-
+use domatic_core::fault_tolerant::fault_tolerant_schedule;
+use domatic_core::general::{general_schedule, GeneralParams};
 use domatic_core::greedy::greedy_general_schedule;
 use domatic_core::solver::{
     FaultTolerantSolver, GeneralSolver, GreedySolver, Solver, SolverConfig, UniformSolver,
 };
-use domatic_core::stochastic::{best_fault_tolerant, best_general, best_uniform};
+use domatic_core::uniform::{uniform_schedule, UniformParams};
 use domatic_graph::generators::gnp::gnp_with_avg_degree;
-use domatic_schedule::Batteries;
+use domatic_graph::Graph;
+use domatic_schedule::{longest_valid_prefix, Batteries, Schedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Seed-ordered best-of fold: the deterministic reference for what every
+/// best-of-R solver must return.
+fn best_of_reference<F: Fn(u64) -> Schedule>(trials: u64, base_seed: u64, f: F) -> Schedule {
+    let mut best: Option<Schedule> = None;
+    for i in 0..trials.max(1) {
+        let s = f(base_seed.wrapping_add(i));
+        best = match best {
+            Some(b) if s.lifetime() <= b.lifetime() => Some(b),
+            _ => Some(s),
+        };
+    }
+    best.expect("at least one trial")
+}
+
 #[test]
-fn uniform_solver_matches_best_uniform() {
+fn uniform_solver_matches_raw_best_of() {
     let g = gnp_with_avg_degree(100, 20.0, 7);
     for (seed, trials, b) in [(0u64, 8u64, 2u64), (42, 4, 3), (1000, 1, 5)] {
         let cfg = SolverConfig::new().seed(seed).trials(trials);
         let batteries = Batteries::uniform(g.n(), b);
         let via_trait = UniformSolver.schedule(&g, &batteries, &cfg).unwrap();
-        let (direct, _) = best_uniform(&g, b, cfg.c, trials, seed);
+        let direct = best_of_reference(trials, seed, |s| {
+            let (raw, _) = uniform_schedule(&g, b, &UniformParams { c: cfg.c, seed: s });
+            longest_valid_prefix(&g, &batteries, &raw, 1)
+        });
         assert_eq!(via_trait, direct, "seed {seed} trials {trials} b {b}");
     }
 }
 
 #[test]
-fn general_solver_matches_best_general() {
+fn general_solver_matches_raw_best_of() {
     let g = gnp_with_avg_degree(100, 20.0, 7);
     let mut rng = StdRng::seed_from_u64(5);
     let batteries = Batteries::from_vec((0..100).map(|_| rng.random_range(1..6)).collect());
     for (seed, trials) in [(0u64, 8u64), (42, 4)] {
         let cfg = SolverConfig::new().seed(seed).trials(trials);
         let via_trait = GeneralSolver.schedule(&g, &batteries, &cfg).unwrap();
-        let (direct, _) = best_general(&g, &batteries, cfg.c, trials, seed);
+        let direct = best_of_reference(trials, seed, |s| {
+            let (raw, _) = general_schedule(&g, &batteries, &GeneralParams { c: cfg.c, seed: s });
+            longest_valid_prefix(&g, &batteries, &raw, 1)
+        });
         assert_eq!(via_trait, direct, "seed {seed} trials {trials}");
     }
 }
 
 #[test]
-fn fault_tolerant_solver_matches_best_fault_tolerant() {
+fn fault_tolerant_solver_matches_raw_best_of() {
     let g = gnp_with_avg_degree(120, 40.0, 3);
     for (seed, k, b) in [(0u64, 2usize, 4u64), (7, 3, 6)] {
         let cfg = SolverConfig::new().seed(seed).trials(4).k(k);
         let batteries = Batteries::uniform(g.n(), b);
         let via_trait = FaultTolerantSolver.schedule(&g, &batteries, &cfg).unwrap();
-        let (direct, _) = best_fault_tolerant(&g, b, k, cfg.c, 4, seed);
+        let direct = best_of_reference(4, seed, |s| {
+            let run = fault_tolerant_schedule(&g, b, k, &UniformParams { c: cfg.c, seed: s });
+            longest_valid_prefix(&g, &batteries, &run.schedule, k)
+        });
         assert_eq!(via_trait, direct, "seed {seed} k {k}");
         assert_eq!(FaultTolerantSolver.tolerance(&cfg), k);
     }
@@ -62,4 +87,23 @@ fn greedy_solver_matches_greedy_general_schedule() {
     let cfg = SolverConfig::new();
     let via_trait = GreedySolver.schedule(&g, &batteries, &cfg).unwrap();
     assert_eq!(via_trait, greedy_general_schedule(&g, &batteries));
+}
+
+#[test]
+fn prelude_exposes_the_registry() {
+    // The satellite contract: `domatic_core::prelude::*` is enough to
+    // look up and drive any registered solver.
+    use domatic_core::prelude::*;
+    let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let b = Batteries::uniform(4, 2);
+    for name in solver_names() {
+        let solver = make_solver(name).unwrap();
+        let cfg = SolverConfig::builder().trials(2).build().unwrap();
+        let s = solver.schedule(&g, &b, &cfg).unwrap();
+        assert!(s.lifetime() >= 1, "{name}");
+    }
+    assert!(matches!(
+        make_solver("bogus"),
+        Err(DomaticError::UnknownSolver { .. })
+    ));
 }

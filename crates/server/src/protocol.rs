@@ -12,6 +12,7 @@
 //! | `op`          | all              | required  | `solve`, `bounds`, `adapt`, `stats`, `metrics`, `profile`, `ping`, `shutdown` |
 //! | `graph`       | solve/bounds/adapt | required | a graph name preloaded at server start |
 //! | `alg`         | solve/adapt      | `uniform` | a [`solver_registry`] name |
+//! | `solver`      | solve/adapt      | —         | alias for `alg`; if both appear they must agree |
 //! | `b`           | solve/bounds/adapt | 3       | uniform battery level |
 //! | `k`           | solve/bounds/adapt | 1       | domination tolerance |
 //! | `seed`        | solve/adapt      | 0         | base seed |
@@ -19,6 +20,7 @@
 //! | `c`           | solve/adapt      | 3.0       | the paper's range constant |
 //! | `hops`        | solve/bounds     | 1         | coverage radius (d-hop domination) |
 //! | `deadline_ms` | solve/bounds/adapt | none    | per-request deadline |
+//! | `budget_ms`   | solve/adapt      | none      | anytime-solver wall-clock budget (`SolverConfig::budget`) |
 //! | `failures`    | adapt            | `crash`   | failure model list |
 //! | `p`           | adapt            | 0.02      | per-slot failure probability |
 //! | `slots`       | adapt            | 10000     | simulated slot budget |
@@ -33,7 +35,7 @@
 //! [`solver_registry`]: domatic_core::solver::solver_registry
 
 use domatic_core::error::DomaticError;
-use domatic_core::solver::SolverConfig;
+use domatic_core::solver::{Budget, SolverConfig};
 use domatic_telemetry::json::{self, Json};
 
 /// What a request asks the server to do.
@@ -154,12 +156,23 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, DomaticError)> {
     if graph.is_empty() && matches!(op, Op::Solve | Op::Bounds | Op::Adapt) {
         return Err(fail(bad("field 'graph' is required for this op")));
     }
-    let cfg = SolverConfig::new()
+    let mut cfg = SolverConfig::new()
         .seed(field_u64(&obj, "seed", 0).map_err(fail)?)
         .trials(field_u64(&obj, "trials", 8).map_err(fail)?)
         .k(field_u64(&obj, "k", 1).map_err(fail)? as usize)
         .c(field_f64(&obj, "c", 3.0).map_err(fail)?)
         .hops(field_u64(&obj, "hops", 1).map_err(fail)? as usize);
+    // `budget_ms` caps the anytime solvers' refinement wall-clock; it
+    // lives in the `SolverConfig` (and therefore in `config_hash`), so
+    // the solve cache keys per-budget. Same strictness as `deadline_ms`:
+    // present means a non-negative integer, never a silent default.
+    if let Some(v) = obj.get("budget_ms") {
+        let ms = v
+            .as_int()
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| fail(bad("field 'budget_ms' must be a non-negative integer")))?;
+        cfg = cfg.budget(Budget::new().deadline_ms(ms));
+    }
     // Parsed once: an absent field means "no deadline", while a present
     // field must be a non-negative integer — a null/float/string never
     // silently defaults.
@@ -171,11 +184,29 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, DomaticError)> {
                 .ok_or_else(|| fail(bad("field 'deadline_ms' must be a non-negative integer")))?,
         ),
     };
+    // `solver` is the preferred spelling going forward; `alg` stays for
+    // compatibility. A request naming both with different values is
+    // ambiguous and rejected rather than silently resolved.
+    let alg = field_str(&obj, "alg", "uniform").map_err(fail)?;
+    let alg = match obj.get("solver") {
+        None => alg,
+        Some(v) => {
+            let solver = v
+                .as_str()
+                .ok_or_else(|| fail(bad("field 'solver' must be a string")))?;
+            if obj.get("alg").is_some() && solver != alg {
+                return Err(fail(bad(format!(
+                    "fields 'alg' ('{alg}') and 'solver' ('{solver}') disagree"
+                ))));
+            }
+            solver.to_string()
+        }
+    };
     Ok(Request {
         id,
         op,
         graph,
-        alg: field_str(&obj, "alg", "uniform").map_err(fail)?,
+        alg,
         b: field_u64(&obj, "b", 3).map_err(fail)?,
         cfg,
         deadline_ms,
@@ -280,6 +311,50 @@ mod tests {
                 e.to_string().contains("deadline_ms"),
                 "error names the field for {bad_value}: {e}"
             );
+        }
+    }
+
+    #[test]
+    fn solver_field_is_an_alias_for_alg() {
+        let r = parse_request(r#"{"id":1,"op":"solve","graph":"g","solver":"tabu"}"#).unwrap();
+        assert_eq!(r.alg, "tabu");
+        // Agreeing duplicates are fine.
+        let r =
+            parse_request(r#"{"id":1,"op":"solve","graph":"g","alg":"sa","solver":"sa"}"#).unwrap();
+        assert_eq!(r.alg, "sa");
+        // Disagreeing duplicates are ambiguous and rejected.
+        let (id, e) =
+            parse_request(r#"{"id":3,"op":"solve","graph":"g","alg":"greedy","solver":"tabu"}"#)
+                .unwrap_err();
+        assert_eq!(id, 3);
+        assert_eq!(e.kind(), "bad_request");
+        assert!(e.to_string().contains("disagree"), "{e}");
+        // Non-string solver is a type error, not a default.
+        let (_, e) = parse_request(r#"{"id":4,"op":"solve","graph":"g","solver":7}"#).unwrap_err();
+        assert!(e.to_string().contains("solver"), "{e}");
+    }
+
+    #[test]
+    fn budget_ms_lands_in_the_solver_config_and_the_cache_key() {
+        let plain = parse_request(r#"{"id":1,"op":"solve","graph":"g"}"#).unwrap();
+        assert_eq!(plain.cfg.budget.deadline_ms, None);
+        let bounded =
+            parse_request(r#"{"id":1,"op":"solve","graph":"g","budget_ms":150}"#).unwrap();
+        assert_eq!(bounded.cfg.budget.deadline_ms, Some(150));
+        // The budget is part of config_hash, so a cached unbounded solve
+        // can never answer a budgeted request (or vice versa).
+        use domatic_core::hash::config_hash;
+        assert_ne!(config_hash(&plain.cfg), config_hash(&bounded.cfg));
+        // Explicit zero is distinct from absent.
+        let zero = parse_request(r#"{"id":1,"op":"solve","graph":"g","budget_ms":0}"#).unwrap();
+        assert_eq!(zero.cfg.budget.deadline_ms, Some(0));
+        assert_ne!(config_hash(&plain.cfg), config_hash(&zero.cfg));
+        // Malformed values are rejected, never defaulted.
+        for bad_value in ["null", "1.5", "\"100\"", "-3"] {
+            let line =
+                format!("{{\"id\":2,\"op\":\"solve\",\"graph\":\"g\",\"budget_ms\":{bad_value}}}");
+            let (_, e) = parse_request(&line).unwrap_err();
+            assert!(e.to_string().contains("budget_ms"), "{bad_value}: {e}");
         }
     }
 

@@ -348,6 +348,129 @@ fn hops_request_serves_valid_d_hop_schedules_and_adapt_rejects_it() {
 }
 
 #[test]
+fn default_solver_responses_are_pinned_byte_for_byte() {
+    // These are the exact bytes the server produced for default-solver
+    // requests BEFORE the budget-aware Solver redesign (captured from the
+    // seed build). The redesign must not change a single byte of them:
+    // cached entries written by an old process must replay identically,
+    // and clients diff responses across versions.
+    let pins = [
+        (
+            r#"{"id":1,"op":"solve","graph":"ring","b":3}"#,
+            r#"{"id":1,"ok":true,"result":{"alg":"uniform","b":3,"bound":15,"graph":"ring","graph_hash":"a23199d0c97326dd","k":1,"lifetime":3,"n":24,"schedule":[[3,[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23]]],"seed":0,"steps":1,"tolerance":1,"trials":8}}"#,
+        ),
+        (
+            r#"{"id":2,"op":"solve","graph":"ring","alg":"greedy","b":2,"seed":4,"trials":3}"#,
+            r#"{"id":2,"ok":true,"result":{"alg":"greedy","b":2,"bound":10,"graph":"ring","graph_hash":"a23199d0c97326dd","k":1,"lifetime":6,"n":24,"schedule":[[2,[0,5,10,14,15,19]],[2,[1,6,11,16,17,20]],[2,[2,7,12,13,18,21]]],"seed":4,"steps":3,"tolerance":1,"trials":3}}"#,
+        ),
+        (
+            r#"{"id":3,"op":"bounds","graph":"ring","b":3}"#,
+            r#"{"id":3,"ok":true,"result":{"b":3,"ft":15,"general":15,"graph":"ring","graph_hash":"a23199d0c97326dd","k":1,"m":48,"n":24,"uniform":15}}"#,
+        ),
+    ];
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+        ..ServerConfig::default()
+    });
+    let (buf, sink) = sink();
+    for (req, _) in &pins {
+        server.handle_line(req, &sink);
+    }
+    let responses = wait_lines(&buf, pins.len());
+    for (req, want) in &pins {
+        let got = responses
+            .iter()
+            .find(|l| id_of(l) == id_of(want))
+            .unwrap_or_else(|| panic!("no response for {req}"));
+        assert_eq!(got, want, "response bytes drifted for {req}");
+    }
+}
+
+#[test]
+fn solver_alias_and_budget_ms_drive_the_anytime_solvers() {
+    let server = make_server(ServerConfig {
+        capacity: 8,
+        batch_window: Duration::ZERO,
+        cache_bytes: 1 << 20,
+        ..ServerConfig::default()
+    });
+    let (buf, sink) = sink();
+    // The anytime solvers are reachable through the new `solver` field…
+    server.handle_line(
+        r#"{"id":1,"op":"solve","graph":"ring","solver":"tabu","b":3,"trials":2}"#,
+        &sink,
+    );
+    server.handle_line(
+        r#"{"id":2,"op":"solve","graph":"ring","solver":"portfolio","b":3,"trials":2}"#,
+        &sink,
+    );
+    // …and the greedy row they must never lose to.
+    server.handle_line(
+        r#"{"id":3,"op":"solve","graph":"ring","alg":"greedy","b":3}"#,
+        &sink,
+    );
+    let responses = wait_lines(&buf, 3);
+    let lifetime_of = |id: u64| {
+        let line = responses.iter().find(|l| id_of(l) == id).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        json::parse(&result_of(line))
+            .unwrap()
+            .get("lifetime")
+            .unwrap()
+            .as_int()
+            .unwrap()
+    };
+    let greedy = lifetime_of(3);
+    assert!(lifetime_of(1) >= greedy, "tabu lost to greedy");
+    assert!(lifetime_of(2) >= greedy, "portfolio lost to greedy");
+
+    // `budget_ms` is part of the solve identity: the same request with
+    // and without a budget may not share a cache entry.
+    let solves_before = server.stats().solves;
+    server.handle_line(
+        r#"{"id":4,"op":"solve","graph":"ring","solver":"tabu","b":3,"trials":2}"#,
+        &sink,
+    );
+    wait_lines(&buf, 4);
+    assert_eq!(
+        server.stats().solves,
+        solves_before,
+        "exact repeat must hit"
+    );
+    server.handle_line(
+        r#"{"id":5,"op":"solve","graph":"ring","solver":"tabu","b":3,"trials":2,"budget_ms":10000}"#,
+        &sink,
+    );
+    wait_lines(&buf, 5);
+    assert_eq!(
+        server.stats().solves,
+        solves_before + 1,
+        "budgeted request must key its own solve"
+    );
+}
+
+#[test]
+fn unknown_solver_names_are_rejected_typed_via_either_field() {
+    let server = make_server(ServerConfig::default());
+    let (buf, sink) = sink();
+    server.handle_line(
+        r#"{"id":1,"op":"solve","graph":"ring","solver":"quantum"}"#,
+        &sink,
+    );
+    server.handle_line(
+        r#"{"id":2,"op":"solve","graph":"ring","alg":"greedy","solver":"tabu"}"#,
+        &sink,
+    );
+    let responses = wait_lines(&buf, 2);
+    let kind_of = |id: u64| error_kind(responses.iter().find(|l| id_of(l) == id).unwrap());
+    assert_eq!(kind_of(1), "unknown_solver");
+    assert_eq!(kind_of(2), "bad_request", "alg/solver disagreement");
+    assert_eq!(server.stats().solves, 0);
+}
+
+#[test]
 fn shutdown_drains_and_rejects_new_work() {
     let server = make_server(ServerConfig {
         capacity: 8,

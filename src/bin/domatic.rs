@@ -4,8 +4,10 @@
 //! ```text
 //! domatic info <graph.txt>
 //! domatic solve <graph.txt> [--b N] [--k K] [--hops D] [--alg <solver>] \
-//!               [--seed S] [--trials R] [--verbose] [--out schedule.txt]
-//!               # `schedule` is an alias
+//!               [--solver <solver>] [--seed S] [--trials R] \
+//!               [--budget-ms MS] [--max-iters N] [--verbose] \
+//!               [--out schedule.txt]
+//!               # `schedule` is an alias; `--solver` is an alias of `--alg`
 //! domatic validate <graph.txt> <schedule.txt> [--b N] [--k K] [--hops D]
 //! domatic partition <graph.txt> [--alg greedy|feige|augmented]
 //! domatic simulate <graph.txt> [--b N] [--k K]
@@ -46,9 +48,15 @@
 //! changes response bytes.
 //!
 //! `<solver>` is any name from `domatic_core::solver::solver_registry()`
-//! (`uniform`, `general`, `greedy`, `ft`); an unknown name lists what is
-//! available. The graph format is `domatic_graph::io`'s: a `n <count>`
-//! header then one `u v` edge per line (`#` comments allowed).
+//! (`uniform`, `general`, `greedy`, `ft`, `tabu`, `sa`, `portfolio`); an
+//! unknown name lists what is available. The graph format is
+//! `domatic_graph::io`'s: a `n <count>` header then one `u v` edge per
+//! line (`#` comments allowed).
+//!
+//! `--budget-ms MS` caps the anytime solvers' (tabu/sa/portfolio)
+//! refinement wall-clock per peeling round; `--max-iters N` caps their
+//! local-search moves deterministically (`SolverConfig::budget`). Both
+//! are ignored by the one-shot paper solvers.
 //!
 //! `--hops D` relaxes coverage to d-hop domination: every node must have
 //! `k` active nodes within `D` hops (solvers plan on the D-th graph
@@ -72,7 +80,7 @@ use domatic::schedule::validate_schedule_hops;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  domatic info <graph.txt>\n  domatic solve <graph.txt> [--b N] [--k K] [--hops D] [--alg SOLVER] [--seed S] [--trials R] [--verbose] [--gantt] [--out schedule.txt]   (alias: schedule)\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K] [--hops D]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] [--batch-window-ms N] [--cache-bytes N] [--access-log PATH] [--metrics-port P] [--slow-ms N] [--trace-ring N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] [--graphs a,b] [--trace-file req.jsonl] [--json]\n  domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]\n  domatic profile --addr HOST:PORT\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
+        "usage:\n  domatic info <graph.txt>\n  domatic solve <graph.txt> [--b N] [--k K] [--hops D] [--alg SOLVER] [--solver SOLVER] [--seed S] [--trials R] [--budget-ms MS] [--max-iters N] [--verbose] [--gantt] [--out schedule.txt]   (alias: schedule)\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K] [--hops D]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] [--batch-window-ms N] [--cache-bytes N] [--access-log PATH] [--metrics-port P] [--slow-ms N] [--trace-ring N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] [--graphs a,b] [--trace-file req.jsonl] [--json]\n  domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]\n  domatic profile --addr HOST:PORT\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
         domatic::core::solver::solver_names().join("|")
     );
     std::process::exit(2)
@@ -101,6 +109,8 @@ struct Opts {
     alg: String,
     seed: u64,
     trials: u64,
+    budget_ms: Option<u64>,
+    max_iters: Option<u64>,
     verbose: bool,
     gantt: bool,
     out: Option<String>,
@@ -120,6 +130,8 @@ fn parse_opts(args: &[String]) -> Opts {
         alg: "uniform".into(),
         seed: 0,
         trials: 8,
+        budget_ms: None,
+        max_iters: None,
         verbose: false,
         gantt: false,
         out: None,
@@ -149,8 +161,17 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--alg" => o.alg = next("--alg"),
+            // `--solver` is the preferred spelling; both resolve through
+            // the same registry.
+            "--solver" => o.alg = next("--solver"),
             "--seed" => o.seed = next("--seed").parse().unwrap_or_else(|_| usage()),
             "--trials" => o.trials = next("--trials").parse().unwrap_or_else(|_| usage()),
+            "--budget-ms" => {
+                o.budget_ms = Some(next("--budget-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-iters" => {
+                o.max_iters = Some(next("--max-iters").parse().unwrap_or_else(|_| usage()))
+            }
             "--verbose" => o.verbose = true,
             "--gantt" => o.gantt = true,
             "--out" => o.out = Some(next("--out")),
@@ -167,11 +188,19 @@ fn parse_opts(args: &[String]) -> Opts {
 }
 
 fn solver_config(o: &Opts) -> SolverConfig {
+    let mut budget = domatic::core::solver::Budget::new();
+    if let Some(ms) = o.budget_ms {
+        budget = budget.deadline_ms(ms);
+    }
+    if let Some(iters) = o.max_iters {
+        budget = budget.max_iterations(iters);
+    }
     SolverConfig::new()
         .seed(o.seed)
         .trials(o.trials)
         .k(o.k)
         .hops(o.hops)
+        .budget(budget)
 }
 
 fn main() {

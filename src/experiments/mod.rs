@@ -22,6 +22,7 @@ pub mod e17;
 pub mod e18;
 pub mod e19;
 pub mod e2;
+pub mod e20;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -143,6 +144,11 @@ pub fn registry() -> Vec<Experiment> {
             summary: "Extension: failure survival — static vs adaptive execution",
             run: e19::run,
         },
+        Experiment {
+            id: "e20",
+            summary: "Extension: solver portfolio — local search vs paper vs exact LP",
+            run: e20::run,
+        },
     ]
 }
 
@@ -163,11 +169,11 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
         for want in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17", "e18", "e19",
+            "e14", "e15", "e16", "e17", "e18", "e19", "e20",
         ] {
             assert!(ids.contains(&want), "{want} missing");
         }
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
     }
 
     #[test]

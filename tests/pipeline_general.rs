@@ -1,12 +1,10 @@
 //! Integration: the general (non-uniform battery) pipeline — Algorithm 2
 //! against Lemma 5.1, the LP optimum, and the greedy baseline.
 
-// Pipeline coverage of the deprecated wrapper stays until its removal.
-#![allow(deprecated)]
 use domatic::core::bounds::general_upper_bound;
 use domatic::core::general::{general_schedule, GeneralParams};
 use domatic::core::greedy::greedy_general_schedule;
-use domatic::core::stochastic::best_general;
+use domatic::core::solver::{GeneralSolver, Solver, SolverConfig};
 use domatic::lp::lp_optimal_lifetime;
 use domatic::prelude::*;
 use domatic::schedule::{longest_valid_prefix, validate_schedule};
@@ -44,7 +42,9 @@ fn greedy_and_algorithm2_both_below_lp_optimum() {
         let opt = lp_optimal_lifetime(&g, &b.to_f64(), 5_000_000)
             .unwrap()
             .lifetime;
-        let (alg, _) = best_general(&g, &b, 3.0, 10, 0);
+        let alg = GeneralSolver
+            .schedule(&g, &b, &SolverConfig::new().trials(10))
+            .unwrap();
         let greedy = greedy_general_schedule(&g, &b);
         validate_schedule(&g, &b, &greedy, 1).unwrap();
         assert!(alg.lifetime() as f64 <= opt + 1e-6, "seed {seed}");

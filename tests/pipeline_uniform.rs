@@ -1,10 +1,8 @@
 //! Integration: the full uniform-case pipeline across crates —
 //! generator → Algorithm 1 → validation → bounds → exact LP.
 
-// Pipeline coverage of the deprecated wrapper stays until its removal.
-#![allow(deprecated)]
 use domatic::core::bounds::uniform_upper_bound;
-use domatic::core::stochastic::best_uniform;
+use domatic::core::solver::{Solver, SolverConfig, UniformSolver};
 use domatic::core::uniform::{uniform_schedule, UniformParams};
 use domatic::lp::lp_optimal_lifetime;
 use domatic::prelude::*;
@@ -61,7 +59,10 @@ fn lp_optimum_between_algorithm_and_bound_on_small_instances() {
     let b = 2u64;
     for (n, d, seed) in [(10usize, 4.0, 1u64), (12, 5.0, 2), (14, 4.0, 3)] {
         let g = graph::generators::gnp::gnp_with_avg_degree(n, d, seed);
-        let (sched, _) = best_uniform(&g, b, 3.0, 10, 5);
+        let cfg = SolverConfig::new().seed(5).trials(10);
+        let sched = UniformSolver
+            .schedule(&g, &Batteries::uniform(n, b), &cfg)
+            .unwrap();
         let opt = lp_optimal_lifetime(&g, &vec![b as f64; n], 5_000_000)
             .unwrap()
             .lifetime;
