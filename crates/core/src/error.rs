@@ -53,6 +53,13 @@ pub enum DomaticError {
     Overloaded {
         /// The configured in-flight capacity that was exhausted.
         capacity: usize,
+        /// Which load-shedding tier rejected the request: `"miss"`
+        /// (cache-miss traffic shed at capacity — the first tier) or
+        /// `"join"` (even batch joins shed under severe waiter
+        /// pressure). Serve responses surface it as `error.shed_tier`
+        /// so clients can distinguish "retry later" from "back off
+        /// hard".
+        tier: &'static str,
     },
     /// The request's deadline passed before its solve completed (or
     /// before it was dequeued); the server keeps serving other requests.
@@ -128,10 +135,10 @@ impl fmt::Display for DomaticError {
                 )
             }
             DomaticError::Io { path, message } => write!(f, "{path}: {message}"),
-            DomaticError::Overloaded { capacity } => {
+            DomaticError::Overloaded { capacity, tier } => {
                 write!(
                     f,
-                    "server overloaded: {capacity} requests already in flight"
+                    "server overloaded (shed tier '{tier}'): {capacity} requests already in flight"
                 )
             }
             DomaticError::DeadlineExceeded { deadline_ms } => {
@@ -200,7 +207,13 @@ mod tests {
         // These strings are the serve protocol's `error.kind` values;
         // this test pins them so a refactor can't silently rename one.
         let cases: [(DomaticError, &str); 7] = [
-            (DomaticError::Overloaded { capacity: 8 }, "overloaded"),
+            (
+                DomaticError::Overloaded {
+                    capacity: 8,
+                    tier: "miss",
+                },
+                "overloaded",
+            ),
             (
                 DomaticError::DeadlineExceeded { deadline_ms: 5 },
                 "deadline",

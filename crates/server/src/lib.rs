@@ -32,9 +32,18 @@
 //! seed, so responses are byte-identical regardless of thread count,
 //! batching, or cache state — the serve integration tests pin this.
 //!
+//! The TCP transport is evented and sharded: an acceptor thread hands
+//! connections to `shards` epoll readiness loops (the `conn` and
+//! `event_loop` modules, built on the vendored `mio` shim), each owning
+//! its connections end to end. Requests pipelined on one connection are
+//! answered in receipt order, and overload sheds in tiers (cache-miss
+//! traffic first, batch joins under severe pressure, cache hits never).
+//!
 //! [`Solver`]: domatic_core::solver::Solver
 
 pub mod cache;
+mod conn;
+mod event_loop;
 pub mod protocol;
 pub mod server;
 pub mod trace;

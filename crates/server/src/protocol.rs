@@ -224,9 +224,17 @@ pub fn ok_line(id: u64, result: &str) -> String {
     format!("{{\"id\":{id},\"ok\":true,\"result\":{result}}}")
 }
 
-/// Renders a typed error response line (no trailing newline).
+/// Renders a typed error response line (no trailing newline). An
+/// `overloaded` error additionally carries `error.shed_tier` (`"miss"`
+/// or `"join"`) so clients can tell ordinary backpressure (retry soon)
+/// from severe waiter pressure (back off hard).
 pub fn err_line(id: u64, err: &DomaticError) -> String {
     let message = Json::Str(err.to_string()).render();
+    if let DomaticError::Overloaded { tier, .. } = err {
+        return format!(
+            "{{\"id\":{id},\"ok\":false,\"error\":{{\"kind\":\"overloaded\",\"message\":{message},\"shed_tier\":\"{tier}\"}}}}",
+        );
+    }
     format!(
         "{{\"id\":{id},\"ok\":false,\"error\":{{\"kind\":\"{}\",\"message\":{message}}}}}",
         err.kind()
@@ -428,5 +436,26 @@ mod tests {
         let err = err_line(4, &DomaticError::ShuttingDown);
         json::parse(&err).unwrap();
         assert!(err.contains("\"kind\":\"shutting_down\""), "{err}");
+    }
+
+    #[test]
+    fn overloaded_errors_carry_their_shed_tier() {
+        for tier in ["miss", "join"] {
+            let line = err_line(11, &DomaticError::Overloaded { capacity: 64, tier });
+            let v = json::parse(&line).unwrap();
+            let error = v.get("error").unwrap();
+            assert_eq!(
+                error.get("kind").and_then(|k| k.as_str()),
+                Some("overloaded")
+            );
+            assert_eq!(
+                error.get("shed_tier").and_then(|t| t.as_str()),
+                Some(tier),
+                "{line}"
+            );
+        }
+        // Only overloaded responses grow the field: other kinds keep the
+        // two-field error shape.
+        assert!(!err_line(4, &DomaticError::ShuttingDown).contains("shed_tier"));
     }
 }

@@ -41,8 +41,8 @@ use domatic_netsim::{compare_static_adaptive, AdaptiveConfig, FailureModel, Fail
 use domatic_schedule::Batteries;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -77,6 +77,17 @@ pub struct ServerConfig {
     /// How many completed-request trace records the in-memory ring
     /// keeps for the `profile` op.
     pub trace_ring: usize,
+    /// Shard event loops for the TCP transport. Each shard owns a slice
+    /// of connections end to end (reads, framing, writes) on one thread;
+    /// solves still fan out to the shared pool. One shard saturates a
+    /// single core; more shards spread readiness work on bigger hosts.
+    pub shards: usize,
+    /// Second load-shedding tier: once this many batch waiters are
+    /// queued server-wide, even joins to open batches are rejected
+    /// (`shed_tier: "join"`). The first tier (`"miss"`) sheds cache-miss
+    /// traffic at `capacity`; cache hits are never shed. The default is
+    /// high enough that only pathological fan-in reaches it.
+    pub shed_join_waiters: usize,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +98,8 @@ impl Default for ServerConfig {
             cache_bytes: 16 << 20,
             slow_ms: None,
             trace_ring: 256,
+            shards: 1,
+            shed_join_waiters: 65_536,
         }
     }
 }
@@ -102,6 +115,8 @@ struct Counters {
     cache_evictions: AtomicU64,
     batch_joined: AtomicU64,
     overloads: AtomicU64,
+    shed_miss: AtomicU64,
+    shed_join: AtomicU64,
     deadline_expired: AtomicU64,
     errors: AtomicU64,
 }
@@ -127,8 +142,14 @@ pub struct ServerStatsSnapshot {
     pub cache_evictions: u64,
     /// Requests that coalesced into an already-open batch.
     pub batch_joined: u64,
-    /// Requests rejected by admission control.
+    /// Requests rejected by admission control (both shed tiers).
     pub overloads: u64,
+    /// Overloads from the first shed tier: cache-miss traffic rejected
+    /// at `capacity` in-flight jobs.
+    pub shed_miss: u64,
+    /// Overloads from the second shed tier: batch joins rejected under
+    /// severe waiter pressure (`shed_join_waiters`).
+    pub shed_join: u64,
     /// Requests answered with a deadline error.
     pub deadline_expired: u64,
     /// Requests answered with any typed error.
@@ -139,6 +160,8 @@ pub struct ServerStatsSnapshot {
     pub cache_entries: u64,
     /// Jobs currently in flight.
     pub inflight: u64,
+    /// Live TCP connections (zero under the stdio transport).
+    pub connections: u64,
 }
 
 struct NamedGraph {
@@ -189,6 +212,13 @@ pub struct Server {
     shutdown_requested: AtomicBool,
     counters: Counters,
     tracer: Tracer,
+    /// Batch waiters currently queued server-wide (batch leaders and
+    /// joiners alike); drives the `"join"` shed tier.
+    queued_waiters: AtomicU64,
+    /// Live TCP connections across all shards.
+    connections: AtomicU64,
+    /// Monotone connection-id source for trace events.
+    conn_ids: AtomicU64,
 }
 
 impl Server {
@@ -208,6 +238,9 @@ impl Server {
             accepting: AtomicBool::new(true),
             shutdown_requested: AtomicBool::new(false),
             counters: Counters::default(),
+            queued_waiters: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            conn_ids: AtomicU64::new(0),
         }
     }
 
@@ -258,12 +291,37 @@ impl Server {
             cache_evictions: c.cache_evictions.load(Ordering::Relaxed),
             batch_joined: c.batch_joined.load(Ordering::Relaxed),
             overloads: c.overloads.load(Ordering::Relaxed),
+            shed_miss: c.shed_miss.load(Ordering::Relaxed),
+            shed_join: c.shed_join.load(Ordering::Relaxed),
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
             cache_bytes,
             cache_entries,
             inflight: *lock(&self.inflight) as u64,
+            connections: self.connections.load(Ordering::Relaxed),
         }
+    }
+
+    /// The server's tracing spine, shared with the shard event loops.
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Accounts a newly accepted connection (gauge up) and hands out its
+    /// server-wide connection id for trace events.
+    pub(crate) fn conn_opened(&self) -> u64 {
+        let live = self.connections.fetch_add(1, Ordering::Relaxed) + 1;
+        domatic_telemetry::global().set_gauge("server.connections", live);
+        self.conn_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Accounts a closed connection (gauge down).
+    pub(crate) fn conn_closed(&self) {
+        let live = self
+            .connections
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        domatic_telemetry::global().set_gauge("server.connections", live);
     }
 
     /// Stops admitting work and blocks until every in-flight job has
@@ -415,8 +473,28 @@ impl Server {
         // under the pending lock (lock order: pending, then inflight).
         let mut pending = lock(&self.pending);
         if let Some(batch) = pending.get(&spec.key) {
+            // Second shed tier: joins are normally free (no new work), but
+            // each queued waiter holds a sink and response slot, so under
+            // severe fan-in even joins are refused. Cache hits never reach
+            // this path — they are served to the last.
+            if self.queued_waiters.load(Ordering::Relaxed) >= self.cfg.shed_join_waiters as u64 {
+                drop(pending);
+                bump(&self.counters.overloads, "server.overload", 1);
+                bump(&self.counters.shed_join, "server.shed.join", 1);
+                self.tracer.shed(&rt, "overloaded_join");
+                self.respond_err(
+                    sink,
+                    spec.req.id,
+                    &DomaticError::Overloaded {
+                        capacity: self.cfg.capacity,
+                        tier: "join",
+                    },
+                );
+                return;
+            }
             bump(&self.counters.batch_joined, "server.batch.joined", 1);
             self.tracer.event(&rt, "batch_joined");
+            self.queued_waiters.fetch_add(1, Ordering::Relaxed);
             lock(&batch.waiters).push(waiter);
             return;
         }
@@ -432,12 +510,14 @@ impl Server {
                 drop(inflight);
                 drop(pending);
                 bump(&self.counters.overloads, "server.overload", 1);
-                self.tracer.shed(&rt, "overloaded");
+                bump(&self.counters.shed_miss, "server.shed.miss", 1);
+                self.tracer.shed(&rt, "overloaded_miss");
                 self.respond_err(
                     sink,
                     spec.req.id,
                     &DomaticError::Overloaded {
                         capacity: self.cfg.capacity,
+                        tier: "miss",
                     },
                 );
                 return;
@@ -454,6 +534,7 @@ impl Server {
             created: Instant::now(),
             waiters: Mutex::new(vec![waiter]),
         });
+        self.queued_waiters.fetch_add(1, Ordering::Relaxed);
         pending.insert(spec.key, Arc::clone(&batch));
         drop(pending);
 
@@ -479,6 +560,8 @@ impl Server {
             pending.remove(&spec.key);
             std::mem::take(&mut *lock(&batch.waiters))
         };
+        self.queued_waiters
+            .fetch_sub(waiters.len() as u64, Ordering::Relaxed);
 
         // A prior batch may have filled the key between this leader's
         // admission miss and now. The solve/render phase timing belongs
@@ -677,40 +760,40 @@ impl Server {
         self.drain();
     }
 
-    /// Serves JSON-lines over TCP: one reader thread per connection,
-    /// responses written (possibly out of request order — correlate by
-    /// `id`) to the same socket. Returns after a `shutdown` request has
-    /// been received and in-flight work has drained.
+    /// Serves JSON-lines over TCP on an evented, sharded readiness
+    /// architecture: this thread accepts and hands each connection to
+    /// one of `cfg.shards` epoll event loops, which own their
+    /// connections end to end (non-blocking reads, incremental framing,
+    /// write-interest-driven flushing). Requests pipelined on one
+    /// connection are answered in receipt order. Returns after a
+    /// `shutdown` request has been received, in-flight work has drained,
+    /// and every shard thread has flushed, closed its connections, and
+    /// been joined — no detached threads outlive this call.
     pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        let shards = crate::event_loop::spawn_shards(self, self.cfg.shards.max(1))?;
         listener.set_nonblocking(true)?;
+        let mut next = 0usize;
         while !self.shutdown_requested() {
             match listener.accept() {
                 Ok((stream, _addr)) => {
-                    let server = Arc::clone(self);
-                    std::thread::spawn(move || server.serve_connection(stream));
+                    shards[next].shared.hand_off(stream);
+                    next = (next + 1) % shards.len();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(Duration::from_millis(1));
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    crate::event_loop::finish_and_join(shards);
+                    return Err(e);
+                }
             }
         }
+        // Close the listening socket before draining so new connects are
+        // refused while in-flight work completes.
+        drop(listener);
         self.drain();
+        crate::event_loop::finish_and_join(shards);
         Ok(())
-    }
-
-    fn serve_connection(self: Arc<Self>, stream: TcpStream) {
-        let Ok(read_half) = stream.try_clone() else {
-            return;
-        };
-        let sink: ResponseSink = Arc::new(Mutex::new(stream));
-        let reader = BufReader::new(read_half);
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
-            if self.handle_line(&line, &sink) {
-                break;
-            }
-        }
     }
 }
 
@@ -850,18 +933,21 @@ fn compute_payload(spec: &JobSpec) -> Result<(String, u64, u64), DomaticError> {
 
 fn render_stats(s: &ServerStatsSnapshot) -> String {
     format!(
-        "{{\"batch_joined\":{},\"cache_bytes\":{},\"cache_entries\":{},\"cache_evictions\":{},\"cache_hits\":{},\"cache_misses\":{},\"deadline_expired\":{},\"errors\":{},\"inflight\":{},\"overloads\":{},\"requests\":{},\"solves\":{}}}",
+        "{{\"batch_joined\":{},\"cache_bytes\":{},\"cache_entries\":{},\"cache_evictions\":{},\"cache_hits\":{},\"cache_misses\":{},\"connections\":{},\"deadline_expired\":{},\"errors\":{},\"inflight\":{},\"overloads\":{},\"requests\":{},\"shed_join\":{},\"shed_miss\":{},\"solves\":{}}}",
         s.batch_joined,
         s.cache_bytes,
         s.cache_entries,
         s.cache_evictions,
         s.cache_hits,
         s.cache_misses,
+        s.connections,
         s.deadline_expired,
         s.errors,
         s.inflight,
         s.overloads,
         s.requests,
+        s.shed_join,
+        s.shed_miss,
         s.solves,
     )
 }

@@ -186,6 +186,22 @@ impl Tracer {
         }
     }
 
+    /// Logs a connection lifecycle event (`conn_accepted`,
+    /// `conn_closed`, `readable`) from a shard event loop. `conn` is the
+    /// server-wide connection id, `shard` the owning event loop, and `n`
+    /// the bytes involved (read bytes for `readable`, 0 otherwise).
+    /// These events go to the access log only — they have no request
+    /// trace and never touch the ring or responses.
+    pub fn conn_event(&self, event: &'static str, shard: usize, conn: u64, n: u64) {
+        if lock(&self.log).is_none() {
+            return;
+        }
+        let t_us = self.now_us();
+        self.log_line(&format!(
+            "{{\"conn\":{conn},\"event\":\"{event}\",\"n\":{n},\"shard\":{shard},\"t_us\":{t_us}}}"
+        ));
+    }
+
     /// Records a `shed` event with a reason and completes the trace
     /// with outcome `shed`. Used for validation failures, overload, and
     /// drain rejections — requests that never reached a solve.

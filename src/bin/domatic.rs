@@ -17,11 +17,15 @@
 //! domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]
 //! domatic optimum <graph.txt> [--b N]      # exact LP, small graphs only
 //! domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] \
+//!               [--shards N] [--shed-join-waiters N] \
 //!               [--batch-window-ms N] [--cache-bytes N] \
 //!               [--access-log PATH] [--metrics-port P] [--slow-ms N] \
 //!               [--trace-ring N]
-//! domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] \
-//!                     [--graphs a,b] [--trace-file req.jsonl] [--json]
+//! domatic bench-serve --addr HOST:PORT [--requests N] [--clients C] \
+//!                     [--mode closed|open] [--rate RPS] \
+//!                     [--graphs a,b] [--trace-file req.jsonl] [--json] \
+//!                     [--matrix [--clients-list 100,1000,10000] \
+//!                               [--out BENCH_serve.json]]
 //! domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]
 //! domatic profile --addr HOST:PORT
 //! ```
@@ -31,11 +35,19 @@
 //! an ephemeral port and prints it). A graph SPEC is either a path to an
 //! edge-list file or a synthetic spec `ring:N` / `gnp:N,DEG,SEED`.
 //! `bench-serve` replays a request trace (or a synthetic mixed workload
-//! with deliberate duplicates) against a running server and reports
-//! p50/p99 latency, a full latency histogram (`--json`, same bucket
-//! layout as the metrics exposition), throughput, error counts, and an
-//! order-independent digest of the response bytes for determinism
-//! comparisons.
+//! with deliberate duplicates) against a running server from a
+//! single-threaded evented client that multiplexes every connection over
+//! one epoll — `--clients 10000` is ten thousand real sockets, not ten
+//! thousand threads. `--mode closed` (default) keeps one request in
+//! flight per connection; `--mode open` departs requests on a fixed
+//! inter-arrival schedule (`--rate`, requests/s across all connections)
+//! and measures latency from the *scheduled* arrival, so queueing delay
+//! under overload is charged to the server rather than silently omitted.
+//! Reports p50/p99/p99.9 latency, a full latency histogram (`--json`,
+//! same bucket layout as the metrics exposition), throughput, error
+//! counts, and an order-independent digest of the response bytes for
+//! determinism comparisons. `--matrix` sweeps a client-count list in
+//! both modes and writes `BENCH_serve.json`.
 //!
 //! Observability (see `docs/OBSERVABILITY.md`): `--access-log` writes
 //! per-request lifecycle events as JSON lines, `--metrics-port` starts a
@@ -80,7 +92,7 @@ use domatic::schedule::validate_schedule_hops;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  domatic info <graph.txt>\n  domatic solve <graph.txt> [--b N] [--k K] [--hops D] [--alg SOLVER] [--solver SOLVER] [--seed S] [--trials R] [--budget-ms MS] [--max-iters N] [--verbose] [--gantt] [--out schedule.txt]   (alias: schedule)\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K] [--hops D]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--capacity N] [--batch-window-ms N] [--cache-bytes N] [--access-log PATH] [--metrics-port P] [--slow-ms N] [--trace-ring N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--concurrency C] [--graphs a,b] [--trace-file req.jsonl] [--json]\n  domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]\n  domatic profile --addr HOST:PORT\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
+        "usage:\n  domatic info <graph.txt>\n  domatic solve <graph.txt> [--b N] [--k K] [--hops D] [--alg SOLVER] [--solver SOLVER] [--seed S] [--trials R] [--budget-ms MS] [--max-iters N] [--verbose] [--gantt] [--out schedule.txt]   (alias: schedule)\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K] [--hops D]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--shards N] [--capacity N] [--batch-window-ms N] [--cache-bytes N] [--shed-join-waiters N] [--access-log PATH] [--metrics-port P] [--slow-ms N] [--trace-ring N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--clients C] [--mode closed|open] [--rate RPS] [--graphs a,b] [--trace-file req.jsonl] [--json] [--matrix [--clients-list 100,1000,10000] [--out BENCH_serve.json]]\n  domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]\n  domatic profile --addr HOST:PORT\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
         domatic::core::solver::solver_names().join("|")
     );
     std::process::exit(2)
@@ -687,12 +699,28 @@ fn cmd_serve(rest: &[String]) {
             "--trace-ring" => {
                 cfg.trace_ring = next("--trace-ring").parse().unwrap_or_else(|_| usage())
             }
+            "--shards" => {
+                cfg.shards = next("--shards")
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--shed-join-waiters" => {
+                cfg.shed_join_waiters = next("--shed-join-waiters")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
+    // A 1024-fd inherited soft limit caps a 10k-connection server far
+    // below its design point; raise it up front (best effort).
+    let _ = mio::sys::raise_nofile_limit(65_536);
     if graphs.is_empty() {
         graphs.push(("main".into(), "ring:24".into()));
     }
+    let shards = cfg.shards;
     let mut server = Server::new(cfg);
     for (name, spec) in &graphs {
         server.add_graph(name.clone(), graph_from_spec(spec));
@@ -732,6 +760,7 @@ fn cmd_serve(rest: &[String]) {
             let addr = listener.local_addr().expect("bound socket has an address");
             // The smoke harness greps for this exact line to learn the port.
             println!("listening on {addr}");
+            eprintln!("transport: evented, {shards} shard(s)");
             if let Err(e) = server.serve_tcp(listener) {
                 eprintln!("serve: {e}");
                 std::process::exit(1);
@@ -1030,15 +1059,448 @@ fn synthetic_trace(n: usize, graphs: &[String], seed: u64) -> Vec<String> {
         .collect()
 }
 
+fn bench_die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+/// One bench connection in the evented client.
+struct BenchConn {
+    stream: std::net::TcpStream,
+    /// Trace indices assigned to this connection, in send order.
+    lines: Vec<usize>,
+    /// Next entry of `lines` to send (closed loop only).
+    next: usize,
+    out: Vec<u8>,
+    out_pos: usize,
+    inbuf: Vec<u8>,
+    /// Send (closed loop) or scheduled-arrival (open loop) instants of
+    /// requests whose responses are still outstanding, FIFO. Matching
+    /// responses to requests by position is sound because the server
+    /// answers each connection in receipt order.
+    pending: std::collections::VecDeque<std::time::Instant>,
+    want_write: bool,
+}
+
+impl BenchConn {
+    fn queue(&mut self, line: &str, t0: std::time::Instant) {
+        self.out.extend_from_slice(line.as_bytes());
+        self.out.push(b'\n');
+        self.pending.push_back(t0);
+    }
+
+    /// Writes until the socket blocks or the backlog drains, keeping
+    /// writable interest registered exactly while backlog remains.
+    fn flush(&mut self, poll: &mio::Poll, token: usize) {
+        use std::io::Write;
+        loop {
+            if self.out_pos >= self.out.len() {
+                self.out.clear();
+                self.out_pos = 0;
+                break;
+            }
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => bench_die("server closed the connection mid-trace"),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => bench_die(&format!("write to server failed: {e}")),
+            }
+        }
+        let backlog = self.out_pos < self.out.len();
+        if backlog != self.want_write {
+            let interest = if backlog {
+                mio::Interest::READABLE | mio::Interest::WRITABLE
+            } else {
+                mio::Interest::READABLE
+            };
+            let _ = poll.reregister(&self.stream, mio::Token(token), interest);
+            self.want_write = backlog;
+        }
+    }
+}
+
+/// One measured bench run.
+struct BenchRun {
+    clients: usize,
+    mode: &'static str,
+    /// Arrival rate in requests/s (0 for closed loop).
+    rate: f64,
+    requests: usize,
+    errors: u64,
+    wall_ms: u128,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    throughput_rps: f64,
+    digest: u64,
+    /// Sorted, for the `--json` histogram.
+    latencies_us: Vec<u64>,
+}
+
+/// Drives one bench run: `clients` real sockets multiplexed over one
+/// epoll on a single thread. Closed loop sends each connection's next
+/// request when its previous response lands (latency from send). Open
+/// loop departs request `k` at `start + k/rate` on connection
+/// `k % clients` regardless of response progress, and measures latency
+/// from that *scheduled* instant — so queueing delay under overload is
+/// charged to the server instead of being coordinated away.
+fn run_evented_bench(
+    addr: &str,
+    trace: &[String],
+    clients: usize,
+    mode: &'static str,
+    rate: f64,
+) -> BenchRun {
+    use std::io::Read;
+    use std::time::{Duration, Instant};
+
+    let total = trace.len();
+    let clients = clients.clamp(1, total.max(1));
+    let open = mode == "open";
+
+    let poll = mio::Poll::new().expect("epoll");
+    let mut conns: Vec<BenchConn> = Vec::with_capacity(clients);
+    for c in 0..clients {
+        // Retry connects: a 10k-connection storm can overflow the
+        // listener's accept backlog; back off instead of failing.
+        let mut stream = None;
+        for attempt in 0..200 {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) if attempt == 199 => bench_die(&format!("cannot connect to {addr}: {e}")),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let stream = stream.expect("connected");
+        stream
+            .set_nonblocking(true)
+            .expect("nonblocking client socket");
+        let _ = stream.set_nodelay(true);
+        poll.register(&stream, mio::Token(c), mio::Interest::READABLE)
+            .expect("register client socket");
+        conns.push(BenchConn {
+            stream,
+            lines: Vec::new(),
+            next: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            inbuf: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            want_write: false,
+        });
+        if c % 64 == 63 {
+            // Pace the connect storm so the accept loop keeps up.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    for k in 0..total {
+        conns[k % clients].lines.push(k);
+    }
+
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(total);
+    let mut responses: Vec<String> = Vec::with_capacity(total);
+    let mut errors = 0u64;
+    let mut received = 0usize;
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut events = mio::Events::with_capacity(1024);
+    let mut next_arrival = 0usize;
+    let mut touched: Vec<usize> = Vec::new();
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(180);
+    if !open {
+        for (c, conn) in conns.iter_mut().enumerate() {
+            if let Some(&k) = conn.lines.first() {
+                conn.next = 1;
+                conn.queue(&trace[k], Instant::now());
+                conn.flush(&poll, c);
+            }
+        }
+    }
+
+    while received < total {
+        let now = Instant::now();
+        if now >= deadline {
+            bench_die(&format!(
+                "bench timed out: {received}/{total} responses after {:?}",
+                started.elapsed()
+            ));
+        }
+        let timeout = if open && next_arrival < total {
+            let sched = started + Duration::from_secs_f64(next_arrival as f64 / rate);
+            sched
+                .saturating_duration_since(now)
+                .clamp(Duration::from_millis(1), Duration::from_millis(100))
+        } else {
+            Duration::from_millis(100)
+        };
+        poll.poll(&mut events, Some(timeout)).expect("poll");
+
+        for ev in events.iter() {
+            let c = ev.token().0;
+            if c >= conns.len() {
+                continue;
+            }
+            if ev.is_readable() || ev.is_read_closed() {
+                let mut eof = false;
+                loop {
+                    match conns[c].stream.read(&mut scratch) {
+                        Ok(0) => {
+                            eof = true;
+                            break;
+                        }
+                        Ok(n) => conns[c].inbuf.extend_from_slice(&scratch[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => bench_die(&format!("read from server failed: {e}")),
+                    }
+                }
+                // Frame complete response lines; FIFO-match to sends.
+                let conn = &mut conns[c];
+                let mut start = 0usize;
+                let mut queued = false;
+                while let Some(pos) = conn.inbuf[start..].iter().position(|&b| b == b'\n') {
+                    let end = start + pos;
+                    let line = String::from_utf8_lossy(&conn.inbuf[start..end])
+                        .trim()
+                        .to_string();
+                    start = end + 1;
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if let Some(t0) = conn.pending.pop_front() {
+                        latencies_us.push(t0.elapsed().as_micros() as u64);
+                    }
+                    if line.contains("\"ok\":false") {
+                        errors += 1;
+                    }
+                    responses.push(line);
+                    received += 1;
+                    if !open && conn.next < conn.lines.len() {
+                        let k = conn.lines[conn.next];
+                        conn.next += 1;
+                        conn.queue(&trace[k], Instant::now());
+                        queued = true;
+                    }
+                }
+                conn.inbuf.drain(..start);
+                if queued {
+                    conn.flush(&poll, c);
+                }
+                if eof && !conn.pending.is_empty() {
+                    bench_die("server closed the connection mid-trace");
+                }
+            }
+            if ev.is_writable() {
+                conns[c].flush(&poll, c);
+            }
+        }
+
+        if open {
+            // Depart every request whose scheduled arrival has passed.
+            // The schedule itself never slips: a request that departs
+            // late (because the loop was busy) keeps its scheduled
+            // instant as its latency origin.
+            touched.clear();
+            let now = Instant::now();
+            while next_arrival < total {
+                let sched = started + Duration::from_secs_f64(next_arrival as f64 / rate);
+                if sched > now {
+                    break;
+                }
+                let c = next_arrival % clients;
+                conns[c].queue(&trace[next_arrival], sched);
+                touched.push(c);
+                next_arrival += 1;
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for &c in &touched {
+                conns[c].flush(&poll, c);
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+    let (p50, p99, p999) = (pct(0.50), pct(0.99), pct(0.999));
+    let throughput = responses.len() as f64 / wall.as_secs_f64().max(1e-9);
+
+    // Order-independent digest of the response bytes: sort the lines,
+    // then canonical-hash them. Equal digests across shard counts,
+    // client counts, arrival modes, or cache states prove byte-identical
+    // serving.
+    responses.sort_unstable();
+    let mut hasher = domatic::core::hash::CanonicalHasher::new();
+    for r in &responses {
+        hasher.write_str(r);
+    }
+    BenchRun {
+        clients,
+        mode,
+        rate: if open { rate } else { 0.0 },
+        requests: responses.len(),
+        errors,
+        wall_ms: wall.as_millis(),
+        p50_us: p50,
+        p99_us: p99,
+        p999_us: p999,
+        throughput_rps: throughput,
+        digest: hasher.finish(),
+        latencies_us,
+    }
+}
+
+fn print_bench_run(run: &BenchRun, json: bool) {
+    if json {
+        // Full latency histogram in the same bucket layout as the
+        // metrics exposition, so bench artifacts and live scrapes are
+        // directly comparable.
+        let hist = domatic_telemetry::BucketHistogram::new(
+            &domatic_telemetry::default_latency_buckets_us(),
+        );
+        for &us in &run.latencies_us {
+            hist.record(us);
+        }
+        let s = hist.summarize();
+        let join = |v: &[u64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!(
+            "{{\"clients\":{},\"digest\":\"{:016x}\",\"errors\":{},\"latency\":{{\"bounds_us\":[{}],\"counts\":[{}],\"count\":{},\"sum_us\":{}}},\"mode\":\"{}\",\"p50_us\":{},\"p999_us\":{},\"p99_us\":{},\"rate\":{},\"requests\":{},\"throughput_rps\":{:.1},\"wall_ms\":{}}}",
+            run.clients,
+            run.digest,
+            run.errors,
+            join(&s.bounds),
+            join(&s.counts),
+            s.count,
+            s.sum,
+            run.mode,
+            run.p50_us,
+            run.p999_us,
+            run.p99_us,
+            run.rate,
+            run.requests,
+            run.throughput_rps,
+            run.wall_ms
+        );
+    } else {
+        let pace = if run.mode == "open" {
+            format!("open loop @ {:.0} req/s", run.rate)
+        } else {
+            "closed loop".to_string()
+        };
+        println!(
+            "{} requests over {} connections ({pace}) in {} ms",
+            run.requests, run.clients, run.wall_ms
+        );
+        println!(
+            "latency p50 {} us, p99 {} us, p99.9 {} us | throughput {:.1} req/s | {} errors",
+            run.p50_us, run.p99_us, run.p999_us, run.throughput_rps, run.errors
+        );
+        println!("response digest {:016x}", run.digest);
+    }
+}
+
+/// The connection-scaling matrix behind `bench-serve --matrix`: for each
+/// client count, one closed-loop and one open-loop run over the same
+/// synthetic trace (request count scales with the client count so every
+/// connection gets work). Closed and open runs of one client count must
+/// produce byte-identical response multisets; the digests land in the
+/// output file, which CI re-checks against a fresh run.
+fn run_bench_matrix(addr: &str, graphs: &[String], seed: u64, clients_list: &[usize], out: &str) {
+    let mut rows: Vec<String> = Vec::new();
+    let mut failed = false;
+    for &clients in clients_list {
+        let requests = (clients * 2).max(1000);
+        let trace = synthetic_trace(requests, graphs, seed);
+        let rate = (clients as f64).max(1000.0);
+        let mut digests = Vec::new();
+        for mode in ["closed", "open"] {
+            eprintln!("matrix: {clients} clients, {mode} loop, {requests} requests ...");
+            let run = run_evented_bench(addr, &trace, clients, mode, rate);
+            eprintln!(
+                "matrix: {clients} clients {mode}: p50 {} us, p99 {} us, p99.9 {} us | {:.1} req/s | {} errors",
+                run.p50_us, run.p99_us, run.p999_us, run.throughput_rps, run.errors
+            );
+            if run.errors > 0 {
+                failed = true;
+            }
+            digests.push(run.digest);
+            rows.push(format!(
+                "{{\"clients\":{},\"digest\":\"{:016x}\",\"errors\":{},\"mode\":\"{}\",\"p50_us\":{},\"p999_us\":{},\"p99_us\":{},\"rate\":{},\"requests\":{},\"throughput_rps\":{:.1},\"wall_ms\":{}}}",
+                run.clients,
+                run.digest,
+                run.errors,
+                run.mode,
+                run.p50_us,
+                run.p999_us,
+                run.p99_us,
+                run.rate,
+                run.requests,
+                run.throughput_rps,
+                run.wall_ms
+            ));
+        }
+        if digests[0] != digests[1] {
+            eprintln!(
+                "matrix: closed vs open digests differ at {clients} clients: {:016x} vs {:016x}",
+                digests[0], digests[1]
+            );
+            failed = true;
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let graphs_json = graphs
+        .iter()
+        .map(|g| format!("\"{g}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    let doc = format!(
+        "{{\"bench\":\"serve-matrix\",\"graphs\":[{graphs_json}],\"machine\":{{\"arch\":\"{}\",\"cores\":{cores},\"os\":\"{}\"}},\"rows\":[{}],\"seed\":{seed}}}\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        rows.join(",")
+    );
+    std::fs::write(out, &doc).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("matrix: wrote {out}");
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_bench_serve(rest: &[String]) {
-    use std::io::{BufRead, BufReader, Write};
     let mut addr = String::new();
     let mut requests = 50usize;
-    let mut concurrency = 8usize;
+    let mut clients = 8usize;
+    let mut mode: &'static str = "closed";
+    let mut rate = 0.0f64;
     let mut graphs = vec!["main".to_string()];
     let mut trace_file: Option<String> = None;
     let mut seed = 0u64;
     let mut json = false;
+    let mut matrix = false;
+    let mut clients_list = vec![100usize, 1000, 10000];
+    let mut out = "BENCH_serve.json".to_string();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut next = |flag: &str| -> String {
@@ -1050,13 +1512,29 @@ fn cmd_bench_serve(rest: &[String]) {
         match a.as_str() {
             "--addr" => addr = next("--addr"),
             "--requests" => requests = next("--requests").parse().unwrap_or_else(|_| usage()),
-            "--concurrency" => {
-                concurrency = next("--concurrency").parse().unwrap_or_else(|_| usage())
+            "--clients" | "--concurrency" => {
+                clients = next("--clients").parse().unwrap_or_else(|_| usage())
             }
+            "--mode" => {
+                mode = match next("--mode").as_str() {
+                    "closed" => "closed",
+                    "open" => "open",
+                    _ => usage(),
+                }
+            }
+            "--rate" => rate = next("--rate").parse().unwrap_or_else(|_| usage()),
             "--graphs" => graphs = next("--graphs").split(',').map(str::to_string).collect(),
             "--trace-file" => trace_file = Some(next("--trace-file")),
             "--seed" => seed = next("--seed").parse().unwrap_or_else(|_| usage()),
             "--json" => json = true,
+            "--matrix" => matrix = true,
+            "--clients-list" => {
+                clients_list = next("--clients-list")
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--out" => out = next("--out"),
             _ => usage(),
         }
     }
@@ -1064,6 +1542,14 @@ fn cmd_bench_serve(rest: &[String]) {
         eprintln!("bench-serve needs --addr HOST:PORT");
         std::process::exit(2);
     }
+    // Ten thousand sockets need more than the usual 1024-fd soft limit.
+    let _ = mio::sys::raise_nofile_limit(65_536);
+
+    if matrix {
+        run_bench_matrix(&addr, &graphs, seed, &clients_list, &out);
+        return;
+    }
+
     let trace: Vec<String> = match &trace_file {
         Some(path) => std::fs::read_to_string(path)
             .unwrap_or_else(|e| {
@@ -1076,117 +1562,12 @@ fn cmd_bench_serve(rest: &[String]) {
             .collect(),
         None => synthetic_trace(requests, &graphs, seed),
     };
-    let concurrency = concurrency.max(1).min(trace.len().max(1));
-
-    // Round-robin the trace across closed-loop client threads: each
-    // sends a request, waits for its response, then sends the next.
-    // Duplicated keys land concurrently across threads, which is what
-    // exercises the server's batching and caching paths.
-    let started = std::time::Instant::now();
-    let mut handles = Vec::new();
-    for c in 0..concurrency {
-        let lines: Vec<String> = trace.iter().skip(c).step_by(concurrency).cloned().collect();
-        let addr = addr.clone();
-        handles.push(std::thread::spawn(
-            move || -> (Vec<u64>, Vec<String>, u64) {
-                let stream = std::net::TcpStream::connect(&addr).unwrap_or_else(|e| {
-                    eprintln!("cannot connect to {addr}: {e}");
-                    std::process::exit(1);
-                });
-                let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-                let mut stream = stream;
-                let mut latencies_us = Vec::with_capacity(lines.len());
-                let mut responses = Vec::with_capacity(lines.len());
-                let mut errors = 0u64;
-                for line in &lines {
-                    let t0 = std::time::Instant::now();
-                    writeln!(stream, "{line}").expect("write request");
-                    let mut resp = String::new();
-                    if reader.read_line(&mut resp).expect("read response") == 0 {
-                        eprintln!("server closed the connection mid-trace");
-                        std::process::exit(1);
-                    }
-                    latencies_us.push(t0.elapsed().as_micros() as u64);
-                    if resp.contains("\"ok\":false") {
-                        errors += 1;
-                    }
-                    responses.push(resp.trim_end().to_string());
-                }
-                (latencies_us, responses, errors)
-            },
-        ));
+    if mode == "open" && rate <= 0.0 {
+        rate = 1000.0;
     }
-    let mut latencies_us = Vec::with_capacity(trace.len());
-    let mut responses = Vec::with_capacity(trace.len());
-    let mut errors = 0u64;
-    for h in handles {
-        let (lat, resp, err) = h.join().expect("bench client thread");
-        latencies_us.extend(lat);
-        responses.extend(resp);
-        errors += err;
-    }
-    let wall = started.elapsed();
-
-    latencies_us.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies_us.is_empty() {
-            return 0;
-        }
-        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
-        latencies_us[idx]
-    };
-    let (p50, p99) = (pct(0.50), pct(0.99));
-    let throughput = responses.len() as f64 / wall.as_secs_f64().max(1e-9);
-
-    // Order-independent digest of the response bytes: sort the lines,
-    // then canonical-hash them. Equal digests across thread counts or
-    // cache states prove byte-identical serving.
-    responses.sort_unstable();
-    let mut hasher = domatic::core::hash::CanonicalHasher::new();
-    for r in &responses {
-        hasher.write_str(r);
-    }
-    let digest = hasher.finish();
-
-    if json {
-        // Full latency histogram in the same bucket layout as the
-        // metrics exposition, so bench artifacts and live scrapes are
-        // directly comparable.
-        let hist = domatic_telemetry::BucketHistogram::new(
-            &domatic_telemetry::default_latency_buckets_us(),
-        );
-        for &us in &latencies_us {
-            hist.record(us);
-        }
-        let s = hist.summarize();
-        let join = |v: &[u64]| {
-            v.iter()
-                .map(|x| x.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        println!(
-            "{{\"digest\":\"{digest:016x}\",\"errors\":{errors},\"latency\":{{\"bounds_us\":[{}],\"counts\":[{}],\"count\":{},\"sum_us\":{}}},\"p50_us\":{p50},\"p99_us\":{p99},\"requests\":{},\"throughput_rps\":{throughput:.1},\"wall_ms\":{}}}",
-            join(&s.bounds),
-            join(&s.counts),
-            s.count,
-            s.sum,
-            responses.len(),
-            wall.as_millis()
-        );
-    } else {
-        println!(
-            "{} requests over {} connections in {:.1} ms",
-            responses.len(),
-            concurrency,
-            wall.as_secs_f64() * 1e3
-        );
-        println!(
-            "latency p50 {p50} us, p99 {p99} us | throughput {throughput:.1} req/s | {errors} errors"
-        );
-        println!("response digest {digest:016x}");
-    }
-    if errors > 0 {
+    let run = run_evented_bench(&addr, &trace, clients, mode, rate);
+    print_bench_run(&run, json);
+    if run.errors > 0 {
         std::process::exit(1);
     }
 }

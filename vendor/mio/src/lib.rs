@@ -1,0 +1,383 @@
+//! Offline API-compatible subset of `mio` — epoll readiness polling for
+//! the domatic serving tier.
+//!
+//! The build environment has no registry access, so this shim provides
+//! the small `mio` surface the workspace uses ([`Poll`], [`Events`],
+//! [`Token`], [`Interest`], [`Waker`]) implemented directly on raw
+//! `libc` epoll syscalls (`epoll_create1` / `epoll_ctl` / `epoll_wait`,
+//! hand-declared in the private `sys` module — no external crates).
+//!
+//! Differences from upstream `mio`, all deliberate simplifications:
+//!
+//! - Registration takes any `&impl AsRawFd` instead of a `Source` trait;
+//!   the kernel tracks interest per fd, which is all the server needs.
+//! - Polling is level-triggered (no `EPOLLET`), so handlers may consume
+//!   as little or as much of a readiness condition as they like and will
+//!   be re-notified — the forgiving mode, and the right one for a
+//!   readiness loop that interleaves parsing with solving.
+//! - The extra [`sys::raise_nofile_limit`] helper is exposed (upstream
+//!   mio has no rlimit surface) because 10k-connection paths need it.
+//!
+//! Every fd created here is `CLOEXEC`; [`Poll`] and [`Waker`] close
+//! their fds on drop.
+
+pub mod sys;
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies a registered event source in the events a poll returns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness a registration asks to be told about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Readable readiness (`EPOLLIN`).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Writable readiness (`EPOLLOUT`).
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (upstream mio's `|` via `add`).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether this interest includes readable.
+    pub const fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// Whether this interest includes writable.
+    pub const fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+
+    fn epoll_bits(self) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if self.is_readable() {
+            bits |= sys::EPOLLIN;
+        }
+        if self.is_writable() {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable readiness (includes peer-closed and error conditions,
+    /// which a read will surface as EOF or an error).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// Writable readiness.
+    pub fn is_writable(&self) -> bool {
+        self.bits & (sys::EPOLLOUT | sys::EPOLLERR) != 0
+    }
+
+    /// The peer closed its end (or the fd errored): `EPOLLRDHUP`,
+    /// `EPOLLHUP`, or `EPOLLERR`.
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// An error condition on the fd (`EPOLLERR` / `EPOLLHUP`).
+    pub fn is_error(&self) -> bool {
+        self.bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0
+    }
+}
+
+/// A reusable buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// An event buffer holding at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Whether the last poll returned no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| Event {
+            token: Token(e.data as usize),
+            bits: e.events,
+        })
+    }
+}
+
+/// The epoll instance: register fds, then wait for readiness.
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// A fresh epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    /// Registers `source` for `interest`, tagged with `token`.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_add(
+            self.epfd,
+            source.as_raw_fd(),
+            interest.epoll_bits(),
+            token.0 as u64,
+        )
+    }
+
+    /// Changes an existing registration's interest (and/or token).
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_mod(
+            self.epfd,
+            source.as_raw_fd(),
+            interest.epoll_bits(),
+            token.0 as u64,
+        )
+    }
+
+    /// Removes a registration. (The kernel also drops registrations
+    /// automatically when the fd closes.)
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        sys::epoll_del(self.epfd, source.as_raw_fd())
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout`
+    /// elapses (`None` blocks indefinitely), filling `events`.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = match timeout {
+            None => -1,
+            // Round up so a 100µs timeout is not a busy-loop.
+            Some(d) => {
+                i32::try_from(d.as_millis().max(u128::from(!d.is_zero()))).unwrap_or(i32::MAX)
+            }
+        };
+        events.len = sys::wait(self.epfd, &mut events.buf, timeout_ms)?;
+        Ok(())
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// Wakes a [`Poll`] from any thread: an eventfd registered for readable
+/// interest. The poll's owner drains it on wakeup (see [`Waker::drain`])
+/// so level-triggered polling does not spin.
+pub struct Waker {
+    inner: Arc<WakerFd>,
+}
+
+struct WakerFd {
+    fd: RawFd,
+}
+
+impl Drop for WakerFd {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+impl Clone for Waker {
+    fn clone(&self) -> Waker {
+        Waker {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Waker {
+    /// An eventfd-backed waker registered on `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let fd = sys::eventfd_new()?;
+        let waker = Waker {
+            inner: Arc::new(WakerFd { fd }),
+        };
+        sys::epoll_add(poll.epfd, fd, sys::EPOLLIN, token.0 as u64)?;
+        Ok(waker)
+    }
+
+    /// Makes the poll return (now, or immediately on its next wait).
+    /// Cheap and thread-safe; coalesces with other pending wakes.
+    pub fn wake(&self) -> io::Result<()> {
+        sys::eventfd_signal(self.inner.fd)
+    }
+
+    /// Clears pending wakes. The poll's owning thread calls this when it
+    /// sees the waker's token so the eventfd stops reporting readable.
+    pub fn drain(&self) {
+        sys::eventfd_drain(self.inner.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn readable_readiness_on_a_tcp_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poll = Poll::new().unwrap();
+        poll.register(&server, Token(7), Interest::READABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        // Nothing to read yet: a zero-ish timeout returns no events.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"hello\n").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let evs: Vec<Event> = events.iter().collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].token(), Token(7));
+        assert!(evs[0].is_readable());
+        assert!(!evs[0].is_read_closed());
+
+        let mut server = server;
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read(&mut buf).unwrap(), 6);
+
+        // Peer close surfaces as read-closed readiness.
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let evs: Vec<Event> = events.iter().collect();
+        assert!(evs.iter().any(|e| e.is_read_closed()), "{evs:?}");
+    }
+
+    #[test]
+    fn writable_interest_reports_when_the_buffer_drains() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let poll = Poll::new().unwrap();
+        poll.register(&client, Token(1), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.is_writable()),
+            "a fresh socket is writable"
+        );
+        // Narrowing interest back to READABLE stops the writable storm.
+        poll.reregister(&client, Token(1), Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.iter().all(|e| !e.is_writable()));
+        drop(listener);
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_from_another_thread() {
+        let poll = Poll::new().unwrap();
+        let waker = Waker::new(&poll, Token(99)).unwrap();
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        let start = std::time::Instant::now();
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        let evs: Vec<Event> = events.iter().collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].token(), Token(99));
+        waker.drain();
+        // Drained: the next short poll sees nothing.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_wakes_coalesce_into_one_readiness() {
+        let poll = Poll::new().unwrap();
+        let waker = Waker::new(&poll, Token(3)).unwrap();
+        for _ in 0..1000 {
+            waker.wake().unwrap();
+        }
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.iter().count(), 1);
+        waker.drain();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        let got = sys::raise_nofile_limit(64).unwrap();
+        assert!(got >= 64);
+        // Asking again for less never lowers it.
+        let again = sys::raise_nofile_limit(1).unwrap();
+        assert!(again >= got);
+    }
+}

@@ -1,0 +1,164 @@
+//! Raw Linux syscall bindings for the shim: epoll, eventfd, and rlimit.
+//!
+//! The build environment has no registry access, so instead of depending
+//! on the `libc` crate these are hand-declared `extern "C"` bindings
+//! against the system libc that every Rust binary on Linux already
+//! links. Only the handful of calls the shim needs are declared.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// The kernel's `struct epoll_event`. On x86-64 the ABI packs it to 12
+/// bytes (`__attribute__((packed))` in the kernel headers); on other
+/// architectures it has natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+/// The kernel's `struct epoll_event` (naturally aligned variant).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// `struct rlimit` on 64-bit Linux (`rlim_t` is `unsigned long`).
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+pub fn epoll_create() -> io::Result<RawFd> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(drop)
+}
+
+pub fn epoll_mod(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(drop)
+}
+
+pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    let mut ev = EpollEvent { events: 0, data: 0 };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(drop)
+}
+
+/// Waits for readiness. `timeout_ms < 0` blocks indefinitely. Retries
+/// `EINTR` internally so callers never see spurious interrupts.
+pub fn wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let n = unsafe {
+            epoll_wait(
+                epfd,
+                events.as_mut_ptr(),
+                events.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+pub fn eventfd_new() -> io::Result<RawFd> {
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Bumps an eventfd counter (wakes any poller watching it). A full
+/// counter (`EAGAIN`) already guarantees the fd is readable, so that
+/// case is success.
+pub fn eventfd_signal(fd: RawFd) -> io::Result<()> {
+    let one: u64 = 1;
+    let n = unsafe { write(fd, (&one as *const u64).cast(), 8) };
+    if n == 8 {
+        return Ok(());
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::WouldBlock {
+        return Ok(());
+    }
+    Err(err)
+}
+
+/// Drains an eventfd counter back to zero (clears readiness).
+pub fn eventfd_drain(fd: RawFd) {
+    let mut buf = 0u64;
+    unsafe { read(fd, (&mut buf as *mut u64).cast(), 8) };
+}
+
+pub fn close_fd(fd: RawFd) {
+    unsafe { close(fd) };
+}
+
+/// Raises the soft `RLIMIT_NOFILE` toward `want` (capped at the hard
+/// limit) and returns the resulting soft limit. Connection-heavy paths
+/// (10k-client benches, many-shard servers) call this at startup so an
+/// inherited 1024-fd soft limit does not masquerade as a server bug.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    let new = Rlimit {
+        rlim_cur: want.min(lim.rlim_max),
+        rlim_max: lim.rlim_max,
+    };
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &new) })?;
+    Ok(new.rlim_cur)
+}
