@@ -118,6 +118,27 @@ pub fn config_hash(cfg: &SolverConfig) -> u64 {
     h.finish()
 }
 
+/// Canonical content hash of a graph version: the plain [`graph_hash`]
+/// when no battery overrides are pinned (so a mutated graph hashes
+/// identically to the same topology registered fresh — the serve
+/// cache's incremental-repair equivalence depends on this), and a
+/// domain-separated hash over the topology plus the sorted
+/// `(node, value)` override pairs otherwise.
+pub fn versioned_graph_hash(g: &Graph, overrides: &std::collections::BTreeMap<u32, u64>) -> u64 {
+    if overrides.is_empty() {
+        return graph_hash(g);
+    }
+    let mut h = CanonicalHasher::new();
+    h.write_str("battery-overrides");
+    h.write_u64(graph_hash(g));
+    h.write_u64(overrides.len() as u64);
+    for (&node, &value) in overrides {
+        h.write_u64(u64::from(node));
+        h.write_u64(value);
+    }
+    h.finish()
+}
+
 /// Canonical hash of a battery vector.
 pub fn batteries_hash(b: &Batteries) -> u64 {
     let mut h = CanonicalHasher::new();
@@ -179,6 +200,19 @@ mod tests {
             assert_ne!(config_hash(&base), config_hash(v), "{v:?}");
         }
         assert_eq!(config_hash(&base), config_hash(&SolverConfig::new()));
+    }
+
+    #[test]
+    fn versioned_graph_hash_matches_graph_hash_without_overrides() {
+        use std::collections::BTreeMap;
+        let g = gnp(20, 0.3, 4);
+        assert_eq!(versioned_graph_hash(&g, &BTreeMap::new()), graph_hash(&g));
+        let mut overrides = BTreeMap::new();
+        overrides.insert(3u32, 7u64);
+        let with = versioned_graph_hash(&g, &overrides);
+        assert_ne!(with, graph_hash(&g));
+        overrides.insert(3, 8);
+        assert_ne!(versioned_graph_hash(&g, &overrides), with);
     }
 
     #[test]

@@ -8,13 +8,33 @@
 //! makes eviction a linear scan — O(entries) — which is the right trade
 //! for a cache whose entries are whole solve results (hundreds, not
 //! millions) and keeps the structure a single `HashMap`.
+//!
+//! ## Lineage invalidation
+//!
+//! Every entry records the content hash of the graph version it was
+//! solved against. When a graph mutates, the server retires the
+//! superseded version: matching entries are dropped and the hash joins
+//! a tombstone set so a solve that was already in flight when the
+//! mutation landed cannot re-insert a stale ancestor entry afterwards.
+//! Only the mutated lineage is touched — entries for other graphs
+//! survive, which is the whole point over a full flush. Hashes are
+//! content-addressed, so a mutation chain that returns a graph to an
+//! earlier content state *revives* that hash (the server passes it
+//! back through [`SolveCache::revive_graphs`]): any entry or in-flight
+//! insert under it describes byte-identical content and is safe to
+//! serve again. The tombstone set grows by at most one hash per
+//! mutation — a few dozen bytes per churn event, negligible next to
+//! the payloads.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 struct Entry {
     payload: Arc<str>,
     last_used: u64,
+    /// Content hash of the graph version this payload was solved
+    /// against; the handle lineage invalidation retires by.
+    graph_hash: u64,
 }
 
 /// A byte-bounded LRU map from canonical solve key to rendered payload.
@@ -23,6 +43,9 @@ pub struct SolveCache {
     capacity_bytes: usize,
     bytes: usize,
     tick: u64,
+    /// Graph versions superseded by a mutation: inserts for these are
+    /// refused so late-finishing solves cannot resurrect retired state.
+    retired: HashSet<u64>,
 }
 
 impl SolveCache {
@@ -33,6 +56,7 @@ impl SolveCache {
             capacity_bytes,
             bytes: 0,
             tick: 0,
+            retired: HashSet::new(),
         }
     }
 
@@ -46,12 +70,15 @@ impl SolveCache {
         })
     }
 
-    /// Inserts `key → payload`, evicting least-recently-used entries
-    /// until the byte budget holds again. Returns how many entries were
-    /// evicted. A payload larger than the whole budget is not cached at
-    /// all (it would only evict everything and then itself).
-    pub fn insert(&mut self, key: u64, payload: Arc<str>) -> u64 {
-        if payload.len() > self.capacity_bytes {
+    /// Inserts `key → payload` for a solve against graph version
+    /// `graph_hash`, evicting least-recently-used entries until the byte
+    /// budget holds again. Returns how many entries were evicted. A
+    /// payload larger than the whole budget is not cached at all (it
+    /// would only evict everything and then itself), and an insert for a
+    /// retired graph version is refused — the solve raced a mutation and
+    /// its result must not outlive the version it describes.
+    pub fn insert(&mut self, key: u64, graph_hash: u64, payload: Arc<str>) -> u64 {
+        if payload.len() > self.capacity_bytes || self.retired.contains(&graph_hash) {
             return 0;
         }
         self.tick += 1;
@@ -60,6 +87,7 @@ impl SolveCache {
             Entry {
                 payload: Arc::clone(&payload),
                 last_used: self.tick,
+                graph_hash,
             },
         ) {
             self.bytes -= old.payload.len();
@@ -79,6 +107,43 @@ impl SolveCache {
             evicted += 1;
         }
         evicted
+    }
+
+    /// Retires graph versions superseded by a mutation: drops every
+    /// entry solved against them and tombstones the hashes against
+    /// in-flight re-inserts. Returns how many entries were dropped.
+    pub fn retire_graphs(&mut self, hashes: &[u64]) -> u64 {
+        self.retired.extend(hashes.iter().copied());
+        let doomed: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| hashes.contains(&e.graph_hash))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &doomed {
+            let gone = self.entries.remove(k).expect("key from scan");
+            self.bytes -= gone.payload.len();
+        }
+        doomed.len() as u64
+    }
+
+    /// Un-tombstones graph versions that are live again — a mutation
+    /// chain produced content identical to an earlier version, so its
+    /// (content-addressed, byte-identical) entries are valid once more.
+    pub fn revive_graphs(&mut self, hashes: &[u64]) {
+        for h in hashes {
+            self.retired.remove(h);
+        }
+    }
+
+    /// The distinct graph hashes current entries were solved against,
+    /// sorted. Test introspection for the lineage-invalidation
+    /// invariant; not part of the serving surface.
+    pub fn graph_hashes(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> = self.entries.values().map(|e| e.graph_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes
     }
 
     /// Total payload bytes currently held.
@@ -101,6 +166,8 @@ impl SolveCache {
 mod tests {
     use super::*;
 
+    const G: u64 = 0xabcd;
+
     fn payload(n: usize) -> Arc<str> {
         Arc::from("x".repeat(n))
     }
@@ -108,7 +175,7 @@ mod tests {
     #[test]
     fn hit_returns_the_stored_bytes() {
         let mut c = SolveCache::new(100);
-        c.insert(1, Arc::from("result-one"));
+        c.insert(1, G, Arc::from("result-one"));
         assert_eq!(c.get(1).as_deref(), Some("result-one"));
         assert_eq!(c.get(2), None);
         assert_eq!(c.bytes(), 10);
@@ -117,12 +184,12 @@ mod tests {
     #[test]
     fn evicts_least_recently_used_first() {
         let mut c = SolveCache::new(30);
-        c.insert(1, payload(10));
-        c.insert(2, payload(10));
-        c.insert(3, payload(10));
+        c.insert(1, G, payload(10));
+        c.insert(2, G, payload(10));
+        c.insert(3, G, payload(10));
         // Touch 1 so 2 becomes the LRU entry.
         c.get(1);
-        let evicted = c.insert(4, payload(10));
+        let evicted = c.insert(4, G, payload(10));
         assert_eq!(evicted, 1);
         assert!(c.get(2).is_none(), "LRU entry should be gone");
         assert!(c.get(1).is_some() && c.get(3).is_some() && c.get(4).is_some());
@@ -132,8 +199,8 @@ mod tests {
     #[test]
     fn reinsert_replaces_without_double_counting() {
         let mut c = SolveCache::new(50);
-        c.insert(1, payload(20));
-        c.insert(1, payload(30));
+        c.insert(1, G, payload(20));
+        c.insert(1, G, payload(30));
         assert_eq!(c.bytes(), 30);
         assert_eq!(c.len(), 1);
     }
@@ -141,8 +208,8 @@ mod tests {
     #[test]
     fn oversized_payload_is_not_cached() {
         let mut c = SolveCache::new(10);
-        c.insert(1, payload(5));
-        assert_eq!(c.insert(2, payload(11)), 0);
+        c.insert(1, G, payload(5));
+        assert_eq!(c.insert(2, G, payload(11)), 0);
         assert!(c.get(2).is_none());
         assert!(c.get(1).is_some(), "existing entries survive the refusal");
     }
@@ -150,10 +217,37 @@ mod tests {
     #[test]
     fn eviction_can_cascade() {
         let mut c = SolveCache::new(20);
-        c.insert(1, payload(10));
-        c.insert(2, payload(10));
-        assert_eq!(c.insert(3, payload(20)), 2);
+        c.insert(1, G, payload(10));
+        c.insert(2, G, payload(10));
+        assert_eq!(c.insert(3, G, payload(20)), 2);
         assert_eq!(c.len(), 1);
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn retire_drops_only_the_named_lineage() {
+        let mut c = SolveCache::new(100);
+        c.insert(1, 0xa, payload(10));
+        c.insert(2, 0xa, payload(10));
+        c.insert(3, 0xb, payload(10));
+        assert_eq!(c.retire_graphs(&[0xa]), 2);
+        assert!(c.get(1).is_none() && c.get(2).is_none());
+        assert_eq!(c.get(3).as_deref(), Some(&*"x".repeat(10)));
+        assert_eq!(c.bytes(), 10);
+        assert_eq!(c.graph_hashes(), vec![0xb]);
+    }
+
+    #[test]
+    fn retired_graphs_refuse_late_inserts_until_revived() {
+        let mut c = SolveCache::new(100);
+        c.retire_graphs(&[0xa]);
+        c.insert(1, 0xa, payload(10));
+        assert!(c.get(1).is_none(), "stale in-flight insert refused");
+        c.insert(2, 0xb, payload(10));
+        assert!(c.get(2).is_some(), "other lineages unaffected");
+        // A mutation chain that returns to this content revives it.
+        c.revive_graphs(&[0xa]);
+        c.insert(3, 0xa, payload(10));
         assert!(c.get(3).is_some());
     }
 }

@@ -9,8 +9,8 @@
 //! | field         | ops              | default   | meaning |
 //! |---------------|------------------|-----------|---------|
 //! | `id`          | all              | required  | echoed on the response |
-//! | `op`          | all              | required  | `solve`, `bounds`, `adapt`, `stats`, `metrics`, `profile`, `ping`, `shutdown` |
-//! | `graph`       | solve/bounds/adapt | required | a graph name preloaded at server start |
+//! | `op`          | all              | required  | `solve`, `bounds`, `adapt`, `mutate`, `stats`, `metrics`, `profile`, `ping`, `shutdown` |
+//! | `graph`       | solve/bounds/adapt/mutate | required | a graph name preloaded at server start |
 //! | `alg`         | solve/adapt      | `uniform` | a [`solver_registry`] name |
 //! | `solver`      | solve/adapt      | —         | alias for `alg`; if both appear they must agree |
 //! | `b`           | solve/bounds/adapt | 3       | uniform battery level |
@@ -24,6 +24,11 @@
 //! | `failures`    | adapt            | `crash`   | failure model list |
 //! | `p`           | adapt            | 0.02      | per-slot failure probability |
 //! | `slots`       | adapt            | 10000     | simulated slot budget |
+//! | `action`      | mutate           | required  | `add_node`, `remove_node`, `add_edge`, `remove_edge`, `set_battery` |
+//! | `node`        | mutate           | —         | node id for `remove_node` / `set_battery` |
+//! | `value`       | mutate           | —         | battery level for `set_battery` |
+//! | `u`, `v`      | mutate           | —         | edge endpoints for `add_edge` / `remove_edge` |
+//! | `neighbors`   | mutate           | `[]`      | neighbor list for `add_node` |
 //!
 //! Responses are `{"id":N,"ok":true,"result":{…}}` or
 //! `{"id":N,"ok":false,"error":{"kind":"…","message":"…"}}`, with
@@ -35,6 +40,7 @@
 //! [`solver_registry`]: domatic_core::solver::solver_registry
 
 use domatic_core::error::DomaticError;
+use domatic_core::incremental::GraphDelta;
 use domatic_core::solver::{Budget, SolverConfig};
 use domatic_telemetry::json::{self, Json};
 
@@ -47,6 +53,8 @@ pub enum Op {
     Bounds,
     /// Run the adaptive-vs-static comparison under a failure plan.
     Adapt,
+    /// Apply one churn delta to a named graph, producing a new version.
+    Mutate,
     /// Report the server's counters (requests, cache, batching).
     Stats,
     /// Render the telemetry registry in Prometheus text exposition
@@ -66,6 +74,7 @@ impl Op {
             "solve" => Op::Solve,
             "bounds" => Op::Bounds,
             "adapt" => Op::Adapt,
+            "mutate" => Op::Mutate,
             "stats" => Op::Stats,
             "metrics" => Op::Metrics,
             "profile" => Op::Profile,
@@ -99,6 +108,9 @@ pub struct Request {
     pub p: f64,
     /// Slot budget for `adapt`.
     pub slots: u64,
+    /// The churn delta for `mutate` (always `Some` when `op` is
+    /// [`Op::Mutate`], `None` otherwise).
+    pub delta: Option<GraphDelta>,
 }
 
 fn bad(message: impl Into<String>) -> DomaticError {
@@ -136,6 +148,63 @@ fn field_str(obj: &Json, key: &str, default: &str) -> Result<String, DomaticErro
     }
 }
 
+/// A required node-id field for `mutate` actions: present, integral,
+/// and within `u32` range (the server validates against the actual
+/// graph size).
+fn field_node(obj: &Json, key: &str) -> Result<u32, DomaticError> {
+    obj.get(key)
+        .ok_or_else(|| bad(format!("field '{key}' is required for this action")))?
+        .as_int()
+        .and_then(|i| u32::try_from(i).ok())
+        .ok_or_else(|| bad(format!("field '{key}' must be a non-negative integer")))
+}
+
+/// Parses the `mutate` delta from `action` plus its per-action fields.
+fn parse_delta(obj: &Json) -> Result<GraphDelta, DomaticError> {
+    let action = field_str(obj, "action", "")?;
+    match action.as_str() {
+        "add_node" => {
+            let neighbors = match obj.get("neighbors") {
+                None => Vec::new(),
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_int()
+                            .and_then(|i| u32::try_from(i).ok())
+                            .ok_or_else(|| bad("field 'neighbors' must hold non-negative integers"))
+                    })
+                    .collect::<Result<Vec<u32>, DomaticError>>()?,
+                Some(_) => return Err(bad("field 'neighbors' must be an array")),
+            };
+            Ok(GraphDelta::AddNode { neighbors })
+        }
+        "remove_node" => Ok(GraphDelta::RemoveNode {
+            node: field_node(obj, "node")?,
+        }),
+        "add_edge" => Ok(GraphDelta::AddEdge {
+            u: field_node(obj, "u")?,
+            v: field_node(obj, "v")?,
+        }),
+        "remove_edge" => Ok(GraphDelta::RemoveEdge {
+            u: field_node(obj, "u")?,
+            v: field_node(obj, "v")?,
+        }),
+        "set_battery" => Ok(GraphDelta::SetBattery {
+            node: field_node(obj, "node")?,
+            value: obj
+                .get("value")
+                .ok_or_else(|| bad("field 'value' is required for this action"))?
+                .as_int()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| bad("field 'value' must be a non-negative integer"))?,
+        }),
+        "" => Err(bad("field 'action' is required for op 'mutate'")),
+        other => Err(bad(format!(
+            "unknown action '{other}' (add_node|remove_node|add_edge|remove_edge|set_battery)"
+        ))),
+    }
+}
+
 /// Parses one request line. On failure the error is paired with the best
 /// `id` that could be recovered from the line (0 if none), so the error
 /// response still correlates where possible.
@@ -149,13 +218,18 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, DomaticError)> {
     let op_name = field_str(&obj, "op", "").map_err(fail)?;
     let op = Op::parse(&op_name).ok_or_else(|| {
         fail(bad(format!(
-            "unknown op '{op_name}' (solve|bounds|adapt|stats|metrics|profile|ping|shutdown)"
+            "unknown op '{op_name}' (solve|bounds|adapt|mutate|stats|metrics|profile|ping|shutdown)"
         )))
     })?;
     let graph = field_str(&obj, "graph", "").map_err(fail)?;
-    if graph.is_empty() && matches!(op, Op::Solve | Op::Bounds | Op::Adapt) {
+    if graph.is_empty() && matches!(op, Op::Solve | Op::Bounds | Op::Adapt | Op::Mutate) {
         return Err(fail(bad("field 'graph' is required for this op")));
     }
+    let delta = if op == Op::Mutate {
+        Some(parse_delta(&obj).map_err(fail)?)
+    } else {
+        None
+    };
     let mut cfg = SolverConfig::new()
         .seed(field_u64(&obj, "seed", 0).map_err(fail)?)
         .trials(field_u64(&obj, "trials", 8).map_err(fail)?)
@@ -213,6 +287,7 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, DomaticError)> {
         failures: field_str(&obj, "failures", "crash").map_err(fail)?,
         p: field_f64(&obj, "p", 0.02).map_err(fail)?,
         slots: field_u64(&obj, "slots", 10_000).map_err(fail)?,
+        delta,
     })
 }
 
@@ -363,6 +438,66 @@ mod tests {
                 format!("{{\"id\":2,\"op\":\"solve\",\"graph\":\"g\",\"budget_ms\":{bad_value}}}");
             let (_, e) = parse_request(&line).unwrap_err();
             assert!(e.to_string().contains("budget_ms"), "{bad_value}: {e}");
+        }
+    }
+
+    #[test]
+    fn parses_every_mutate_action() {
+        let cases = [
+            (
+                r#"{"id":1,"op":"mutate","graph":"g","action":"add_node","neighbors":[0,2,5]}"#,
+                GraphDelta::AddNode {
+                    neighbors: vec![0, 2, 5],
+                },
+            ),
+            (
+                r#"{"id":2,"op":"mutate","graph":"g","action":"remove_node","node":4}"#,
+                GraphDelta::RemoveNode { node: 4 },
+            ),
+            (
+                r#"{"id":3,"op":"mutate","graph":"g","action":"add_edge","u":1,"v":7}"#,
+                GraphDelta::AddEdge { u: 1, v: 7 },
+            ),
+            (
+                r#"{"id":4,"op":"mutate","graph":"g","action":"remove_edge","u":0,"v":3}"#,
+                GraphDelta::RemoveEdge { u: 0, v: 3 },
+            ),
+            (
+                r#"{"id":5,"op":"mutate","graph":"g","action":"set_battery","node":2,"value":9}"#,
+                GraphDelta::SetBattery { node: 2, value: 9 },
+            ),
+        ];
+        for (line, expected) in cases {
+            let r = parse_request(line).unwrap();
+            assert_eq!(r.op, Op::Mutate);
+            assert_eq!(r.graph, "g");
+            assert_eq!(r.delta.as_ref(), Some(&expected), "{line}");
+        }
+        // An isolated add_node defaults to an empty neighbor list.
+        let r = parse_request(r#"{"id":6,"op":"mutate","graph":"g","action":"add_node"}"#).unwrap();
+        assert_eq!(r.delta, Some(GraphDelta::AddNode { neighbors: vec![] }));
+    }
+
+    #[test]
+    fn rejects_malformed_mutate_requests_with_recovered_id() {
+        let rejected = [
+            // Missing graph / action / required per-action fields.
+            r#"{"id":9,"op":"mutate","action":"remove_node","node":1}"#,
+            r#"{"id":9,"op":"mutate","graph":"g"}"#,
+            r#"{"id":9,"op":"mutate","graph":"g","action":"warp"}"#,
+            r#"{"id":9,"op":"mutate","graph":"g","action":"remove_node"}"#,
+            r#"{"id":9,"op":"mutate","graph":"g","action":"add_edge","u":1}"#,
+            r#"{"id":9,"op":"mutate","graph":"g","action":"set_battery","node":1}"#,
+            // Type errors are rejected, never defaulted.
+            r#"{"id":9,"op":"mutate","graph":"g","action":"remove_node","node":-1}"#,
+            r#"{"id":9,"op":"mutate","graph":"g","action":"remove_node","node":1.5}"#,
+            r#"{"id":9,"op":"mutate","graph":"g","action":"add_node","neighbors":3}"#,
+            r#"{"id":9,"op":"mutate","graph":"g","action":"add_node","neighbors":["a"]}"#,
+        ];
+        for line in rejected {
+            let (id, e) = parse_request(line).unwrap_err();
+            assert_eq!(id, 9, "{line}");
+            assert_eq!(e.kind(), "bad_request", "{line}: {e}");
         }
     }
 

@@ -34,18 +34,19 @@ use crate::cache::SolveCache;
 use crate::protocol::{self, Op, Request};
 use crate::trace::{ReqTrace, Tracer};
 use domatic_core::error::DomaticError;
-use domatic_core::hash::{config_hash, graph_hash, CanonicalHasher};
+use domatic_core::hash::{config_hash, versioned_graph_hash, CanonicalHasher};
+use domatic_core::incremental::{repair_schedule, GraphDelta, RepairMode};
 use domatic_core::solver::make_solver;
 use domatic_graph::Graph;
 use domatic_netsim::{compare_static_adaptive, AdaptiveConfig, FailureModel, FailurePlan};
-use domatic_schedule::Batteries;
-use std::collections::HashMap;
+use domatic_schedule::{Batteries, Schedule};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Where a response line goes: any shared writer (a TCP stream, stdout,
@@ -57,6 +58,14 @@ pub type ResponseSink = Arc<Mutex<dyn Write + Send>>;
 /// state half-updated across a panic boundary).
 fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn rlock<T: ?Sized>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wlock<T: ?Sized>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Server tuning knobs.
@@ -119,6 +128,10 @@ struct Counters {
     shed_join: AtomicU64,
     deadline_expired: AtomicU64,
     errors: AtomicU64,
+    mutations: AtomicU64,
+    repairs: AtomicU64,
+    repair_fallbacks: AtomicU64,
+    lineage_invalidations: AtomicU64,
 }
 
 fn bump(counter: &AtomicU64, telemetry_name: &str, delta: u64) {
@@ -154,6 +167,17 @@ pub struct ServerStatsSnapshot {
     pub deadline_expired: u64,
     /// Requests answered with any typed error.
     pub errors: u64,
+    /// Graph mutations applied (each producing a new graph version).
+    pub mutations: u64,
+    /// Solves whose projected previous schedule certified as equal to
+    /// the fresh solution (the old plan survived the delta intact).
+    pub repairs: u64,
+    /// Solves after a mutation where the projected previous schedule was
+    /// invalid or different and the full re-solve's answer won.
+    pub repair_fallbacks: u64,
+    /// Cache entries dropped by hash-lineage invalidation (descendant
+    /// versions superseding the entries' graph version).
+    pub lineage_invalidations: u64,
     /// Payload bytes currently cached.
     pub cache_bytes: u64,
     /// Results currently cached.
@@ -164,9 +188,53 @@ pub struct ServerStatsSnapshot {
     pub connections: u64,
 }
 
+/// Schedules solved against one graph version, keyed by
+/// solver/config/battery subkey — the repair hints the *next* version's
+/// solves project through their delta.
+type HintMap = Arc<Mutex<HashMap<u64, Schedule>>>;
+
+/// The immediately superseded version of a named graph: the delta that
+/// replaced it plus the schedules solved against it (repair hints).
+struct PrevVersion {
+    delta: GraphDelta,
+    hints: HintMap,
+}
+
+/// The current version of a named graph, with its mutation lineage.
 struct NamedGraph {
     graph: Arc<Graph>,
+    /// Content hash of this version (topology + battery overrides) —
+    /// identical to what registering the same content fresh would hash.
     hash: u64,
+    /// Per-node battery levels pinned by `set_battery` mutations,
+    /// overlaying the per-request uniform level.
+    overrides: Arc<BTreeMap<u32, u64>>,
+    /// Version counter: 0 as registered, +1 per applied mutation.
+    version: u64,
+    /// Hash of the immediately preceding version.
+    parent: Option<u64>,
+    /// Hashes of every superseded version, oldest first.
+    ancestors: Vec<u64>,
+    /// Schedules solved against *this* version (future repair hints).
+    hints: HintMap,
+    /// The superseded version's delta + hints, for incremental repair.
+    prev: Option<PrevVersion>,
+}
+
+impl NamedGraph {
+    fn fresh(graph: Graph, overrides: BTreeMap<u32, u64>) -> Self {
+        let hash = versioned_graph_hash(&graph, &overrides);
+        NamedGraph {
+            graph: Arc::new(graph),
+            hash,
+            overrides: Arc::new(overrides),
+            version: 0,
+            parent: None,
+            ancestors: Vec::new(),
+            hints: Arc::new(Mutex::new(HashMap::new())),
+            prev: None,
+        }
+    }
 }
 
 struct Waiter {
@@ -189,12 +257,26 @@ struct Batch {
     waiters: Mutex<Vec<Waiter>>,
 }
 
-/// Everything a spawned job needs to compute its payload.
+/// What an incremental solve can repair against: the delta that
+/// produced the current graph version and the superseded version's
+/// solved schedules.
+struct RepairContext {
+    delta: GraphDelta,
+    prev_hints: HintMap,
+}
+
+/// Everything a spawned job needs to compute its payload. The graph
+/// fields are a snapshot taken at submit time: a mutation landing while
+/// the job is in flight does not change what this job solves (its
+/// insert is refused by the cache's retired set instead).
 struct JobSpec {
     key: u64,
     req: Request,
     graph: Arc<Graph>,
     graph_hash: u64,
+    overrides: Arc<BTreeMap<u32, u64>>,
+    hints: HintMap,
+    repair: Option<RepairContext>,
 }
 
 /// The solve service. Construct with [`Server::new`], register graphs
@@ -203,7 +285,7 @@ struct JobSpec {
 /// [`Server::handle_line`] directly (tests do).
 pub struct Server {
     cfg: ServerConfig,
-    graphs: HashMap<String, NamedGraph>,
+    graphs: RwLock<HashMap<String, NamedGraph>>,
     cache: Mutex<SolveCache>,
     pending: Mutex<HashMap<u64, Arc<Batch>>>,
     inflight: Mutex<usize>,
@@ -231,7 +313,7 @@ impl Server {
                 cfg.slow_ms.map(|ms| ms.saturating_mul(1000)),
             ),
             cfg,
-            graphs: HashMap::new(),
+            graphs: RwLock::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
             inflight: Mutex::new(0),
             idle: Condvar::new(),
@@ -253,22 +335,44 @@ impl Server {
     }
 
     /// Registers a graph under `name`, hashing it once.
-    pub fn add_graph(&mut self, name: impl Into<String>, graph: Graph) {
-        let hash = graph_hash(&graph);
-        self.graphs.insert(
-            name.into(),
-            NamedGraph {
-                graph: Arc::new(graph),
-                hash,
-            },
-        );
+    pub fn add_graph(&self, name: impl Into<String>, graph: Graph) {
+        self.add_graph_with_batteries(name, graph, BTreeMap::new());
+    }
+
+    /// Registers a graph under `name` with per-node battery overrides
+    /// already pinned — the state a `set_battery` mutation history
+    /// produces, registered fresh. The version hash covers the
+    /// overrides, so a mutated graph and an identically configured
+    /// fresh registration cache under the same keys.
+    pub fn add_graph_with_batteries(
+        &self,
+        name: impl Into<String>,
+        graph: Graph,
+        overrides: BTreeMap<u32, u64>,
+    ) {
+        wlock(&self.graphs).insert(name.into(), NamedGraph::fresh(graph, overrides));
     }
 
     /// The registered graph names, sorted.
-    pub fn graph_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.graphs.keys().map(String::as_str).collect();
+    pub fn graph_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = rlock(&self.graphs).keys().cloned().collect();
         names.sort_unstable();
         names
+    }
+
+    /// Test introspection: the distinct graph-version hashes current
+    /// cache entries were solved against, sorted.
+    #[doc(hidden)]
+    pub fn cache_graph_hashes(&self) -> Vec<u64> {
+        lock(&self.cache).graph_hashes()
+    }
+
+    /// Test introspection: a named graph's `(hash, version, ancestors)`.
+    #[doc(hidden)]
+    pub fn graph_lineage(&self, name: &str) -> Option<(u64, u64, Vec<u64>)> {
+        rlock(&self.graphs)
+            .get(name)
+            .map(|g| (g.hash, g.version, g.ancestors.clone()))
     }
 
     /// Whether a `shutdown` request has been received.
@@ -295,6 +399,10 @@ impl Server {
             shed_join: c.shed_join.load(Ordering::Relaxed),
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
+            mutations: c.mutations.load(Ordering::Relaxed),
+            repairs: c.repairs.load(Ordering::Relaxed),
+            repair_fallbacks: c.repair_fallbacks.load(Ordering::Relaxed),
+            lineage_invalidations: c.lineage_invalidations.load(Ordering::Relaxed),
             cache_bytes,
             cache_entries,
             inflight: *lock(&self.inflight) as u64,
@@ -380,11 +488,122 @@ impl Server {
                 self.respond(sink, &protocol::ok_line(req.id, "{\"draining\":true}"));
                 true
             }
+            Op::Mutate => {
+                // Mutations are applied inline on the transport thread,
+                // under the graphs write lock: together with the
+                // per-connection receipt-order dispatch, a client that
+                // pipelines `mutate` then `solve` on one connection is
+                // guaranteed to solve the mutated version.
+                let rt = self.tracer.begin(req.id, "mutate", &req.graph, &req.alg);
+                match self.apply_mutation(&req) {
+                    Ok(payload) => {
+                        self.tracer.event(&rt, "mutation_applied");
+                        self.respond(sink, &protocol::ok_line(req.id, &payload));
+                        self.tracer.finish(&rt, "ok", 0, 0);
+                    }
+                    Err(e) => {
+                        self.tracer.shed(&rt, "mutation_rejected");
+                        self.respond_err(sink, req.id, &e);
+                    }
+                }
+                false
+            }
             Op::Solve | Op::Bounds | Op::Adapt => {
                 self.submit(req, sink);
                 false
             }
         }
+    }
+
+    /// Applies one churn delta to a named graph, producing a new
+    /// version: the graph/overrides are swapped under the write lock,
+    /// lineage is recorded, the superseded version's cache entries are
+    /// retired, and the previous version's solved schedules become the
+    /// repair hints for solves against the new version. Returns the
+    /// rendered mutate result payload.
+    fn apply_mutation(&self, req: &Request) -> Result<String, DomaticError> {
+        let delta = req.delta.as_ref().expect("mutate request carries a delta");
+        let mut graphs = wlock(&self.graphs);
+        let named = graphs
+            .get_mut(&req.graph)
+            .ok_or_else(|| DomaticError::UnknownGraph {
+                name: req.graph.clone(),
+            })?;
+        let (new_graph, new_overrides) = match delta {
+            GraphDelta::SetBattery { node, value } => {
+                let n = named.graph.n();
+                if (*node as usize) >= n {
+                    return Err(DomaticError::BadRequest {
+                        message: format!("node {node} out of range for graph with {n} nodes"),
+                    });
+                }
+                if named.overrides.get(node) == Some(value) {
+                    return Err(DomaticError::BadRequest {
+                        message: format!("node {node} battery is already {value}"),
+                    });
+                }
+                let mut overrides = (*named.overrides).clone();
+                overrides.insert(*node, *value);
+                (Arc::clone(&named.graph), Arc::new(overrides))
+            }
+            GraphDelta::RemoveNode { node } => {
+                let graph = delta.apply(&named.graph)?;
+                // Override keys compact exactly like node ids do.
+                let overrides: BTreeMap<u32, u64> = named
+                    .overrides
+                    .iter()
+                    .filter(|(&k, _)| k != *node)
+                    .map(|(&k, &v)| (if k > *node { k - 1 } else { k }, v))
+                    .collect();
+                (Arc::new(graph), Arc::new(overrides))
+            }
+            _ => (
+                Arc::new(delta.apply(&named.graph)?),
+                Arc::clone(&named.overrides),
+            ),
+        };
+        let parent_hash = named.hash;
+        let new_hash = versioned_graph_hash(&new_graph, &new_overrides);
+        named.version += 1;
+        named.parent = Some(parent_hash);
+        named.ancestors.push(parent_hash);
+        named.prev = Some(PrevVersion {
+            delta: delta.clone(),
+            hints: Arc::clone(&named.hints),
+        });
+        named.hints = Arc::new(Mutex::new(HashMap::new()));
+        named.graph = new_graph;
+        named.overrides = new_overrides;
+        named.hash = new_hash;
+        let (version, n, m) = (named.version, named.graph.n(), named.graph.m());
+
+        // Lineage invalidation: retire the superseded version — unless
+        // some registered graph is still exactly that content, in which
+        // case its (content-addressed, byte-identical) entries stay
+        // valid. Live hashes are also revived: a mutation chain that
+        // returns a graph to earlier content makes that content
+        // cacheable again.
+        let live: Vec<u64> = graphs.values().map(|g| g.hash).collect();
+        {
+            let mut cache = lock(&self.cache);
+            if !live.contains(&parent_hash) {
+                let dropped = cache.retire_graphs(&[parent_hash]);
+                if dropped > 0 {
+                    bump(
+                        &self.counters.lineage_invalidations,
+                        "cache.lineage_invalidations",
+                        dropped,
+                    );
+                }
+            }
+            cache.revive_graphs(&live);
+        }
+        bump(&self.counters.mutations, "server.mutations", 1);
+        Ok(format!(
+            "{{\"action\":\"{}\",\"graph\":{},\"graph_hash\":\"{new_hash:016x}\",\"m\":{m},\"n\":{n},\"parent_hash\":\"{parent_hash:016x}\",\"version\":{version}}}",
+            delta.action(),
+            json_str(&req.graph),
+        ))
     }
 
     /// Validates, canonicalizes, and routes one solve-shaped request
@@ -399,7 +618,25 @@ impl Server {
             _ => unreachable!("only solve-shaped ops are submitted"),
         };
         let rt = self.tracer.begin(req.id, op_name, &req.graph, &req.alg);
-        let Some(named) = self.graphs.get(&req.graph) else {
+        // Snapshot the current graph version under the read lock: the
+        // job solves exactly this version even if a mutation lands
+        // while it is in flight (the cache then refuses its insert).
+        let snapshot = {
+            let graphs = rlock(&self.graphs);
+            graphs.get(&req.graph).map(|named| {
+                (
+                    Arc::clone(&named.graph),
+                    named.hash,
+                    Arc::clone(&named.overrides),
+                    Arc::clone(&named.hints),
+                    named.prev.as_ref().map(|p| RepairContext {
+                        delta: p.delta.clone(),
+                        prev_hints: Arc::clone(&p.hints),
+                    }),
+                )
+            })
+        };
+        let Some((graph, graph_hash, overrides, hints, repair)) = snapshot else {
             self.tracer.shed(&rt, "unknown_graph");
             self.respond_err(
                 sink,
@@ -423,7 +660,10 @@ impl Server {
             // The adaptive runtime's coverage census is 1-hop; accepting a
             // wider radius would plan d-hop schedules and then misjudge
             // them, so the combination is rejected rather than mis-served.
-            let e = DomaticError::BadRequest {
+            // This is a config-shaped refusal (the solver configuration is
+            // unsupported for this op), so it travels as a typed `config`
+            // error rather than a generic bad request.
+            let e = DomaticError::Config {
                 message: "adapt does not support hops > 1".to_string(),
             };
             self.tracer.shed(&rt, "hops_unsupported");
@@ -443,9 +683,14 @@ impl Server {
         }
 
         let spec = JobSpec {
-            key: solve_key(&req, named.hash),
-            graph: Arc::clone(&named.graph),
-            graph_hash: named.hash,
+            key: solve_key(&req, graph_hash),
+            graph,
+            graph_hash,
+            overrides,
+            hints,
+            // Repair applies to solves only: `bounds` and `adapt` have no
+            // previous schedule to project.
+            repair: if req.op == Op::Solve { repair } else { None },
             req,
         };
         self.tracer.event(&rt, "admitted");
@@ -592,7 +837,7 @@ impl Server {
                 if let Some(rt) = &leader {
                     self.tracer.event(rt, "solve_end");
                 }
-                computed.map(|(payload, s_us, r_us)| {
+                computed.map(|(payload, s_us, r_us, repair_mode)| {
                     solve_us = s_us;
                     render_us = r_us;
                     domatic_telemetry::global().observe_labeled(
@@ -600,6 +845,19 @@ impl Server {
                         &[("alg", &spec.req.alg), ("graph", &spec.req.graph)],
                         s_us,
                     );
+                    if let Some(mode) = repair_mode {
+                        if let Some(rt) = &leader {
+                            self.tracer.event(rt, mode.trace_event());
+                        }
+                        match mode {
+                            RepairMode::Repaired => {
+                                bump(&self.counters.repairs, "server.repair.incremental", 1)
+                            }
+                            RepairMode::FullResolve => {
+                                bump(&self.counters.repair_fallbacks, "server.repair.fallback", 1)
+                            }
+                        }
+                    }
                     if let Some(rt) = &leader {
                         self.tracer.event(rt, "rendered");
                     }
@@ -607,7 +865,7 @@ impl Server {
                     bump(&self.counters.solves, "server.solves", 1);
                     let (evicted, bytes) = {
                         let mut cache = lock(&self.cache);
-                        let evicted = cache.insert(spec.key, Arc::clone(&payload));
+                        let evicted = cache.insert(spec.key, spec.graph_hash, Arc::clone(&payload));
                         (evicted, cache.bytes() as u64)
                     };
                     if evicted > 0 {
@@ -679,10 +937,13 @@ impl Server {
     }
 
     /// Computes a request's payload (with solve/render split timing, in
-    /// µs). Panics inside solver code are caught and surfaced as a typed
-    /// error so one poisoned instance cannot take the worker (or the
-    /// server) down.
-    fn compute(&self, spec: &JobSpec) -> Result<(String, u64, u64), DomaticError> {
+    /// µs, and the repair mode for post-mutation solves). Panics inside
+    /// solver code are caught and surfaced as a typed error so one
+    /// poisoned instance cannot take the worker (or the server) down.
+    fn compute(
+        &self,
+        spec: &JobSpec,
+    ) -> Result<(String, u64, u64, Option<RepairMode>), DomaticError> {
         catch_unwind(AssertUnwindSafe(|| compute_payload(spec))).unwrap_or_else(|_| {
             Err(DomaticError::BadRequest {
                 message: "solver panicked on this instance".into(),
@@ -821,27 +1082,56 @@ fn solve_key(req: &Request, graph_hash: u64) -> u64 {
             h.write_u64(req.p.to_bits());
             h.write_u64(req.slots);
         }
-        Op::Ping | Op::Stats | Op::Metrics | Op::Profile | Op::Shutdown => {
+        Op::Mutate | Op::Ping | Op::Stats | Op::Metrics | Op::Profile | Op::Shutdown => {
             unreachable!("not cacheable ops")
         }
     }
     h.finish()
 }
 
+/// The repair-hint subkey: which previous-version schedule a solve can
+/// project through its delta. Same dimensions as the solve cache key
+/// minus the graph (the hint map is already per-version).
+fn hint_key(req: &Request) -> u64 {
+    let mut h = CanonicalHasher::new();
+    h.write_str(&req.alg);
+    h.write_u64(config_hash(&req.cfg));
+    h.write_u64(req.b);
+    h.finish()
+}
+
+/// The per-request battery vector: uniform at `b`, with any `set_battery`
+/// overrides pinned on top.
+fn overlay_batteries(n: usize, b: u64, overrides: &BTreeMap<u32, u64>) -> Batteries {
+    if overrides.is_empty() {
+        return Batteries::uniform(n, b);
+    }
+    let mut values = vec![b; n];
+    for (&node, &value) in overrides {
+        if (node as usize) < n {
+            values[node as usize] = value;
+        }
+    }
+    Batteries::from_vec(values)
+}
+
 /// Renders a payload for one solve-shaped request, returning the payload
-/// plus solve and render phase durations in µs. Field order is fixed
-/// (alphabetical) and every formatting choice is deterministic, so equal
-/// requests render byte-identical payloads on any thread count —
-/// the timing is observational only and never feeds the payload.
-fn compute_payload(spec: &JobSpec) -> Result<(String, u64, u64), DomaticError> {
+/// plus solve and render phase durations in µs and — for solves that
+/// could attempt an incremental repair — the repair mode. Field order is
+/// fixed (alphabetical) and every formatting choice is deterministic, so
+/// equal requests render byte-identical payloads on any thread count —
+/// the timing and repair mode are observational only and never feed the
+/// payload (see `domatic_core::incremental` for why repaired and fresh
+/// solutions are guaranteed equal).
+fn compute_payload(spec: &JobSpec) -> Result<(String, u64, u64, Option<RepairMode>), DomaticError> {
     let g = &*spec.graph;
     let req = &spec.req;
-    let batteries = Batteries::uniform(g.n(), req.b);
+    let batteries = overlay_batteries(g.n(), req.b, &spec.overrides);
     let t_start = Instant::now();
-    let timed = |t_solve: Instant, payload: String| {
+    let timed = |t_solve: Instant, payload: String, mode: Option<RepairMode>| {
         let render_us = t_solve.elapsed().as_micros() as u64;
         let solve_us = (t_start.elapsed().as_micros() as u64).saturating_sub(render_us);
-        (payload, solve_us, render_us)
+        (payload, solve_us, render_us, mode)
     };
     match req.op {
         Op::Bounds => {
@@ -857,11 +1147,35 @@ fn compute_payload(spec: &JobSpec) -> Result<(String, u64, u64), DomaticError> {
                 req.cfg.k.max(1),
                 g.m(),
                 g.n(),
-            )))
+            ), None))
         }
         Op::Solve => {
             let solver = make_solver(&req.alg)?;
-            let schedule = solver.schedule(g, &batteries, &req.cfg)?;
+            // Incremental path: if the graph's previous version solved
+            // this same (alg, config, b) point, project that schedule
+            // through the delta and certify it against the fresh solve.
+            // The rendered schedule is always the fresh one — repair
+            // mode is telemetry, never a payload branch.
+            let hint = spec
+                .repair
+                .as_ref()
+                .and_then(|rc| lock(&rc.prev_hints).get(&hint_key(req)).cloned());
+            let (schedule, mode) = match (&spec.repair, hint) {
+                (Some(rc), Some(prev)) => {
+                    let out = repair_schedule(
+                        g,
+                        &batteries,
+                        &prev,
+                        &rc.delta,
+                        solver.as_ref(),
+                        &req.cfg,
+                    )?;
+                    (out.schedule, Some(out.mode))
+                }
+                _ => (solver.schedule(g, &batteries, &req.cfg)?, None),
+            };
+            // Remember this solution for the *next* version's repairs.
+            lock(&spec.hints).insert(hint_key(req), schedule.clone());
             let tolerance = solver.tolerance(&req.cfg);
             let bound = solver.upper_bound(g, &batteries, &req.cfg);
             let t_solve = Instant::now();
@@ -892,7 +1206,7 @@ fn compute_payload(spec: &JobSpec) -> Result<(String, u64, u64), DomaticError> {
                 req.cfg.seed,
                 schedule.num_steps(),
                 req.cfg.trials,
-            )))
+            ), mode))
         }
         Op::Adapt => {
             let solver = make_solver(&req.alg)?;
@@ -923,9 +1237,9 @@ fn compute_payload(spec: &JobSpec) -> Result<(String, u64, u64), DomaticError> {
                 req.cfg.seed,
                 req.slots,
                 cmp.static_run.lifetime,
-            )))
+            ), None))
         }
-        Op::Ping | Op::Stats | Op::Metrics | Op::Profile | Op::Shutdown => {
+        Op::Mutate | Op::Ping | Op::Stats | Op::Metrics | Op::Profile | Op::Shutdown => {
             unreachable!("answered inline")
         }
     }
@@ -933,7 +1247,7 @@ fn compute_payload(spec: &JobSpec) -> Result<(String, u64, u64), DomaticError> {
 
 fn render_stats(s: &ServerStatsSnapshot) -> String {
     format!(
-        "{{\"batch_joined\":{},\"cache_bytes\":{},\"cache_entries\":{},\"cache_evictions\":{},\"cache_hits\":{},\"cache_misses\":{},\"connections\":{},\"deadline_expired\":{},\"errors\":{},\"inflight\":{},\"overloads\":{},\"requests\":{},\"shed_join\":{},\"shed_miss\":{},\"solves\":{}}}",
+        "{{\"batch_joined\":{},\"cache_bytes\":{},\"cache_entries\":{},\"cache_evictions\":{},\"cache_hits\":{},\"cache_misses\":{},\"connections\":{},\"deadline_expired\":{},\"errors\":{},\"inflight\":{},\"lineage_invalidations\":{},\"mutations\":{},\"overloads\":{},\"repair_fallbacks\":{},\"repairs\":{},\"requests\":{},\"shed_join\":{},\"shed_miss\":{},\"solves\":{}}}",
         s.batch_joined,
         s.cache_bytes,
         s.cache_entries,
@@ -944,7 +1258,11 @@ fn render_stats(s: &ServerStatsSnapshot) -> String {
         s.deadline_expired,
         s.errors,
         s.inflight,
+        s.lineage_invalidations,
+        s.mutations,
         s.overloads,
+        s.repair_fallbacks,
+        s.repairs,
         s.requests,
         s.shed_join,
         s.shed_miss,

@@ -20,7 +20,7 @@ fn ring_graph(n: u32) -> Graph {
 }
 
 fn make_server(cfg: ServerConfig) -> Arc<Server> {
-    let mut server = Server::new(cfg);
+    let server = Server::new(cfg);
     server.add_graph("ring", ring_graph(24));
     server.add_graph("ring2", ring_graph(30));
     Arc::new(server)

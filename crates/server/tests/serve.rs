@@ -23,7 +23,7 @@ fn ring_graph(n: u32) -> Graph {
 }
 
 fn make_server(cfg: ServerConfig) -> Arc<Server> {
-    let mut server = Server::new(cfg);
+    let server = Server::new(cfg);
     server.add_graph("ring", ring_graph(24));
     server.add_graph("ring2", ring_graph(30));
     Arc::new(server)
@@ -307,8 +307,15 @@ fn hops_request_serves_valid_d_hop_schedules_and_adapt_rejects_it() {
     );
     let responses = wait_lines(&buf, 3);
 
+    // The hops>1 refusal is a typed `config` error carried on the wire
+    // (the solver configuration is unsupported for `adapt`), not a
+    // generic bad request.
     let adapt_line = responses.iter().find(|l| id_of(l) == 3).unwrap();
-    assert_eq!(error_kind(adapt_line), "bad_request");
+    assert_eq!(error_kind(adapt_line), "config");
+    assert!(
+        adapt_line.contains("adapt does not support hops > 1"),
+        "{adapt_line}"
+    );
 
     let payload_2hop = result_of(responses.iter().find(|l| id_of(l) == 1).unwrap());
     let payload_1hop = result_of(responses.iter().find(|l| id_of(l) == 2).unwrap());

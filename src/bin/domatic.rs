@@ -26,6 +26,8 @@
 //!                     [--graphs a,b] [--trace-file req.jsonl] [--json] \
 //!                     [--matrix [--clients-list 100,1000,10000] \
 //!                               [--out BENCH_serve.json]]
+//! domatic scenario --addr HOST:PORT [--quick] [--seed S] \
+//!                  [--out BENCH_scenarios.json]
 //! domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]
 //! domatic profile --addr HOST:PORT
 //! ```
@@ -33,7 +35,8 @@
 //! `serve` runs the batching, caching JSON-lines solve service from
 //! `domatic-server` over stdio (default) or TCP (`--port`; port 0 binds
 //! an ephemeral port and prints it). A graph SPEC is either a path to an
-//! edge-list file or a synthetic spec `ring:N` / `gnp:N,DEG,SEED`.
+//! edge-list file or a synthetic spec `ring:N` / `gnp:N,DEG,SEED` /
+//! `dense:N,K`.
 //! `bench-serve` replays a request trace (or a synthetic mixed workload
 //! with deliberate duplicates) against a running server from a
 //! single-threaded evented client that multiplexes every connection over
@@ -48,6 +51,16 @@
 //! counts, and an order-independent digest of the response bytes for
 //! determinism comparisons. `--matrix` sweeps a client-count list in
 //! both modes and writes `BENCH_serve.json`.
+//!
+//! `scenario` replays four seeded churn campaigns — crash waves, link
+//! flap, battery recharge, dense-linear growth — against a live server's
+//! `mutate` op over one blocking connection, asserting zero errors,
+//! lifetime ≥ 1 on every solve, and byte-identical re-solves when a
+//! mutation chain returns a graph to earlier content. Each campaign's
+//! receipt-order response digest lands in `BENCH_scenarios.json`; CI
+//! compares digests across shard counts and against the committed copy
+//! (timings stay advisory). The server must expose the campaign graphs:
+//! `crash=gnp:32,5.0,7 flap=ring:24 recharge=ring:18 dense=dense:12,3`.
 //!
 //! Observability (see `docs/OBSERVABILITY.md`): `--access-log` writes
 //! per-request lifecycle events as JSON lines, `--metrics-port` starts a
@@ -92,7 +105,7 @@ use domatic::schedule::validate_schedule_hops;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  domatic info <graph.txt>\n  domatic solve <graph.txt> [--b N] [--k K] [--hops D] [--alg SOLVER] [--solver SOLVER] [--seed S] [--trials R] [--budget-ms MS] [--max-iters N] [--verbose] [--gantt] [--out schedule.txt]   (alias: schedule)\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K] [--hops D]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--shards N] [--capacity N] [--batch-window-ms N] [--cache-bytes N] [--shed-join-waiters N] [--access-log PATH] [--metrics-port P] [--slow-ms N] [--trace-ring N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--clients C] [--mode closed|open] [--rate RPS] [--graphs a,b] [--trace-file req.jsonl] [--json] [--matrix [--clients-list 100,1000,10000] [--out BENCH_serve.json]]\n  domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]\n  domatic profile --addr HOST:PORT\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
+        "usage:\n  domatic info <graph.txt>\n  domatic solve <graph.txt> [--b N] [--k K] [--hops D] [--alg SOLVER] [--solver SOLVER] [--seed S] [--trials R] [--budget-ms MS] [--max-iters N] [--verbose] [--gantt] [--out schedule.txt]   (alias: schedule)\n  domatic validate <graph.txt> <schedule.txt> [--b N] [--k K] [--hops D]\n  domatic partition <graph.txt> [--alg greedy|feige|augmented] [--seed S]\n  domatic simulate <graph.txt> [--b N] [--k K] [--seed S]\n  domatic adapt <graph.txt> [--b N] [--k K] [--alg SOLVER] [--seed S] [--trials R] [--failures none|crash|battery-noise|transient-loss|all] [--p P] [--slots N] [--retries N] [--drift N] [--json]\n  domatic render <graph.txt> --out fig.svg [--alg greedy|feige|augmented]\n  domatic optimum <graph.txt> [--b N]\n  domatic serve [--graph NAME=SPEC ...] [--port P] [--shards N] [--capacity N] [--batch-window-ms N] [--cache-bytes N] [--shed-join-waiters N] [--access-log PATH] [--metrics-port P] [--slow-ms N] [--trace-ring N]\n  domatic bench-serve --addr HOST:PORT [--requests N] [--clients C] [--mode closed|open] [--rate RPS] [--graphs a,b] [--trace-file req.jsonl] [--json] [--matrix [--clients-list 100,1000,10000] [--out BENCH_serve.json]]\n  domatic scenario --addr HOST:PORT [--quick] [--seed S] [--out BENCH_scenarios.json]   (needs graphs crash=gnp:32,5.0,7 flap=ring:24 recharge=ring:18 dense=dense:12,3)\n  domatic top --addr HOST:PORT [--interval-ms N] [--iterations N] [--no-clear]\n  domatic profile --addr HOST:PORT\nSOLVER is one of: {}\nany subcommand also takes --trace (print timing spans and counters on exit) and --threads N (thread-pool size; default RAYON_NUM_THREADS or all cores)",
         domatic::core::solver::solver_names().join("|")
     );
     std::process::exit(2)
@@ -447,10 +460,16 @@ fn run_command(cmd: &str, rest: &[String]) {
             let path = rest.first().unwrap_or_else(|| usage());
             let o = parse_opts(&rest[1..]);
             if o.hops > 1 {
-                // Same policy as the serve layer: the adaptive runtime's
-                // coverage census is strictly 1-hop, so planning d-hop
-                // schedules under it would misjudge coverage.
-                eprintln!("adapt does not support --hops > 1");
+                // Same policy (and same typed error) as the serve layer:
+                // the adaptive runtime's coverage census is strictly
+                // 1-hop, so planning d-hop schedules under it would
+                // misjudge coverage.
+                eprintln!(
+                    "{}",
+                    domatic::core::DomaticError::Config {
+                        message: "adapt does not support --hops > 1".into(),
+                    }
+                );
                 std::process::exit(2);
             }
             let g = load_graph(path);
@@ -611,6 +630,7 @@ fn run_command(cmd: &str, rest: &[String]) {
         }
         "serve" => cmd_serve(&rest),
         "bench-serve" => cmd_bench_serve(&rest),
+        "scenario" => cmd_scenario(&rest),
         "top" => cmd_top(&rest),
         "profile" => cmd_profile(&rest),
         _ => usage(),
@@ -619,7 +639,11 @@ fn run_command(cmd: &str, rest: &[String]) {
 
 /// Resolves a `serve --graph` SPEC: a path to an edge-list file, or a
 /// synthetic spec `ring:N` (cycle with skip-3 chords, the CI smoke
-/// topology) / `gnp:N,DEG,SEED` (Erdős–Rényi at target average degree).
+/// topology) / `gnp:N,DEG,SEED` (Erdős–Rényi at target average degree) /
+/// `dense:N,K` (banded dense-linear: node `i` adjacent to its `K`
+/// predecessors, the adversarial topology from the scenario campaign —
+/// every window of `K+1` consecutive nodes is a clique, so domination
+/// is easy but disjoint classes are scarce).
 fn graph_from_spec(spec: &str) -> Graph {
     if let Some(n) = spec.strip_prefix("ring:") {
         let n: u32 = n.parse().unwrap_or_else(|_| {
@@ -648,6 +672,19 @@ fn graph_from_spec(spec: &str) -> Graph {
             std::process::exit(2);
         };
         return domatic::graph::generators::gnp::gnp_with_avg_degree(n, d, seed);
+    }
+    if let Some(params) = spec.strip_prefix("dense:") {
+        let parsed = params
+            .split_once(',')
+            .and_then(|(n, k)| Some((n.parse::<u32>().ok()?, k.parse::<u32>().ok()?)));
+        let Some((n, k)) = parsed.filter(|&(n, k)| n >= 2 && k >= 1) else {
+            eprintln!("dense:N,K needs N >= 2 nodes and band K >= 1, got '{spec}'");
+            std::process::exit(2);
+        };
+        let edges: Vec<(u32, u32)> = (1..n)
+            .flat_map(|i| (1..=k.min(i)).map(move |j| (i, i - j)))
+            .collect();
+        return Graph::from_edges(n as usize, &edges);
     }
     load_graph(spec)
 }
@@ -721,7 +758,7 @@ fn cmd_serve(rest: &[String]) {
         graphs.push(("main".into(), "ring:24".into()));
     }
     let shards = cfg.shards;
-    let mut server = Server::new(cfg);
+    let server = Server::new(cfg);
     for (name, spec) in &graphs {
         server.add_graph(name.clone(), graph_from_spec(spec));
     }
@@ -1568,6 +1605,411 @@ fn cmd_bench_serve(rest: &[String]) {
     let run = run_evented_bench(&addr, &trace, clients, mode, rate);
     print_bench_run(&run, json);
     if run.errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `domatic scenario` — the seeded churn campaign runner.
+// ---------------------------------------------------------------------------
+
+/// One blocking JSON-lines connection to a live server. Requests carry
+/// ids from a single monotone counter and are strictly
+/// request/response, so the byte stream a campaign observes is a pure
+/// function of (seed, quick) — independent of the server's shard count,
+/// which is exactly what the CI matrix gates on.
+struct ScenarioClient {
+    stream: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+    next_id: u64,
+}
+
+impl ScenarioClient {
+    fn connect(addr: &str) -> ScenarioClient {
+        let stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        });
+        let reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+        ScenarioClient {
+            stream,
+            reader,
+            next_id: 0,
+        }
+    }
+
+    /// Sends `{"id":<next>,<body>}` and blocks for the one response
+    /// line. Returns the trimmed line and the round-trip micros.
+    fn rpc(&mut self, body: &str) -> (String, u64) {
+        use std::io::{BufRead, Write};
+        self.next_id += 1;
+        let start = std::time::Instant::now();
+        writeln!(self.stream, "{{\"id\":{},{body}}}", self.next_id).unwrap_or_else(|e| {
+            eprintln!("scenario: write failed: {e}");
+            std::process::exit(1);
+        });
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => {
+                eprintln!("scenario: server closed the connection");
+                std::process::exit(1);
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("scenario: read failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        let us = start.elapsed().as_micros() as u64;
+        (line.trim_end().to_string(), us)
+    }
+}
+
+/// Accumulator for one campaign: receipt-order response lines (the
+/// digest input), latencies, request-class counts, and every envelope
+/// violation the campaign noticed.
+struct ScenarioRun {
+    name: &'static str,
+    lines: Vec<String>,
+    latencies_us: Vec<u64>,
+    errors: u64,
+    mutations: u64,
+    solves: u64,
+    violations: Vec<String>,
+    wall_ms: u128,
+}
+
+impl ScenarioRun {
+    fn new(name: &'static str) -> ScenarioRun {
+        ScenarioRun {
+            name,
+            lines: Vec::new(),
+            latencies_us: Vec::new(),
+            errors: 0,
+            mutations: 0,
+            solves: 0,
+            violations: Vec::new(),
+            wall_ms: 0,
+        }
+    }
+
+    /// The `result` object's text inside a response line, if the line
+    /// is an `ok` response. Byte-exact slicing (no re-render) so two
+    /// results compare equal iff the server sent identical payloads.
+    fn result_slice(line: &str) -> Option<&str> {
+        let idx = line.find("\"result\":")?;
+        line.get(idx + "\"result\":".len()..line.len() - 1)
+    }
+
+    /// One round trip through `client`, recording the line, the
+    /// latency, and whether the server said ok. Returns the response
+    /// line on success, `None` (and counts an error) otherwise.
+    fn call(&mut self, client: &mut ScenarioClient, body: &str) -> Option<String> {
+        let (line, us) = client.rpc(body);
+        self.latencies_us.push(us);
+        self.lines.push(line.clone());
+        let ok = domatic_telemetry::json::parse(&line)
+            .ok()
+            .and_then(|v| v.get("ok").cloned())
+            .is_some_and(|b| matches!(b, domatic_telemetry::json::Json::Bool(true)));
+        if ok {
+            Some(line)
+        } else {
+            self.errors += 1;
+            self.violations
+                .push(format!("{}: error response: {line}", self.name));
+            None
+        }
+    }
+
+    /// A `mutate` round trip; returns the parsed result object.
+    fn mutate(
+        &mut self,
+        client: &mut ScenarioClient,
+        body: &str,
+    ) -> Option<domatic_telemetry::json::Json> {
+        self.mutations += 1;
+        let line = self.call(client, body)?;
+        domatic_telemetry::json::parse(&line)
+            .ok()
+            .and_then(|v| v.get("result").cloned())
+    }
+
+    /// A `solve` round trip; enforces the lifetime envelope and returns
+    /// the byte-exact result slice.
+    fn solve(
+        &mut self,
+        client: &mut ScenarioClient,
+        graph: &str,
+        alg: &str,
+        seed: u64,
+    ) -> Option<String> {
+        self.solves += 1;
+        let body =
+            format!("\"op\":\"solve\",\"graph\":\"{graph}\",\"alg\":\"{alg}\",\"b\":3,\"k\":1,\"seed\":{seed}");
+        let line = self.call(client, &body)?;
+        let lifetime = domatic_telemetry::json::parse(&line).ok().and_then(|v| {
+            v.get("result")
+                .and_then(|r| r.get("lifetime"))
+                .and_then(|l| l.as_int())
+        });
+        match lifetime {
+            Some(l) if l >= 1 => {}
+            other => self.violations.push(format!(
+                "{}: solve lifetime envelope violated (lifetime {other:?} < 1): {line}",
+                self.name
+            )),
+        }
+        Self::result_slice(&line).map(str::to_string)
+    }
+
+    fn digest(&self) -> u64 {
+        let mut h = domatic::core::hash::CanonicalHasher::new();
+        for line in &self.lines {
+            h.write_str(line);
+        }
+        h.finish()
+    }
+
+    fn quantile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        sorted[((sorted.len() as f64 - 1.0) * p).round() as usize]
+    }
+
+    /// The campaign's row in `BENCH_scenarios.json` — alphabetical
+    /// field order, hand-rendered like every other bench artifact.
+    fn row(&self) -> String {
+        format!(
+            "{{\"digest\":\"{:016x}\",\"errors\":{},\"mutations\":{},\"name\":\"{}\",\"p50_us\":{},\"p99_us\":{},\"requests\":{},\"solves\":{},\"wall_ms\":{}}}",
+            self.digest(),
+            self.errors,
+            self.mutations,
+            self.name,
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            self.lines.len(),
+            self.solves,
+            self.wall_ms
+        )
+    }
+}
+
+/// A tiny deterministic index mixer for node/edge picks — NOT meant to
+/// be a good PRNG, just a seed-sensitive, platform-stable spreading
+/// function (splitmix-style multiply-xor).
+fn scenario_pick(seed: u64, round: u64, salt: u64, modulus: u64) -> u64 {
+    let mut x = seed
+        .wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 27;
+    x % modulus
+}
+
+/// Crash waves: batches of `remove_node` against the Erdős–Rényi
+/// `crash` graph, with `bounds` + `solve` probes after every wave. The
+/// node ids shift down on each removal (the protocol compacts), so the
+/// picks below are against the *current* population.
+fn scenario_crash_wave(client: &mut ScenarioClient, quick: bool, seed: u64) -> ScenarioRun {
+    let mut run = ScenarioRun::new("crash-wave");
+    let start = std::time::Instant::now();
+    let waves = if quick { 3 } else { 6 };
+    let mut n: u64 = 32;
+    run.solve(client, "crash", "greedy", seed);
+    for wave in 0..waves {
+        for j in 0..2u64 {
+            let node = scenario_pick(seed, wave, j, n);
+            run.mutate(
+                client,
+                &format!("\"op\":\"mutate\",\"graph\":\"crash\",\"action\":\"remove_node\",\"node\":{node}"),
+            );
+            n -= 1;
+        }
+        run.call(
+            client,
+            "\"op\":\"bounds\",\"graph\":\"crash\",\"b\":3,\"k\":1",
+        );
+        run.solve(client, "crash", "greedy", seed);
+    }
+    run.wall_ms = start.elapsed().as_millis();
+    run
+}
+
+/// Link flap: remove an edge of the `flap` ring, re-solve, add it back,
+/// re-solve — and require the post-re-add solve to be byte-identical to
+/// the pre-flap baseline. The re-added graph has the same content hash
+/// as the original, so this exercises the cache's tombstone *revive*
+/// path end to end.
+fn scenario_link_flap(client: &mut ScenarioClient, quick: bool, seed: u64) -> ScenarioRun {
+    let mut run = ScenarioRun::new("link-flap");
+    let start = std::time::Instant::now();
+    let flips = if quick { 3 } else { 8 };
+    let baseline = run.solve(client, "flap", "greedy", seed);
+    for flip in 0..flips {
+        let u = scenario_pick(seed, flip, 1, 24);
+        let v = (u + 1) % 24;
+        run.mutate(
+            client,
+            &format!("\"op\":\"mutate\",\"graph\":\"flap\",\"action\":\"remove_edge\",\"u\":{u},\"v\":{v}"),
+        );
+        run.solve(client, "flap", "greedy", seed);
+        run.mutate(
+            client,
+            &format!(
+                "\"op\":\"mutate\",\"graph\":\"flap\",\"action\":\"add_edge\",\"u\":{u},\"v\":{v}"
+            ),
+        );
+        let restored = run.solve(client, "flap", "greedy", seed);
+        if restored != baseline {
+            run.violations.push(format!(
+                "link-flap: re-added edge ({u},{v}) did not restore the baseline solve bytes"
+            ));
+        }
+    }
+    run.wall_ms = start.elapsed().as_millis();
+    run
+}
+
+/// Battery recharge: drain one node to 1 unit, re-solve under the
+/// non-uniform overlay, recharge it past the default, re-solve. Uses
+/// `greedy` throughout — the closed-form `uniform` solver rightly
+/// refuses non-uniform batteries.
+fn scenario_battery_recharge(client: &mut ScenarioClient, quick: bool, seed: u64) -> ScenarioRun {
+    let mut run = ScenarioRun::new("battery-recharge");
+    let start = std::time::Instant::now();
+    let cycles = if quick { 3 } else { 6 };
+    run.solve(client, "recharge", "greedy", seed);
+    for cycle in 0..cycles {
+        let node = scenario_pick(seed, cycle, 2, 18);
+        run.mutate(
+            client,
+            &format!("\"op\":\"mutate\",\"graph\":\"recharge\",\"action\":\"set_battery\",\"node\":{node},\"value\":1"),
+        );
+        run.solve(client, "recharge", "greedy", seed);
+        run.mutate(
+            client,
+            &format!("\"op\":\"mutate\",\"graph\":\"recharge\",\"action\":\"set_battery\",\"node\":{node},\"value\":4"),
+        );
+        run.solve(client, "recharge", "greedy", seed);
+    }
+    run.wall_ms = start.elapsed().as_millis();
+    run
+}
+
+/// Dense-linear growth: the adversarial banded topology from the paper's
+/// lower-bound family, grown one node at a time (`add_node` wired to its
+/// three predecessors). Checks the mutate result's `n` climbs by exactly
+/// one per step.
+fn scenario_dense_growth(client: &mut ScenarioClient, quick: bool, seed: u64) -> ScenarioRun {
+    let mut run = ScenarioRun::new("dense-growth");
+    let start = std::time::Instant::now();
+    let steps = if quick { 3 } else { 8 };
+    let mut n: u64 = 12;
+    run.solve(client, "dense", "greedy", seed);
+    for _ in 0..steps {
+        let result = run.mutate(
+            client,
+            &format!(
+                "\"op\":\"mutate\",\"graph\":\"dense\",\"action\":\"add_node\",\"neighbors\":[{},{},{}]",
+                n - 1,
+                n - 2,
+                n - 3
+            ),
+        );
+        n += 1;
+        let got = result
+            .as_ref()
+            .and_then(|r| r.get("n"))
+            .and_then(|v| v.as_int());
+        if got != Some(n as i128) {
+            run.violations.push(format!(
+                "dense-growth: add_node reported n {got:?}, expected {n}"
+            ));
+        }
+        run.solve(client, "dense", "greedy", seed);
+    }
+    run.wall_ms = start.elapsed().as_millis();
+    run
+}
+
+/// `domatic scenario`: replays the four seeded churn campaigns against
+/// a live server and writes `BENCH_scenarios.json`. Exit status is the
+/// envelope verdict — nonzero if any campaign saw an error response, a
+/// solve below the lifetime floor, or a broken restore-equality check.
+/// Digests hash the receipt-order response bytes, so CI can require
+/// them byte-identical across shard counts and against the committed
+/// artifact while leaving timings advisory.
+fn cmd_scenario(rest: &[String]) {
+    let mut addr = String::new();
+    let mut quick = false;
+    let mut seed = 0u64;
+    let mut out = "BENCH_scenarios.json".to_string();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--addr" => addr = next("--addr"),
+            "--quick" => quick = true,
+            "--seed" => seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--out" => out = next("--out"),
+            _ => usage(),
+        }
+    }
+    if addr.is_empty() {
+        eprintln!("scenario needs --addr HOST:PORT");
+        std::process::exit(2);
+    }
+    let mut client = ScenarioClient::connect(&addr);
+    let runs = [
+        scenario_crash_wave(&mut client, quick, seed),
+        scenario_link_flap(&mut client, quick, seed),
+        scenario_battery_recharge(&mut client, quick, seed),
+        scenario_dense_growth(&mut client, quick, seed),
+    ];
+    let mut failed = false;
+    for run in &runs {
+        eprintln!(
+            "scenario {}: {} requests ({} mutations, {} solves), {} errors, digest {:016x}, p99 {} us, {} ms",
+            run.name,
+            run.lines.len(),
+            run.mutations,
+            run.solves,
+            run.errors,
+            run.digest(),
+            run.quantile_us(0.99),
+            run.wall_ms
+        );
+        for v in &run.violations {
+            eprintln!("scenario VIOLATION: {v}");
+            failed = true;
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rows: Vec<String> = runs.iter().map(ScenarioRun::row).collect();
+    let doc = format!(
+        "{{\"bench\":\"scenarios\",\"machine\":{{\"arch\":\"{}\",\"cores\":{cores},\"os\":\"{}\"}},\"quick\":{quick},\"rows\":[{}],\"seed\":{seed}}}\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        rows.join(",")
+    );
+    std::fs::write(&out, &doc).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("scenario: wrote {out}");
+    if failed {
         std::process::exit(1);
     }
 }
